@@ -1,0 +1,258 @@
+(* Wall-clock benchmarks (Bechamel) of the real OCaml implementation.
+
+   One group per paper artifact — fig9 (regular ping-pong), fig10
+   (object-transport ping-pong), tabB (pinning by build), the ablations —
+   plus micro-benchmarks of the load-bearing components (serializers, GC,
+   matching queues, channel). Virtual-time results (the paper's shapes)
+   come from bin/figures.exe; these benches measure how fast the simulator
+   and runtime themselves run. *)
+
+open Bechamel
+open Toolkit
+module W = Harness.Workloads
+module S = Harness.Systems
+module Om = Vm.Object_model
+module Types = Vm.Types
+module Gc = Vm.Gc
+
+let tiny = { W.iters = 4; timed = 2; trials = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* fig9: one full (small) ping-pong world per system                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig9_bench system size =
+  Test.make
+    ~name:(Printf.sprintf "%s@%dB" (S.name system) size)
+    (Staged.stage (fun () ->
+         ignore (W.pingpong_bytes ~protocol:tiny system ~size)))
+
+let fig9_group =
+  Test.make_grouped ~name:"fig9"
+    (List.map (fun s -> fig9_bench s 1024) S.fig9_systems
+    @ [ fig9_bench S.Motor_sys 262_144; fig9_bench S.Native_cpp 262_144 ])
+
+(* ------------------------------------------------------------------ *)
+(* fig10: object transport per system                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig10_bench system n =
+  Test.make
+    ~name:(Printf.sprintf "%s@%dobj" (S.name system) n)
+    (Staged.stage (fun () ->
+         ignore
+           (W.pingpong_objects ~protocol:tiny system ~total_objects:n
+              ~total_data_bytes:4096)))
+
+let fig10_group =
+  Test.make_grouped ~name:"fig10"
+    (List.map (fun s -> fig10_bench s 64) S.fig10_systems)
+
+(* ------------------------------------------------------------------ *)
+(* tabB: pinning cost by SSCLI build                                    *)
+(* ------------------------------------------------------------------ *)
+
+let tabb_group =
+  Test.make_grouped ~name:"tabB"
+    [
+      fig9_bench S.Indiana_sscli 64;
+      fig9_bench S.Indiana_sscli_fastchecked 64;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let abl_group =
+  Test.make_grouped ~name:"ablations"
+    [
+      Test.make ~name:"abl1-pinning-policies"
+        (Staged.stage (fun () ->
+             ignore
+               (Harness.Experiments.abl_pinning_policy ~protocol:tiny
+                  ~size:1024 ())));
+      Test.make ~name:"abl2-call-mechanisms"
+        (Staged.stage (fun () ->
+             ignore
+               (Harness.Experiments.abl_call_mechanism ~protocol:tiny ~size:4
+                  ())));
+      Test.make ~name:"abl4-eager-threshold"
+        (Staged.stage (fun () ->
+             ignore
+               (Harness.Experiments.abl_eager_threshold ~protocol:tiny ())));
+      Test.make ~name:"abl5-nonblocking-unpin"
+        (Staged.stage (fun () ->
+             ignore (Harness.Experiments.abl_nonblocking_unpin ())));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Component micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared fixture: a runtime with a 256-element list (512 objects). *)
+let fixture =
+  lazy
+    (let rt = Vm.Runtime.create () in
+     let head =
+       W.make_linked_list rt.Vm.Runtime.gc rt.Vm.Runtime.registry ~elems:256
+         ~total_data_bytes:4096
+     in
+     (rt, head))
+
+let serializer_group =
+  Test.make_grouped ~name:"serializer"
+    [
+      Test.make ~name:"motor-linear-512obj"
+        (Staged.stage (fun () ->
+             let rt, head = Lazy.force fixture in
+             ignore
+               (Motor.Serializer.serialize rt.Vm.Runtime.gc ~visited:Linear
+                  head)));
+      Test.make ~name:"motor-hashed-512obj"
+        (Staged.stage (fun () ->
+             let rt, head = Lazy.force fixture in
+             ignore
+               (Motor.Serializer.serialize rt.Vm.Runtime.gc ~visited:Hashed
+                  head)));
+      Test.make ~name:"clr-sscli-512obj"
+        (Staged.stage (fun () ->
+             let rt, head = Lazy.force fixture in
+             ignore
+               (Baselines.Std_serializer.serialize
+                  Baselines.Std_serializer.clr_sscli rt.Vm.Runtime.gc head)));
+      Test.make ~name:"java-512obj"
+        (Staged.stage (fun () ->
+             let rt, head = Lazy.force fixture in
+             ignore
+               (Baselines.Std_serializer.serialize
+                  Baselines.Std_serializer.java rt.Vm.Runtime.gc head)));
+    ]
+
+let fixture2048 =
+  lazy
+    (let rt = Vm.Runtime.create () in
+     let head =
+       W.make_linked_list rt.Vm.Runtime.gc rt.Vm.Runtime.registry
+         ~elems:1024 ~total_data_bytes:4096
+     in
+     (rt, head))
+
+let serializer_scaling_group =
+  Test.make_grouped ~name:"serializer-scaling"
+    [
+      Test.make ~name:"motor-linear-2048obj"
+        (Staged.stage (fun () ->
+             let rt, head = Lazy.force fixture2048 in
+             ignore
+               (Motor.Serializer.serialize rt.Vm.Runtime.gc ~visited:Linear
+                  head)));
+      Test.make ~name:"motor-hashed-2048obj"
+        (Staged.stage (fun () ->
+             let rt, head = Lazy.force fixture2048 in
+             ignore
+               (Motor.Serializer.serialize rt.Vm.Runtime.gc ~visited:Hashed
+                  head)));
+    ]
+
+let gc_group =
+  Test.make_grouped ~name:"gc"
+    [
+      Test.make ~name:"minor-collection-with-churn"
+        (Staged.stage (fun () ->
+             let rt, _ = Lazy.force fixture in
+             let gc = rt.Vm.Runtime.gc in
+             for _ = 1 to 64 do
+               Om.free gc (Om.alloc_array gc (Types.Eprim Types.I8) 32)
+             done;
+             Gc.collect gc ~full:false));
+      Test.make ~name:"full-collection"
+        (Staged.stage (fun () ->
+             let rt, _ = Lazy.force fixture in
+             Gc.collect rt.Vm.Runtime.gc ~full:true));
+    ]
+
+let mpi_group =
+  let env = Simtime.Env.create ~cost:Simtime.Cost.native_cpp () in
+  let queues = Mpi_core.Queues.create env in
+  let pattern = { Mpi_core.Tag_match.m_src = 3; m_tag = 7; m_context = 0 } in
+  let envelope =
+    {
+      Mpi_core.Packet.e_src = 3;
+      e_dst = 0;
+      e_tag = 7;
+      e_context = 0;
+      e_bytes = 64;
+      e_seq = 1;
+    }
+  in
+  Test.make_grouped ~name:"mpi-core"
+    [
+      Test.make ~name:"queue-post-and-match"
+        (Staged.stage (fun () ->
+             Mpi_core.Queues.post_recv queues
+               {
+                 Mpi_core.Queues.p_pattern = pattern;
+                 p_sink = Mpi_core.Buffer_view.of_bytes (Bytes.create 64);
+                 p_req =
+                   Mpi_core.Request.create ~id:1 Mpi_core.Request.Recv_req;
+               };
+             ignore (Mpi_core.Queues.take_posted queues envelope)));
+      Test.make ~name:"channel-send-poll"
+        (Staged.stage
+           (let chan = Mpi_core.Sock_channel.create env ~n_ranks:2 in
+            fun () ->
+              chan.Mpi_core.Channel.send ~src:0 ~dst:1
+                (Mpi_core.Packet.Eager (envelope, Bytes.create 64));
+              (* arrival gating needs the clock to advance *)
+              Simtime.Env.charge env 1_000_000.0;
+              ignore (chan.Mpi_core.Channel.poll ~rank:1)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let all_tests =
+  Test.make_grouped ~name:"motor"
+    [
+      fig9_group; fig10_group; tabb_group; abl_group; serializer_group;
+      serializer_scaling_group; gc_group; mpi_group;
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.4) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  Analyze.merge ols instances results
+
+let () =
+  let results = benchmark () in
+  Format.printf "%-55s %15s %10s@." "benchmark" "ns/run" "r^2";
+  Format.printf "%s@." (String.make 82 '-');
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          let est =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> e
+            | Some [] | None -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with Some r -> r | None -> nan
+          in
+          rows := (name, est, r2) :: !rows)
+        tbl)
+    results;
+  List.iter
+    (fun (name, est, r2) ->
+      Format.printf "%-55s %15.0f %10.4f@." name est r2)
+    (List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows)

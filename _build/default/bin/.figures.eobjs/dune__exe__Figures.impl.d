@@ -1,0 +1,1 @@
+bin/figures.ml: Arg Buffer Chart Cmd Cmdliner Experiments Format Harness List Printf Shapes Stdlib String Table Term Workloads

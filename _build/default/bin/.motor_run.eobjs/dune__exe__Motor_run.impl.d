@@ -1,0 +1,1 @@
+bin/motor_run.ml: Arg Cmd Cmdliner Format In_channel List Motor Mpi_core Printf Simtime String Term Vm

@@ -1,0 +1,1 @@
+bin/motor_run.mli:

@@ -1,0 +1,354 @@
+(* Regenerate every figure and table of the paper's evaluation, plus the
+   ablations listed in DESIGN.md. See EXPERIMENTS.md for paper-vs-measured
+   commentary. *)
+
+open Harness
+
+let result_cell = function
+  | Workloads.Time_us t -> Table.Num t
+  | Workloads.Crashed msg -> Table.Text ("CRASH: " ^ msg)
+
+let series_table ~title ~xlabel series ~csv =
+  (* simpler layout: first column is x *)
+  let headers =
+    xlabel
+    :: List.map (fun (s : Experiments.series) -> s.Experiments.system) series
+  in
+  ignore headers;
+  let headers =
+    List.map (fun (s : Experiments.series) -> s.Experiments.system) series
+  in
+  let xs =
+    List.map
+      (fun (p : Experiments.point) -> p.Experiments.x)
+      (List.hd series).Experiments.points
+  in
+  let rows =
+    List.map
+      (fun x ->
+        ( string_of_int x,
+          List.map
+            (fun (s : Experiments.series) ->
+              match
+                List.find_opt
+                  (fun (p : Experiments.point) -> p.Experiments.x = x)
+                  s.Experiments.points
+              with
+              | Some p -> result_cell p.Experiments.result
+              | None -> Table.Missing)
+            series ))
+      xs
+  in
+  Table.print_table ~title ~headers ~rows ();
+  let chart_series =
+    List.map
+      (fun (s : Experiments.series) ->
+        ( s.Experiments.system,
+          List.filter_map
+            (fun (p : Experiments.point) ->
+              match p.Experiments.result with
+              | Workloads.Time_us t -> Some (float_of_int p.Experiments.x, t)
+              | Workloads.Crashed _ -> None)
+            s.Experiments.points ))
+      series
+  in
+  Chart.log_log ~title:(title ^ " [plot]") ~xlabel ~ylabel:"us/iter"
+    ~series:chart_series ();
+  match csv with
+  | Some path ->
+      Table.write_csv ~path ~headers ~rows;
+      Format.printf "csv written to %s@." path
+  | None -> ()
+
+let quick_protocol = { Workloads.iters = 40; timed = 20; trials = 1 }
+
+let run_fig9 ~quick ~csv =
+  let protocol =
+    if quick then quick_protocol else Workloads.paper_protocol
+  in
+  let series = Experiments.fig9 ~protocol () in
+  series_table
+    ~title:
+      "Figure 9: ping-pong, regular MPI operations (us per iteration vs \
+       buffer bytes)"
+    ~xlabel:"bytes" series ~csv;
+  Format.printf "@.shape checks:@.%a" Shapes.pp_verdicts
+    (Shapes.fig9_checks series);
+  series
+
+let run_fig10 ~quick ~csv =
+  let series = Experiments.fig10 ~quick () in
+  series_table
+    ~title:
+      "Figure 10: ping-pong, linked-list object transport (us per \
+       iteration vs total objects; 4096 B payload)"
+    ~xlabel:"objects" series ~csv;
+  if not quick then
+    Format.printf "@.shape checks:@.%a" Shapes.pp_verdicts
+      (Shapes.fig10_checks series);
+  series
+
+let run_taba ~quick =
+  let protocol =
+    if quick then quick_protocol else Workloads.paper_protocol
+  in
+  let series = Experiments.fig9 ~protocol () in
+  let rows =
+    List.map
+      (fun (r : Experiments.taba_row) ->
+        ( r.Experiments.metric,
+          [ Table.Num r.Experiments.paper_pct;
+            Table.Num r.Experiments.measured_pct ] ))
+      (Experiments.taba series)
+  in
+  Table.print_table
+    ~title:"Table A: Motor improvement over Indiana SSCLI (percent)"
+    ~headers:[ "paper"; "measured" ] ~rows ()
+
+let run_tabb () =
+  let rows =
+    List.map
+      (fun (name, us) -> (name, [ Table.Num us ]))
+      (Experiments.tabb ())
+  in
+  Table.print_table
+    ~title:
+      "Table B (footnote 4): pinning cost by SSCLI build, 64 B ping-pong"
+    ~headers:[ "us/iter" ] ~rows ()
+
+let run_ablations ~quick =
+  let rows =
+    List.map
+      (fun (name, us, pins) ->
+        (name, [ Table.Num us; Table.Num (float_of_int pins) ]))
+      (Experiments.abl_pinning_policy ~size:1024 ())
+  in
+  Table.print_table ~title:"Ablation 1: pinning policy (1 KiB ping-pong)"
+    ~headers:[ "us/iter"; "pins" ] ~rows ();
+  let rows =
+    List.map
+      (fun (name, us) -> (name, [ Table.Num us ]))
+      (Experiments.abl_call_mechanism ~size:4 ())
+  in
+  Table.print_table
+    ~title:"Ablation 2: call mechanism priced into the same stack (4 B)"
+    ~headers:[ "us/iter" ] ~rows ();
+  series_table ~title:"Ablation 3: visited structure (Figure 10 workload)"
+    ~xlabel:"objects"
+    (Experiments.abl_visited ~quick ())
+    ~csv:None;
+  let eager = Experiments.abl_eager_threshold () in
+  let sizes = List.map fst (snd (List.hd eager)) in
+  let rows =
+    List.map
+      (fun (threshold, points) ->
+        ( string_of_int threshold,
+          List.map (fun (_, us) -> Table.Num us) points ))
+      eager
+  in
+  Table.print_table
+    ~title:"Ablation 4: eager/rendezvous threshold (us/iter by message size)"
+    ~headers:(List.map string_of_int sizes)
+    ~rows ();
+  let rows =
+    List.map
+      (fun (name, us, pins, dropped) ->
+        ( name,
+          [ Table.Num us; Table.Num (float_of_int pins);
+            Table.Num (float_of_int dropped) ] ))
+      (Experiments.abl_nonblocking_unpin ())
+  in
+  Table.print_table
+    ~title:"Ablation 5: non-blocking unpin strategy under GC pressure"
+    ~headers:[ "us total"; "pins"; "cond. pins dropped" ]
+    ~rows ();
+  let chans = Experiments.abl_channel () in
+  let sizes = List.map fst (snd (List.hd chans)) in
+  let rows =
+    List.map
+      (fun (name, points) ->
+        (name, List.map (fun (_, us) -> Table.Num us) points))
+      chans
+  in
+  Table.print_table
+    ~title:
+      "Ablation 6: channel swap, same Motor stack (us/iter by message size)"
+    ~headers:(List.map string_of_int sizes)
+    ~rows ();
+  let rows =
+    List.map
+      (fun (n, motor_us, wrapper_us) ->
+        ( string_of_int n,
+          [ Table.Num motor_us; Table.Num wrapper_us;
+            Table.Num (wrapper_us /. motor_us) ] ))
+      (Experiments.abl_split_scatter ())
+  in
+  Table.print_table
+    ~title:
+      "Ablation 7: OScatter of a 64-object array — split representation vs \
+       wrapper emulation (Section 2.4)"
+    ~headers:[ "Motor us"; "wrapper us"; "ratio" ]
+    ~rows ()
+
+(* Regenerate a self-contained markdown report of every measured result:
+   the machine-written companion to EXPERIMENTS.md. *)
+let run_report ~quick ~path =
+  let protocol =
+    if quick then quick_protocol else Workloads.paper_protocol
+  in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let md_series ~xlabel series =
+    let headers =
+      List.map (fun (s : Experiments.series) -> s.Experiments.system) series
+    in
+    out "| %s | %s |\n" xlabel (String.concat " | " headers);
+    out "|%s|\n"
+      (String.concat "|" (List.init (List.length headers + 1) (fun _ -> "---")));
+    let xs =
+      List.map
+        (fun (p : Experiments.point) -> p.Experiments.x)
+        (List.hd series).Experiments.points
+    in
+    List.iter
+      (fun x ->
+        let cells =
+          List.map
+            (fun (s : Experiments.series) ->
+              match
+                List.find_opt
+                  (fun (p : Experiments.point) -> p.Experiments.x = x)
+                  s.Experiments.points
+              with
+              | Some { result = Workloads.Time_us t; _ } ->
+                  Printf.sprintf "%.1f" t
+              | Some { result = Workloads.Crashed _; _ } -> "CRASH"
+              | None -> "-")
+            series
+        in
+        out "| %d | %s |\n" x (String.concat " | " cells))
+      xs
+  in
+  let md_verdicts vs =
+    List.iter
+      (fun (v : Shapes.verdict) ->
+        out "- %s **%s** — %s\n"
+          (if v.Shapes.pass then "PASS" else "FAIL")
+          v.Shapes.check v.Shapes.detail)
+      vs
+  in
+  out "# Measured results (auto-generated by `figures report`)\n\n";
+  out "Protocol: %s.\n\n" (if quick then "quick" else "paper (200/100/3)");
+  out "## Figure 9 — regular MPI ping-pong (us/iteration)\n\n";
+  let f9 = Experiments.fig9 ~protocol () in
+  md_series ~xlabel:"bytes" f9;
+  out "\n";
+  md_verdicts (Shapes.fig9_checks f9);
+  out "\n## Figure 10 — linked-list object transport (us/iteration)\n\n";
+  let f10 = Experiments.fig10 () in
+  md_series ~xlabel:"objects" f10;
+  out "\n";
+  md_verdicts (Shapes.fig10_checks f10);
+  out "\n## Table A — Motor vs Indiana SSCLI (percent)\n\n";
+  out "| metric | paper | measured |\n|---|---|---|\n";
+  List.iter
+    (fun (r : Experiments.taba_row) ->
+      out "| %s | %.1f | %.1f |\n" r.Experiments.metric
+        r.Experiments.paper_pct r.Experiments.measured_pct)
+    (Experiments.taba f9);
+  out "\n## Table B — pinning by SSCLI build (64 B ping-pong)\n\n";
+  out "| build | us/iter |\n|---|---|\n";
+  List.iter (fun (name, us) -> out "| %s | %.1f |\n" name us)
+    (Experiments.tabb ());
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "report written to %s@." path
+
+let run_check ~quick =
+  let protocol =
+    if quick then quick_protocol else Workloads.paper_protocol
+  in
+  let f9 = Experiments.fig9 ~protocol () in
+  let f10 = Experiments.fig10 () in
+  let verdicts = Shapes.fig9_checks f9 @ Shapes.fig10_checks f10 in
+  Format.printf "%a" Shapes.pp_verdicts verdicts;
+  if Shapes.all_pass verdicts then begin
+    Format.printf "all shape checks pass@.";
+    0
+  end
+  else begin
+    Format.printf "SHAPE CHECKS FAILED@.";
+    1
+  end
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced iteration counts.")
+
+let csv =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
+
+let cmd_of name doc f = Cmd.v (Cmd.info name ~doc) f
+
+let fig9_cmd =
+  cmd_of "fig9" "Regenerate Figure 9."
+    Term.(const (fun quick csv -> ignore (run_fig9 ~quick ~csv)) $ quick $ csv)
+
+let fig10_cmd =
+  cmd_of "fig10" "Regenerate Figure 10."
+    Term.(const (fun quick csv -> ignore (run_fig10 ~quick ~csv)) $ quick $ csv)
+
+let taba_cmd =
+  cmd_of "taba" "Motor-vs-Indiana percentages (in-text claims)."
+    Term.(const (fun quick -> run_taba ~quick) $ quick)
+
+let tabb_cmd =
+  cmd_of "tabb" "Footnote 4: pinning by SSCLI build type."
+    Term.(const run_tabb $ const ())
+
+let ablations_cmd =
+  cmd_of "ablations" "Run the five design ablations."
+    Term.(const (fun quick -> run_ablations ~quick) $ quick)
+
+let check_cmd =
+  Cmd.v (Cmd.info "check" ~doc:"Run all shape checks; exit 1 on failure.")
+    Term.(const (fun quick -> Stdlib.exit (run_check ~quick)) $ quick)
+
+let report_cmd =
+  let path =
+    Arg.(
+      value
+      & opt string "RESULTS.md"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to write the report.")
+  in
+  cmd_of "report" "Write a markdown report of every measured result."
+    Term.(const (fun quick path -> run_report ~quick ~path) $ quick $ path)
+
+let all_cmd =
+  cmd_of "all" "Everything: figures, tables, ablations."
+    Term.(
+      const (fun quick csv ->
+          ignore (run_fig9 ~quick ~csv);
+          ignore (run_fig10 ~quick ~csv:None);
+          run_taba ~quick;
+          run_tabb ();
+          run_ablations ~quick)
+      $ quick $ csv)
+
+let () =
+  let info =
+    Cmd.info "figures"
+      ~doc:"Regenerate the tables and figures of the Motor paper."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig9_cmd; fig10_cmd; taba_cmd; tabb_cmd; ablations_cmd; all_cmd;
+            check_cmd; report_cmd;
+          ]))

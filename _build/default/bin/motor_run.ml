@@ -1,0 +1,77 @@
+(* mpiexec for managed MIL programs: run a .mil file on N simulated Motor
+   ranks and print each rank's console output plus run statistics. *)
+
+open Cmdliner
+
+let run file n entry show_stats trace disasm =
+  let src = In_channel.with_open_text file In_channel.input_all in
+  let world = Motor.World.create ~n () in
+  if disasm then begin
+    let ctx = Motor.World.rank_ctx world 0 in
+    let interp = Motor.Mil_bindings.load ctx ~entry src in
+    Format.printf "%a" Vm.Il.pp_program (Vm.Interp.program interp);
+    exit 0
+  end;
+  let tracer =
+    if trace then Some (Mpi_core.Trace.enable (Motor.World.env world))
+    else None
+  in
+  (try
+     Motor.World.run world (fun ctx ->
+         let interp = Motor.Mil_bindings.load ctx ~entry src in
+         ignore (Vm.Interp.run_entry interp []))
+   with
+  | Vm.Assembler.Parse_error msg | Vm.Verifier.Verify_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | Vm.Interp.Runtime_error msg ->
+      Printf.eprintf "managed fault: %s\n" msg;
+      exit 3);
+  for rank = 0 to n - 1 do
+    let ctx = Motor.World.rank_ctx world rank in
+    let out = Vm.Runtime.output ctx.Motor.World.rt in
+    if out <> "" then
+      String.split_on_char '\n' out
+      |> List.iter (fun line ->
+             if line <> "" then Printf.printf "[rank %d] %s\n" rank line)
+  done;
+  let env = Motor.World.env world in
+  Printf.printf "virtual time: %.1f us\n" (Simtime.Env.now_us env);
+  if show_stats then
+    Format.printf "%a@." Simtime.Stats.pp env.Simtime.Env.stats;
+  match tracer with
+  | Some t ->
+      Format.printf "-- trace --@.%a" Mpi_core.Trace.pp_timeline t
+  | None -> ()
+
+let file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"PROGRAM.mil" ~doc:"MIL assembly file.")
+
+let n =
+  Arg.(value & opt int 2 & info [ "n"; "ranks" ] ~doc:"Number of ranks.")
+
+let entry =
+  Arg.(value & opt string "main" & info [ "entry" ] ~doc:"Entry method.")
+
+let stats =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print runtime counters.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Record and print a device-level event timeline.")
+
+let disasm =
+  Arg.(
+    value & flag
+    & info [ "disasm" ]
+        ~doc:"Disassemble the verified program instead of running it.")
+
+let () =
+  let info =
+    Cmd.info "motor_run" ~doc:"Run a managed MIL program on Motor ranks."
+  in
+  exit (Cmd.eval (Cmd.v info Term.(const run $ file $ n $ entry $ stats $ trace $ disasm)))

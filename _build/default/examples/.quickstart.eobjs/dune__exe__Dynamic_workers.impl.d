@@ -1,0 +1,1 @@
+examples/dynamic_workers.ml: List Motor Mpi_core Printf Simtime String Vm

@@ -1,0 +1,1 @@
+examples/jacobi2d.ml: Float Motor Mpi_core Option Printf Simtime Vm

@@ -1,0 +1,1 @@
+examples/jacobi2d.mli:

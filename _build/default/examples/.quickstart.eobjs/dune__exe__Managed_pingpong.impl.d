@@ -1,0 +1,1 @@
+examples/managed_pingpong.ml: Motor Printf Simtime Vm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Char List Motor Mpi_core Option Printf Simtime String Vm

@@ -1,0 +1,1 @@
+examples/scatter_gather.ml: Motor Option Printf Simtime Vm

@@ -1,0 +1,1 @@
+examples/scatter_gather.mli:

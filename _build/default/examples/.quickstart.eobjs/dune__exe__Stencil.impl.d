@@ -1,0 +1,1 @@
+examples/stencil.ml: Bytes Float Int64 Motor Mpi_core Printf Simtime Vm

@@ -1,0 +1,1 @@
+examples/tree_transport.ml: List Motor Option Printf Simtime Vm

@@ -1,0 +1,67 @@
+(* Transparent process management (the paper's future work, Section 9,
+   implemented here): a running Motor world spawns fresh worker ranks on
+   demand — each provisioned with its own VM instance — farms tasks to
+   them through the intercommunicator, and merges everyone into one
+   communicator for a final collective.
+
+   Run with: dune exec examples/dynamic_workers.exe *)
+
+module World = Motor.World
+module Ot = Motor.Object_transport
+module Om = Vm.Object_model
+module Types = Vm.Types
+module Dynamic = Mpi_core.Dynamic
+module Coll = Mpi_core.Collectives
+
+let () =
+  let world = World.create ~n:2 () in
+  World.run world (fun ctx ->
+      let gc = World.gc ctx in
+      let parent_rank = World.rank ctx in
+      (* Each spawned worker squares the numbers a parent sends it. *)
+      let worker wctx ic =
+        let wgc = World.gc wctx in
+        let me = Mpi_core.Mpi.comm_rank wctx.World.proc ic.Dynamic.ic_local in
+        let buf = Om.alloc_array wgc (Types.Eprim Types.I4) 4 in
+        let st =
+          Dynamic.recv wctx.World.proc ic ~src:Mpi_core.Tag_match.any_source
+            ~tag:1
+            (Motor.Object_transport.view_of_region wctx
+               (Om.payload_region wgc buf))
+        in
+        for i = 0 to 3 do
+          let v = Om.get_elem_int wgc buf i in
+          Om.set_elem_int wgc buf i (v * v)
+        done;
+        Dynamic.send wctx.World.proc ic ~dst:st.Mpi_core.Status.source ~tag:2
+          (Motor.Object_transport.view_of_region wctx
+             (Om.payload_region wgc buf));
+        Printf.printf "[worker %d] squared a batch from parent %d\n" me
+          st.Mpi_core.Status.source;
+        (* Workers join the merged communicator for the final barrier. *)
+        let merged = Dynamic.merge wctx.World.proc ic in
+        Coll.barrier wctx.World.proc merged
+      in
+      let ic = World.spawn ctx ~n:2 worker in
+      (* Parent r feeds worker r. *)
+      let buf = Om.alloc_array gc (Types.Eprim Types.I4) 4 in
+      for i = 0 to 3 do
+        Om.set_elem_int gc buf i (parent_rank * 10 + i)
+      done;
+      Dynamic.send ctx.World.proc ic ~dst:parent_rank ~tag:1
+        (Motor.Object_transport.view_of_region ctx
+           (Om.payload_region gc buf));
+      ignore
+        (Dynamic.recv ctx.World.proc ic ~src:parent_rank ~tag:2
+           (Motor.Object_transport.view_of_region ctx
+              (Om.payload_region gc buf)));
+      Printf.printf "[parent %d] got back: %s\n" parent_rank
+        (String.concat ", "
+           (List.init 4 (fun i -> string_of_int (Om.get_elem_int gc buf i))));
+      let merged = Dynamic.merge ctx.World.proc ic in
+      Coll.barrier ctx.World.proc merged;
+      if parent_rank = 0 then
+        Printf.printf "all %d processes (2 original + 2 spawned) synchronised\n"
+          (Mpi_core.Comm.size merged));
+  Printf.printf "virtual time: %.1f us\n"
+    (Simtime.Env.now_us (World.env world))

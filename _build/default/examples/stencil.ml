@@ -1,0 +1,108 @@
+(* 1-D heat diffusion with halo exchange: the classic HPC pattern the
+   paper's regular MPI operations target — simple-type arrays moved
+   zero-copy between ranks, with the offset/count overloads used to read
+   and write the halo cells in place.
+
+   The rod is split across 4 ranks; each step exchanges boundary cells
+   with the neighbours, then applies the explicit update. Global energy is
+   reduced with an allreduce at the end as a conservation check.
+
+   Run with: dune exec examples/stencil.exe *)
+
+module World = Motor.World
+module Ot = Motor.Object_transport
+module Smp = Motor.System_mp
+module Om = Vm.Object_model
+module Types = Vm.Types
+module Coll = Mpi_core.Collectives
+
+let n_ranks = 4
+let cells_per_rank = 64
+let alpha = 0.25
+let steps = 200
+
+let () =
+  let world = World.create ~n:n_ranks () in
+  World.run world (fun ctx ->
+      let gc = World.gc ctx in
+      let comm = Smp.comm_world ctx in
+      let r = World.rank ctx in
+      (* Local slab with one ghost cell at each end. *)
+      let n = cells_per_rank + 2 in
+      let cur = Om.alloc_array gc (Types.Eprim Types.R8) n in
+      let next = Om.alloc_array gc (Types.Eprim Types.R8) n in
+      (* Initial condition: a hot spike in the middle of the rod. *)
+      let global_mid = (n_ranks * cells_per_rank) / 2 in
+      for i = 1 to cells_per_rank do
+        let gidx = (r * cells_per_rank) + i - 1 in
+        if gidx = global_mid then Om.set_elem_float gc cur i 100.0
+      done;
+      let left = r - 1 and right = r + 1 in
+      for _step = 1 to steps do
+        (* Halo exchange. Interior boundary cells go out through the
+           offset/count array overloads; ghost cells are written in place
+           by the matching receives. Even ranks send first, odd ranks
+           receive first, so the blocking exchange cannot deadlock. *)
+        let send_left () =
+          if left >= 0 then
+            Ot.send_range ctx ~comm ~dst:left ~tag:1 cur ~offset:1 ~count:1
+        in
+        let send_right () =
+          if right < n_ranks then
+            Ot.send_range ctx ~comm ~dst:right ~tag:2 cur
+              ~offset:cells_per_rank ~count:1
+        in
+        let recv_right () =
+          if right < n_ranks then
+            ignore
+              (Ot.recv_range ctx ~comm ~src:right ~tag:1 cur ~offset:(n - 1)
+                 ~count:1)
+        in
+        let recv_left () =
+          if left >= 0 then
+            ignore
+              (Ot.recv_range ctx ~comm ~src:left ~tag:2 cur ~offset:0
+                 ~count:1)
+        in
+        if r mod 2 = 0 then begin
+          send_left ();
+          send_right ();
+          recv_right ();
+          recv_left ()
+        end
+        else begin
+          recv_right ();
+          recv_left ();
+          send_left ();
+          send_right ()
+        end;
+        (* Explicit update. *)
+        for i = 1 to cells_per_rank do
+          let u = Om.get_elem_float gc cur i in
+          let ul = Om.get_elem_float gc cur (i - 1) in
+          let ur = Om.get_elem_float gc cur (i + 1) in
+          Om.set_elem_float gc next i
+            (u +. (alpha *. (ul -. (2.0 *. u) +. ur)))
+        done;
+        for i = 1 to cells_per_rank do
+          Om.set_elem_float gc cur i (Om.get_elem_float gc next i)
+        done
+      done;
+      (* Conservation check: global energy via allreduce. *)
+      let local = ref 0.0 in
+      for i = 1 to cells_per_rank do
+        local := !local +. Om.get_elem_float gc cur i
+      done;
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0 (Int64.bits_of_float !local);
+      let total = Coll.allreduce ctx.World.proc comm ~op:Coll.sum_f64 b in
+      let total = Int64.float_of_bits (Bytes.get_int64_le total 0) in
+      let peak = ref 0.0 in
+      for i = 1 to cells_per_rank do
+        peak := Float.max !peak (Om.get_elem_float gc cur i)
+      done;
+      Printf.printf
+        "[rank %d] after %d steps: local peak %7.4f, global energy %.3f\n" r
+        steps !peak total);
+  Printf.printf "virtual time: %.1f us\n"
+    (Simtime.Env.now_us (World.env world))

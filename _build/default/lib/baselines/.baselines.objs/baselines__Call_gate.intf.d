@@ -1,0 +1,1 @@
+lib/baselines/call_gate.mli: Simtime

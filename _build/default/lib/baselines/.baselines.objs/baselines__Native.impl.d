@@ -1,0 +1,1 @@
+lib/baselines/native.ml: Mpi_core

@@ -1,0 +1,1 @@
+lib/baselines/native.mli: Bytes Mpi_core

@@ -1,0 +1,1 @@
+lib/baselines/std_serializer.ml: Array Buffer Hashtbl Int32 List Motor Simtime String Vm

@@ -1,0 +1,1 @@
+lib/baselines/std_serializer.mli: Bytes Vm

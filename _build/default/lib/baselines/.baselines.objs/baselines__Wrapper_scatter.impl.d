@@ -1,0 +1,1 @@
+lib/baselines/wrapper_scatter.ml: List Motor Mpi_core Std_serializer Vm Wrapper_transport

@@ -1,0 +1,1 @@
+lib/baselines/wrapper_scatter.mli: Call_gate Motor Mpi_core Std_serializer Vm

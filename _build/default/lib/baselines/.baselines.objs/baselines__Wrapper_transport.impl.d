@@ -1,0 +1,1 @@
+lib/baselines/wrapper_transport.ml: Bytes Call_gate Int64 Motor Mpi_core Simtime Vm

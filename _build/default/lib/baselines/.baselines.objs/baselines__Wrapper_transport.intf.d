@@ -1,0 +1,1 @@
+lib/baselines/wrapper_transport.mli: Bytes Call_gate Motor Mpi_core Vm

@@ -1,0 +1,22 @@
+module Env = Simtime.Env
+module Key = Simtime.Stats.Key
+
+type mechanism = Pinvoke | Jni
+
+let enter mech env ~args =
+  let cost = env.Env.cost in
+  let base =
+    match mech with
+    | Pinvoke ->
+        Env.count env Key.pinvokes;
+        cost.pinvoke_ns
+    | Jni ->
+        Env.count env Key.jni_calls;
+        cost.jni_ns
+  in
+  Env.charge env
+    (base
+    +. (cost.marshal_per_arg_ns *. float_of_int args)
+    +. cost.managed_wrapper_ns)
+
+let mechanism_name = function Pinvoke -> "P/Invoke" | Jni -> "JNI"

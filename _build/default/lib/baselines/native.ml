@@ -1,0 +1,8 @@
+module Comm = Mpi_core.Comm
+module Mpi = Mpi_core.Mpi
+module Bv = Mpi_core.Buffer_view
+
+let send p ~comm ~dst ~tag buf = Mpi.send p ~comm ~dst ~tag (Bv.of_bytes buf)
+
+let recv p ~comm ~src ~tag buf =
+  Mpi.recv p ~comm ~src ~tag (Bv.of_bytes buf)

@@ -1,0 +1,13 @@
+(** The native baseline: a C++ application using MPICH2 directly.
+
+    No VM, no pinning, no call gateway — plain byte buffers handed
+    straight to the device. Runs against {!Simtime.Cost.native_cpp}. *)
+
+module Comm = Mpi_core.Comm
+
+val send :
+  Mpi_core.Mpi.proc -> comm:Comm.t -> dst:int -> tag:int -> Bytes.t -> unit
+
+val recv :
+  Mpi_core.Mpi.proc -> comm:Comm.t -> src:int -> tag:int -> Bytes.t ->
+  Mpi_core.Status.t

@@ -1,0 +1,236 @@
+module Env = Simtime.Env
+module Gc = Vm.Gc
+module Om = Vm.Object_model
+module Heap = Vm.Heap
+module Classes = Vm.Classes
+module Types = Vm.Types
+
+exception Stack_overflow_sim
+
+type profile = {
+  sp_name : string;
+  per_obj_ns : float;
+  per_byte_ns : float;
+  deser_per_obj_ns : float;
+  deser_per_byte_ns : float;
+  reflect_field_ns : float;
+  recursion_limit : int option;
+  block_mode_threshold : int option;
+  block_mode_factor : float;
+  regime_switch_ns : float;
+}
+
+(* Per-object figures follow the presets in Simtime.Cost; the paper's
+   Figure 10 caption notes how much slower the shared-source CLI's
+   formatter is than the commercial .NET one. *)
+let clr_sscli =
+  {
+    sp_name = "CLI binary serializer (SSCLI)";
+    per_obj_ns = 8_200.0;
+    per_byte_ns = 1.1;
+    deser_per_obj_ns = 2_600.0;
+    deser_per_byte_ns = 1.1;
+    reflect_field_ns = 900.0;
+    recursion_limit = None;
+    block_mode_threshold = None;
+    block_mode_factor = 1.0;
+    regime_switch_ns = 0.0;
+  }
+
+let clr_dotnet =
+  {
+    clr_sscli with
+    sp_name = "CLI binary serializer (.NET)";
+    per_obj_ns = 2_400.0;
+    per_byte_ns = 0.9;
+    deser_per_obj_ns = 900.0;
+    deser_per_byte_ns = 0.9;
+    reflect_field_ns = 300.0;
+  }
+
+let java =
+  {
+    sp_name = "Java object serialization";
+    per_obj_ns = 3_000.0;
+    per_byte_ns = 1.0;
+    deser_per_obj_ns = 1_400.0;
+    deser_per_byte_ns = 1.0;
+    reflect_field_ns = 450.0;
+    (* Recursive writeObject: linked lists deeper than this blow the
+       stack, which in the paper stops mpiJava past 1024 total objects. *)
+    recursion_limit = Some 768;
+    (* Block-data mode keeps small graphs cheap; outgrowing it costs a
+       reorganisation and a dearer per-object regime — the "bump". *)
+    block_mode_threshold = Some 256;
+    block_mode_factor = 0.55;
+    regime_switch_ns = 900_000.0;
+  }
+
+(* Wire layout is identical to Motor.Serializer's (magic, type table,
+   records, root id), so decoding is delegated to it; only the traversal —
+   recursive, opt-out, reflection-priced — differs. *)
+
+let u8 b v = Buffer.add_uint8 b v
+let u16 b v = Buffer.add_uint16_le b v
+let u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+
+let str b s =
+  u16 b (String.length s);
+  Buffer.add_string b s
+
+let prim_code = function
+  | Types.I1 -> 1
+  | Types.I2 -> 2
+  | Types.I4 -> 3
+  | Types.I8 -> 4
+  | Types.R4 -> 5
+  | Types.R8 -> 6
+  | Types.Bool -> 7
+  | Types.Char -> 8
+
+let field_code (fd : Classes.field_desc) =
+  match fd.Classes.f_type with
+  | Types.Prim p -> prim_code p
+  | Types.Ref _ -> 0xff
+
+let elem_code = function
+  | Types.Eprim p -> prim_code p
+  | Types.Eref _ -> 0xff
+
+let serialize profile gc root =
+  let env = Heap.env (Gc.heap gc) in
+  let heap = Gc.heap gc in
+  let types = Buffer.create 256 in
+  let type_index : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let n_types = ref 0 in
+  let intern_type (mt : Classes.method_table) =
+    match Hashtbl.find_opt type_index mt.Classes.c_id with
+    | Some i -> i
+    | None ->
+        let i = !n_types in
+        incr n_types;
+        Hashtbl.replace type_index mt.Classes.c_id i;
+        (match mt.Classes.c_kind with
+        | Classes.K_class ->
+            u8 types 0;
+            str types mt.Classes.c_name;
+            u16 types (Array.length mt.Classes.c_fields);
+            Array.iter (fun fd -> u8 types (field_code fd)) mt.Classes.c_fields
+        | Classes.K_array elem ->
+            u8 types 1;
+            str types mt.Classes.c_name;
+            u8 types (elem_code elem)
+        | Classes.K_md_array (elem, rank) ->
+            u8 types 2;
+            str types mt.Classes.c_name;
+            u8 types (elem_code elem);
+            u8 types rank);
+        i
+  in
+  (* Handle table (all standard serializers hash visited objects). *)
+  let visited : (Heap.addr, int) Hashtbl.t = Hashtbl.create 64 in
+  let records : (int * Buffer.t) list ref = ref [] in
+  let n_objects = ref 0 in
+  let charge_object () =
+    incr n_objects;
+    Env.count env Simtime.Stats.Key.ser_objects;
+    let in_block_mode =
+      match profile.block_mode_threshold with
+      | Some t -> !n_objects <= t
+      | None -> false
+    in
+    (match profile.block_mode_threshold with
+    | Some t when !n_objects = t + 1 -> Env.charge env profile.regime_switch_ns
+    | Some _ | None -> ());
+    Env.charge env
+      (profile.per_obj_ns
+      *. if in_block_mode then profile.block_mode_factor else 1.0)
+  in
+  let charge_bytes n = Env.charge env (profile.per_byte_ns *. float_of_int n) in
+  (* Recursive, depth-limited writeObject. Ids are assigned pre-order. *)
+  let rec visit depth addr =
+    if addr = Heap.null then 0
+    else
+      match Hashtbl.find_opt visited addr with
+      | Some id -> id
+      | None ->
+          (match profile.recursion_limit with
+          | Some limit when depth > limit -> raise Stack_overflow_sim
+          | Some _ | None -> ());
+          charge_object ();
+          let id = !n_objects in
+          Hashtbl.replace visited addr id;
+          let mt = Gc.method_table_of gc addr in
+          let payload = Buffer.create 64 in
+          records := (id, payload) :: !records;
+          u32 payload (intern_type mt);
+          let data = Heap.data_of addr in
+          (match mt.Classes.c_kind with
+          | Classes.K_class ->
+              Array.iter
+                (fun (fd : Classes.field_desc) ->
+                  Env.charge env profile.reflect_field_ns;
+                  let slot = data + fd.Classes.f_offset in
+                  match fd.Classes.f_type with
+                  | Types.Prim p ->
+                      let size = Types.prim_size p in
+                      Buffer.add_subbytes payload (Heap.mem heap) slot size;
+                      charge_bytes size
+                  | Types.Ref _ ->
+                      (* Opt-out: every reference is followed. *)
+                      let child = Heap.get_ref heap slot in
+                      u32 payload (visit (depth + 1) child))
+                mt.Classes.c_fields
+          | Classes.K_array elem -> (
+              let len = Heap.get_i32 heap data in
+              u32 payload len;
+              match elem with
+              | Types.Eprim p ->
+                  let size = len * Types.prim_size p in
+                  Buffer.add_subbytes payload (Heap.mem heap) (data + 4) size;
+                  charge_bytes size
+              | Types.Eref _ ->
+                  for i = 0 to len - 1 do
+                    Env.charge env profile.reflect_field_ns;
+                    let child = Heap.get_ref heap (data + 4 + (4 * i)) in
+                    u32 payload (visit (depth + 1) child)
+                  done)
+          | Classes.K_md_array (elem, rank) -> (
+              let n = ref 1 in
+              for d = 0 to rank - 1 do
+                let dim = Heap.get_i32 heap (data + (4 * d)) in
+                u32 payload dim;
+                n := !n * dim
+              done;
+              let base = data + (4 * rank) in
+              match elem with
+              | Types.Eprim p ->
+                  let size = !n * Types.prim_size p in
+                  Buffer.add_subbytes payload (Heap.mem heap) base size;
+                  charge_bytes size
+              | Types.Eref _ ->
+                  for i = 0 to !n - 1 do
+                    Env.charge env profile.reflect_field_ns;
+                    let child = Heap.get_ref heap (base + (4 * i)) in
+                    u32 payload (visit (depth + 1) child)
+                  done));
+          id
+  in
+  let root_id = visit 1 (Om.addr_of gc root) in
+  let out = Buffer.create 1024 in
+  u32 out 0x4D4F5452;
+  u32 out !n_types;
+  Buffer.add_buffer out types;
+  u32 out !n_objects;
+  List.iter
+    (fun (_, payload) -> Buffer.add_buffer out payload)
+    (List.sort (fun (a, _) (b, _) -> compare a b) !records);
+  u32 out root_id;
+  Buffer.to_bytes out
+
+(* Decoding shares Motor's wire format, so it is delegated; the hosting
+   world's cost preset (whose deser_* figures match the profile) prices the
+   work, so no extra charging is needed here. *)
+let deserialize _profile gc data = Motor.Serializer.deserialize gc data
+
+let object_count = Motor.Serializer.object_count

@@ -1,0 +1,45 @@
+(** Standard runtime serializers: the CLI binary formatter and Java object
+    serialization, as behavioural models over this VM's object graphs.
+
+    Differences from Motor's custom mechanism (paper Sections 2.4, 7.5, 8):
+
+    - {e opt-out traversal}: every reference field is followed
+      ([Serializable] semantics), not only [Transportable] ones;
+    - {e metadata reflection}: field discovery costs reflection time per
+      field instead of reading a FieldDesc bit;
+    - {e recursive}: traversal recurses per object — Java's serializer
+      overflows its stack past ~1024 linked objects (Figure 10 caption);
+    - {e atomic representation}: one flat blob that cannot be split or
+      offset, so scatter/gather of object arrays cannot be expressed;
+    - Java's block-data mode makes small object counts cheap and causes a
+      visible cost step when the handle table outgrows it (the "bump"). *)
+
+exception Stack_overflow_sim
+(** Raised when the recursion budget is exhausted (mpiJava past 1024
+    linked objects). *)
+
+type profile = {
+  sp_name : string;
+  per_obj_ns : float;
+  per_byte_ns : float;
+  deser_per_obj_ns : float;
+  deser_per_byte_ns : float;
+  reflect_field_ns : float;
+  recursion_limit : int option;
+  block_mode_threshold : int option;
+      (** object count below which the cheap block-data regime applies *)
+  block_mode_factor : float;  (** per-object cost multiplier inside it *)
+  regime_switch_ns : float;  (** one-time cost of leaving block mode *)
+}
+
+val clr_sscli : profile
+val clr_dotnet : profile
+val java : profile
+
+val serialize : profile -> Vm.Gc.t -> Vm.Object_model.obj -> Bytes.t
+(** Depth-first, opt-out, recursive. Charges the profile's costs to the
+    runtime's clock. Raises {!Stack_overflow_sim} past the recursion
+    limit. *)
+
+val deserialize : profile -> Vm.Gc.t -> Bytes.t -> Vm.Object_model.obj
+val object_count : Bytes.t -> int

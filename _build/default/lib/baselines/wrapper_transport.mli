@@ -1,0 +1,35 @@
+(** Managed-wrapper MPI bindings: the Indiana C# bindings and mpiJava.
+
+    Same zero-copy device underneath as Motor (the paper re-hosted every
+    binding over the same MPICH2), but the access path is what the paper
+    criticises (Sections 2.2–2.3):
+
+    - every call crosses a {!Call_gate} (marshalling + security);
+    - the buffer is pinned for {e every} operation — the wrapper cannot
+      see the generations, so it cannot skip or defer;
+    - a per-byte toll on the managed/native boundary;
+    - while blocked in native MPI the thread cannot yield to the
+      collector: the polling wait does not GC-poll. *)
+
+module Comm = Mpi_core.Comm
+
+val send :
+  mech:Call_gate.mechanism ->
+  Motor.World.rank_ctx -> comm:Comm.t -> dst:int -> tag:int ->
+  Vm.Object_model.obj -> unit
+
+val recv :
+  mech:Call_gate.mechanism ->
+  Motor.World.rank_ctx -> comm:Comm.t -> src:int -> tag:int ->
+  Vm.Object_model.obj -> Mpi_core.Status.t
+
+val send_serialized :
+  mech:Call_gate.mechanism ->
+  Motor.World.rank_ctx -> comm:Comm.t -> dst:int -> tag:int ->
+  Bytes.t -> unit
+(** Size header then payload, both through the gateway, payload from an
+    unmanaged temporary (standard serializers produce one). *)
+
+val recv_serialized :
+  mech:Call_gate.mechanism ->
+  Motor.World.rank_ctx -> comm:Comm.t -> src:int -> tag:int -> Bytes.t

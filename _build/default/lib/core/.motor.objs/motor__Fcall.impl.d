@@ -1,0 +1,1 @@
+lib/core/fcall.ml: Mpi_core Simtime Vm

@@ -1,0 +1,1 @@
+lib/core/fcall.mli: Mpi_core Vm

@@ -1,0 +1,1 @@
+lib/core/mil_bindings.ml: Array Fun Int64 Mpi_core Object_transport System_mp Vm World

@@ -1,0 +1,1 @@
+lib/core/mil_bindings.mli: Vm World

@@ -1,0 +1,1 @@
+lib/core/object_transport.ml: Bytes Fcall Format Mpi_core Pinning Simtime Vm World

@@ -1,0 +1,1 @@
+lib/core/object_transport.mli: Mpi_core Vm World

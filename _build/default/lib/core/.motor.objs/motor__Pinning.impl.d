@@ -1,0 +1,1 @@
+lib/core/pinning.ml: Mpi_core Simtime Vm

@@ -1,0 +1,1 @@
+lib/core/pinning.mli: Mpi_core Vm

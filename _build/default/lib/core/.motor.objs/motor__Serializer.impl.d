@@ -1,0 +1,1 @@
+lib/core/serializer.ml: Array Buffer Bytes Format Hashtbl Int32 List Queue Simtime String Vm

@@ -1,0 +1,1 @@
+lib/core/serializer.mli: Bytes Vm

@@ -1,0 +1,1 @@
+lib/core/system_mp.ml: Array Buffer_pool Bytes Fcall Int64 List Mpi_core Object_transport Printf Serializer Vm World

@@ -1,0 +1,1 @@
+lib/core/system_mp.mli: Mpi_core Object_transport Vm World

@@ -1,0 +1,1 @@
+lib/core/world.ml: Array Buffer_pool Fiber List Mpi_core Pinning Printf Serializer Simtime Vm

@@ -1,0 +1,1 @@
+lib/core/world.mli: Buffer_pool Mpi_core Pinning Serializer Simtime Vm

@@ -1,0 +1,56 @@
+module Env = Simtime.Env
+module Key = Simtime.Stats.Key
+
+type entry = {
+  buf : Bytes.t;
+  mutable last_used_epoch : int;
+}
+
+type t = {
+  gc : Vm.Gc.t;
+  env : Simtime.Env.t;
+  mutable entries : entry list;  (* the stack *)
+}
+
+let create gc =
+  let t = { gc; env = Vm.Heap.env (Vm.Gc.heap gc); entries = [] } in
+  Vm.Gc.add_post_gc_hook gc (fun () ->
+      (* Reap buffers unused since the last collection. *)
+      let epoch = Vm.Gc.collection_epoch gc in
+      let keep, reap =
+        List.partition (fun e -> e.last_used_epoch >= epoch - 1) t.entries
+      in
+      t.entries <- keep;
+      List.iter
+        (fun _ -> Env.count t.env Key.buffers_reaped)
+        reap);
+  t
+
+let acquire t size =
+  (* Smallest adequate buffer wins; the stack stays sorted by capacity. *)
+  let rec take acc = function
+    | [] -> None
+    | e :: rest when Bytes.length e.buf >= size ->
+        t.entries <- List.rev_append acc rest;
+        Some e
+    | e :: rest -> take (e :: acc) rest
+  in
+  match take [] (List.sort (fun a b ->
+      compare (Bytes.length a.buf) (Bytes.length b.buf)) t.entries)
+  with
+  | Some e ->
+      e.last_used_epoch <- Vm.Gc.collection_epoch t.gc;
+      Env.count t.env Key.buffers_reused;
+      e.buf
+  | None ->
+      Env.count t.env Key.buffers_created;
+      Env.charge t.env
+        (t.env.Env.cost.alloc_obj_ns
+        +. (t.env.Env.cost.alloc_ns_per_byte *. float_of_int size));
+      Bytes.create size
+
+let release t buf =
+  t.entries <-
+    { buf; last_used_epoch = Vm.Gc.collection_epoch t.gc } :: t.entries
+
+let pooled t = List.length t.entries

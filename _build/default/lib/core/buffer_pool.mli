@@ -1,0 +1,22 @@
+(** Unmanaged buffer pool for the OO message-passing operations.
+
+    Serialization buffers live outside the managed heap ("static runtime
+    memory", Section 7.5), so OO operations never need pinning. Buffers
+    are created on demand, kept on a stack for reuse, and at each garbage
+    collection any buffer not used since the previous collection is
+    released — exactly the paper's reaping rule. *)
+
+type t
+
+val create : Vm.Gc.t -> t
+(** Registers the reaping hook with the collector. *)
+
+val acquire : t -> int -> Bytes.t
+(** Smallest pooled buffer of at least the requested size, or a fresh one.
+    The returned buffer may be larger than requested. *)
+
+val release : t -> Bytes.t -> unit
+(** Return a buffer to the pool. *)
+
+val pooled : t -> int
+(** Buffers currently sitting in the pool. *)

@@ -1,0 +1,27 @@
+module Env = Simtime.Env
+module Key = Simtime.Stats.Key
+
+let env gc = Vm.Heap.env (Vm.Gc.heap gc)
+
+let enter gc =
+  let e = env gc in
+  Env.charge e (e.Env.cost.fcall_ns +. e.Env.cost.managed_wrapper_ns);
+  Env.count e Key.fcalls;
+  Vm.Gc.poll gc
+
+let exit_poll gc = Vm.Gc.poll gc
+
+let call gc f =
+  enter gc;
+  let result = f () in
+  exit_poll gc;
+  result
+
+let polling_wait gc proc ~on_enter_wait req =
+  ignore (Mpi_core.Ch3.progress (Mpi_core.Mpi.device proc));
+  if not (Mpi_core.Request.is_complete req) then begin
+    on_enter_wait ();
+    ignore
+      (Mpi_core.Mpi.wait_poll proc ~poll:(fun () -> Vm.Gc.poll gc) req)
+  end;
+  Mpi_core.Request.status req

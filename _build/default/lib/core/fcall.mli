@@ -1,0 +1,32 @@
+(** The FCall gateway: how System.MP enters the runtime.
+
+    FCalls are the SSCLI's internally trusted call mechanism (paper
+    Section 5.1): no marshalling, no security checks, but the callee must
+    behave like managed code — poll the collector so a pending collection
+    is never blocked, and keep its object pointers GC-protected (our
+    handles play the role of the SSCLI's protected-pointer macros).
+
+    A typical blocking MPI FCall polls in three places (Section 7.4):
+    on entry, in the polling wait, and immediately before exit. *)
+
+val enter : Vm.Gc.t -> unit
+(** Charge the FCall + managed-dispatch cost and poll the collector:
+    the entry edge of an FCall. *)
+
+val exit_poll : Vm.Gc.t -> unit
+(** Poll the collector: the exit edge. *)
+
+val call : Vm.Gc.t -> (unit -> 'a) -> 'a
+(** [call gc f] = entry edge, [f ()], exit edge. *)
+
+val polling_wait :
+  Vm.Gc.t ->
+  Mpi_core.Mpi.proc ->
+  on_enter_wait:(unit -> unit) ->
+  Mpi_core.Request.t ->
+  Mpi_core.Status.t option
+(** Complete a request. The first progress pump happens {e before}
+    [on_enter_wait]: an operation that completes immediately never enters
+    the wait — which is what lets the deferred pinning policy skip the pin
+    entirely for fast blocking operations. Inside the wait, each poll
+    pumps the progress engine and yields to the collector. *)

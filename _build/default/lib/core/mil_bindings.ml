@@ -1,0 +1,97 @@
+module Il = Vm.Il
+module Om = Vm.Object_model
+module Gc = Vm.Gc
+module Types = Vm.Types
+
+let i64 = Types.Prim Types.I8
+
+let as_int = function
+  | Il.V_int v -> Int64.to_int v
+  | Il.V_float _ | Il.V_ref _ ->
+      raise (Vm.Interp.Runtime_error "mp: expected integer argument")
+
+let register interp ctx =
+  let gc = World.gc ctx in
+  let obj_ty = Types.Ref (Vm.Classes.object_class (Gc.registry gc)).Vm.Classes.c_id in
+  let comm = System_mp.comm_world ctx in
+  let reg name sg impl = Vm.Interp.register_intcall interp name sg impl in
+  let with_obj v f =
+    match v with
+    | Il.V_ref a when a <> Vm.Heap.null ->
+        let h = Gc.Handle.alloc gc a in
+        Fun.protect ~finally:(fun () -> Gc.Handle.free gc h) (fun () -> f h)
+    | Il.V_ref _ ->
+        raise (Vm.Interp.Runtime_error "mp: null object argument")
+    | Il.V_int _ | Il.V_float _ ->
+        raise (Vm.Interp.Runtime_error "mp: expected object argument")
+  in
+  reg "mp.rank" ([], Some i64) (fun _ ->
+      Some (Il.V_int (Int64.of_int (World.rank ctx))));
+  reg "mp.size" ([], Some i64) (fun _ ->
+      Some (Il.V_int (Int64.of_int (Mpi_core.Comm.size comm))));
+  reg "mp.send" ([ obj_ty; i64; i64 ], None) (fun args ->
+      with_obj args.(0) (fun obj ->
+          Object_transport.send ctx ~comm ~dst:(as_int args.(1))
+            ~tag:(as_int args.(2)) obj);
+      None);
+  reg "mp.recv" ([ obj_ty; i64; i64 ], None) (fun args ->
+      with_obj args.(0) (fun obj ->
+          ignore
+            (Object_transport.recv ctx ~comm ~src:(as_int args.(1))
+               ~tag:(as_int args.(2)) obj));
+      None);
+  reg "mp.osend" ([ obj_ty; i64; i64 ], None) (fun args ->
+      with_obj args.(0) (fun obj ->
+          System_mp.osend ctx ~comm ~dst:(as_int args.(1))
+            ~tag:(as_int args.(2)) obj);
+      None);
+  reg "mp.orecv" ([ i64; i64 ], Some obj_ty) (fun args ->
+      let obj, _st =
+        System_mp.orecv ctx ~comm ~src:(as_int args.(0))
+          ~tag:(as_int args.(1))
+      in
+      let addr = Om.addr_of gc obj in
+      Om.free gc obj;
+      Some (Il.V_ref addr));
+  reg "mp.barrier" ([], None) (fun _ ->
+      System_mp.barrier ctx comm;
+      None);
+  reg "mp.bcast" ([ obj_ty; i64 ], None) (fun args ->
+      with_obj args.(0) (fun obj ->
+          System_mp.bcast ctx ~comm ~root:(as_int args.(1)) obj);
+      None);
+  reg "mp.allreduce.f64" ([ obj_ty ], None) (fun args ->
+      with_obj args.(0) (fun obj -> System_mp.allreduce_sum_f64 ctx ~comm obj);
+      None);
+  (* OO collectives: the root passes its array, the rest pass null. *)
+  let opt_obj v f =
+    match v with
+    | Il.V_ref a when a <> Vm.Heap.null ->
+        let h = Gc.Handle.alloc gc a in
+        Fun.protect
+          ~finally:(fun () -> Gc.Handle.free gc h)
+          (fun () -> f (Some h))
+    | Il.V_ref _ -> f None
+    | Il.V_int _ | Il.V_float _ ->
+        raise (Vm.Interp.Runtime_error "mp: expected object argument")
+  in
+  let return_obj obj =
+    let addr = Om.addr_of gc obj in
+    Om.free gc obj;
+    Some (Il.V_ref addr)
+  in
+  reg "mp.oscatter" ([ obj_ty; i64 ], Some obj_ty) (fun args ->
+      opt_obj args.(0) (fun input ->
+          return_obj
+            (System_mp.oscatter ctx ~comm ~root:(as_int args.(1)) input)));
+  reg "mp.ogather" ([ obj_ty; i64 ], Some obj_ty) (fun args ->
+      with_obj args.(0) (fun obj ->
+          match System_mp.ogather ctx ~comm ~root:(as_int args.(1)) obj with
+          | Some combined -> return_obj combined
+          | None -> Some (Il.V_ref Vm.Heap.null)))
+
+let load ctx ?entry src =
+  let interp = Vm.Runtime.load ctx.World.rt ?entry ~verify:false src in
+  register interp ctx;
+  Vm.Interp.verify interp;
+  interp

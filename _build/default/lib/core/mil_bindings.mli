@@ -1,0 +1,27 @@
+(** System.MP internal calls for managed MIL programs.
+
+    This is the last layer of the paper's architecture: a managed
+    application, written in the portable assembly, calling message-passing
+    internal calls that land in the runtime-resident MPI core (Figure 8's
+    Recv / InternalCall Recv / MP_Recv chain). All operations run on the
+    world communicator. *)
+
+val load : World.rank_ctx -> ?entry:string -> string -> Vm.Interp.t
+(** Assemble a MIL program against this rank's runtime, register the base
+    system library and the [mp.*] internal calls, verify, and return the
+    execution context — the one-stop way to run a managed MPI program. *)
+
+val register : Vm.Interp.t -> World.rank_ctx -> unit
+(** Registers, in addition to the base system library:
+    - [mp.rank : -> int64], [mp.size : -> int64]
+    - [mp.send : object -> int64 -> int64 -> void] (dst, tag)
+    - [mp.recv : object -> int64 -> int64 -> void] (src, tag)
+    - [mp.osend : object -> int64 -> int64 -> void]
+    - [mp.orecv : int64 -> int64 -> object]
+    - [mp.barrier : -> void]
+    - [mp.bcast : object -> int64 -> void] (root)
+    - [mp.allreduce.f64 : object -> void] (element-wise sum, in place)
+    - [mp.oscatter : object -> int64 -> object] (root's array or null ->
+      root -> this rank's sub-array)
+    - [mp.ogather : object -> int64 -> object] (my array -> root ->
+      combined array at the root, null elsewhere) *)

@@ -1,0 +1,133 @@
+module Env = Simtime.Env
+module Gc = Vm.Gc
+module Om = Vm.Object_model
+module Heap = Vm.Heap
+module Classes = Vm.Classes
+module Types = Vm.Types
+module Mpi = Mpi_core.Mpi
+module Comm = Mpi_core.Comm
+module Bv = Mpi_core.Buffer_view
+
+exception Transport_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Transport_error s)) fmt
+
+let validate gc obj =
+  let mt = Om.class_of gc obj in
+  if mt.Classes.c_has_refs then
+    err
+      "%s contains object references; only reference-free objects and \
+       simple-type arrays may use the regular MPI operations (use the OO \
+       operations instead)"
+      mt.Classes.c_name
+
+let view_of_region (ctx : World.rank_ctx) (addr, len) =
+  let mem = Heap.mem (Gc.heap (World.gc ctx)) in
+  {
+    Bv.len;
+    blit_to =
+      (fun ~pos ~dst ~dst_off ~len:n -> Bytes.blit mem (addr + pos) dst dst_off n);
+    blit_from =
+      (fun ~pos ~src ~src_off ~len:n -> Bytes.blit src src_off mem (addr + pos) n);
+  }
+
+let whole_view ctx obj =
+  view_of_region ctx (Om.payload_region (World.gc ctx) obj)
+
+let range_view ctx obj ~offset ~count =
+  view_of_region ctx (Om.elem_region (World.gc ctx) obj ~offset ~count)
+
+(* Managed-boundary per-byte toll: zero for Motor, nonzero for the wrapper
+   presets that reuse this code path. *)
+let charge_boundary ctx len =
+  let env = World.env ctx.World.world in
+  Env.charge_per_byte env env.Env.cost.binding_ns_per_byte len
+
+(* ------------------------------------------------------------------ *)
+(* Blocking operations: FCall entry, deferred pinning, polling wait.    *)
+(* ------------------------------------------------------------------ *)
+
+let blocking ctx obj view start =
+  let gc = World.gc ctx in
+  Fcall.enter gc;
+  validate gc obj;
+  charge_boundary ctx view.Bv.len;
+  let guard = Pinning.before_blocking ctx.World.policy gc obj in
+  let req = start view in
+  let status =
+    Fcall.polling_wait gc ctx.World.proc
+      ~on_enter_wait:(fun () -> Pinning.on_enter_wait guard)
+      req
+  in
+  Pinning.after_blocking guard;
+  Fcall.exit_poll gc;
+  status
+
+let send ctx ~comm ~dst ~tag obj =
+  let view = whole_view ctx obj in
+  ignore
+    (blocking ctx obj view (fun v -> Mpi.isend ctx.World.proc ~comm ~dst ~tag v))
+
+let ssend ctx ~comm ~dst ~tag obj =
+  let view = whole_view ctx obj in
+  ignore
+    (blocking ctx obj view (fun v ->
+         Mpi.issend ctx.World.proc ~comm ~dst ~tag v))
+
+let recv ctx ~comm ~src ~tag obj =
+  let view = whole_view ctx obj in
+  match
+    blocking ctx obj view (fun v -> Mpi.irecv ctx.World.proc ~comm ~src ~tag v)
+  with
+  | Some st -> st
+  | None -> Mpi_core.Status.empty
+
+let send_range ctx ~comm ~dst ~tag obj ~offset ~count =
+  let view = range_view ctx obj ~offset ~count in
+  ignore
+    (blocking ctx obj view (fun v -> Mpi.isend ctx.World.proc ~comm ~dst ~tag v))
+
+let recv_range ctx ~comm ~src ~tag obj ~offset ~count =
+  let view = range_view ctx obj ~offset ~count in
+  match
+    blocking ctx obj view (fun v -> Mpi.irecv ctx.World.proc ~comm ~src ~tag v)
+  with
+  | Some st -> st
+  | None -> Mpi_core.Status.empty
+
+(* ------------------------------------------------------------------ *)
+(* Non-blocking operations: conditional pin requests.                   *)
+(* ------------------------------------------------------------------ *)
+
+let nonblocking ctx obj start =
+  let gc = World.gc ctx in
+  Fcall.enter gc;
+  validate gc obj;
+  let view = whole_view ctx obj in
+  charge_boundary ctx view.Bv.len;
+  let req = start view in
+  Pinning.for_nonblocking ctx.World.policy gc obj ~req;
+  Fcall.exit_poll gc;
+  req
+
+let isend ctx ~comm ~dst ~tag obj =
+  nonblocking ctx obj (fun v -> Mpi.isend ctx.World.proc ~comm ~dst ~tag v)
+
+let irecv ctx ~comm ~src ~tag obj =
+  nonblocking ctx obj (fun v -> Mpi.irecv ctx.World.proc ~comm ~src ~tag v)
+
+let wait ctx req =
+  let gc = World.gc ctx in
+  Fcall.enter gc;
+  let st =
+    Fcall.polling_wait gc ctx.World.proc ~on_enter_wait:(fun () -> ()) req
+  in
+  Fcall.exit_poll gc;
+  st
+
+let test ctx req =
+  let gc = World.gc ctx in
+  Fcall.enter gc;
+  let done_ = Mpi.test ctx.World.proc req in
+  Fcall.exit_poll gc;
+  done_

@@ -1,0 +1,66 @@
+(** Regular (buffer-to-buffer) MPI operations on managed objects.
+
+    These are the paper's reshaped MPI bindings (Section 4.2.1): the unit
+    of transfer is a single object, so there is no [count] and no
+    [MPI_Datatype]; only objects {e without reference fields} (or arrays
+    of simple types) may be transferred, which protects object-model
+    integrity; array transfers accept offset/count element ranges; and a
+    message can never write past the end of the receive object because the
+    payload region bounds the sink.
+
+    Transfers are zero-copy: the device reads and writes the object's heap
+    payload directly, at the address captured when the operation starts —
+    the pinning policy (see {!Pinning}) is what makes that safe. *)
+
+module Comm = Mpi_core.Comm
+
+exception Transport_error of string
+
+val validate : Vm.Gc.t -> Vm.Object_model.obj -> unit
+(** Raises {!Transport_error} if the object contains reference fields (or
+    is a reference array) — such data must travel through the OO
+    operations instead. *)
+
+(** {1 Blocking} *)
+
+val send :
+  World.rank_ctx -> comm:Comm.t -> dst:int -> tag:int ->
+  Vm.Object_model.obj -> unit
+
+val ssend :
+  World.rank_ctx -> comm:Comm.t -> dst:int -> tag:int ->
+  Vm.Object_model.obj -> unit
+
+val recv :
+  World.rank_ctx -> comm:Comm.t -> src:int -> tag:int ->
+  Vm.Object_model.obj -> Mpi_core.Status.t
+
+val send_range :
+  World.rank_ctx -> comm:Comm.t -> dst:int -> tag:int ->
+  Vm.Object_model.obj -> offset:int -> count:int -> unit
+(** Array element subrange (the overloaded array operations). *)
+
+val recv_range :
+  World.rank_ctx -> comm:Comm.t -> src:int -> tag:int ->
+  Vm.Object_model.obj -> offset:int -> count:int -> Mpi_core.Status.t
+
+(** {1 Non-blocking} *)
+
+val isend :
+  World.rank_ctx -> comm:Comm.t -> dst:int -> tag:int ->
+  Vm.Object_model.obj -> Mpi_core.Request.t
+
+val irecv :
+  World.rank_ctx -> comm:Comm.t -> src:int -> tag:int ->
+  Vm.Object_model.obj -> Mpi_core.Request.t
+
+val wait : World.rank_ctx -> Mpi_core.Request.t -> Mpi_core.Status.t option
+val test : World.rank_ctx -> Mpi_core.Request.t -> bool
+
+(** {1 Internals shared with System.MP} *)
+
+val view_of_region :
+  World.rank_ctx -> Vm.Heap.addr * int -> Mpi_core.Buffer_view.t
+(** Freeze a heap region into a device buffer view (the DMA model: the
+    address is captured now; only pinning keeps it valid across a
+    collection). *)

@@ -1,0 +1,90 @@
+module Env = Simtime.Env
+module Key = Simtime.Stats.Key
+module Gc = Vm.Gc
+module Om = Vm.Object_model
+
+type policy = No_pin | Always_pin | Boundary_check | Deferred
+
+let default = Deferred
+
+let policy_name = function
+  | No_pin -> "no-pin (unsafe)"
+  | Always_pin -> "always-pin"
+  | Boundary_check -> "boundary-check"
+  | Deferred -> "deferred"
+
+type blocking_guard = {
+  gc : Gc.t;
+  obj : Om.obj;
+  mutable pinned : bool;
+  mutable defer : bool;  (* pin still owed if the wait is entered *)
+}
+
+let env gc = Vm.Heap.env (Gc.heap gc)
+
+(* The boundary test Motor performs against the young generation
+   (Section 7.4): elder objects are never moved, so they never pin. *)
+let movable gc obj =
+  let e = env gc in
+  Env.charge e e.Env.cost.pin_boundary_check_ns;
+  Vm.Heap.in_young (Gc.heap gc) (Om.addr_of gc obj)
+
+let before_blocking policy gc obj =
+  match policy with
+  | No_pin -> { gc; obj; pinned = false; defer = false }
+  | Always_pin ->
+      Gc.pin gc obj;
+      { gc; obj; pinned = true; defer = false }
+  | Boundary_check ->
+      if movable gc obj then begin
+        Gc.pin gc obj;
+        { gc; obj; pinned = true; defer = false }
+      end
+      else begin
+        Env.count (env gc) Key.pins_avoided;
+        { gc; obj; pinned = false; defer = false }
+      end
+  | Deferred ->
+      if movable gc obj then { gc; obj; pinned = false; defer = true }
+      else begin
+        Env.count (env gc) Key.pins_avoided;
+        { gc; obj; pinned = false; defer = false }
+      end
+
+let on_enter_wait g =
+  if g.defer then begin
+    Gc.pin g.gc g.obj;
+    g.pinned <- true;
+    g.defer <- false
+  end
+
+let after_blocking g =
+  if g.pinned then begin
+    Gc.unpin g.gc g.obj;
+    g.pinned <- false
+  end
+  else if not g.defer then ()
+  else begin
+    (* Deferred pin that was never taken: the operation completed without
+       entering its polling wait. *)
+    g.defer <- false;
+    Env.count (env g.gc) Key.pins_deferred
+  end
+
+let for_nonblocking policy gc obj ~req =
+  match policy with
+  | No_pin -> ()
+  | Always_pin ->
+      Gc.pin gc obj;
+      Mpi_core.Request.on_complete req (fun () -> Gc.unpin gc obj)
+  | Boundary_check ->
+      if movable gc obj then begin
+        Gc.pin gc obj;
+        Mpi_core.Request.on_complete req (fun () -> Gc.unpin gc obj)
+      end
+      else Env.count (env gc) Key.pins_avoided
+  | Deferred ->
+      if movable gc obj then
+        Gc.add_conditional_pin gc obj ~still_active:(fun () ->
+            not (Mpi_core.Request.is_complete req))
+      else Env.count (env gc) Key.pins_avoided

@@ -1,0 +1,53 @@
+(** Motor's pinning policy (paper Sections 4.3 and 7.4).
+
+    Pinning is only required when a collection might occur {e and} the
+    object could move in it. Living inside the runtime, Motor can test
+    both conditions:
+
+    - An object outside the young generation has already been promoted;
+      the elder generation is never compacted, so it cannot move: no pin.
+    - For blocking operations on young objects the pin is {e deferred}
+      until the operation actually enters its polling wait; most blocking
+      operations complete on the first progress check and never pin,
+      because without a wait there is no collection opportunity.
+    - For non-blocking operations on young objects a {e conditional pin}
+      request is registered with the collector, resolved during the mark
+      phase against the request's completion status.
+
+    The [Always_pin] and [Boundary_check] policies exist as ablation
+    baselines ([Always_pin] is what the managed-wrapper bindings do). *)
+
+type policy =
+  | No_pin
+      (** never pin — UNSAFE: a collection during a transfer moves the
+          buffer and the transport writes through a stale address. Exists
+          to demonstrate the failure pinning prevents. *)
+  | Always_pin  (** pin for every operation (wrapper behaviour) *)
+  | Boundary_check  (** skip the pin for elder-generation objects *)
+  | Deferred  (** boundary check + pin only on entering the wait *)
+
+val default : policy
+(** [Deferred] — the full Motor policy. *)
+
+val policy_name : policy -> string
+
+type blocking_guard
+(** Tracks what a blocking operation must undo. *)
+
+val before_blocking : policy -> Vm.Gc.t -> Vm.Object_model.obj -> blocking_guard
+val on_enter_wait : blocking_guard -> unit
+(** Where the deferred pin actually happens. *)
+
+val after_blocking : blocking_guard -> unit
+(** Unpin if (and only if) a pin was taken. *)
+
+val for_nonblocking :
+  policy ->
+  Vm.Gc.t ->
+  Vm.Object_model.obj ->
+  req:Mpi_core.Request.t ->
+  unit
+(** Protect a non-blocking operation's buffer. Under [Deferred] this is
+    the conditional-pin mechanism; under [Always_pin] a sticky pin is
+    taken and released when the request completes (the "test and release"
+    alternative the paper rejects as requiring extra machinery). *)

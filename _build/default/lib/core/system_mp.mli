@@ -1,0 +1,87 @@
+(** System.MP — the managed message-passing library surface.
+
+    Combines the two operation families of Section 4.2:
+
+    - the {e regular MPI operations} (re-exported from
+      {!Object_transport}): efficient zero-copy object-to-object transport
+      of reference-free objects and simple-type arrays;
+    - the {e extended object-oriented operations} ([OSend], [ORecv],
+      [OBcast], [OScatter], [OGather]): transport of arbitrary objects,
+      object arrays and object trees via the custom serializer, with
+      automatic buffer management from the unmanaged pool and no pinning.
+
+    As in the paper (Section 7.5), every OO transfer sends the serialized
+    size ahead of the data so the receiver can prepare a buffer. *)
+
+module Comm = Mpi_core.Comm
+
+module Ot = Object_transport
+
+val osend :
+  World.rank_ctx -> comm:Comm.t -> dst:int -> tag:int ->
+  Vm.Object_model.obj -> unit
+(** Serialize (following Transportable references) and send. *)
+
+val osend_range :
+  World.rank_ctx -> comm:Comm.t -> dst:int -> tag:int ->
+  Vm.Object_model.obj -> offset:int -> count:int -> unit
+(** Array-subset OO transfer: sends a [count]-element slice of a
+    reference array (the receiver obtains a fresh array of that length). *)
+
+val orecv :
+  World.rank_ctx -> comm:Comm.t -> src:int -> tag:int ->
+  Vm.Object_model.obj * Mpi_core.Status.t
+(** Receive and rebuild an object graph; returns a fresh root handle.
+    [src] may be {!Mpi_core.Tag_match.any_source}. *)
+
+val obcast :
+  World.rank_ctx -> comm:Comm.t -> root:int ->
+  Vm.Object_model.obj option -> Vm.Object_model.obj
+(** Broadcast an object tree; the root passes [Some obj] (and gets the same
+    handle back), the others pass [None] and receive a fresh copy. *)
+
+val oscatter :
+  World.rank_ctx -> comm:Comm.t -> root:int ->
+  Vm.Object_model.obj option -> Vm.Object_model.obj
+(** Scatter a reference array using the split representation: each member
+    (root included) receives a fresh sub-array covering its contiguous
+    share of the elements. This is the operation the paper singles out as
+    impossible over standard atomic serialization. *)
+
+val ogather :
+  World.rank_ctx -> comm:Comm.t -> root:int ->
+  Vm.Object_model.obj -> Vm.Object_model.obj option
+(** Gather each member's reference array into one combined array at the
+    root (in communicator-rank order). *)
+
+(** {1 Regular collectives}
+
+    Zero-copy collectives over objects that pass the regular-operation
+    integrity rules (reference-free objects and simple-type arrays) —
+    Section 7's "selected collective routines". *)
+
+val bcast :
+  World.rank_ctx -> comm:Comm.t -> root:int -> Vm.Object_model.obj -> unit
+(** Every member passes an object with the same payload size; non-roots
+    are overwritten in place. *)
+
+val scatter_array :
+  World.rank_ctx -> comm:Comm.t -> root:int ->
+  send:Vm.Object_model.obj option -> recv:Vm.Object_model.obj -> unit
+(** Scatter equal element ranges of the root's simple-type array into each
+    member's [recv] array (whose length times the communicator size must
+    equal the root array's length). *)
+
+val gather_array :
+  World.rank_ctx -> comm:Comm.t -> root:int ->
+  send:Vm.Object_model.obj -> recv:Vm.Object_model.obj option -> unit
+(** Dual of {!scatter_array}. *)
+
+val allreduce_sum_f64 :
+  World.rank_ctx -> comm:Comm.t -> Vm.Object_model.obj -> unit
+(** Element-wise float64 sum across members, in place. *)
+
+val barrier : World.rank_ctx -> Comm.t -> unit
+val comm_world : World.rank_ctx -> Comm.t
+val rank : World.rank_ctx -> int
+val size : World.rank_ctx -> Comm.t -> int

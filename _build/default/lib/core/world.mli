@@ -1,0 +1,66 @@
+(** A Motor world: one VM instance per MPI rank, sharing a virtual clock.
+
+    This is the top-level object an application creates — the analogue of
+    launching N Motor processes with mpiexec. Each rank owns a managed
+    heap, a collector and a device; all ranks share the channel and the
+    clock. *)
+
+module Comm = Mpi_core.Comm
+
+type config = {
+  policy : Pinning.policy;
+  visited : Serializer.visited_strategy;
+  arena_bytes : int;
+  block_bytes : int;
+}
+
+val default_config : config
+(** Deferred pinning, linear visited list (the paper's Motor), 32 MiB
+    arenas with 256 KiB blocks. *)
+
+type t
+
+type rank_ctx = {
+  world : t;
+  proc : Mpi_core.Mpi.proc;
+  rt : Vm.Runtime.t;
+  pool : Buffer_pool.t;
+  mutable policy : Pinning.policy;
+  mutable visited : Serializer.visited_strategy;
+}
+(** Per-rank handle: the state System.MP operations run against. [policy]
+    and [visited] default from the world config and are mutable for
+    ablation experiments. *)
+
+val create :
+  ?channel:[ `Shm | `Sock ] ->
+  ?cost:Simtime.Cost.t ->
+  ?config:config ->
+  n:int ->
+  unit ->
+  t
+
+val env : t -> Simtime.Env.t
+val mpi : t -> Mpi_core.Mpi.world
+val size : t -> int
+val rank_ctx : t -> int -> rank_ctx
+val comm_world : t -> Comm.t
+
+val run : t -> (rank_ctx -> unit) -> unit
+(** Run one fiber per rank to completion. *)
+
+val rank : rank_ctx -> int
+val gc : rank_ctx -> Vm.Gc.t
+val registry : rank_ctx -> Vm.Classes.t
+
+val spawn :
+  rank_ctx ->
+  n:int ->
+  (rank_ctx -> Mpi_core.Dynamic.intercomm -> unit) ->
+  Mpi_core.Dynamic.intercomm
+(** Transparent process management (the paper's stated future work,
+    Section 9): collectively spawn [n] new Motor ranks. Each child is
+    provisioned with a full VM instance (heap, collector, registry, buffer
+    pool) before its body runs, and is connected to the parents through an
+    intercommunicator. Must be called by every member of the world
+    communicator, from inside {!run}. *)

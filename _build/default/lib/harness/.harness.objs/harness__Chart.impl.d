@@ -1,0 +1,1 @@
+lib/harness/chart.ml: Array Float Format List Printf String

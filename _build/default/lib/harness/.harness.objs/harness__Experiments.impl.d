@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Baselines Bytes Fiber Float List Motor Mpi_core Simtime Systems Vm Workloads

@@ -1,0 +1,1 @@
+lib/harness/shapes.ml: Experiments Float Format List Printf String Workloads

@@ -1,0 +1,1 @@
+lib/harness/shapes.mli: Experiments Format

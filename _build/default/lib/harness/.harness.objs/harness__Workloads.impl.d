@@ -1,0 +1,1 @@
+lib/harness/workloads.ml: Baselines Bytes Fiber List Motor Mpi_core Option Simtime Systems Vm

@@ -1,0 +1,1 @@
+lib/harness/workloads.mli: Motor Simtime Systems Vm

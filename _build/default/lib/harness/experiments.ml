@@ -1,0 +1,403 @@
+module Env = Simtime.Env
+module Cost = Simtime.Cost
+module World = Motor.World
+module Ot = Motor.Object_transport
+module Om = Vm.Object_model
+module Types = Vm.Types
+module Gc = Vm.Gc
+module Key = Simtime.Stats.Key
+
+type point = { x : int; result : Workloads.object_result }
+type series = { system : string; points : point list }
+
+let pow2_range lo hi =
+  let rec go v acc = if v > hi then List.rev acc else go (2 * v) (v :: acc) in
+  go lo []
+
+let fig9_sizes = pow2_range 4 262_144
+let fig10_objects = pow2_range 2 8192
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 ?(protocol = Workloads.paper_protocol) () =
+  List.map
+    (fun system ->
+      {
+        system = Systems.name system;
+        points =
+          List.map
+            (fun size ->
+              {
+                x = size;
+                result =
+                  Workloads.Time_us
+                    (Workloads.pingpong_bytes ~protocol system ~size);
+              })
+            fig9_sizes;
+      })
+    Systems.fig9_systems
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let total_data_bytes = 4096 (* the paper's fixed payload *)
+
+let fig10 ?(quick = false) () =
+  let xs =
+    if quick then List.filter (fun n -> n <= 512) fig10_objects
+    else fig10_objects
+  in
+  List.map
+    (fun system ->
+      {
+        system = Systems.name system;
+        points =
+          List.map
+            (fun n ->
+              {
+                x = n;
+                result =
+                  Workloads.pingpong_objects system ~total_objects:n
+                    ~total_data_bytes;
+              })
+            xs;
+      })
+    Systems.fig10_systems
+
+(* ------------------------------------------------------------------ *)
+(* Table A: the in-text Motor vs Indiana-SSCLI percentages             *)
+(* ------------------------------------------------------------------ *)
+
+type taba_row = { metric : string; paper_pct : float; measured_pct : float }
+
+let find_series name series =
+  match List.find_opt (fun s -> s.system = name) series with
+  | Some s -> s
+  | None -> invalid_arg ("taba: missing series " ^ name)
+
+let time_at s x =
+  match List.find_opt (fun p -> p.x = x) s.points with
+  | Some { result = Workloads.Time_us t; _ } -> t
+  | Some { result = Workloads.Crashed _; _ } | None ->
+      invalid_arg "taba: missing point"
+
+let taba series =
+  let motor = find_series "Motor" series in
+  let indiana = find_series "Indiana SSCLI" series in
+  let pct x =
+    let m = time_at motor x and i = time_at indiana x in
+    100.0 *. (i -. m) /. i
+  in
+  let sizes = List.map (fun p -> p.x) motor.points in
+  let pcts = List.map pct sizes in
+  let avg xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+  let large = List.filter (fun x -> x > 65_536) sizes in
+  [
+    {
+      metric = "peak improvement";
+      paper_pct = 16.0;
+      measured_pct = List.fold_left Float.max neg_infinity pcts;
+    };
+    { metric = "average improvement"; paper_pct = 8.0; measured_pct = avg pcts };
+    {
+      metric = "average above 64 KiB";
+      paper_pct = 3.0;
+      measured_pct = avg (List.map pct large);
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table B: footnote 4 — pinning on Free vs fastchecked builds          *)
+(* ------------------------------------------------------------------ *)
+
+let tabb ?(protocol = { Workloads.iters = 60; timed = 30; trials = 1 }) () =
+  List.map
+    (fun system ->
+      ( Systems.name system,
+        Workloads.pingpong_bytes ~protocol system ~size:64 ))
+    [ Systems.Indiana_sscli; Systems.Indiana_sscli_fastchecked ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let default_abl_protocol = { Workloads.iters = 60; timed = 30; trials = 1 }
+
+let motor_policy_run ~protocol ~policy ~size =
+  let config = { World.default_config with policy } in
+  let w = World.create ~cost:Cost.motor ~config ~n:2 () in
+  let comm = World.comm_world w in
+  let env = World.env w in
+  let result = ref [] in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let rank = World.rank ctx in
+      let other = 1 - rank in
+      let buf = Om.alloc_array gc (Types.Eprim Types.I1) size in
+      Workloads.pingpong_skeleton ~env ~protocol ~rank
+        ~send:(fun () -> Ot.send ctx ~comm ~dst:other ~tag:0 buf)
+        ~recv:(fun () -> ignore (Ot.recv ctx ~comm ~src:other ~tag:0 buf))
+        result);
+  (Workloads.average !result, Simtime.Stats.get env.Env.stats Key.pins)
+
+let abl_pinning_policy ?(protocol = default_abl_protocol) ~size () =
+  List.map
+    (fun policy ->
+      let us, pins = motor_policy_run ~protocol ~policy ~size in
+      (Motor.Pinning.policy_name policy, us, pins))
+    [ Motor.Pinning.Always_pin; Motor.Pinning.Boundary_check;
+      Motor.Pinning.Deferred ]
+
+let abl_call_mechanism ?(protocol = default_abl_protocol) ~size () =
+  (* Same Motor stack; only the priced cost of the entry gate changes. *)
+  let gates =
+    [
+      ("FCall", Cost.motor.Cost.fcall_ns);
+      ( "P/Invoke",
+        Cost.indiana_sscli.Cost.pinvoke_ns
+        +. (6.0 *. Cost.indiana_sscli.Cost.marshal_per_arg_ns) );
+      ( "JNI",
+        Cost.mpijava.Cost.jni_ns
+        +. (6.0 *. Cost.mpijava.Cost.marshal_per_arg_ns) );
+    ]
+  in
+  List.map
+    (fun (name, gate_ns) ->
+      let cost = { Cost.motor with Cost.fcall_ns = gate_ns } in
+      let w = World.create ~cost ~n:2 () in
+      let comm = World.comm_world w in
+      let env = World.env w in
+      let result = ref [] in
+      World.run w (fun ctx ->
+          let gc = World.gc ctx in
+          let rank = World.rank ctx in
+          let other = 1 - rank in
+          let buf = Om.alloc_array gc (Types.Eprim Types.I1) size in
+          Workloads.pingpong_skeleton ~env ~protocol ~rank
+            ~send:(fun () -> Ot.send ctx ~comm ~dst:other ~tag:0 buf)
+            ~recv:(fun () -> ignore (Ot.recv ctx ~comm ~src:other ~tag:0 buf))
+            result);
+      (name, Workloads.average !result))
+    gates
+
+let abl_visited ?(quick = false) () =
+  let xs =
+    if quick then List.filter (fun n -> n <= 512) fig10_objects
+    else fig10_objects
+  in
+  List.map
+    (fun visited ->
+      {
+        system =
+          (match visited with
+          | Motor.Serializer.Linear -> "Motor (linear visited list)"
+          | Motor.Serializer.Hashed -> "Motor (hashed visited set)");
+        points =
+          List.map
+            (fun n ->
+              {
+                x = n;
+                result =
+                  Workloads.pingpong_objects ~visited Systems.Motor_sys
+                    ~total_objects:n ~total_data_bytes;
+              })
+            xs;
+      })
+    [ Motor.Serializer.Linear; Motor.Serializer.Hashed ]
+
+let abl_eager_threshold ?(protocol = default_abl_protocol) () =
+  let thresholds = [ 0; 4096; 65_536; 1_048_576 ] in
+  let sizes = [ 1024; 16_384; 131_072 ] in
+  List.map
+    (fun threshold ->
+      let cost =
+        { Cost.native_cpp with Cost.eager_threshold_bytes = threshold }
+      in
+      let points =
+        List.map
+          (fun size ->
+            let env = Env.create ~cost () in
+            let w = Mpi_core.Mpi.create_world ~env ~n:2 () in
+            let comm = Mpi_core.Mpi.comm_world w in
+            let result = ref [] in
+            let body rank () =
+              let p = Mpi_core.Mpi.proc w rank in
+              let buf = Bytes.create size in
+              let other = 1 - rank in
+              Workloads.pingpong_skeleton ~env ~protocol ~rank
+                ~send:(fun () ->
+                  Baselines.Native.send p ~comm ~dst:other ~tag:0 buf)
+                ~recv:(fun () ->
+                  ignore
+                    (Baselines.Native.recv p ~comm ~src:other ~tag:0 buf))
+                result
+            in
+            Fiber.run [ ("e0", body 0); ("e1", body 1) ];
+            (size, Workloads.average !result))
+          sizes
+      in
+      (threshold, points))
+    thresholds
+
+let abl_channel ?(protocol = default_abl_protocol) () =
+  let sizes = [ 64; 4096; 131_072 ] in
+  List.map
+    (fun (name, channel) ->
+      let points =
+        List.map
+          (fun size ->
+            let w = World.create ~channel ~cost:Cost.motor ~n:2 () in
+            let comm = World.comm_world w in
+            let env = World.env w in
+            let result = ref [] in
+            World.run w (fun ctx ->
+                let gc = World.gc ctx in
+                let rank = World.rank ctx in
+                let other = 1 - rank in
+                let buf = Om.alloc_array gc (Types.Eprim Types.I1) size in
+                Workloads.pingpong_skeleton ~env ~protocol ~rank
+                  ~send:(fun () -> Ot.send ctx ~comm ~dst:other ~tag:0 buf)
+                  ~recv:(fun () ->
+                    ignore (Ot.recv ctx ~comm ~src:other ~tag:0 buf))
+                  result);
+            (size, Workloads.average !result))
+          sizes
+      in
+      (name, points))
+    [ ("sock channel", `Sock); ("shm channel", `Shm) ]
+
+(* Object-array scatter: Motor's split representation vs the wrapper
+   emulation the paper describes in Section 2.4. *)
+let item_class registry =
+  match Vm.Classes.find_by_name registry "WorkItem" with
+  | Some mt -> mt
+  | None ->
+      let id = Vm.Classes.declare registry ~name:"WorkItem" in
+      let arr =
+        Vm.Classes.array_class registry (Types.Eprim Types.I1)
+      in
+      Vm.Classes.complete registry id ~transportable:true
+        ~fields:[ ("data", Types.Ref arr.Vm.Classes.c_id, true) ]
+        ()
+
+let build_items gc registry ~elements =
+  let mt = item_class registry in
+  let fd = Vm.Classes.field mt "data" in
+  let arr = Om.alloc_array gc (Types.Eref mt.Vm.Classes.c_id) elements in
+  for i = 0 to elements - 1 do
+    let item = Om.alloc_instance gc mt in
+    let data = Om.alloc_array gc (Types.Eprim Types.I1) 32 in
+    Om.set_elem_int gc data 0 (i land 0x7f);
+    Om.set_ref gc item fd (Some data);
+    Om.set_elem_ref gc arr i (Some item);
+    Om.free gc item;
+    Om.free gc data
+  done;
+  arr
+
+let abl_split_scatter ?(elements = 64) () =
+  let scatter_time ~n ~use_motor =
+    let cost =
+      if use_motor then Cost.motor else Cost.indiana_dotnet
+    in
+    let w = World.create ~cost ~n () in
+    let comm = World.comm_world w in
+    let env = World.env w in
+    let t = ref 0.0 in
+    World.run w (fun ctx ->
+        let gc = World.gc ctx in
+        let registry = World.registry ctx in
+        ignore (item_class registry);
+        let input =
+          if World.rank ctx = 0 then
+            Some (build_items gc registry ~elements)
+          else None
+        in
+        Mpi_core.Collectives.barrier ctx.World.proc comm;
+        let t0 = Env.now_us env in
+        let mine =
+          if use_motor then
+            Motor.System_mp.oscatter ctx ~comm ~root:0 input
+          else
+            Baselines.Wrapper_scatter.scatter_objects
+              ~mech:Baselines.Call_gate.Pinvoke
+              ~profile:Baselines.Std_serializer.clr_dotnet ctx ~comm ~root:0
+              input
+        in
+        ignore mine;
+        Mpi_core.Collectives.barrier ctx.World.proc comm;
+        if World.rank ctx = 0 then t := Env.now_us env -. t0);
+    !t
+  in
+  List.map
+    (fun n ->
+      ( n,
+        scatter_time ~n ~use_motor:true,
+        scatter_time ~n ~use_motor:false ))
+    [ 2; 4; 8 ]
+
+(* Non-blocking receive stress: post a batch of irecvs on young buffers,
+   churn allocations to force collections while they are outstanding, and
+   account for how each policy protected the buffers. *)
+let abl_nonblocking_unpin () =
+  let policies =
+    [ Motor.Pinning.Always_pin; Motor.Pinning.Boundary_check;
+      Motor.Pinning.Deferred ]
+  in
+  List.map
+    (fun policy ->
+      let config = { World.default_config with policy } in
+      let w = World.create ~cost:Cost.motor ~config ~n:2 () in
+      let comm = World.comm_world w in
+      let env = World.env w in
+      let batch = 16 in
+      let t0 = ref 0.0 and t1 = ref 0.0 in
+      World.run w (fun ctx ->
+          let gc = World.gc ctx in
+          if World.rank ctx = 0 then begin
+            (* Stagger the sends so receives stay outstanding a while. *)
+            for i = 0 to batch - 1 do
+              for _ = 1 to 3 do
+                Fiber.yield ()
+              done;
+              let a = Om.alloc_array gc (Types.Eprim Types.I4) 64 in
+              Om.set_elem_int gc a 0 i;
+              Ot.send ctx ~comm ~dst:1 ~tag:i a;
+              Om.free gc a
+            done
+          end
+          else begin
+            t0 := Env.now_us env;
+            let bufs =
+              Array.init batch (fun _ ->
+                  Om.alloc_array gc (Types.Eprim Types.I4) 64)
+            in
+            let reqs =
+              Array.mapi
+                (fun i buf -> Ot.irecv ctx ~comm ~src:0 ~tag:i buf)
+                bufs
+            in
+            (* Allocation churn: forces minor collections while the
+               receives are in flight. *)
+            for _ = 1 to 400 do
+              Om.free gc (Om.alloc_array gc (Types.Eprim Types.I8) 256)
+            done;
+            Array.iter (fun r -> ignore (Ot.wait ctx r)) reqs;
+            Array.iteri
+              (fun i buf ->
+                if Om.get_elem_int gc buf 0 <> i then
+                  failwith "nonblocking stress: payload corrupted")
+              bufs;
+            (* One more collection: its mark phase finds every request
+               complete and drops the conditional pin entries. *)
+            Gc.collect gc ~full:false;
+            t1 := Env.now_us env
+          end);
+      ( Motor.Pinning.policy_name policy,
+        !t1 -. !t0,
+        Simtime.Stats.get env.Env.stats Key.pins,
+        Simtime.Stats.get env.Env.stats Key.conditional_pins_dropped ))
+    policies

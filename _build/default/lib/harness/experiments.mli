@@ -1,0 +1,69 @@
+(** Drivers for every figure and table of the paper, plus the ablations
+    DESIGN.md commits to. Each function returns data; rendering is up to
+    the caller ({!Table}, bin/figures, the benches). *)
+
+type point = { x : int; result : Workloads.object_result }
+type series = { system : string; points : point list }
+
+val fig9_sizes : int list
+(** 4 B … 256 KiB in powers of two — Figure 9's x axis. *)
+
+val fig10_objects : int list
+(** 2 … 8192 total objects in powers of two — Figure 10's x axis. *)
+
+val fig9 : ?protocol:Workloads.protocol -> unit -> series list
+(** Ping-pong of regular MPI operations, five systems. *)
+
+val fig10 : ?quick:bool -> unit -> series list
+(** Linked-list transport, four systems; mpiJava's line ends in a crash
+    past 1024 objects. [quick] trims the largest sizes (tests). *)
+
+type taba_row = { metric : string; paper_pct : float; measured_pct : float }
+
+val taba : series list -> taba_row list
+(** The in-text Motor-vs-Indiana-SSCLI claims computed from a fig9 run:
+    peak improvement, average improvement, average above 64 KiB (paper:
+    16 / 8 / 3 per cent). *)
+
+val tabb : ?protocol:Workloads.protocol -> unit -> (string * float) list
+(** Footnote 4: ping-pong time per iteration for the Indiana bindings on
+    Free vs fastchecked SSCLI builds (small buffers, where pinning cost
+    shows). *)
+
+(** {1 Ablations} *)
+
+val abl_pinning_policy :
+  ?protocol:Workloads.protocol -> size:int -> unit ->
+  (string * float * int) list
+(** (policy, us/iter, pins) for always-pin / boundary-check / deferred. *)
+
+val abl_call_mechanism :
+  ?protocol:Workloads.protocol -> size:int -> unit -> (string * float) list
+(** Identical Motor stacks whose entry gate is priced as FCall, P/Invoke
+    or JNI. *)
+
+val abl_visited : ?quick:bool -> unit -> series list
+(** Motor's linear visited list vs the hashed structure (future work) on
+    the Figure 10 workload. *)
+
+val abl_eager_threshold :
+  ?protocol:Workloads.protocol -> unit -> (int * (int * float) list) list
+(** For each eager threshold, (message size, us/iter) points. *)
+
+val abl_nonblocking_unpin : unit -> (string * float * int * int) list
+(** Non-blocking receive stress under GC pressure:
+    (policy, total us, pins, conditional pins dropped). *)
+
+val abl_channel :
+  ?protocol:Workloads.protocol -> unit -> (string * (int * float) list) list
+(** The layered-portability claim (paper Sections 4.1, 7): the same Motor
+    stack re-deployed over the sock and shm channels; per channel,
+    (message size, us/iter) points. *)
+
+val abl_split_scatter :
+  ?elements:int -> unit -> (int * float * float) list
+(** Section 2.4's scatter claim quantified: OScatter of an [elements]-long
+    object array (default 64) via Motor's split representation vs the
+    wrapper emulation (materialize one sub-array per member, serialize
+    each atomically). Returns (ranks, motor us, wrapper us) rows; the
+    wrapper's cost should grow faster with the member count. *)

@@ -1,0 +1,150 @@
+type verdict = { check : string; pass : bool; detail : string }
+
+let v check pass detail = { check; pass; detail }
+let all_pass = List.for_all (fun x -> x.pass)
+
+let pp_verdicts ppf vs =
+  List.iter
+    (fun x ->
+      Format.fprintf ppf "%s %-45s %s@." (if x.pass then "PASS" else "FAIL")
+        x.check x.detail)
+    vs
+
+let series name (all : Experiments.series list) =
+  List.find (fun (s : Experiments.series) -> s.Experiments.system = name) all
+
+let time_points (s : Experiments.series) =
+  List.filter_map
+    (fun (p : Experiments.point) ->
+      match p.Experiments.result with
+      | Workloads.Time_us t -> Some (p.Experiments.x, t)
+      | Workloads.Crashed _ -> None)
+    s.Experiments.points
+
+let time_at s x = List.assoc x (time_points s)
+
+(* ------------------------------------------------------------------ *)
+
+let fig9_checks all =
+  let cpp = series "C++" all
+  and motor = series "Motor" all
+  and ind = series "Indiana SSCLI" all
+  and ind_net = series "Indiana .NET" all
+  and java = series "Java" all in
+  let xs = List.map fst (time_points cpp) in
+  let holds_everywhere what f =
+    let failures =
+      List.filter_map (fun x -> if f x then None else Some x) xs
+    in
+    v what (failures = [])
+      (if failures = [] then "at every size"
+       else
+         "violated at sizes "
+         ^ String.concat "," (List.map string_of_int failures))
+  in
+  let pct x =
+    let m = time_at motor x and i = time_at ind x in
+    100.0 *. (i -. m) /. i
+  in
+  let pcts = List.map pct xs in
+  let avg l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  let peak = List.fold_left Float.max neg_infinity pcts in
+  let mean = avg pcts in
+  let large = avg (List.filter_map (fun x -> if x > 65_536 then Some (pct x) else None) xs) in
+  let grows s =
+    let pts = time_points s in
+    List.assoc 262_144 pts > 10.0 *. List.assoc 4 pts
+  in
+  [
+    holds_everywhere "C++ is fastest" (fun x ->
+        let c = time_at cpp x in
+        c < time_at motor x && c < time_at ind x && c < time_at java x);
+    holds_everywhere "Motor is second (beats both wrappers)" (fun x ->
+        let m = time_at motor x in
+        m < time_at ind x && m < time_at ind_net x && m < time_at java x);
+    holds_everywhere "Java is slowest" (fun x ->
+        let j = time_at java x in
+        j > time_at ind x && j > time_at ind_net x);
+    holds_everywhere "Indiana .NET <= Indiana SSCLI" (fun x ->
+        time_at ind_net x <= time_at ind x +. 1e-9);
+    v "peak Motor advantage near 16%"
+      (peak >= 10.0 && peak <= 25.0)
+      (Printf.sprintf "measured %.1f%% (paper 16%%)" peak);
+    v "average Motor advantage near 8%"
+      (mean >= 4.0 && mean <= 14.0)
+      (Printf.sprintf "measured %.1f%% (paper 8%%)" mean);
+    v "large-message advantage near 3%"
+      (large >= 0.5 && large <= 8.0)
+      (Printf.sprintf "measured %.1f%% (paper 3%%)" large);
+    v "times grow with message size"
+      (List.for_all grows [ cpp; motor; ind; ind_net; java ])
+      "t(256KiB) > 10 x t(4B) for every system";
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let fig10_checks all =
+  let motor = series "Motor" all
+  and java = series "Java" all
+  and ind_net = series "Indiana .NET" all
+  and ind = series "Indiana SSCLI" all in
+  let xs =
+    List.map (fun (p : Experiments.point) -> p.Experiments.x) motor.points
+  in
+  let motor_fastest_at x =
+    let m = time_at motor x in
+    let beats s =
+      match List.assoc_opt x (time_points s) with
+      | Some t -> m < t
+      | None -> true (* a crashed competitor does not win *)
+    in
+    beats java && beats ind_net && beats ind
+  in
+  let small = List.filter (fun x -> x < 2048) xs in
+  let crashed_at x =
+    match
+      List.find_opt
+        (fun (p : Experiments.point) -> p.Experiments.x = x)
+        java.points
+    with
+    | Some { result = Workloads.Crashed _; _ } -> true
+    | Some { result = Workloads.Time_us _; _ } | None -> false
+  in
+  let java_pts = time_points java in
+  let bump =
+    (* Leaving block-data mode: the cost step from 256 to 512 objects is
+       sharply larger than the preceding steps. *)
+    match
+      ( List.assoc_opt 128 java_pts,
+        List.assoc_opt 256 java_pts,
+        List.assoc_opt 512 java_pts )
+    with
+    | Some t128, Some t256, Some t512 ->
+        let before = t256 /. t128 and at = t512 /. t256 in
+        (at > 1.4 *. before, Printf.sprintf "step x%.2f vs x%.2f" at before)
+    | _ -> (false, "missing points")
+  in
+  let dotnet_faster =
+    List.for_all (fun x -> time_at ind_net x <= time_at ind x +. 1e-9) xs
+  in
+  [
+    v "Motor fastest below 2048 objects"
+      (List.for_all motor_fastest_at small)
+      (Printf.sprintf "checked %d sizes" (List.length small));
+    v "Motor loses the lead at 8192 objects"
+      (match List.assoc_opt 8192 (time_points motor) with
+       | Some m -> (
+           match List.assoc_opt 8192 (time_points ind) with
+           | Some i -> m > i
+           | None -> false)
+       | None -> false)
+      "quadratic visited list takes over";
+    v "mpiJava survives up to 1024 objects"
+      (List.for_all (fun x -> not (crashed_at x)) (List.filter (fun x -> x <= 1024) xs))
+      "no crash at or below 1024";
+    v "mpiJava crashes past 1024 objects"
+      (List.for_all crashed_at (List.filter (fun x -> x > 1024) xs))
+      "stack overflow in recursive serialization";
+    v "mpiJava shows the block-mode bump" (fst bump) (snd bump);
+    v "Indiana .NET beats Indiana SSCLI" dotnet_faster "every size";
+  ]

@@ -1,0 +1,23 @@
+(** Shape assertions: the qualitative claims of the paper's evaluation
+    that the reproduction must preserve (who wins, by roughly how much,
+    where the crossovers fall). Used by the test suite and reported in
+    EXPERIMENTS.md. *)
+
+type verdict = { check : string; pass : bool; detail : string }
+
+val fig9_checks : Experiments.series list -> verdict list
+(** - ordering C++ < Motor < Indiana(SSCLI) and Java slowest, every size
+    - Indiana .NET never slower than Indiana SSCLI
+    - Motor-vs-Indiana-SSCLI peak / average / large-size improvements near
+      the paper's 16 / 8 / 3 per cent
+    - times grow with message size *)
+
+val fig10_checks : Experiments.series list -> verdict list
+(** - Motor fastest below 2048 total objects
+    - Motor loses the lead by 8192 (quadratic visited list)
+    - mpiJava crashes past 1024 objects and not before
+    - mpiJava shows a cost step (the "bump") leaving block-data mode
+    - Indiana .NET beats Indiana SSCLI throughout *)
+
+val all_pass : verdict list -> bool
+val pp_verdicts : Format.formatter -> verdict list -> unit

@@ -1,0 +1,43 @@
+module Cost = Simtime.Cost
+
+type t =
+  | Native_cpp
+  | Motor_sys
+  | Indiana_sscli
+  | Indiana_sscli_fastchecked
+  | Indiana_dotnet
+  | Mpijava
+
+let name = function
+  | Native_cpp -> "C++"
+  | Motor_sys -> "Motor"
+  | Indiana_sscli -> "Indiana SSCLI"
+  | Indiana_sscli_fastchecked -> "Indiana SSCLI (fastchecked)"
+  | Indiana_dotnet -> "Indiana .NET"
+  | Mpijava -> "Java"
+
+let cost = function
+  | Native_cpp -> Cost.native_cpp
+  | Motor_sys -> Cost.motor
+  | Indiana_sscli -> Cost.indiana_sscli
+  | Indiana_sscli_fastchecked -> Cost.indiana_sscli_fastchecked
+  | Indiana_dotnet -> Cost.indiana_dotnet
+  | Mpijava -> Cost.mpijava
+
+let serializer_profile = function
+  | Native_cpp | Motor_sys -> None
+  | Indiana_sscli | Indiana_sscli_fastchecked ->
+      Some Baselines.Std_serializer.clr_sscli
+  | Indiana_dotnet -> Some Baselines.Std_serializer.clr_dotnet
+  | Mpijava -> Some Baselines.Std_serializer.java
+
+let gate = function
+  | Native_cpp | Motor_sys -> None
+  | Indiana_sscli | Indiana_sscli_fastchecked | Indiana_dotnet ->
+      Some Baselines.Call_gate.Pinvoke
+  | Mpijava -> Some Baselines.Call_gate.Jni
+
+let fig9_systems =
+  [ Mpijava; Indiana_sscli; Indiana_dotnet; Motor_sys; Native_cpp ]
+
+let fig10_systems = [ Motor_sys; Mpijava; Indiana_dotnet; Indiana_sscli ]

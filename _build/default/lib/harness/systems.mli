@@ -1,0 +1,25 @@
+(** The systems compared in the paper's Section 8. *)
+
+type t =
+  | Native_cpp  (** C++ application on MPICH2 *)
+  | Motor_sys  (** Motor: VM-integrated MPI *)
+  | Indiana_sscli  (** Indiana C# bindings, SSCLI Free build *)
+  | Indiana_sscli_fastchecked  (** footnote-4 variant *)
+  | Indiana_dotnet  (** Indiana C# bindings, commercial .NET 1.1 *)
+  | Mpijava  (** mpiJava 1.2.5 on the Sun JDK *)
+
+val name : t -> string
+val cost : t -> Simtime.Cost.t
+
+val serializer_profile : t -> Baselines.Std_serializer.profile option
+(** The standard serializer a wrapper system uses for object transport;
+    [None] for Motor (custom mechanism) and native C++ (no objects). *)
+
+val gate : t -> Baselines.Call_gate.mechanism option
+(** The managed-to-native mechanism; [None] for Motor (FCall) and native. *)
+
+val fig9_systems : t list
+(** Figure 9's five lines, legend order. *)
+
+val fig10_systems : t list
+(** Figure 10's four lines, legend order. *)

@@ -1,0 +1,1 @@
+lib/mpi/buffer_view.mli: Bytes

@@ -1,0 +1,1 @@
+lib/mpi/cart.ml: Array Comm Fun Group List Mpi

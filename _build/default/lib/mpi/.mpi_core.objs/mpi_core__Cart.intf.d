@@ -1,0 +1,1 @@
+lib/mpi/cart.mli: Comm Mpi

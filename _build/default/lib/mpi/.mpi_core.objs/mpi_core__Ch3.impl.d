@@ -1,0 +1,1 @@
+lib/mpi/ch3.ml: Buffer_view Bytes Channel Hashtbl Packet Printf Queues Request Simtime Status Tag_match Trace

@@ -1,0 +1,1 @@
+lib/mpi/ch3.mli: Buffer_view Channel Queues Request Simtime

@@ -1,0 +1,1 @@
+lib/mpi/channel.ml: Array Fiber Float Hashtbl Packet Printf Simtime

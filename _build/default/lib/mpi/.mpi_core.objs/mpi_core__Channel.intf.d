@@ -1,0 +1,1 @@
+lib/mpi/channel.mli: Packet Simtime

@@ -1,0 +1,1 @@
+lib/mpi/collectives.ml: Array Buffer_view Bytes Ch3 Comm Float Int32 Int64 List Mpi Simtime

@@ -1,0 +1,1 @@
+lib/mpi/collectives.mli: Buffer_view Bytes Comm Mpi

@@ -1,0 +1,1 @@
+lib/mpi/comm.ml: Array Format Printf String

@@ -1,0 +1,1 @@
+lib/mpi/dynamic.ml: Array Ch3 Comm Fiber Hashtbl Mpi Printf Status Tag_match

@@ -1,0 +1,1 @@
+lib/mpi/dynamic.mli: Buffer_view Comm Mpi Status

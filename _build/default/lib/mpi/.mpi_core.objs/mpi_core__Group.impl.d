@@ -1,0 +1,1 @@
+lib/mpi/group.ml: Array Collectives Comm Format Hashtbl List Mpi Printf String

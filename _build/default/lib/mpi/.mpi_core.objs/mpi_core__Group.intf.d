@@ -1,0 +1,1 @@
+lib/mpi/group.mli: Comm Format Mpi

@@ -1,0 +1,1 @@
+lib/mpi/mpi.ml: Array Buffer_view Bytes Ch3 Channel Comm Fiber Hashtbl Int32 List Option Packet Printf Queues Request Shm_channel Simtime Sock_channel Status String Tag_match

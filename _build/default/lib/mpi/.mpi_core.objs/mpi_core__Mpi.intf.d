@@ -1,0 +1,1 @@
+lib/mpi/mpi.mli: Buffer_view Ch3 Comm Hashtbl Request Simtime Status

@@ -1,0 +1,1 @@
+lib/mpi/persistent.ml: Buffer_view Comm List Mpi Request

@@ -1,0 +1,1 @@
+lib/mpi/persistent.mli: Buffer_view Comm Mpi Request Status

@@ -1,0 +1,1 @@
+lib/mpi/queues.ml: Buffer_view Bytes List Packet Request Simtime Tag_match

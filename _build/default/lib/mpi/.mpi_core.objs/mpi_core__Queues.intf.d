@@ -1,0 +1,1 @@
+lib/mpi/queues.mli: Buffer_view Bytes Packet Request Simtime Tag_match

@@ -1,0 +1,1 @@
+lib/mpi/shm_channel.ml: Channel Simtime

@@ -1,0 +1,1 @@
+lib/mpi/sock_channel.ml: Channel Simtime

@@ -1,0 +1,1 @@
+lib/mpi/sock_channel.mli: Channel Simtime

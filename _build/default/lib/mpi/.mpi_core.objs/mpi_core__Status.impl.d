@@ -1,0 +1,1 @@
+lib/mpi/status.ml: Format

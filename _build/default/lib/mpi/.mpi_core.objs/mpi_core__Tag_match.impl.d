@@ -1,0 +1,1 @@
+lib/mpi/tag_match.ml: Format Packet

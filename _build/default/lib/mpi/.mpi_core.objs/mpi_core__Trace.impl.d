@@ -1,0 +1,1 @@
+lib/mpi/trace.ml: Array Format List Simtime

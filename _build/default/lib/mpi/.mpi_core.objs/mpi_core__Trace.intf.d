@@ -1,0 +1,1 @@
+lib/mpi/trace.mli: Format Simtime

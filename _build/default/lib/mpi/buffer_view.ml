@@ -1,0 +1,30 @@
+type t = {
+  len : int;
+  blit_to : pos:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit;
+  blit_from : pos:int -> src:Bytes.t -> src_off:int -> len:int -> unit;
+}
+
+let length t = t.len
+
+let of_bytes_sub b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Buffer_view.of_bytes_sub: range out of bounds";
+  {
+    len;
+    blit_to =
+      (fun ~pos ~dst ~dst_off ~len:n -> Bytes.blit b (off + pos) dst dst_off n);
+    blit_from =
+      (fun ~pos ~src ~src_off ~len:n -> Bytes.blit src src_off b (off + pos) n);
+  }
+
+let of_bytes b = of_bytes_sub b ~off:0 ~len:(Bytes.length b)
+
+let read_all t =
+  let out = Bytes.create t.len in
+  t.blit_to ~pos:0 ~dst:out ~dst_off:0 ~len:t.len;
+  out
+
+let write_all t src =
+  if Bytes.length src <> t.len then
+    invalid_arg "Buffer_view.write_all: size mismatch";
+  t.blit_from ~pos:0 ~src ~src_off:0 ~len:t.len

@@ -1,0 +1,24 @@
+(** User-buffer abstraction for the device layer.
+
+    MPICH's channel interface moves bytes between address spaces; in Motor
+    the "address space" may be the managed heap (a pinned object's payload)
+    and in the native baseline a plain [Bytes.t]. A view captures the length
+    plus blit functions, so the device performs zero-copy transfers into
+    whatever memory the binding resolved — including a stale address if the
+    binding failed to pin a movable object, which is exactly the corruption
+    hazard the paper's pinning policy exists to prevent. *)
+
+type t = {
+  len : int;
+  blit_to : pos:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit;
+      (** copy out of the user buffer (sends) *)
+  blit_from : pos:int -> src:Bytes.t -> src_off:int -> len:int -> unit;
+      (** copy into the user buffer (receives) *)
+}
+
+val length : t -> int
+val of_bytes : Bytes.t -> t
+val of_bytes_sub : Bytes.t -> off:int -> len:int -> t
+val read_all : t -> Bytes.t
+val write_all : t -> Bytes.t -> unit
+(** Raises [Invalid_argument] if sizes differ. *)

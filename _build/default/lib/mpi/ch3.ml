@@ -1,0 +1,210 @@
+module Key = Simtime.Stats.Key
+
+exception Mpi_error of string
+
+type send_mode = Standard | Synchronous
+
+type pending_send = {
+  ps_source : Buffer_view.t;
+  ps_dst : int;
+  ps_req : Request.t;
+}
+
+type pending_recv = {
+  pr_sink : Buffer_view.t;
+  pr_env : Packet.envelope;
+  pr_req : Request.t;
+}
+
+type t = {
+  rank : int;
+  env : Simtime.Env.t;
+  chan : Channel.t;
+  queues : Queues.t;
+  pending_sends : (int, pending_send) Hashtbl.t;
+  pending_recvs : (int, pending_recv) Hashtbl.t;
+  mutable seq : int;
+  mutable outstanding : int;
+  fresh_id : unit -> int;
+}
+
+let create env chan ~rank ~fresh_id =
+  {
+    rank;
+    env;
+    chan;
+    queues = Queues.create env;
+    pending_sends = Hashtbl.create 8;
+    pending_recvs = Hashtbl.create 8;
+    seq = 0;
+    outstanding = 0;
+    fresh_id;
+  }
+
+let rank t = t.rank
+let queues t = t.queues
+let outstanding t = t.outstanding
+
+let pending_rendezvous t =
+  Hashtbl.length t.pending_sends + Hashtbl.length t.pending_recvs
+
+let charge_request t =
+  Simtime.Env.charge t.env t.env.Simtime.Env.cost.request_ns
+
+let track t req =
+  t.outstanding <- t.outstanding + 1;
+  Request.on_complete req (fun () -> t.outstanding <- t.outstanding - 1);
+  req
+
+let check_fits (env : Packet.envelope) (sink : Buffer_view.t) =
+  if env.Packet.e_bytes > sink.Buffer_view.len then
+    raise
+      (Mpi_error
+         (Printf.sprintf
+            "message truncated: %d bytes arriving into a %d-byte buffer"
+            env.Packet.e_bytes sink.Buffer_view.len))
+
+let status_of (env : Packet.envelope) =
+  {
+    Status.source = env.Packet.e_src;
+    tag = env.Packet.e_tag;
+    bytes = env.Packet.e_bytes;
+  }
+
+let isend t ~dst ~tag ~context ?(mode = Standard) source =
+  charge_request t;
+  let req = Request.create ~id:(t.fresh_id ()) Request.Send_req in
+  let len = Buffer_view.length source in
+  t.seq <- t.seq + 1;
+  let envelope =
+    {
+      Packet.e_src = t.rank;
+      e_dst = dst;
+      e_tag = tag;
+      e_context = context;
+      e_bytes = len;
+      e_seq = t.seq;
+    }
+  in
+  let eager =
+    match mode with
+    | Standard -> len <= t.env.Simtime.Env.cost.eager_threshold_bytes
+    | Synchronous -> false
+  in
+  Trace.record t.env ~rank:t.rank
+    ~op:(if eager then "isend" else "isend/rndv")
+    ~detail:(Printf.sprintf "dst=%d tag=%d %dB" dst tag len);
+  if eager then begin
+    let data = Bytes.create len in
+    source.Buffer_view.blit_to ~pos:0 ~dst:data ~dst_off:0 ~len;
+    t.chan.Channel.send ~src:t.rank ~dst (Packet.Eager (envelope, data));
+    Simtime.Env.count t.env Key.eager_sends;
+    Request.complete req None;
+    req
+  end
+  else begin
+    let id = t.fresh_id () in
+    Hashtbl.replace t.pending_sends id
+      { ps_source = source; ps_dst = dst; ps_req = req };
+    t.chan.Channel.send ~src:t.rank ~dst (Packet.Rts (envelope, id));
+    Simtime.Env.count t.env Key.rndv_sends;
+    ignore (track t req);
+    req
+  end
+
+let accept_rts t (envelope : Packet.envelope) rndv_id (sink : Buffer_view.t)
+    req =
+  check_fits envelope sink;
+  Hashtbl.replace t.pending_recvs rndv_id
+    { pr_sink = sink; pr_env = envelope; pr_req = req };
+  t.chan.Channel.send ~src:t.rank ~dst:envelope.Packet.e_src
+    (Packet.Cts rndv_id)
+
+let deliver_eager t (envelope : Packet.envelope) data
+    (sink : Buffer_view.t) req ~buffered =
+  check_fits envelope sink;
+  let len = Bytes.length data in
+  sink.Buffer_view.blit_from ~pos:0 ~src:data ~src_off:0 ~len;
+  (* A message that sat in the unexpected queue costs one extra copy; a
+     matched receive lands directly in the user buffer. *)
+  if buffered then
+    Simtime.Env.charge_per_byte t.env
+      t.env.Simtime.Env.cost.memcpy_ns_per_byte len;
+  Request.complete req (Some (status_of envelope))
+
+let irecv t ~src ~tag ~context sink =
+  charge_request t;
+  Trace.record t.env ~rank:t.rank ~op:"irecv"
+    ~detail:(Printf.sprintf "src=%d tag=%d %dB" src tag
+               (Buffer_view.length sink));
+  let req = Request.create ~id:(t.fresh_id ()) Request.Recv_req in
+  let pattern =
+    { Tag_match.m_src = src; m_tag = tag; m_context = context }
+  in
+  (match Queues.take_unexpected t.queues pattern with
+  | Some (Queues.U_eager (envelope, data)) ->
+      deliver_eager t envelope data sink req ~buffered:true
+  | Some (Queues.U_rts (envelope, rndv_id)) ->
+      accept_rts t envelope rndv_id sink req;
+      ignore (track t req)
+  | None ->
+      Queues.post_recv t.queues
+        { Queues.p_pattern = pattern; p_sink = sink; p_req = req };
+      ignore (track t req));
+  req
+
+let handle_packet t packet =
+  Trace.record t.env ~rank:t.rank
+    ~op:
+      (match packet with
+      | Packet.Eager _ -> "eager"
+      | Packet.Rts _ -> "rts"
+      | Packet.Cts _ -> "cts"
+      | Packet.Rndv_data _ -> "data")
+    ~detail:(Packet.describe packet);
+  match packet with
+  | Packet.Eager (envelope, data) -> (
+      match Queues.take_posted t.queues envelope with
+      | Some p ->
+          deliver_eager t envelope data p.Queues.p_sink p.Queues.p_req
+            ~buffered:false
+      | None ->
+          Queues.add_unexpected t.queues (Queues.U_eager (envelope, data)))
+  | Packet.Rts (envelope, rndv_id) -> (
+      match Queues.take_posted t.queues envelope with
+      | Some p -> accept_rts t envelope rndv_id p.Queues.p_sink p.Queues.p_req
+      | None ->
+          Queues.add_unexpected t.queues (Queues.U_rts (envelope, rndv_id)))
+  | Packet.Cts rndv_id -> (
+      match Hashtbl.find_opt t.pending_sends rndv_id with
+      | None -> raise (Mpi_error "CTS for unknown rendezvous id")
+      | Some ps ->
+          Hashtbl.remove t.pending_sends rndv_id;
+          let len = Buffer_view.length ps.ps_source in
+          let data = Bytes.create len in
+          ps.ps_source.Buffer_view.blit_to ~pos:0 ~dst:data ~dst_off:0 ~len;
+          t.chan.Channel.send ~src:t.rank ~dst:ps.ps_dst
+            (Packet.Rndv_data (rndv_id, data));
+          Request.complete ps.ps_req None)
+  | Packet.Rndv_data (rndv_id, data) -> (
+      match Hashtbl.find_opt t.pending_recvs rndv_id with
+      | None -> raise (Mpi_error "DATA for unknown rendezvous id")
+      | Some pr ->
+          Hashtbl.remove t.pending_recvs rndv_id;
+          let len = Bytes.length data in
+          pr.pr_sink.Buffer_view.blit_from ~pos:0 ~src:data ~src_off:0 ~len;
+          Request.complete pr.pr_req (Some (status_of pr.pr_env)))
+
+let progress t =
+  Simtime.Env.charge t.env t.env.Simtime.Env.cost.progress_poll_ns;
+  let did = ref false in
+  let rec drain () =
+    match t.chan.Channel.poll ~rank:t.rank with
+    | Some packet ->
+        did := true;
+        handle_packet t packet;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  !did

@@ -1,0 +1,51 @@
+(** The device layer (MPICH2's ADI/CH3 analogue).
+
+    One device per process. Implements message queuing and matching,
+    packetization, the eager and rendezvous protocols, and data transfer
+    over a {!Channel.t}. All transport-independent logic lives here; the
+    channel below it only moves packets. *)
+
+exception Mpi_error of string
+(** Protocol-level failures (e.g. a message longer than its receive
+    buffer — the truncation error that protects object integrity). *)
+
+type t
+
+type send_mode =
+  | Standard  (** eager below the threshold, rendezvous above *)
+  | Synchronous  (** always rendezvous: completion implies a match *)
+
+val create :
+  Simtime.Env.t -> Channel.t -> rank:int -> fresh_id:(unit -> int) -> t
+(** [fresh_id] must be shared by all devices of a world (request and
+    rendezvous identifiers). *)
+
+val rank : t -> int
+val queues : t -> Queues.t
+
+val isend :
+  t ->
+  dst:int ->
+  tag:int ->
+  context:int ->
+  ?mode:send_mode ->
+  Buffer_view.t ->
+  Request.t
+(** Start a send. An eager send completes immediately (buffered on the
+    wire); a rendezvous send completes once CTS arrives and the data has
+    been handed to the channel. *)
+
+val irecv :
+  t -> src:int -> tag:int -> context:int -> Buffer_view.t -> Request.t
+(** Start a receive; [src]/[tag] may be {!Tag_match.any_source} /
+    {!Tag_match.any_tag}. Raises {!Mpi_error} if a matched message is
+    larger than the buffer. *)
+
+val progress : t -> bool
+(** Drain arrived packets; true if any packet was handled. Never blocks. *)
+
+val outstanding : t -> int
+(** Requests started on this device and not yet completed. *)
+
+val pending_rendezvous : t -> int
+(** Rendezvous transfers awaiting CTS or DATA. *)

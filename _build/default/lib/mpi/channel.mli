@@ -1,0 +1,36 @@
+(** The channel layer: moves packets between address spaces.
+
+    MPICH2's channel interface reduces a port to a handful of functions
+    (Section 6 of the paper, citing Gropp & Lusk's channel-interface
+    report); ours is the same idea: [send], [poll], [add_rank] and a name.
+    Implementations differ only in their cost profile — {!Shm_channel} and
+    {!Sock_channel} are both built on {!make}.
+
+    Delivery model: a packet sent at virtual time [t] with wire size [w]
+    becomes visible to the receiver's [poll] at
+    [t + per_msg_ns + w * per_byte_ns]. Per-(src,dst) ordering is enforced
+    (no overtaking, as on a TCP stream). The sender is charged a syscall
+    cost per MTU-sized fragment. *)
+
+type t = {
+  name : string;
+  send : src:int -> dst:int -> Packet.t -> unit;
+  poll : rank:int -> Packet.t option;
+      (** Next deliverable packet for [rank], if any has arrived. When
+          packets are in flight but not yet arrived this calls
+          {!Fiber.note_activity} so waiting on the clock is not mistaken
+          for deadlock. *)
+  add_rank : unit -> int;  (** returns the new rank id *)
+  n_ranks : unit -> int;
+}
+
+val make :
+  name:string ->
+  per_msg_ns:float ->
+  per_byte_ns:float ->
+  syscall_fraction:float ->
+  env:Simtime.Env.t ->
+  n_ranks:int ->
+  t
+(** Generic latency/bandwidth-modelled channel. [syscall_fraction] is the
+    share of [per_msg_ns] charged to the sender's CPU per fragment. *)

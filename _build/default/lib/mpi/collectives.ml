@@ -1,0 +1,290 @@
+(* Tags are internal to the collective context; a distinct tag per
+   algorithm (and per round, for the barrier) keeps rounds from matching
+   each other. *)
+let tag_barrier = 0x4210
+let tag_bcast = 0x4243
+let tag_scatter = 0x5343
+let tag_gather = 0x4743
+let tag_allgather = 0x414c
+let tag_reduce = 0x5244
+let tag_alltoall = 0x4141
+
+let csend p comm ~dst ~tag buf =
+  Ch3.isend (Mpi.device p)
+    ~dst:(Comm.world_rank_of comm dst)
+    ~tag ~context:comm.Comm.ctx_coll buf
+
+let crecv p comm ~src ~tag buf =
+  Ch3.irecv (Mpi.device p)
+    ~src:(Comm.world_rank_of comm src)
+    ~tag ~context:comm.Comm.ctx_coll buf
+
+let csend_wait p comm ~dst ~tag buf =
+  ignore (Mpi.wait p (csend p comm ~dst ~tag buf))
+
+let crecv_wait p comm ~src ~tag buf =
+  ignore (Mpi.wait p (crecv p comm ~src ~tag buf))
+
+let empty = Buffer_view.of_bytes Bytes.empty
+
+let barrier p comm =
+  let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  let round = ref 0 in
+  let step = ref 1 in
+  while !step < n do
+    let dst = (me + !step) mod n in
+    let src = (me - !step + n) mod n in
+    let tag = tag_barrier + !round in
+    let s = csend p comm ~dst ~tag empty in
+    crecv_wait p comm ~src ~tag empty;
+    ignore (Mpi.wait p s);
+    incr round;
+    step := !step lsl 1
+  done
+
+let bcast p comm ~root buf =
+  let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  let rel = (me - root + n) mod n in
+  let abs r = (r + root) mod n in
+  (* Receive from the parent (clear the lowest set bit of rel). *)
+  let mask = ref 1 in
+  let recv_mask = ref 0 in
+  while !mask < n && !recv_mask = 0 do
+    if rel land !mask <> 0 then begin
+      crecv_wait p comm ~src:(abs (rel - !mask)) ~tag:tag_bcast buf;
+      recv_mask := !mask
+    end
+    else mask := !mask lsl 1
+  done;
+  (* Forward to children: bits below my lowest set bit (or below n for
+     the root). *)
+  let top = if rel = 0 then
+      let rec up m = if m < n then up (m lsl 1) else m in
+      up 1
+    else !recv_mask
+  in
+  let m = ref (top lsr 1) in
+  while !m > 0 do
+    if rel + !m < n then
+      csend_wait p comm ~dst:(abs (rel + !m)) ~tag:tag_bcast buf;
+    m := !m lsr 1
+  done
+
+let scatter p comm ~root ~parts ~recv =
+  let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  if me = root then begin
+    let parts =
+      match parts with
+      | Some a ->
+          if Array.length a <> n then
+            invalid_arg "Collectives.scatter: need one part per member";
+          a
+      | None -> invalid_arg "Collectives.scatter: root must supply parts"
+    in
+    let sends = ref [] in
+    for r = 0 to n - 1 do
+      if r <> root then
+        sends := csend p comm ~dst:r ~tag:tag_scatter parts.(r) :: !sends
+    done;
+    (* Root's own part: local copy. *)
+    Buffer_view.write_all recv (Buffer_view.read_all parts.(root));
+    Simtime.Env.charge_per_byte (Mpi.env (Mpi.world_of p))
+      (Mpi.env (Mpi.world_of p)).Simtime.Env.cost.memcpy_ns_per_byte
+      (Buffer_view.length recv);
+    List.iter (fun s -> ignore (Mpi.wait p s)) !sends
+  end
+  else crecv_wait p comm ~src:root ~tag:tag_scatter recv
+
+let gather p comm ~root ~send ~parts =
+  let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  if me = root then begin
+    let parts =
+      match parts with
+      | Some a ->
+          if Array.length a <> n then
+            invalid_arg "Collectives.gather: need one part per member";
+          a
+      | None -> invalid_arg "Collectives.gather: root must supply parts"
+    in
+    let recvs = ref [] in
+    for r = 0 to n - 1 do
+      if r <> root then
+        recvs := crecv p comm ~src:r ~tag:tag_gather parts.(r) :: !recvs
+    done;
+    Buffer_view.write_all parts.(root) (Buffer_view.read_all send);
+    Simtime.Env.charge_per_byte (Mpi.env (Mpi.world_of p))
+      (Mpi.env (Mpi.world_of p)).Simtime.Env.cost.memcpy_ns_per_byte
+      (Buffer_view.length send);
+    List.iter (fun r -> ignore (Mpi.wait p r)) !recvs
+  end
+  else csend_wait p comm ~dst:root ~tag:tag_gather send
+
+let allgather p comm ~send =
+  let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  let blk = Bytes.length send in
+  let blocks = Array.init n (fun _ -> Bytes.create blk) in
+  Bytes.blit send 0 blocks.(me) 0 blk;
+  let right = (me + 1) mod n in
+  let left = (me - 1 + n) mod n in
+  for step = 0 to n - 2 do
+    let send_idx = (me - step + n) mod n in
+    let recv_idx = (me - step - 1 + n) mod n in
+    let s =
+      csend p comm ~dst:right ~tag:(tag_allgather + step)
+        (Buffer_view.of_bytes blocks.(send_idx))
+    in
+    crecv_wait p comm ~src:left ~tag:(tag_allgather + step)
+      (Buffer_view.of_bytes blocks.(recv_idx));
+    ignore (Mpi.wait p s)
+  done;
+  blocks
+
+let alltoall p comm ~send =
+  let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  if Array.length send <> n then
+    invalid_arg "Collectives.alltoall: need one block per member";
+  let blk = Bytes.length send.(0) in
+  Array.iter
+    (fun b ->
+      if Bytes.length b <> blk then
+        invalid_arg "Collectives.alltoall: blocks must have equal length")
+    send;
+  let recv = Array.init n (fun _ -> Bytes.create blk) in
+  Bytes.blit send.(me) 0 recv.(me) 0 blk;
+  (* Post everything non-blocking, then drain: no ordering deadlocks. *)
+  let reqs = ref [] in
+  for r = 0 to n - 1 do
+    if r <> me then begin
+      reqs :=
+        crecv p comm ~src:r ~tag:tag_alltoall (Buffer_view.of_bytes recv.(r))
+        :: csend p comm ~dst:r ~tag:tag_alltoall
+             (Buffer_view.of_bytes send.(r))
+        :: !reqs
+    end
+  done;
+  List.iter (fun req -> ignore (Mpi.wait p req)) !reqs;
+  recv
+
+let reduce p comm ~root ~op send =
+  let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  let rel = (me - root + n) mod n in
+  let abs r = (r + root) mod n in
+  let len = Bytes.length send in
+  let acc = Bytes.copy send in
+  let tmp = Bytes.create len in
+  let mask = ref 1 in
+  let sent = ref false in
+  while !mask < n && not !sent do
+    if rel land !mask = 0 then begin
+      let src_rel = rel lor !mask in
+      if src_rel < n then begin
+        crecv_wait p comm ~src:(abs src_rel) ~tag:tag_reduce
+          (Buffer_view.of_bytes tmp);
+        op acc tmp
+      end
+    end
+    else begin
+      let dst_rel = rel land lnot !mask in
+      csend_wait p comm ~dst:(abs dst_rel) ~tag:tag_reduce
+        (Buffer_view.of_bytes acc);
+      sent := true
+    end;
+    mask := !mask lsl 1
+  done;
+  if me = root then Some acc else None
+
+let allreduce p comm ~op send =
+  let result =
+    match reduce p comm ~root:0 ~op send with
+    | Some acc -> acc
+    | None -> Bytes.create (Bytes.length send)
+  in
+  bcast p comm ~root:0 (Buffer_view.of_bytes result);
+  result
+
+let tag_scan = 0x5343
+
+(* Linear pipeline scan: member r receives the prefix of 0..r-1 from its
+   left neighbour, folds its own contribution, and forwards. MPI requires
+   rank order for non-commutative operators, which this preserves. *)
+let scan p comm ~op send =
+  let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  let acc = Bytes.copy send in
+  if me > 0 then begin
+    let prefix = Bytes.create (Bytes.length send) in
+    crecv_wait p comm ~src:(me - 1) ~tag:tag_scan
+      (Buffer_view.of_bytes prefix);
+    (* acc := prefix op mine, keeping rank order. *)
+    let mine = Bytes.copy acc in
+    Bytes.blit prefix 0 acc 0 (Bytes.length acc);
+    op acc mine
+  end;
+  if me < n - 1 then
+    csend_wait p comm ~dst:(me + 1) ~tag:tag_scan (Buffer_view.of_bytes acc);
+  acc
+
+let reduce_scatter_block p comm ~op send =
+  let n = Comm.size comm in
+  let total = Bytes.length send in
+  if total mod n <> 0 then
+    invalid_arg
+      "Collectives.reduce_scatter_block: length must be a multiple of the \
+       communicator size";
+  let block = total / n in
+  let me = Mpi.comm_rank p comm in
+  let full =
+    match reduce p comm ~root:0 ~op send with
+    | Some acc -> acc
+    | None -> Bytes.create total
+  in
+  let mine = Bytes.create block in
+  let parts =
+    if me = 0 then
+      Some
+        (Array.init n (fun r ->
+             Buffer_view.of_bytes_sub full ~off:(r * block) ~len:block))
+    else None
+  in
+  scatter p comm ~root:0 ~parts ~recv:(Buffer_view.of_bytes mine);
+  mine
+
+(* Predefined operators. *)
+
+let fold_f64 f acc x =
+  let n = Bytes.length acc / 8 in
+  for i = 0 to n - 1 do
+    let a = Int64.float_of_bits (Bytes.get_int64_le acc (8 * i)) in
+    let b = Int64.float_of_bits (Bytes.get_int64_le x (8 * i)) in
+    Bytes.set_int64_le acc (8 * i) (Int64.bits_of_float (f a b))
+  done
+
+let fold_i32 f acc x =
+  let n = Bytes.length acc / 4 in
+  for i = 0 to n - 1 do
+    let a = Int32.to_int (Bytes.get_int32_le acc (4 * i)) in
+    let b = Int32.to_int (Bytes.get_int32_le x (4 * i)) in
+    Bytes.set_int32_le acc (4 * i) (Int32.of_int (f a b))
+  done
+
+let fold_i64 f acc x =
+  let n = Bytes.length acc / 8 in
+  for i = 0 to n - 1 do
+    let a = Bytes.get_int64_le acc (8 * i) in
+    let b = Bytes.get_int64_le x (8 * i) in
+    Bytes.set_int64_le acc (8 * i) (f a b)
+  done
+
+let sum_f64 acc x = fold_f64 ( +. ) acc x
+let sum_i32 acc x = fold_i32 ( + ) acc x
+let sum_i64 acc x = fold_i64 Int64.add acc x
+let max_f64 acc x = fold_f64 Float.max acc x
+let min_f64 acc x = fold_f64 Float.min acc x
+let max_i32 acc x = fold_i32 max acc x

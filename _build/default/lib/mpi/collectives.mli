@@ -1,0 +1,62 @@
+(** Collective operations, built over point-to-point on the communicator's
+    collective context (so they can never match user receives).
+
+    Algorithms follow MPICH2's defaults: dissemination barrier, binomial
+    broadcast and reduce, linear (v-capable) scatter/gather, ring
+    allgather. *)
+
+val barrier : Mpi.proc -> Comm.t -> unit
+
+val bcast : Mpi.proc -> Comm.t -> root:int -> Buffer_view.t -> unit
+(** Every member passes a buffer of the same length; on non-roots it is
+    overwritten. *)
+
+val scatter :
+  Mpi.proc -> Comm.t -> root:int -> parts:Buffer_view.t array option ->
+  recv:Buffer_view.t -> unit
+(** [parts] is [Some arr] (one source per member, in communicator-rank
+    order; sizes may differ, making this scatterv) at the root and [None]
+    elsewhere. *)
+
+val gather :
+  Mpi.proc -> Comm.t -> root:int -> send:Buffer_view.t ->
+  parts:Buffer_view.t array option -> unit
+(** Dual of {!scatter}: [parts] is [Some arr] at the root. *)
+
+val allgather : Mpi.proc -> Comm.t -> send:Bytes.t -> Bytes.t array
+(** Ring allgather of equal-size blocks; returns one block per member in
+    communicator-rank order. *)
+
+val alltoall : Mpi.proc -> Comm.t -> send:Bytes.t array -> Bytes.t array
+(** Personalised all-to-all of equal-size blocks: [send.(r)] goes to
+    member [r]; the result's element [r] came from member [r]. All blocks
+    must have the same length. *)
+
+val reduce :
+  Mpi.proc -> Comm.t -> root:int -> op:(Bytes.t -> Bytes.t -> unit) ->
+  Bytes.t -> Bytes.t option
+(** Binomial-tree reduction: [op acc x] folds [x] into [acc] in place.
+    Returns [Some result] at the root, [None] elsewhere. The input is not
+    modified. *)
+
+val allreduce :
+  Mpi.proc -> Comm.t -> op:(Bytes.t -> Bytes.t -> unit) -> Bytes.t -> Bytes.t
+
+val scan :
+  Mpi.proc -> Comm.t -> op:(Bytes.t -> Bytes.t -> unit) -> Bytes.t -> Bytes.t
+(** Inclusive prefix reduction ([MPI_Scan]): member [r] receives the fold
+    of members [0..r], in rank order (the operator need not commute). *)
+
+val reduce_scatter_block :
+  Mpi.proc -> Comm.t -> op:(Bytes.t -> Bytes.t -> unit) -> Bytes.t -> Bytes.t
+(** [MPI_Reduce_scatter_block]: element-wise reduce the input (whose length
+    must be size x block) and return this member's block of the result. *)
+
+(** {1 Predefined reduction operators} *)
+
+val sum_f64 : Bytes.t -> Bytes.t -> unit
+val sum_i32 : Bytes.t -> Bytes.t -> unit
+val sum_i64 : Bytes.t -> Bytes.t -> unit
+val max_f64 : Bytes.t -> Bytes.t -> unit
+val min_f64 : Bytes.t -> Bytes.t -> unit
+val max_i32 : Bytes.t -> Bytes.t -> unit

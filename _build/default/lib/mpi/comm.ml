@@ -1,0 +1,30 @@
+type t = {
+  ctx : int;
+  ctx_coll : int;
+  members : int array;
+}
+
+let make ~ctx ~members =
+  if Array.length members = 0 then invalid_arg "Comm.make: empty group";
+  { ctx; ctx_coll = ctx + 1; members }
+
+let size t = Array.length t.members
+
+let world_rank_of t r =
+  if r < 0 || r >= Array.length t.members then
+    invalid_arg (Printf.sprintf "Comm.world_rank_of: rank %d out of range" r);
+  t.members.(r)
+
+let comm_rank_of t world_rank =
+  let n = Array.length t.members in
+  let rec go i =
+    if i >= n then None
+    else if t.members.(i) = world_rank then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let pp ppf t =
+  Format.fprintf ppf "comm{ctx=%d; members=[%s]}" t.ctx
+    (String.concat ";"
+       (Array.to_list (Array.map string_of_int t.members)))

@@ -1,0 +1,23 @@
+(** Communicators: an ordered member group plus isolated context ids.
+
+    Point-to-point traffic uses [ctx]; collectives use [ctx_coll] — the
+    MPICH convention of allocating two context ids per communicator so a
+    user receive can never match a collective's internal message. *)
+
+type t = {
+  ctx : int;  (** point-to-point context id *)
+  ctx_coll : int;  (** collective context id *)
+  members : int array;  (** world ranks; index = communicator rank *)
+}
+
+val make : ctx:int -> members:int array -> t
+(** [ctx_coll] is [ctx + 1]; allocate contexts in steps of two. *)
+
+val size : t -> int
+val world_rank_of : t -> int -> int
+(** Raises [Invalid_argument] on an out-of-range communicator rank. *)
+
+val comm_rank_of : t -> int -> int option
+(** Communicator rank of a world rank, if a member. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+type t = { g : int array }
+
+let of_ranks ranks =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if r < 0 then invalid_arg "Group.of_ranks: negative rank";
+      if Hashtbl.mem seen r then invalid_arg "Group.of_ranks: duplicate rank";
+      Hashtbl.add seen r ())
+    ranks;
+  { g = Array.of_list ranks }
+
+let of_comm comm = { g = Array.copy comm.Comm.members }
+let size t = Array.length t.g
+let members t = Array.copy t.g
+
+let rank_of t world_rank =
+  let n = Array.length t.g in
+  let rec go i =
+    if i >= n then None else if t.g.(i) = world_rank then Some i else go (i + 1)
+  in
+  go 0
+
+let world_rank t i =
+  if i < 0 || i >= Array.length t.g then
+    invalid_arg "Group.world_rank: out of range";
+  t.g.(i)
+
+let mem t world_rank = rank_of t world_rank <> None
+
+let incl t group_ranks =
+  of_ranks (List.map (world_rank t) group_ranks)
+
+let excl t group_ranks =
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length t.g then
+        invalid_arg "Group.excl: out of range")
+    group_ranks;
+  let dropped = List.sort_uniq compare group_ranks in
+  if List.length dropped <> List.length group_ranks then
+    invalid_arg "Group.excl: duplicate rank";
+  {
+    g =
+      Array.of_list
+        (List.filteri
+           (fun i _ -> not (List.mem i dropped))
+           (Array.to_list t.g));
+  }
+
+let union a b =
+  {
+    g =
+      Array.append a.g
+        (Array.of_list
+           (List.filter (fun r -> not (mem a r)) (Array.to_list b.g)));
+  }
+
+let intersection a b =
+  { g = Array.of_list (List.filter (mem b) (Array.to_list a.g)) }
+
+let difference a b =
+  { g = Array.of_list (List.filter (fun r -> not (mem b r)) (Array.to_list a.g)) }
+
+let equal a b = a.g = b.g
+
+let similar a b =
+  Array.length a.g = Array.length b.g
+  && List.sort compare (Array.to_list a.g)
+     = List.sort compare (Array.to_list b.g)
+
+(* Collective communicator creation: all members of [comm] call it with
+   the same group; agreement on the context id comes from the shared
+   deterministic allocator keyed by the group's membership. *)
+let comm_create p comm group =
+  Array.iter
+    (fun r ->
+      if Comm.comm_rank_of comm r = None then
+        invalid_arg "Group.comm_create: group member outside the communicator")
+    group.g;
+  let e = Mpi.next_epoch p comm in
+  let key =
+    Printf.sprintf "create/%d/%d/%s" comm.Comm.ctx e
+      (String.concat "," (List.map string_of_int (Array.to_list group.g)))
+  in
+  let ctx = Mpi.alloc_context (Mpi.world_of p) ~key in
+  (* Synchronise as MPI_Comm_create does. *)
+  Collectives.barrier p comm;
+  if mem group (Mpi.rank p) then Some (Comm.make ~ctx ~members:group.g)
+  else None
+
+let pp ppf t =
+  Format.fprintf ppf "group[%s]"
+    (String.concat ";" (List.map string_of_int (Array.to_list t.g)))

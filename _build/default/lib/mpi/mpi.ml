@@ -1,0 +1,329 @@
+type world = {
+  env : Simtime.Env.t;
+  chan : Channel.t;
+  mutable devices : Ch3.t array;
+  mutable id_counter : int;
+  contexts : (string, int) Hashtbl.t;
+  mutable next_context : int;
+  split_epochs : (int * int, int ref) Hashtbl.t;  (* (rank, ctx) -> count *)
+  spawned : (string, int array) Hashtbl.t;  (* dynamic-spawn rendezvous *)
+  initial_n : int;  (* comm_world is fixed at creation, as in MPI *)
+}
+
+type proc = { world : world; prank : int; dev : Ch3.t }
+
+let fresh_id world () =
+  world.id_counter <- world.id_counter + 1;
+  world.id_counter
+
+let create_world ?(channel = `Sock) ?cost ?env ~n () =
+  if n < 1 then invalid_arg "Mpi.create_world: need at least one rank";
+  let env =
+    match env with Some e -> e | None -> Simtime.Env.create ?cost ()
+  in
+  let chan =
+    match channel with
+    | `Shm -> Shm_channel.create env ~n_ranks:n
+    | `Sock -> Sock_channel.create env ~n_ranks:n
+  in
+  let world =
+    {
+      env;
+      chan;
+      devices = [||];
+      id_counter = 0;
+      contexts = Hashtbl.create 16;
+      next_context = 10;
+      split_epochs = Hashtbl.create 16;
+      spawned = Hashtbl.create 4;
+      initial_n = n;
+    }
+  in
+  world.devices <-
+    Array.init n (fun rank ->
+        Ch3.create env chan ~rank ~fresh_id:(fresh_id world));
+  world
+
+let env w = w.env
+let world_size w = Array.length w.devices
+
+let proc w i =
+  if i < 0 || i >= Array.length w.devices then
+    invalid_arg "Mpi.proc: bad rank";
+  { world = w; prank = i; dev = w.devices.(i) }
+
+let comm_world w =
+  Comm.make ~ctx:0 ~members:(Array.init w.initial_n (fun i -> i))
+
+let rank p = p.prank
+
+let comm_rank p comm =
+  match Comm.comm_rank_of comm p.prank with
+  | Some r -> r
+  | None -> invalid_arg "Mpi.comm_rank: not a member of this communicator"
+
+let world_of p = p.world
+let device p = p.dev
+
+let alloc_context w ~key =
+  match Hashtbl.find_opt w.contexts key with
+  | Some ctx -> ctx
+  | None ->
+      let ctx = w.next_context in
+      w.next_context <- ctx + 2;
+      Hashtbl.replace w.contexts key ctx;
+      ctx
+
+let add_rank w =
+  let rank = w.chan.Channel.add_rank () in
+  let dev = Ch3.create w.env w.chan ~rank ~fresh_id:(fresh_id w) in
+  w.devices <- Array.append w.devices [| dev |];
+  { world = w; prank = rank; dev }
+
+(* ------------------------------------------------------------------ *)
+(* Point-to-point                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let isend p ~comm ~dst ~tag buf =
+  Ch3.isend p.dev
+    ~dst:(Comm.world_rank_of comm dst)
+    ~tag ~context:comm.Comm.ctx buf
+
+let issend p ~comm ~dst ~tag buf =
+  Ch3.isend p.dev
+    ~dst:(Comm.world_rank_of comm dst)
+    ~tag ~context:comm.Comm.ctx ~mode:Ch3.Synchronous buf
+
+let irecv p ~comm ~src ~tag buf =
+  let src =
+    if src = Tag_match.any_source then src else Comm.world_rank_of comm src
+  in
+  Ch3.irecv p.dev ~src ~tag ~context:comm.Comm.ctx buf
+
+(* Polling wait. Inside a fiber scheduler we suspend; in plain code (unit
+   tests, self-sends) we spin on the progress engine with a safety bound. *)
+let wait_poll p ~poll req =
+  if Fiber.in_scheduler () then
+    Fiber.wait_until ~label:"mpi-wait" (fun () ->
+        poll ();
+        ignore (Ch3.progress p.dev);
+        Request.is_complete req)
+  else begin
+    let spins = ref 0 in
+    while not (Request.is_complete req) do
+      poll ();
+      if not (Ch3.progress p.dev) then begin
+        incr spins;
+        if !spins > 1_000_000 then
+          failwith "Mpi.wait: no progress outside a scheduler"
+      end
+      else spins := 0
+    done
+  end;
+  Request.status req
+
+let wait p req = wait_poll p ~poll:(fun () -> ()) req
+
+let test p req =
+  ignore (Ch3.progress p.dev);
+  Request.is_complete req
+
+let wait_all p reqs = List.iter (fun r -> ignore (wait p r)) reqs
+
+let wait_any p reqs =
+  match reqs with
+  | [] -> invalid_arg "Mpi.wait_any: empty request list"
+  | _ ->
+      let found = ref None in
+      let check () =
+        ignore (Ch3.progress p.dev);
+        match List.find_opt Request.is_complete reqs with
+        | Some r ->
+            found := Some r;
+            true
+        | None -> false
+      in
+      if Fiber.in_scheduler () then Fiber.wait_until ~label:"mpi-waitany" check
+      else begin
+        let spins = ref 0 in
+        while not (check ()) do
+          incr spins;
+          if !spins > 1_000_000 then
+            failwith "Mpi.wait_any: no progress outside a scheduler"
+        done
+      end;
+      Option.get !found
+
+let comm_status comm (st : Status.t) =
+  match Comm.comm_rank_of comm st.Status.source with
+  | Some r -> { st with Status.source = r }
+  | None -> st
+
+let send p ~comm ~dst ~tag buf = ignore (wait p (isend p ~comm ~dst ~tag buf))
+let ssend p ~comm ~dst ~tag buf = ignore (wait p (issend p ~comm ~dst ~tag buf))
+
+let recv p ~comm ~src ~tag buf =
+  match wait p (irecv p ~comm ~src ~tag buf) with
+  | Some st -> comm_status comm st
+  | None -> Status.empty
+
+let sendrecv p ~comm ~dst ~send_tag ~send:sbuf ~src ~recv_tag ~recv:rbuf =
+  let sreq = isend p ~comm ~dst ~tag:send_tag sbuf in
+  let rreq = irecv p ~comm ~src ~tag:recv_tag rbuf in
+  ignore (wait p sreq);
+  match wait p rreq with
+  | Some st -> comm_status comm st
+  | None -> Status.empty
+
+let iprobe p ~comm ~src ~tag =
+  ignore (Ch3.progress p.dev);
+  let src =
+    if src = Tag_match.any_source then src else Comm.world_rank_of comm src
+  in
+  let pattern =
+    { Tag_match.m_src = src; m_tag = tag; m_context = comm.Comm.ctx }
+  in
+  match Queues.peek_unexpected (Ch3.queues p.dev) pattern with
+  | Some e ->
+      Some
+        (comm_status comm
+           {
+             Status.source = e.Packet.e_src;
+             tag = e.Packet.e_tag;
+             bytes = e.Packet.e_bytes;
+           })
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Communicator management                                             *)
+(* ------------------------------------------------------------------ *)
+
+let next_epoch p comm =
+  let key = (p.prank, comm.Comm.ctx) in
+  let cell =
+    match Hashtbl.find_opt p.world.split_epochs key with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.replace p.world.split_epochs key c;
+        c
+  in
+  incr cell;
+  !cell
+
+let comm_split p comm ~color ~key =
+  let size = Comm.size comm in
+  let me = comm_rank p comm in
+  let ctx = comm.Comm.ctx_coll in
+  let tag = 0x5350 (* "SP" *) in
+  (* Gather (color, key) triples at comm rank 0, then broadcast the table:
+     a linear allgather with real messages. *)
+  let record me_rank =
+    let b = Bytes.create 12 in
+    Bytes.set_int32_le b 0 (Int32.of_int color);
+    Bytes.set_int32_le b 4 (Int32.of_int key);
+    Bytes.set_int32_le b 8 (Int32.of_int me_rank);
+    b
+  in
+  let table = Bytes.create (12 * size) in
+  if me = 0 then begin
+    Bytes.blit (record me) 0 table 0 12;
+    for _ = 1 to size - 1 do
+      let slot = Bytes.create 12 in
+      let st =
+        Ch3.irecv p.dev ~src:Tag_match.any_source ~tag ~context:ctx
+          (Buffer_view.of_bytes slot)
+        |> wait p
+      in
+      (match st with
+      | Some s -> (
+          match Comm.comm_rank_of comm s.Status.source with
+          | Some r -> Bytes.blit slot 0 table (12 * r) 12
+          | None -> failwith "comm_split: sender not in communicator")
+      | None -> assert false)
+    done;
+    for r = 1 to size - 1 do
+      Ch3.isend p.dev
+        ~dst:(Comm.world_rank_of comm r)
+        ~tag:(tag + 1) ~context:ctx
+        (Buffer_view.of_bytes table)
+      |> wait p |> ignore
+    done
+  end
+  else begin
+    Ch3.isend p.dev
+      ~dst:(Comm.world_rank_of comm 0)
+      ~tag ~context:ctx
+      (Buffer_view.of_bytes (record me))
+    |> wait p |> ignore;
+    Ch3.irecv p.dev
+      ~src:(Comm.world_rank_of comm 0)
+      ~tag:(tag + 1) ~context:ctx
+      (Buffer_view.of_bytes table)
+    |> wait p |> ignore
+  end;
+  (* Decode and build my group deterministically. *)
+  let entries =
+    List.init size (fun r ->
+        let c = Int32.to_int (Bytes.get_int32_le table (12 * r)) in
+        let k = Int32.to_int (Bytes.get_int32_le table ((12 * r) + 4)) in
+        (c, k, r))
+  in
+  let mine = List.filter (fun (c, _, _) -> c = color) entries in
+  let sorted =
+    List.sort (fun (_, k1, r1) (_, k2, r2) -> compare (k1, r1) (k2, r2)) mine
+  in
+  let members =
+    Array.of_list
+      (List.map (fun (_, _, r) -> Comm.world_rank_of comm r) sorted)
+  in
+  let e = next_epoch p comm in
+  let new_ctx =
+    alloc_context p.world
+      ~key:(Printf.sprintf "split/%d/%d/%d" comm.Comm.ctx e color)
+  in
+  Comm.make ~ctx:new_ctx ~members
+
+let comm_dup p comm =
+  let e = next_epoch p comm in
+  let new_ctx =
+    alloc_context p.world ~key:(Printf.sprintf "dup/%d/%d" comm.Comm.ctx e)
+  in
+  Comm.make ~ctx:new_ctx ~members:(Array.copy comm.Comm.members)
+
+let spawn_table w = w.spawned
+
+let quiescence_report w =
+  Array.to_list w.devices
+  |> List.filter_map (fun dev ->
+         (* Drain anything already delivered before judging. *)
+         ignore (Ch3.progress dev);
+         let issues = ref [] in
+         let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+         let q = Ch3.queues dev in
+         let posted = Queues.posted_length q in
+         let unexpected = Queues.unexpected_length q in
+         let outstanding = Ch3.outstanding dev in
+         let rndv = Ch3.pending_rendezvous dev in
+         if posted > 0 then add "%d posted receive(s) never matched" posted;
+         if unexpected > 0 then
+           add "%d unexpected message(s) never received" unexpected;
+         if outstanding > 0 then
+           add "%d outstanding request(s)" outstanding;
+         if rndv > 0 then add "%d unfinished rendezvous transfer(s)" rndv;
+         match !issues with
+         | [] -> None
+         | list -> Some (Ch3.rank dev, String.concat "; " (List.rev list)))
+
+(* ------------------------------------------------------------------ *)
+(* Running worlds                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run ?channel ?cost ?env ~n body =
+  let w = create_world ?channel ?cost ?env ~n () in
+  let fibers =
+    List.init n (fun i ->
+        (Printf.sprintf "rank%d" i, fun () -> body (proc w i)))
+  in
+  Fiber.run fibers;
+  w

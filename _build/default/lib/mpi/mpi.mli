@@ -1,0 +1,135 @@
+(** The MPI facade: worlds, processes and point-to-point operations.
+
+    A {e world} bundles one channel, one device per rank and one virtual
+    clock. A {e proc} is the per-rank handle a rank program uses. Blocking
+    operations suspend the calling fiber in a polling wait that pumps the
+    progress engine — the structure Motor instruments with GC polling
+    (paper Section 7.4). *)
+
+type world
+type proc
+
+(** {1 World management} *)
+
+val create_world :
+  ?channel:[ `Shm | `Sock ] ->
+  ?cost:Simtime.Cost.t ->
+  ?env:Simtime.Env.t ->
+  n:int ->
+  unit ->
+  world
+(** Default channel is [`Sock] (the paper's configuration). *)
+
+val env : world -> Simtime.Env.t
+val world_size : world -> int
+val proc : world -> int -> proc
+val comm_world : world -> Comm.t
+(** The communicator over the world's {e initial} ranks; processes added
+    later by dynamic spawning are not members (as in MPI, where spawned
+    children get their own world). *)
+
+val rank : proc -> int
+(** World rank. *)
+
+val comm_rank : proc -> Comm.t -> int
+(** This process's rank within [comm]; raises [Invalid_argument] if it is
+    not a member. *)
+
+val world_of : proc -> world
+val device : proc -> Ch3.t
+
+val alloc_context : world -> key:string -> int
+(** Deterministic context allocation: the first caller with a given key
+    allocates a fresh pair of context ids, later callers get the same id.
+    This is how every member of a collective communicator-creation agrees
+    on the new context. *)
+
+val add_rank : world -> proc
+(** Extend the world by one process (dynamic process management). *)
+
+val quiescence_report : world -> (int * string) list
+(** Leftover communication state per rank — outstanding requests, posted
+    receives never matched, unexpected messages never received, rendezvous
+    transfers never finished. A clean program ends with an empty report
+    (the check MPI_Finalize performs); tests use it to catch leaks. *)
+
+val run :
+  ?channel:[ `Shm | `Sock ] ->
+  ?cost:Simtime.Cost.t ->
+  ?env:Simtime.Env.t ->
+  n:int ->
+  (proc -> unit) ->
+  world
+(** Create a world and run one fiber per rank to completion; returns the
+    world (whose env carries the clock and counters). *)
+
+(** {1 Point-to-point}
+
+    Ranks and sources are communicator ranks; [src] may be
+    {!Tag_match.any_source}, [tag] may be {!Tag_match.any_tag} on
+    receives. *)
+
+val isend :
+  proc -> comm:Comm.t -> dst:int -> tag:int -> Buffer_view.t -> Request.t
+
+val issend :
+  proc -> comm:Comm.t -> dst:int -> tag:int -> Buffer_view.t -> Request.t
+
+val irecv :
+  proc -> comm:Comm.t -> src:int -> tag:int -> Buffer_view.t -> Request.t
+
+val send : proc -> comm:Comm.t -> dst:int -> tag:int -> Buffer_view.t -> unit
+val ssend : proc -> comm:Comm.t -> dst:int -> tag:int -> Buffer_view.t -> unit
+
+val recv :
+  proc -> comm:Comm.t -> src:int -> tag:int -> Buffer_view.t -> Status.t
+(** The returned status's [source] is a communicator rank. *)
+
+val wait : proc -> Request.t -> Status.t option
+(** Polling wait: pumps progress until the request completes. The optional
+    [poll] hook of {!wait_poll} is how Motor injects GC yields. *)
+
+val wait_poll : proc -> poll:(unit -> unit) -> Request.t -> Status.t option
+val test : proc -> Request.t -> bool
+(** One progress pump, then completion check ([MPI_Test]). *)
+
+val wait_all : proc -> Request.t list -> unit
+
+val wait_any : proc -> Request.t list -> Request.t
+(** Block until at least one of the requests completes; returns the first
+    complete one in list order ([MPI_Waitany]). The list must not be
+    empty. *)
+
+val sendrecv :
+  proc ->
+  comm:Comm.t ->
+  dst:int ->
+  send_tag:int ->
+  send:Buffer_view.t ->
+  src:int ->
+  recv_tag:int ->
+  recv:Buffer_view.t ->
+  Status.t
+(** Combined send and receive without deadlock ([MPI_Sendrecv]): both
+    operations are started non-blocking, then completed together. *)
+
+val iprobe : proc -> comm:Comm.t -> src:int -> tag:int -> Status.t option
+(** Non-destructive match against the unexpected queue after one progress
+    pump ([MPI_Iprobe]). *)
+
+(** {1 Communicator management} *)
+
+val next_epoch : proc -> Comm.t -> int
+(** Per-process count of collective communicator-creating calls on [comm].
+    MPI requires all members to make such calls in the same order, so the
+    value agrees across ranks; {!comm_split}, {!comm_dup} and
+    [Dynamic.spawn] use it to build agreement keys for {!alloc_context}. *)
+
+val spawn_table : world -> (string, int array) Hashtbl.t
+(** Rendezvous table for dynamic process spawning (see [Dynamic]). *)
+
+val comm_dup : proc -> Comm.t -> Comm.t
+val comm_split : proc -> Comm.t -> color:int -> key:int -> Comm.t
+(** Collective over [comm]: every member must call it. Members with equal
+    [color] land in the same new communicator, ordered by [key] (ties by
+    old rank). Implemented with real messages (allgather of (color, key)). *)

@@ -1,0 +1,33 @@
+type envelope = {
+  e_src : int;
+  e_dst : int;
+  e_tag : int;
+  e_context : int;
+  e_bytes : int;
+  e_seq : int;
+}
+
+type t =
+  | Eager of envelope * Bytes.t
+  | Rts of envelope * int
+  | Cts of int
+  | Rndv_data of int * Bytes.t
+
+let header_bytes = 48
+
+let wire_bytes = function
+  | Eager (_, b) -> header_bytes + Bytes.length b
+  | Rts (_, _) -> header_bytes
+  | Cts _ -> header_bytes
+  | Rndv_data (_, b) -> header_bytes + Bytes.length b
+
+let describe = function
+  | Eager (e, b) ->
+      Printf.sprintf "eager %d->%d tag=%d %dB" e.e_src e.e_dst e.e_tag
+        (Bytes.length b)
+  | Rts (e, id) ->
+      Printf.sprintf "rts %d->%d tag=%d %dB id=%d" e.e_src e.e_dst e.e_tag
+        e.e_bytes id
+  | Cts id -> Printf.sprintf "cts id=%d" id
+  | Rndv_data (id, b) ->
+      Printf.sprintf "data id=%d %dB" id (Bytes.length b)

@@ -1,0 +1,31 @@
+(** Wire packets exchanged by the CH3-style device through a channel.
+
+    Two protocols, as in MPICH2:
+    - {e eager}: payload travels with the envelope; used up to the eager
+      threshold. An unmatched eager message is buffered in the receiver's
+      unexpected queue and copied again when the receive is finally posted.
+    - {e rendezvous}: RTS announces the message; the receiver replies CTS
+      once a matching receive provides a buffer; DATA then moves the payload
+      in one pass, zero-copy into the user buffer. Synchronous-mode sends
+      (MPI_Ssend) always take this path regardless of size. *)
+
+type envelope = {
+  e_src : int;  (** world rank of sender *)
+  e_dst : int;
+  e_tag : int;
+  e_context : int;  (** communicator context id *)
+  e_bytes : int;  (** payload size *)
+  e_seq : int;  (** per-sender sequence number (debugging / ordering) *)
+}
+
+type t =
+  | Eager of envelope * Bytes.t
+  | Rts of envelope * int  (** rendezvous id *)
+  | Cts of int  (** rendezvous id, sent back to the RTS sender *)
+  | Rndv_data of int * Bytes.t
+
+val header_bytes : int
+(** Fixed per-packet header size used for wire-cost accounting. *)
+
+val wire_bytes : t -> int
+val describe : t -> string

@@ -1,0 +1,68 @@
+type posted = {
+  p_pattern : Tag_match.pattern;
+  p_sink : Buffer_view.t;
+  p_req : Request.t;
+}
+
+type unexpected =
+  | U_eager of Packet.envelope * Bytes.t
+  | U_rts of Packet.envelope * int
+
+type t = {
+  env : Simtime.Env.t;
+  mutable posted : posted list;  (* in post order *)
+  mutable unexpected : unexpected list;  (* in arrival order *)
+}
+
+let create env = { env; posted = []; unexpected = [] }
+
+let post_recv t p = t.posted <- t.posted @ [ p ]
+
+let charge_probe t =
+  Simtime.Env.charge t.env t.env.Simtime.Env.cost.queue_probe_ns
+
+let take_posted t envelope =
+  let rec go acc = function
+    | [] -> None
+    | p :: rest ->
+        charge_probe t;
+        if Tag_match.matches p.p_pattern envelope then begin
+          t.posted <- List.rev_append acc rest;
+          Some p
+        end
+        else go (p :: acc) rest
+  in
+  go [] t.posted
+
+let add_unexpected t u =
+  Simtime.Env.count t.env Simtime.Stats.Key.unexpected_msgs;
+  t.unexpected <- t.unexpected @ [ u ]
+
+let envelope_of = function U_eager (e, _) -> e | U_rts (e, _) -> e
+
+let take_unexpected t pattern =
+  let rec go acc = function
+    | [] -> None
+    | u :: rest ->
+        charge_probe t;
+        if Tag_match.matches pattern (envelope_of u) then begin
+          t.unexpected <- List.rev_append acc rest;
+          Some u
+        end
+        else go (u :: acc) rest
+  in
+  go [] t.unexpected
+
+let peek_unexpected t pattern =
+  let rec go = function
+    | [] -> None
+    | u :: rest ->
+        charge_probe t;
+        if Tag_match.matches pattern (envelope_of u) then
+          Some (envelope_of u)
+        else go rest
+  in
+  go t.unexpected
+
+let posted_length t = List.length t.posted
+let unexpected_length t = List.length t.unexpected

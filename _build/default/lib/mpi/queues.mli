@@ -1,0 +1,36 @@
+(** The device's two matching queues, as in MPICH2's CH3:
+
+    - the {e posted-receive queue}: receives waiting for a message;
+    - the {e unexpected-message queue}: messages that arrived before any
+      matching receive was posted.
+
+    Both are searched in arrival order, preserving MPI's non-overtaking
+    guarantee; every element inspected during a search charges the
+    cost-model's [queue_probe_ns]. *)
+
+type posted = {
+  p_pattern : Tag_match.pattern;
+  p_sink : Buffer_view.t;
+  p_req : Request.t;
+}
+
+type unexpected =
+  | U_eager of Packet.envelope * Bytes.t
+  | U_rts of Packet.envelope * int  (** rendezvous id *)
+
+type t
+
+val create : Simtime.Env.t -> t
+val post_recv : t -> posted -> unit
+val take_posted : t -> Packet.envelope -> posted option
+(** First posted receive matching the envelope, removed from the queue. *)
+
+val add_unexpected : t -> unexpected -> unit
+val take_unexpected : t -> Tag_match.pattern -> unexpected option
+(** First unexpected message matching the pattern, removed. *)
+
+val peek_unexpected : t -> Tag_match.pattern -> Packet.envelope option
+(** Non-destructive variant ([MPI_Iprobe]). *)
+
+val posted_length : t -> int
+val unexpected_length : t -> int

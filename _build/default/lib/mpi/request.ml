@@ -1,0 +1,30 @@
+type kind = Send_req | Recv_req
+
+type t = {
+  r_id : int;
+  r_kind : kind;
+  mutable r_complete : bool;
+  mutable r_status : Status.t option;
+  mutable r_callbacks : (unit -> unit) list;
+}
+
+let create ~id kind =
+  { r_id = id; r_kind = kind; r_complete = false; r_status = None;
+    r_callbacks = [] }
+
+let id t = t.r_id
+let kind t = t.r_kind
+let is_complete t = t.r_complete
+
+let complete t status =
+  if t.r_complete then invalid_arg "Request.complete: already complete";
+  t.r_complete <- true;
+  t.r_status <- status;
+  let cbs = List.rev t.r_callbacks in
+  t.r_callbacks <- [];
+  List.iter (fun f -> f ()) cbs
+
+let status t = t.r_status
+
+let on_complete t f =
+  if t.r_complete then f () else t.r_callbacks <- f :: t.r_callbacks

@@ -1,0 +1,24 @@
+(** Nonblocking operation handles, mirroring [MPI_Request].
+
+    A request is the unit the paper's conditional pin mechanism watches: the
+    garbage collector's mark phase asks [is_complete] to decide whether a
+    non-blocking operation still needs its buffer pinned (Section 4.3). *)
+
+type kind = Send_req | Recv_req
+
+type t
+
+val create : id:int -> kind -> t
+val id : t -> int
+val kind : t -> kind
+val is_complete : t -> bool
+val complete : t -> Status.t option -> unit
+(** Idempotent-hostile: completing twice is a protocol bug and raises
+    [Invalid_argument]. *)
+
+val status : t -> Status.t option
+(** [Some] once a receive has completed. *)
+
+val on_complete : t -> (unit -> unit) -> unit
+(** Register a callback fired at completion (buffer-pool recycling, tests).
+    Fires immediately if already complete. *)

@@ -1,0 +1,4 @@
+let create env ~n_ranks =
+  let cost = env.Simtime.Env.cost in
+  Channel.make ~name:"shm" ~per_msg_ns:cost.shm_per_msg_ns
+    ~per_byte_ns:cost.shm_ns_per_byte ~syscall_fraction:0.5 ~env ~n_ranks

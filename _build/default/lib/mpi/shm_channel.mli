@@ -1,0 +1,3 @@
+(** Shared-memory channel (MPICH2's "shm"): low latency, high bandwidth. *)
+
+val create : Simtime.Env.t -> n_ranks:int -> Channel.t

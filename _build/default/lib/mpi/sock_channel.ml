@@ -1,0 +1,4 @@
+let create env ~n_ranks =
+  let cost = env.Simtime.Env.cost in
+  Channel.make ~name:"sock" ~per_msg_ns:cost.sock_per_msg_ns
+    ~per_byte_ns:cost.sock_ns_per_byte ~syscall_fraction:0.25 ~env ~n_ranks

@@ -1,0 +1,4 @@
+(** TCP-socket channel (MPICH2's "sock", the configuration the paper's
+    experiments use over localhost). *)
+
+val create : Simtime.Env.t -> n_ranks:int -> Channel.t

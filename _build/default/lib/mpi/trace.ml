@@ -1,0 +1,62 @@
+type event = {
+  t_us : float;
+  rank : int;
+  op : string;
+  detail : string;
+}
+
+type t = {
+  env : Simtime.Env.t;
+  capacity : int;
+  buf : event option array;
+  mutable next : int;  (* total events ever recorded *)
+}
+
+(* Traces attach to environments by identity; environments are few and
+   long-lived, so a small association list is enough. *)
+let registry : (Simtime.Env.t * t) list ref = ref []
+
+let find env =
+  List.find_map
+    (fun (e, t) -> if e == env then Some t else None)
+    !registry
+
+let enable ?(capacity = 4096) env =
+  match find env with
+  | Some t -> t
+  | None ->
+      let t = { env; capacity; buf = Array.make capacity None; next = 0 } in
+      registry := (env, t) :: !registry;
+      t
+
+let record env ~rank ~op ~detail =
+  match find env with
+  | None -> ()
+  | Some t ->
+      t.buf.(t.next mod t.capacity) <-
+        Some { t_us = Simtime.Env.now_us env; rank; op; detail };
+      t.next <- t.next + 1
+
+let length t = min t.next t.capacity
+let dropped t = max 0 (t.next - t.capacity)
+
+let events t =
+  let n = length t in
+  let start = if t.next > t.capacity then t.next mod t.capacity else 0 in
+  List.init n (fun i ->
+      match t.buf.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0
+
+let pp_timeline ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%10.1fus r%-2d %-8s %s@." e.t_us e.rank e.op
+        e.detail)
+    (events t);
+  if dropped t > 0 then
+    Format.fprintf ppf "(%d earlier events dropped)@." (dropped t)

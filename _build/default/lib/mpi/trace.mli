@@ -1,0 +1,37 @@
+(** Event tracing for message-passing runs (in the spirit of MPICH's MPE
+    logging): every device-level operation can be recorded with its
+    virtual timestamp and rank, then dumped as a readable timeline or
+    handed to tests.
+
+    Tracing is per-environment and off by default; enabling it attaches a
+    bounded ring buffer (oldest events are dropped once full). *)
+
+type event = {
+  t_us : float;  (** virtual time at which the event was recorded *)
+  rank : int;
+  op : string;  (** e.g. "isend", "irecv", "eager", "cts" *)
+  detail : string;
+}
+
+type t
+
+val enable : ?capacity:int -> Simtime.Env.t -> t
+(** Attach a trace (default capacity 4096 events) to an environment.
+    Subsequent device activity in any world sharing the environment is
+    recorded. Enabling twice returns the existing trace. *)
+
+val find : Simtime.Env.t -> t option
+val record : Simtime.Env.t -> rank:int -> op:string -> detail:string -> unit
+(** No-op when tracing is not enabled — safe on hot paths. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val length : t -> int
+val dropped : t -> int
+(** Events lost to the ring-buffer bound. *)
+
+val clear : t -> unit
+
+val pp_timeline : Format.formatter -> t -> unit
+(** One line per event: [  123.4us r0 isend    dst=1 tag=0 64B]. *)

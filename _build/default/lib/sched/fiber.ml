@@ -1,0 +1,105 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Wait : ((unit -> bool) * string) -> unit Effect.t
+  | Spawn : (string * (unit -> unit)) -> unit Effect.t
+
+exception Deadlock of string list
+
+type blocked = {
+  pred : unit -> bool;
+  wlabel : string;
+  resume : unit -> unit;
+}
+
+type sched = {
+  runq : (unit -> unit) Queue.t;
+  mutable blocked : blocked list;
+  mutable activity : int;
+}
+
+(* Stack of active schedulers: runs may nest. *)
+let stack : sched list ref = ref []
+
+let in_scheduler () = !stack <> []
+
+let note_activity () =
+  match !stack with s :: _ -> s.activity <- s.activity + 1 | [] -> ()
+
+let yield () = perform Yield
+let wait_until ?(label = "wait") pred = perform (Wait (pred, label))
+let spawn label f = perform (Spawn (label, f))
+
+let rec exec sched label body =
+  match_with body ()
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  Queue.push (fun () -> continue k ()) sched.runq)
+          | Wait (pred, wlabel) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  if pred () then continue k ()
+                  else
+                    let b =
+                      {
+                        pred;
+                        wlabel = label ^ "/" ^ wlabel;
+                        resume = (fun () -> continue k ());
+                      }
+                    in
+                    sched.blocked <- b :: sched.blocked)
+          | Spawn (l, f) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  Queue.push (fun () -> exec sched l f) sched.runq;
+                  continue k ())
+          | _ -> None);
+    }
+
+(* Main loop: drain the run queue; when empty, re-test blocked predicates.
+   Deadlock is declared only when a full scan wakes nobody and no subsystem
+   reported activity, so multi-step progress (e.g. one packet per poll) is
+   never mistaken for a hang. *)
+let run fibers =
+  let sched = { runq = Queue.create (); blocked = []; activity = 0 } in
+  List.iter
+    (fun (label, f) -> Queue.push (fun () -> exec sched label f) sched.runq)
+    fibers;
+  stack := sched :: !stack;
+  let finish () = stack := List.tl !stack in
+  let rec loop () =
+    match Queue.take_opt sched.runq with
+    | Some thunk ->
+        thunk ();
+        loop ()
+    | None ->
+        if sched.blocked <> [] then begin
+          let activity_before = sched.activity in
+          let woken, still =
+            List.partition (fun b -> b.pred ()) (List.rev sched.blocked)
+          in
+          sched.blocked <- List.rev still;
+          match woken with
+          | [] ->
+              if sched.activity = activity_before then
+                raise (Deadlock (List.map (fun b -> b.wlabel) still))
+              else loop ()
+          | _ ->
+              List.iter (fun b -> Queue.push b.resume sched.runq) woken;
+              loop ()
+        end
+  in
+  match loop () with
+  | () -> finish ()
+  | exception e ->
+      finish ();
+      raise e

@@ -1,0 +1,42 @@
+(** Cooperative fibers: the simulation's stand-in for OS processes.
+
+    Each MPI rank runs as a fiber with its own managed heap; the scheduler is
+    a deterministic round-robin, so every run is reproducible. Blocking MPI
+    operations suspend with {!wait_until}; the predicate typically pumps the
+    progress engine, mirroring the paper's polling-wait (Section 7.4).
+
+    GC interactions are preserved exactly: a rank's garbage collector can run
+    only while that rank's own fiber executes, so remote ranks never move
+    local objects — the same invariant the paper gets from per-process
+    address spaces. *)
+
+exception Deadlock of string list
+(** Raised by {!run} when every live fiber is blocked and no predicate can
+    make progress. Carries the labels of the blocked waits. *)
+
+val run : (string * (unit -> unit)) list -> unit
+(** [run fibers] executes the labelled fibers round-robin until all complete.
+    An exception escaping any fiber aborts the whole run and is re-raised.
+    Runs may nest (a fiber may start an inner scheduler). *)
+
+val yield : unit -> unit
+(** Suspend and reschedule at the back of the run queue. Must be called from
+    within {!run}. *)
+
+val wait_until : ?label:string -> (unit -> bool) -> unit
+(** [wait_until pred] suspends until [pred ()] is true. [pred] runs in
+    scheduler context: it must not yield or wait, but it may perform plain
+    side effects (e.g. pumping a progress engine). Predicates that move data
+    without yet becoming true must call {!note_activity} (the channels do
+    this) so the deadlock detector is not fooled by multi-step progress. *)
+
+val spawn : string -> (unit -> unit) -> unit
+(** Add a fiber to the running scheduler (used by dynamic process
+    management). Must be called from within {!run}. *)
+
+val note_activity : unit -> unit
+(** Record that useful work happened outside of fiber resumption; resets the
+    deadlock detector. Safe to call when no scheduler is running. *)
+
+val in_scheduler : unit -> bool
+(** True when called from inside {!run}. *)

@@ -1,0 +1,1 @@
+lib/simtime/cost.mli: Format

@@ -1,0 +1,1 @@
+lib/simtime/env.ml: Clock Cost Stats

@@ -1,0 +1,1 @@
+lib/simtime/env.mli: Clock Cost Stats

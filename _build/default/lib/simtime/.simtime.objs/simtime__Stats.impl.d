@@ -1,0 +1,1 @@
+lib/simtime/stats.ml: Format Hashtbl List String

@@ -1,0 +1,12 @@
+type t = { mutable now : float }
+
+let create () = { now = 0.0 }
+let now_ns t = t.now
+let now_us t = t.now /. 1e3
+
+let advance t ns =
+  if ns < 0.0 then invalid_arg "Clock.advance: negative charge";
+  t.now <- t.now +. ns
+
+let reset t = t.now <- 0.0
+let elapsed_since t t0 = t.now -. t0

@@ -1,0 +1,28 @@
+(** Deterministic virtual clock.
+
+    All costs in the simulation are charged to a virtual clock measured in
+    nanoseconds. The clock is a plain mutable accumulator: the simulation is
+    cooperative and single-threaded, so every charge is totally ordered. This
+    replaces the paper's wall-clock measurements on a Pentium M testbed with a
+    reproducible time base (see DESIGN.md §4). *)
+
+type t
+
+val create : unit -> t
+(** A fresh clock at time zero. *)
+
+val now_ns : t -> float
+(** Current virtual time in nanoseconds. *)
+
+val now_us : t -> float
+(** Current virtual time in microseconds. *)
+
+val advance : t -> float -> unit
+(** [advance clock ns] moves the clock forward by [ns] nanoseconds. Negative
+    charges are rejected with [Invalid_argument]. *)
+
+val reset : t -> unit
+(** Rewind to time zero. *)
+
+val elapsed_since : t -> float -> float
+(** [elapsed_since clock t0] is [now_ns clock -. t0]. *)

@@ -1,0 +1,102 @@
+(** Cost model for the virtual-time simulation.
+
+    Every mechanism the paper blames for performance differences has an
+    explicit cost knob here: call mechanisms (FCall vs P/Invoke vs JNI),
+    pinning, GC phases, transport, MPI bookkeeping and serialization. A
+    "system under test" (Motor, native C++, Indiana bindings on SSCLI or
+    .NET, mpiJava) is a preset of this record; all presets share the same
+    transport costs because the paper re-hosted every binding over the same
+    MPICH2 1.0.2 (Section 8).
+
+    Units are nanoseconds of virtual time unless noted. Values are calibrated
+    to the magnitudes readable off the paper's log-scale Figures 9 and 10 on
+    a Pentium M 1.7 GHz; shapes, not absolute values, are the reproduction
+    target (DESIGN.md §4). *)
+
+(** SSCLI build flavour, per the paper's footnote 4: fastchecked builds make
+    pinning considerably more expensive than Free builds. *)
+type build = Free | Fastchecked
+
+type t = {
+  name : string;
+  (* Call mechanisms (per managed -> library crossing). *)
+  fcall_ns : float;  (** runtime-internal call: trusted, no marshalling *)
+  pinvoke_ns : float;  (** P/Invoke base cost incl. security checks *)
+  jni_ns : float;  (** JNI base cost incl. security checks *)
+  marshal_per_arg_ns : float;  (** per-argument marshalling (P/Invoke, JNI) *)
+  managed_wrapper_ns : float;  (** managed-side dispatch per MPI call *)
+  binding_ns_per_byte : float;
+      (** per-byte overhead of crossing the managed/native boundary with a
+          pinned buffer (zero for Motor and native) *)
+  (* Pinning. *)
+  pin_ns : float;
+  unpin_ns : float;
+  pin_boundary_check_ns : float;
+      (** Motor's young-generation address-range test *)
+  (* Memory. *)
+  memcpy_ns_per_byte : float;
+  alloc_obj_ns : float;
+  alloc_ns_per_byte : float;
+  managed_instr_ns : float;
+      (** virtual cost of executing one managed (MIL) instruction *)
+  (* Garbage collection. *)
+  gc_safepoint_poll_ns : float;
+  gc_young_base_ns : float;
+  gc_full_base_ns : float;
+  gc_copy_ns_per_byte : float;
+  gc_mark_ns_per_obj : float;
+  gc_sweep_ns_per_obj : float;
+  gc_pin_status_check_ns : float;
+      (** mark-phase check of a conditional pin request *)
+  (* Transport (shared by all systems). *)
+  sock_per_msg_ns : float;
+  sock_ns_per_byte : float;
+  shm_per_msg_ns : float;
+  shm_ns_per_byte : float;
+  rndv_handshake_ns : float;
+  mtu_bytes : int;
+  eager_threshold_bytes : int;
+  (* MPI bookkeeping. *)
+  queue_probe_ns : float;  (** per queue element inspected during matching *)
+  request_ns : float;  (** request allocation / completion *)
+  progress_poll_ns : float;
+  (* Serialization. *)
+  ser_per_obj_ns : float;
+  ser_per_field_ns : float;
+  ser_ns_per_byte : float;
+  deser_per_obj_ns : float;
+  deser_ns_per_byte : float;
+  visited_probe_ns : float;
+      (** one comparison in the serializer's visited structure *)
+  reflect_field_ns : float;
+      (** metadata-based reflection per field (standard serializers) *)
+}
+
+val native_cpp : t
+(** The paper's "native C++ application using MPICH2": no VM, no pinning,
+    no managed boundary. *)
+
+val motor : t
+(** Motor: FCall entry, pinning policy, FieldDesc-bit serializer. *)
+
+val indiana_sscli : t
+(** Indiana C# bindings hosted on the SSCLI (Free build): P/Invoke and a pin
+    per operation; standard CLI binary serializer (SSCLI speed). *)
+
+val indiana_sscli_fastchecked : t
+(** Same, on a fastchecked SSCLI build (footnote 4): expensive pinning. *)
+
+val indiana_dotnet : t
+(** Indiana C# bindings hosted on commercial .NET v1.1: faster runtime and
+    serializer than the SSCLI, same wrapper architecture. *)
+
+val mpijava : t
+(** mpiJava 1.2.5 on Sun JDK 1.5: JNI with automatic pin/unpin and the
+    standard Java serialization mechanism. *)
+
+val with_build : build -> t -> t
+(** Adjust a preset's pinning costs for the given SSCLI build flavour. *)
+
+val all_presets : t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+(** Simulation environment: one clock + one cost model + one counter set.
+
+    A single [Env.t] is threaded through a whole simulated world (all ranks of
+    one run share the clock; per-rank state lives in the VM and MPI layers).
+    The [charge_*] helpers are the only way subsystems spend virtual time, so
+    every cost is attributable to a named mechanism. *)
+
+type t = {
+  clock : Clock.t;
+  cost : Cost.t;
+  stats : Stats.t;
+}
+
+val create : ?cost:Cost.t -> unit -> t
+(** Fresh environment; the cost model defaults to {!Cost.motor}. *)
+
+val with_cost : Cost.t -> t -> t
+(** Same clock and stats, different cost model. Used by managed-wrapper
+    baselines that share a world with other systems. *)
+
+val now_us : t -> float
+val charge : t -> float -> unit
+(** Charge raw nanoseconds. *)
+
+val charge_per_byte : t -> float -> int -> unit
+(** [charge_per_byte env ns_per_byte n] charges [ns_per_byte *. n]. *)
+
+val count : t -> string -> unit
+val count_n : t -> string -> int -> unit

@@ -1,0 +1,60 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let cell t key =
+  match Hashtbl.find_opt t key with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t key r;
+      r
+
+let add t key n =
+  if n < 0 then invalid_arg "Stats.add: negative amount";
+  let r = cell t key in
+  r := !r + n
+
+let incr t key = add t key 1
+let get t key = match Hashtbl.find_opt t key with Some r -> !r | None -> 0
+let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let to_alist t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%-28s %d@," k v)
+    (to_alist t);
+  Format.pp_close_box ppf ()
+
+module Key = struct
+  let pins = "pins"
+  let unpins = "unpins"
+  let pins_avoided = "pins_avoided"
+  let pins_deferred = "pins_deferred"
+  let conditional_pins = "conditional_pins"
+  let conditional_pins_dropped = "conditional_pins_dropped"
+  let gc_young = "gc_young"
+  let gc_full = "gc_full"
+  let gc_bytes_copied = "gc_bytes_copied"
+  let gc_objects_marked = "gc_objects_marked"
+  let young_blocks_promoted = "young_blocks_promoted"
+  let fcalls = "fcalls"
+  let pinvokes = "pinvokes"
+  let jni_calls = "jni_calls"
+  let safepoint_polls = "safepoint_polls"
+  let msgs_sent = "msgs_sent"
+  let bytes_sent = "bytes_sent"
+  let eager_sends = "eager_sends"
+  let rndv_sends = "rndv_sends"
+  let unexpected_msgs = "unexpected_msgs"
+  let ser_objects = "ser_objects"
+  let deser_objects = "deser_objects"
+  let visited_probes = "visited_probes"
+  let buffers_created = "buffers_created"
+  let buffers_reused = "buffers_reused"
+  let buffers_reaped = "buffers_reaped"
+end

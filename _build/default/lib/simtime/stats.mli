@@ -1,0 +1,58 @@
+(** Named event counters.
+
+    Each simulated subsystem records how often its mechanisms fire (pins,
+    pins avoided by the policy, GC collections, messages, FCalls, visited-
+    list probes, ...). Counters back the ablation tables and let tests assert
+    on mechanism behaviour rather than only on timings. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** Increment a counter by one, creating it at zero if absent. *)
+
+val add : t -> string -> int -> unit
+(** Add [n] (which may be any non-negative int) to a counter. *)
+
+val get : t -> string -> int
+(** Current value, 0 if the counter was never touched. *)
+
+val reset : t -> unit
+(** Zero every counter. *)
+
+val to_alist : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Conventional counter names used across the codebase, so that tests, the
+    harness and the libraries agree on spelling. *)
+module Key : sig
+  val pins : string
+  val unpins : string
+  val pins_avoided : string
+  val pins_deferred : string
+  val conditional_pins : string
+  val conditional_pins_dropped : string
+  val gc_young : string
+  val gc_full : string
+  val gc_bytes_copied : string
+  val gc_objects_marked : string
+  val young_blocks_promoted : string
+  val fcalls : string
+  val pinvokes : string
+  val jni_calls : string
+  val safepoint_polls : string
+  val msgs_sent : string
+  val bytes_sent : string
+  val eager_sends : string
+  val rndv_sends : string
+  val unexpected_msgs : string
+  val ser_objects : string
+  val deser_objects : string
+  val visited_probes : string
+  val buffers_created : string
+  val buffers_reused : string
+  val buffers_reaped : string
+end

@@ -1,0 +1,1 @@
+lib/vm/assembler.ml: Array Buffer Classes Format Hashtbl Il Int64 List Printf String Types

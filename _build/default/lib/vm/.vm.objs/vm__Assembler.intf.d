@@ -1,0 +1,1 @@
+lib/vm/assembler.mli: Classes Il Types

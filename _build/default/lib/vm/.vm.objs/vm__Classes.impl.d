@@ -1,0 +1,1 @@
+lib/vm/classes.ml: Array Hashtbl List Printf String Types

@@ -1,0 +1,1 @@
+lib/vm/classes.mli: Types

@@ -1,0 +1,1 @@
+lib/vm/debug.ml: Classes Format Gc Hashtbl Heap List Option Printf

@@ -1,0 +1,1 @@
+lib/vm/debug.mli: Format Gc Heap

@@ -1,0 +1,1 @@
+lib/vm/gc.ml: Array Classes Hashtbl Heap List Queue Simtime Stack Types

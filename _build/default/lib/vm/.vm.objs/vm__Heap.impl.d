@@ -1,0 +1,1 @@
+lib/vm/heap.ml: Array Bytes Char Int32 Int64 List Printf Simtime

@@ -1,0 +1,1 @@
+lib/vm/il.ml: Array Format Heap List Seq Types

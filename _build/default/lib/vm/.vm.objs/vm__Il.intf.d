@@ -1,0 +1,1 @@
+lib/vm/il.mli: Format Heap Types

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Char Classes Format Fun Gc Hashtbl Heap Il Int64 List Option Simtime String Types Verifier

@@ -1,0 +1,1 @@
+lib/vm/object_model.ml: Array Bytes Classes Format Gc Heap Int64 Types

@@ -1,0 +1,1 @@
+lib/vm/object_model.mli: Bytes Classes Gc Heap Types

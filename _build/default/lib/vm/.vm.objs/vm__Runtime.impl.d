@@ -1,0 +1,1 @@
+lib/vm/runtime.ml: Assembler Buffer Classes Gc Heap Interp Simtime Syslib

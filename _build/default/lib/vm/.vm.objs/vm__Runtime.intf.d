@@ -1,0 +1,1 @@
+lib/vm/runtime.mli: Buffer Classes Gc Heap Interp Simtime

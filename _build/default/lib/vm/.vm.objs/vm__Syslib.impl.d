@@ -1,0 +1,1 @@
+lib/vm/syslib.ml: Array Buffer Char Classes Gc Heap Il Int64 Interp Printf Simtime String Types

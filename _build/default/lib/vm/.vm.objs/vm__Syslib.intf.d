@@ -1,0 +1,1 @@
+lib/vm/syslib.mli: Buffer Interp Simtime

@@ -1,0 +1,1 @@
+lib/vm/types.ml: Format

@@ -1,0 +1,1 @@
+lib/vm/verifier.ml: Array Classes Format Il List Printf Queue Types

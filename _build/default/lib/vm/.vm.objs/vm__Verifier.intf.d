@@ -1,0 +1,1 @@
+lib/vm/verifier.mli: Classes Il Types

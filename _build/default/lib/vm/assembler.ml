@@ -1,0 +1,570 @@
+exception Parse_error of string
+
+let fail line fmt =
+  Format.kasprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s)))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type token = { text : string; line : int }
+
+let tokenize src =
+  let tokens = ref [] in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun lineno line ->
+      let buf = Buffer.create 16 in
+      let flush () =
+        if Buffer.length buf > 0 then begin
+          tokens :=
+            { text = Buffer.contents buf; line = lineno + 1 } :: !tokens;
+          Buffer.clear buf
+        end
+      in
+      let emit c =
+        flush ();
+        tokens := { text = String.make 1 c; line = lineno + 1 } :: !tokens
+      in
+      (* Commas inside an open bracket belong to array suffixes like
+         int32[,]; all others separate list items. *)
+      let comma_is_suffix () =
+        let s = Buffer.contents buf in
+        let opens = ref 0 in
+        String.iter
+          (fun c ->
+            if c = '[' then incr opens else if c = ']' then decr opens)
+          s;
+        !opens > 0
+      in
+      let n = String.length line in
+      let i = ref 0 in
+      let stop = ref false in
+      while (not !stop) && !i < n do
+        (match line.[!i] with
+        | '"' ->
+            (* String literal: consumed whole, with escapes; quotes are
+               kept so the parser can recognise the token kind. *)
+            flush ();
+            Buffer.add_char buf '"';
+            incr i;
+            let closed = ref false in
+            while (not !closed) && !i < n do
+              (match line.[!i] with
+              | '\\' when !i + 1 < n ->
+                  incr i;
+                  Buffer.add_char buf
+                    (match line.[!i] with
+                    | 'n' -> '\n'
+                    | 't' -> '\t'
+                    | c -> c)
+              | '"' -> closed := true
+              | c -> Buffer.add_char buf c);
+              incr i
+            done;
+            if not !closed then
+              raise
+                (Parse_error
+                   (Printf.sprintf "line %d: unterminated string literal"
+                      (lineno + 1)));
+            Buffer.add_char buf '"';
+            flush ();
+            decr i
+        | '/' when !i + 1 < n && line.[!i + 1] = '/' -> stop := true
+        | ' ' | '\t' | '\r' -> flush ()
+        | ('{' | '}' | '(' | ')') as c -> emit c
+        | ',' when not (comma_is_suffix ()) -> emit ','
+        | c -> Buffer.add_char buf c);
+        incr i
+      done;
+      flush ())
+    lines;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prim_of_name = function
+  | "int8" -> Some Types.I1
+  | "int16" -> Some Types.I2
+  | "int32" -> Some Types.I4
+  | "int64" -> Some Types.I8
+  | "float32" -> Some Types.R4
+  | "float64" -> Some Types.R8
+  | "bool" -> Some Types.Bool
+  | "char" -> Some Types.Char
+  | _ -> None
+
+(* Split "Node[][,]" into ("Node", [1; 2]): a list of array ranks applied
+   innermost first. *)
+let split_suffixes word =
+  let n = String.length word in
+  let rec base i = if i < n && word.[i] <> '[' then base (i + 1) else i in
+  let stop = base 0 in
+  let name = String.sub word 0 stop in
+  let rec suffixes i acc =
+    if i >= n then List.rev acc
+    else if word.[i] = '[' then begin
+      let rec close j rank =
+        if j >= n then None
+        else if word.[j] = ']' then Some (j + 1, rank)
+        else if word.[j] = ',' then close (j + 1) (rank + 1)
+        else None
+      in
+      match close (i + 1) 1 with
+      | Some (j, rank) -> suffixes j (rank :: acc)
+      | None -> raise Exit
+    end
+    else raise Exit
+  in
+  try Some (name, suffixes stop []) with Exit -> None
+
+let parse_type registry word =
+  let malformed () = raise (Parse_error ("malformed type " ^ word)) in
+  match split_suffixes word with
+  | None -> malformed ()
+  | Some (name, ranks) ->
+      let base : Types.elem =
+        match prim_of_name name with
+        | Some p -> Types.Eprim p
+        | None ->
+            let id = Classes.declare registry ~name in
+            Types.Eref id
+      in
+      let elem =
+        List.fold_left
+          (fun elem rank ->
+            let mt =
+              if rank = 1 then Classes.array_class registry elem
+              else Classes.md_array_class registry elem ~rank
+            in
+            Types.Eref mt.Classes.c_id)
+          base ranks
+      in
+      (match elem with
+      | Types.Eprim p -> Types.Prim p
+      | Types.Eref id -> Types.Ref id)
+
+let parse_elem_type registry line word =
+  match parse_type registry word with
+  | Types.Prim p -> Types.Eprim p
+  | Types.Ref id -> (
+      (* an array's element class *)
+      match Classes.find (registry : Classes.t) id with
+      | mt -> Types.Eref mt.Classes.c_id
+      | exception Not_found -> fail line "unknown type %s" word)
+
+(* ------------------------------------------------------------------ *)
+(* Structural parse                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type raw_field = { rf_transportable : bool; rf_type : string; rf_name : string; rf_line : int }
+
+type raw_class = {
+  rc_name : string;
+  rc_transportable : bool;
+  rc_fields : raw_field list;
+  rc_line : int;
+}
+
+type raw_method = {
+  rm_ret : string;
+  rm_name : string;
+  rm_params : (string * string) list;  (* type word, name *)
+  rm_locals : (string * string) list;
+  rm_body : token list;
+  rm_line : int;
+}
+
+type cursor = { mutable toks : token list }
+
+let peek c = match c.toks with [] -> None | t :: _ -> Some t
+
+let next c what =
+  match c.toks with
+  | [] -> raise (Parse_error ("unexpected end of input, expected " ^ what))
+  | t :: rest ->
+      c.toks <- rest;
+      t
+
+let expect c text =
+  let t = next c ("'" ^ text ^ "'") in
+  if t.text <> text then fail t.line "expected '%s', found '%s'" text t.text
+
+let parse_class c line =
+  let t = next c "class name" in
+  let transportable, name_tok =
+    if t.text = "transportable" then (true, next c "class name")
+    else (false, t)
+  in
+  expect c "{";
+  let fields = ref [] in
+  let rec loop () =
+    let t = next c "'.field' or '}'" in
+    if t.text = "}" then ()
+    else if t.text = ".field" then begin
+      let u = next c "field type" in
+      let transp, ty =
+        if u.text = "transportable" then (true, next c "field type")
+        else (false, u)
+      in
+      let name = next c "field name" in
+      fields :=
+        {
+          rf_transportable = transp;
+          rf_type = ty.text;
+          rf_name = name.text;
+          rf_line = name.line;
+        }
+        :: !fields;
+      loop ()
+    end
+    else fail t.line "expected '.field' or '}', found '%s'" t.text
+  in
+  loop ();
+  {
+    rc_name = name_tok.text;
+    rc_transportable = transportable;
+    rc_fields = List.rev !fields;
+    rc_line = line;
+  }
+
+let parse_sig_list c what =
+  expect c "(";
+  let items = ref [] in
+  let rec loop first =
+    match peek c with
+    | Some t when t.text = ")" ->
+        ignore (next c ")")
+    | _ ->
+        if not first then expect c ",";
+        let ty = next c (what ^ " type") in
+        let name =
+          match peek c with
+          | Some t when t.text <> "," && t.text <> ")" ->
+              (next c "name").text
+          | _ -> Printf.sprintf "%s%d" what (List.length !items)
+        in
+        items := (ty.text, name) :: !items;
+        loop false
+  in
+  loop true;
+  List.rev !items
+
+let parse_method c line =
+  let ret = next c "return type" in
+  let name = next c "method name" in
+  let params = parse_sig_list c "param" in
+  expect c "{";
+  let locals =
+    match peek c with
+    | Some t when t.text = ".locals" ->
+        ignore (next c ".locals");
+        parse_sig_list c "local"
+    | _ -> []
+  in
+  let body = ref [] in
+  let rec loop () =
+    let t = next c "instruction or '}'" in
+    if t.text = "}" then () else begin
+      body := t :: !body;
+      loop ()
+    end
+  in
+  loop ();
+  {
+    rm_ret = ret.text;
+    rm_name = name.text;
+    rm_params = params;
+    rm_locals = locals;
+    rm_body = List.rev !body;
+    rm_line = line;
+  }
+
+let structural_parse tokens =
+  let c = { toks = tokens } in
+  let classes = ref [] in
+  let methods = ref [] in
+  let rec loop () =
+    match peek c with
+    | None -> ()
+    | Some t when t.text = ".class" ->
+        ignore (next c ".class");
+        classes := parse_class c t.line :: !classes;
+        loop ()
+    | Some t when t.text = ".method" ->
+        ignore (next c ".method");
+        methods := parse_method c t.line :: !methods;
+        loop ()
+    | Some t -> fail t.line "expected '.class' or '.method', found '%s'" t.text
+  in
+  loop ();
+  (List.rev !classes, List.rev !methods)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction encoding                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Number of operand tokens each opcode consumes. *)
+let operand_count = function
+  | "ldstr"
+  | "ldc.i4" | "ldc.i8" | "ldc.r8" | "ldloc" | "stloc" | "ldarg" | "starg"
+  | "br" | "brtrue" | "brfalse" | "ldfld" | "stfld" | "newobj" | "newarr"
+  | "ldelem" | "stelem" | "newmd" | "ldelem.md" | "stelem.md" | "isinst"
+  | "call"
+  | "intcall" ->
+      1
+  | "nop" | "ldnull" | "add" | "sub" | "mul" | "div" | "rem" | "neg"
+  | "fadd" | "fsub" | "fmul" | "fdiv" | "fneg" | "conv.i" | "conv.r"
+  | "ceq" | "clt" | "cgt" | "fceq" | "fclt" | "fcgt" | "ldlen" | "ret"
+  | "pop" | "dup" ->
+      0
+  | _ -> -1
+
+let is_label tok =
+  let n = String.length tok.text in
+  n > 1 && tok.text.[n - 1] = ':'
+
+let split_field_ref line word =
+  match String.index_opt word ':' with
+  | Some i
+    when i + 1 < String.length word
+         && word.[i + 1] = ':'
+         && i > 0
+         && i + 2 < String.length word ->
+      (String.sub word 0 i, String.sub word (i + 2) (String.length word - i - 2))
+  | Some _ | None -> fail line "expected Class::field, found '%s'" word
+
+let index_of_name line names kind name =
+  match int_of_string_opt name with
+  | Some i -> i
+  | None -> (
+      let rec go i = function
+        | [] -> fail line "unknown %s '%s'" kind name
+        | (_, n) :: rest -> if n = name then i else go (i + 1) rest
+      in
+      go 0 names)
+
+let assemble registry ?(entry = "main") src =
+  let tokens = tokenize src in
+  let raw_classes, raw_methods = structural_parse tokens in
+  (* Pass 1: declare all classes so fields may reference them in any order. *)
+  List.iter
+    (fun rc -> ignore (Classes.declare registry ~name:rc.rc_name))
+    raw_classes;
+  (* Pass 2: lay out fields. *)
+  List.iter
+    (fun rc ->
+      let id =
+        match Classes.find_by_name registry rc.rc_name with
+        | Some mt -> mt.Classes.c_id
+        | None -> assert false
+      in
+      let fields =
+        List.map
+          (fun rf ->
+            (rf.rf_name, parse_type registry rf.rf_type, rf.rf_transportable))
+          rc.rc_fields
+      in
+      match
+        Classes.complete registry id ~transportable:rc.rc_transportable
+          ~fields ()
+      with
+      | _ -> ()
+      | exception Invalid_argument msg -> fail rc.rc_line "%s" msg)
+    raw_classes;
+  (* Methods: assign ids first so calls resolve in any order. *)
+  let method_ids = Hashtbl.create 16 in
+  List.iteri
+    (fun i rm ->
+      if Hashtbl.mem method_ids rm.rm_name then
+        fail rm.rm_line "duplicate method %s" rm.rm_name;
+      Hashtbl.replace method_ids rm.rm_name i)
+    raw_methods;
+  let parse_ret line = function
+    | "void" -> None
+    | w -> (
+        match parse_type registry w with
+        | ty -> Some ty
+        | exception Parse_error m -> fail line "%s" m)
+  in
+  let build_method i rm =
+    let params =
+      List.map (fun (ty, n) -> (parse_type registry ty, n)) rm.rm_params
+    in
+    let locals =
+      List.map (fun (ty, n) -> (parse_type registry ty, n)) rm.rm_locals
+    in
+    let param_names = List.map (fun (t, n) -> (t, n)) params in
+    let local_names = List.map (fun (t, n) -> (t, n)) locals in
+    (* First pass over the body: label addresses. *)
+    let labels = Hashtbl.create 8 in
+    let rec index pc = function
+      | [] -> ()
+      | tok :: rest when is_label tok ->
+          let name = String.sub tok.text 0 (String.length tok.text - 1) in
+          if Hashtbl.mem labels name then
+            fail tok.line "duplicate label %s" name;
+          Hashtbl.replace labels name pc;
+          index pc rest
+      | tok :: rest -> (
+          match operand_count tok.text with
+          | -1 -> fail tok.line "unknown instruction '%s'" tok.text
+          | 0 -> index (pc + 1) rest
+          | _ -> (
+              match rest with
+              | [] -> fail tok.line "missing operand for %s" tok.text
+              | _ :: rest -> index (pc + 1) rest))
+    in
+    index 0 rm.rm_body;
+    let target line name =
+      match Hashtbl.find_opt labels name with
+      | Some pc -> pc
+      | None -> fail line "unknown label '%s'" name
+    in
+    let code = ref [] in
+    let emit i = code := i :: !code in
+    let rec emit_all = function
+      | [] -> ()
+      | tok :: rest when is_label tok -> emit_all rest
+      | tok :: rest ->
+          let operand () =
+            match rest with
+            | op :: _ -> op
+            | [] -> fail tok.line "missing operand for %s" tok.text
+          in
+          let rest' =
+            if operand_count tok.text = 1 then List.tl rest else rest
+          in
+          let line = tok.line in
+          (match tok.text with
+          | "nop" -> emit Il.Nop
+          | "ldc.i4" | "ldc.i8" -> (
+              let op = operand () in
+              match Int64.of_string_opt op.text with
+              | Some v -> emit (Il.Ldc_i v)
+              | None -> fail line "bad integer literal '%s'" op.text)
+          | "ldc.r8" -> (
+              let op = operand () in
+              match float_of_string_opt op.text with
+              | Some v -> emit (Il.Ldc_f v)
+              | None -> fail line "bad float literal '%s'" op.text)
+          | "ldnull" -> emit Il.Ldnull
+          | "ldstr" -> (
+              let op = operand () in
+              let t = op.text in
+              let len = String.length t in
+              if len >= 2 && t.[0] = '"' && t.[len - 1] = '"' then
+                emit (Il.Ldstr (String.sub t 1 (len - 2)))
+              else fail line "ldstr expects a string literal")
+          | "ldloc" ->
+              emit (Il.Ldloc (index_of_name line local_names "local" (operand ()).text))
+          | "stloc" ->
+              emit (Il.Stloc (index_of_name line local_names "local" (operand ()).text))
+          | "ldarg" ->
+              emit (Il.Ldarg (index_of_name line param_names "argument" (operand ()).text))
+          | "starg" ->
+              emit (Il.Starg (index_of_name line param_names "argument" (operand ()).text))
+          | "add" -> emit Il.Add
+          | "sub" -> emit Il.Sub
+          | "mul" -> emit Il.Mul
+          | "div" -> emit Il.Div
+          | "rem" -> emit Il.Rem
+          | "neg" -> emit Il.Neg
+          | "fadd" -> emit Il.Fadd
+          | "fsub" -> emit Il.Fsub
+          | "fmul" -> emit Il.Fmul
+          | "fdiv" -> emit Il.Fdiv
+          | "fneg" -> emit Il.Fneg
+          | "conv.i" -> emit Il.Conv_i
+          | "conv.r" -> emit Il.Conv_f
+          | "ceq" -> emit Il.Ceq
+          | "clt" -> emit Il.Clt
+          | "cgt" -> emit Il.Cgt
+          | "fceq" -> emit Il.Fceq
+          | "fclt" -> emit Il.Fclt
+          | "fcgt" -> emit Il.Fcgt
+          | "br" -> emit (Il.Br (target line (operand ()).text))
+          | "brtrue" -> emit (Il.Brtrue (target line (operand ()).text))
+          | "brfalse" -> emit (Il.Brfalse (target line (operand ()).text))
+          | "ldfld" | "stfld" -> (
+              let cls, fld = split_field_ref line (operand ()).text in
+              match Classes.find_by_name registry cls with
+              | None -> fail line "unknown class %s" cls
+              | Some mt -> (
+                  match Classes.field mt fld with
+                  | fd ->
+                      if tok.text = "ldfld" then
+                        emit (Il.Ldfld (mt.Classes.c_id, fd.Classes.f_index))
+                      else
+                        emit (Il.Stfld (mt.Classes.c_id, fd.Classes.f_index))
+                  | exception Not_found ->
+                      fail line "class %s has no field %s" cls fld))
+          | "newobj" -> (
+              let op = operand () in
+              match Classes.find_by_name registry op.text with
+              | Some mt -> emit (Il.Newobj mt.Classes.c_id)
+              | None -> fail line "unknown class %s" op.text)
+          | "isinst" -> (
+              let op = operand () in
+              match parse_type registry op.text with
+              | Types.Ref id -> emit (Il.Isinst id)
+              | Types.Prim _ ->
+                  fail line "isinst needs a class or array type")
+          | "newarr" ->
+              emit (Il.Newarr (parse_elem_type registry line (operand ()).text))
+          | "ldlen" -> emit Il.Ldlen
+          | "ldelem" ->
+              emit (Il.Ldelem (parse_elem_type registry line (operand ()).text))
+          | "stelem" ->
+              emit (Il.Stelem (parse_elem_type registry line (operand ()).text))
+          | "newmd" | "ldelem.md" | "stelem.md" -> (
+              (* Operand is the md-array class name, e.g. float64[,]. *)
+              let op = operand () in
+              match parse_type registry op.text with
+              | Types.Ref id -> (
+                  match (Classes.find registry id).Classes.c_kind with
+                  | Classes.K_md_array (elem, rank) ->
+                      emit
+                        (match tok.text with
+                        | "newmd" -> Il.Newmd (elem, rank)
+                        | "ldelem.md" -> Il.Ldelem_md (elem, rank)
+                        | _ -> Il.Stelem_md (elem, rank))
+                  | Classes.K_class | Classes.K_array _ ->
+                      fail line "%s is not a multidimensional array type"
+                        op.text)
+              | Types.Prim _ ->
+                  fail line "%s is not a multidimensional array type" op.text)
+          | "call" -> (
+              let op = operand () in
+              match Hashtbl.find_opt method_ids op.text with
+              | Some id -> emit (Il.Call id)
+              | None -> fail line "unknown method %s" op.text)
+          | "intcall" -> emit (Il.Intcall (operand ()).text)
+          | "ret" -> emit Il.Ret
+          | "pop" -> emit Il.Pop
+          | "dup" -> emit Il.Dup
+          | other -> fail line "unknown instruction '%s'" other);
+          emit_all rest'
+    in
+    emit_all rm.rm_body;
+    {
+      Il.m_id = i;
+      m_name = rm.rm_name;
+      m_params = List.map fst params;
+      m_ret = parse_ret rm.rm_line rm.rm_ret;
+      m_locals = List.map fst locals;
+      m_code = Array.of_list (List.rev !code);
+    }
+  in
+  let methods = Array.of_list (List.mapi build_method raw_methods) in
+  let entry_id =
+    match Hashtbl.find_opt method_ids entry with
+    | Some id -> id
+    | None ->
+        raise (Parse_error (Printf.sprintf "no entry method '%s'" entry))
+  in
+  { Il.methods; entry = entry_id }

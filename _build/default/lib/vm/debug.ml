@@ -1,0 +1,66 @@
+type object_info = {
+  addr : Heap.addr;
+  generation : [ `Young | `Elder ];
+  class_name : string;
+  total_bytes : int;
+  pinned : bool;
+  marked : bool;
+}
+
+let info gc generation addr =
+  let h = Gc.heap gc in
+  let class_name =
+    match Classes.find (Gc.registry gc) (Heap.mt_id h addr) with
+    | mt -> mt.Classes.c_name
+    | exception Not_found -> Printf.sprintf "<bad mt %d>" (Heap.mt_id h addr)
+  in
+  {
+    addr;
+    generation;
+    class_name;
+    total_bytes = Heap.size_of h addr;
+    pinned = Heap.is_pinned_flag h addr;
+    marked = Heap.is_marked h addr;
+  }
+
+let objects gc =
+  let h = Gc.heap gc in
+  let out = ref [] in
+  Heap.iter_young h (fun a -> out := info gc `Young a :: !out);
+  Heap.iter_elder h (fun a -> out := info gc `Elder a :: !out);
+  List.rev !out
+
+let class_histogram gc =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun o ->
+      let count, bytes =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt table o.class_name)
+      in
+      Hashtbl.replace table o.class_name (count + 1, bytes + o.total_bytes))
+    (objects gc);
+  Hashtbl.fold (fun name (count, bytes) acc -> (name, count, bytes) :: acc)
+    table []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+let pp_heap ppf gc =
+  let h = Gc.heap gc in
+  let objs = objects gc in
+  Format.fprintf ppf "%8s %-6s %-28s %8s %s@." "addr" "gen" "class" "bytes"
+    "flags";
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "%8d %-6s %-28s %8d %s%s@." o.addr
+        (match o.generation with `Young -> "young" | `Elder -> "elder")
+        o.class_name o.total_bytes
+        (if o.pinned then "P" else "")
+        (if o.marked then "M" else ""))
+    objs;
+  Format.fprintf ppf "@.%-28s %8s %10s@." "class" "count" "bytes";
+  List.iter
+    (fun (name, count, bytes) ->
+      Format.fprintf ppf "%-28s %8d %10d@." name count bytes)
+    (class_histogram gc);
+  Format.fprintf ppf "@.young: %d / %d bytes, elder: %d bytes, %d objects@."
+    (Heap.young_used h) (Heap.young_capacity h) (Heap.elder_used h)
+    (List.length objs)

@@ -1,0 +1,22 @@
+(** Heap inspection: walk the generations and describe every object.
+
+    Debugging aid (think SOS's DumpHeap): per-object address, generation,
+    class, size and flags, plus aggregate statistics per class. *)
+
+type object_info = {
+  addr : Heap.addr;
+  generation : [ `Young | `Elder ];
+  class_name : string;
+  total_bytes : int;
+  pinned : bool;
+  marked : bool;
+}
+
+val objects : Gc.t -> object_info list
+(** Every live-or-not-yet-swept object, address order per generation. *)
+
+val class_histogram : Gc.t -> (string * int * int) list
+(** (class name, object count, total bytes), sorted by bytes descending. *)
+
+val pp_heap : Format.formatter -> Gc.t -> unit
+(** Object table followed by the histogram and generation totals. *)

@@ -1,0 +1,27 @@
+type t = {
+  env : Simtime.Env.t;
+  registry : Classes.t;
+  heap : Heap.t;
+  gc : Gc.t;
+  out : Buffer.t;
+}
+
+let create ?arena_bytes ?block_bytes ?cost ?env () =
+  let env =
+    match env with
+    | Some e -> e
+    | None -> Simtime.Env.create ?cost ()
+  in
+  let heap = Heap.create ?arena_bytes ?block_bytes env in
+  let registry = Classes.create () in
+  let gc = Gc.create heap registry in
+  { env; registry; heap; gc; out = Buffer.create 256 }
+
+let load t ?entry ?(verify = true) src =
+  let program = Assembler.assemble t.registry ?entry src in
+  let interp = Interp.create t.gc program in
+  Syslib.register interp ~env:t.env ~out:t.out;
+  if verify then Interp.verify interp;
+  interp
+
+let output t = Buffer.contents t.out

@@ -1,0 +1,33 @@
+(** One virtual-machine instance: heap, collector, class registry, clock.
+
+    In a simulated world each MPI rank owns one runtime instance — the
+    analogue of the paper's per-process SSCLI. *)
+
+type t = {
+  env : Simtime.Env.t;
+  registry : Classes.t;
+  heap : Heap.t;
+  gc : Gc.t;
+  out : Buffer.t;  (** console output of managed programs *)
+}
+
+val create :
+  ?arena_bytes:int ->
+  ?block_bytes:int ->
+  ?cost:Simtime.Cost.t ->
+  ?env:Simtime.Env.t ->
+  unit ->
+  t
+(** Build a runtime. Pass [env] to share a clock with other runtimes in the
+    same simulated world (the usual multi-rank setup); otherwise a fresh
+    environment is created with [cost] (default {!Simtime.Cost.motor}). *)
+
+val load : t -> ?entry:string -> ?verify:bool -> string -> Interp.t
+(** Assemble MIL source, create an execution context, register the base
+    system library and (unless [~verify:false]) verify the program. Pass
+    [~verify:false] when further internal calls (e.g. System.MP) will be
+    registered before running, then call {!Interp.verify}. Raises
+    [Assembler.Parse_error] or [Verifier.Verify_error]. *)
+
+val output : t -> string
+(** Managed console output so far. *)

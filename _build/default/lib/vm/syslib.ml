@@ -1,0 +1,128 @@
+let i32 = Types.Prim Types.I4
+let i64 = Types.Prim Types.I8
+let f64 = Types.Prim Types.R8
+
+let register interp ~env ~out =
+  let gc = Interp.gc interp in
+  let heap = Gc.heap gc in
+  let obj_ty =
+    Types.Ref (Classes.object_class (Gc.registry gc)).Classes.c_id
+  in
+  let reg name sg impl = Interp.register_intcall interp name sg impl in
+  reg "sys.print_str" ([ obj_ty ], None) (fun args ->
+      (match args.(0) with
+      | Il.V_ref a when a <> Heap.null -> (
+          match (Gc.method_table_of gc a).Classes.c_kind with
+          | Classes.K_array (Types.Eprim Types.Char) ->
+              let data = Heap.data_of a in
+              let len = Heap.get_i32 heap data in
+              for i = 0 to len - 1 do
+                Buffer.add_char out
+                  (Char.chr (Heap.get_i16 heap (data + 4 + (2 * i)) land 0xff))
+              done
+          | _ ->
+              raise (Interp.Runtime_error "sys.print_str: not a char array"))
+      | Il.V_ref _ | Il.V_int _ | Il.V_float _ ->
+          raise (Interp.Runtime_error "sys.print_str: expected a char array"));
+      None);
+  reg "sys.print_i" ([ i64 ], None) (fun args ->
+      (match args.(0) with
+      | Il.V_int v -> Buffer.add_string out (Int64.to_string v)
+      | Il.V_float _ | Il.V_ref _ -> ());
+      None);
+  reg "sys.print_f" ([ f64 ], None) (fun args ->
+      (match args.(0) with
+      | Il.V_float v -> Buffer.add_string out (Printf.sprintf "%g" v)
+      | Il.V_int _ | Il.V_ref _ -> ());
+      None);
+  reg "sys.print_c" ([ Types.Prim Types.Char ], None) (fun args ->
+      (match args.(0) with
+      | Il.V_int v -> Buffer.add_char out (Char.chr (Int64.to_int v land 0xff))
+      | Il.V_float _ | Il.V_ref _ -> ());
+      None);
+  reg "sys.print_nl" ([], None) (fun _ ->
+      Buffer.add_char out '\n';
+      None);
+  reg "sys.clock_us" ([], Some i64) (fun _ ->
+      Some (Il.V_int (Int64.of_float (Simtime.Env.now_us env))));
+  reg "sys.gc_collect" ([ i32 ], None) (fun args ->
+      let full =
+        match args.(0) with
+        | Il.V_int v -> not (Int64.equal v 0L)
+        | Il.V_float _ | Il.V_ref _ -> false
+      in
+      Gc.collect gc ~full;
+      None);
+  reg "sys.gc_count" ([], Some i64) (fun _ ->
+      Some
+        (Il.V_int (Int64.of_int (Gc.minor_count gc + Gc.full_count gc))));
+  reg "sys.heap_young_used" ([], Some i64) (fun _ ->
+      Some (Il.V_int (Int64.of_int (Heap.young_used heap))));
+  reg "sys.heap_elder_used" ([], Some i64) (fun _ ->
+      Some (Il.V_int (Int64.of_int (Heap.elder_used heap))));
+  (* Reflection: dynamic access to type metadata. Deliberately priced as
+     the slow path — the paper's serializer avoids exactly these calls by
+     reading the Transportable bit off the FieldDesc (Section 7.5). *)
+  let reflection_call_ns = 800.0 in
+  let mt_of v =
+    match v with
+    | Il.V_ref a when a <> Heap.null -> Gc.method_table_of gc a
+    | Il.V_ref _ ->
+        raise (Interp.Runtime_error "reflection on a null reference")
+    | Il.V_int _ | Il.V_float _ ->
+        raise (Interp.Runtime_error "reflection on a non-object")
+  in
+  let alloc_string text =
+    let len = String.length text in
+    let cmt = Classes.array_class (Gc.registry gc) (Types.Eprim Types.Char) in
+    let a = Gc.alloc gc ~mt:cmt ~data_bytes:(4 + (len * 2)) in
+    Heap.set_i32 heap (Heap.data_of a) len;
+    String.iteri
+      (fun i c -> Heap.set_i16 heap (Heap.data_of a + 4 + (2 * i)) (Char.code c))
+      text;
+    a
+  in
+  reg "refl.class_name" ([ obj_ty ], Some obj_ty) (fun args ->
+      Simtime.Env.charge env reflection_call_ns;
+      let name = (mt_of args.(0)).Classes.c_name in
+      Some (Il.V_ref (alloc_string name)));
+  reg "refl.field_count" ([ obj_ty ], Some i64) (fun args ->
+      Simtime.Env.charge env reflection_call_ns;
+      Some
+        (Il.V_int
+           (Int64.of_int (Array.length (mt_of args.(0)).Classes.c_fields))));
+  reg "refl.field_name" ([ obj_ty; i64 ], Some obj_ty) (fun args ->
+      Simtime.Env.charge env reflection_call_ns;
+      let mt = mt_of args.(0) in
+      let idx =
+        match args.(1) with
+        | Il.V_int v -> Int64.to_int v
+        | Il.V_float _ | Il.V_ref _ ->
+            raise (Interp.Runtime_error "refl.field_name: bad index")
+      in
+      match Classes.field_by_index mt idx with
+      | fd -> Some (Il.V_ref (alloc_string fd.Classes.f_name))
+      | exception Invalid_argument _ ->
+          raise (Interp.Runtime_error "refl.field_name: index out of range"));
+  reg "refl.is_transportable" ([ obj_ty; i64 ], Some i64) (fun args ->
+      Simtime.Env.charge env reflection_call_ns;
+      let mt = mt_of args.(0) in
+      let idx =
+        match args.(1) with
+        | Il.V_int v -> Int64.to_int v
+        | Il.V_float _ | Il.V_ref _ ->
+            raise (Interp.Runtime_error "refl.is_transportable: bad index")
+      in
+      match Classes.field_by_index mt idx with
+      | fd ->
+          Some (Il.V_int (if fd.Classes.f_transportable then 1L else 0L))
+      | exception Invalid_argument _ ->
+          raise
+            (Interp.Runtime_error "refl.is_transportable: index out of range"));
+  reg "refl.is_array" ([ obj_ty ], Some i64) (fun args ->
+      Simtime.Env.charge env reflection_call_ns;
+      Some
+        (Il.V_int
+           (match (mt_of args.(0)).Classes.c_kind with
+           | Classes.K_array _ | Classes.K_md_array _ -> 1L
+           | Classes.K_class -> 0L)))

@@ -1,0 +1,28 @@
+(** Base system-library internal calls.
+
+    The CLI's System library is largely implemented inside the runtime and
+    surfaced through InternalCall/FCall gateways (paper Section 5.1). This
+    module registers the non-MPI part of that surface: console output, the
+    virtual clock and explicit GC control. The message-passing internal
+    calls ([mp.*]) are registered by the Motor library on top. *)
+
+val register : Interp.t -> env:Simtime.Env.t -> out:Buffer.t -> unit
+(** Registers:
+    - [sys.print_i : int64 -> void] — print an integer
+    - [sys.print_f : float64 -> void] — print a float
+    - [sys.print_c : char -> void] — print a character
+    - [sys.print_str : object -> void] — print a char array (see the
+      assembler's [ldstr])
+    - [sys.print_nl : void] — newline
+    - [sys.clock_us : -> int64] — virtual time in microseconds
+    - [sys.gc_collect : int32 -> void] — force a collection (0 minor, 1 full)
+    - [sys.gc_count : -> int64] — total collections so far
+    - [sys.heap_young_used : -> int64], [sys.heap_elder_used : -> int64]
+
+    and the reflection library (metadata access, priced as the slow path
+    the paper's serializer avoids):
+    - [refl.class_name : object -> object] — char array of the class name
+    - [refl.field_count : object -> int64]
+    - [refl.field_name : object -> int64 -> object]
+    - [refl.is_transportable : object -> int64 -> int64]
+    - [refl.is_array : object -> int64] *)

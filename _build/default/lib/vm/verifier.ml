@@ -1,0 +1,237 @@
+exception Verify_error of string
+
+type intcall_sig = Types.field_type list * Types.field_type option
+
+let max_stack = 1024
+
+let vt = Il.vtype_of_field_type
+
+let elem_vtype = function
+  | Types.Eprim (Types.R4 | Types.R8) -> Il.S_float
+  | Types.Eprim _ -> Il.S_int
+  | Types.Eref _ -> Il.S_ref
+
+let verify_method registry (program : Il.program) ~intcall (m : Il.mth) =
+  let fail pc fmt =
+    Format.kasprintf
+      (fun s ->
+        raise
+          (Verify_error (Printf.sprintf "%s @%d: %s" m.Il.m_name pc s)))
+      fmt
+  in
+  let code = m.Il.m_code in
+  let n = Array.length code in
+  let params = Array.of_list m.Il.m_params in
+  let locals = Array.of_list m.Il.m_locals in
+  let in_states : Il.vtype list option array = Array.make (n + 1) None in
+  let work = Queue.create () in
+  let schedule pc state =
+    if pc < 0 || pc > n then fail pc "branch target out of range";
+    if pc = n then fail pc "fallthrough past end of method (missing ret)"
+    else
+      match in_states.(pc) with
+      | None ->
+          in_states.(pc) <- Some state;
+          Queue.push pc work
+      | Some prev ->
+          if prev <> state then
+            fail pc "inconsistent stack shapes at merge point"
+  in
+  let pop pc = function
+    | [] -> fail pc "stack underflow"
+    | x :: rest -> (x, rest)
+  in
+  let pop_expect pc want st =
+    let got, rest = pop pc st in
+    if got <> want then
+      fail pc "expected %a on stack, found %a" Il.pp_vtype want Il.pp_vtype
+        got;
+    rest
+  in
+  let push pc v st =
+    if List.length st >= max_stack then fail pc "stack too deep";
+    v :: st
+  in
+  let local_type pc i =
+    if i < 0 || i >= Array.length locals then fail pc "bad local index %d" i;
+    locals.(i)
+  in
+  let param_type pc i =
+    if i < 0 || i >= Array.length params then fail pc "bad arg index %d" i;
+    params.(i)
+  in
+  let class_field pc cid fidx =
+    match Classes.find registry cid with
+    | exception Not_found -> fail pc "unknown class id %d" cid
+    | mt -> (
+        match Classes.field_by_index mt fidx with
+        | fd -> fd
+        | exception Invalid_argument _ ->
+            fail pc "bad field index %d in %s" fidx mt.Classes.c_name)
+  in
+  schedule 0 [];
+  while not (Queue.is_empty work) do
+    let pc = Queue.pop work in
+    let st =
+      match in_states.(pc) with Some s -> s | None -> assert false
+    in
+    let continue_with st = schedule (pc + 1) st in
+    match code.(pc) with
+    | Il.Nop -> continue_with st
+    | Il.Ldc_i _ -> continue_with (push pc Il.S_int st)
+    | Il.Ldc_f _ -> continue_with (push pc Il.S_float st)
+    | Il.Ldstr _ -> continue_with (push pc Il.S_ref st)
+    | Il.Ldnull -> continue_with (push pc Il.S_ref st)
+    | Il.Ldloc i -> continue_with (push pc (vt (local_type pc i)) st)
+    | Il.Stloc i ->
+        continue_with (pop_expect pc (vt (local_type pc i)) st)
+    | Il.Ldarg i -> continue_with (push pc (vt (param_type pc i)) st)
+    | Il.Starg i ->
+        continue_with (pop_expect pc (vt (param_type pc i)) st)
+    | Il.Add | Il.Sub | Il.Mul | Il.Div | Il.Rem ->
+        let st = pop_expect pc Il.S_int st in
+        let st = pop_expect pc Il.S_int st in
+        continue_with (push pc Il.S_int st)
+    | Il.Neg ->
+        let st = pop_expect pc Il.S_int st in
+        continue_with (push pc Il.S_int st)
+    | Il.Fadd | Il.Fsub | Il.Fmul | Il.Fdiv ->
+        let st = pop_expect pc Il.S_float st in
+        let st = pop_expect pc Il.S_float st in
+        continue_with (push pc Il.S_float st)
+    | Il.Fneg ->
+        let st = pop_expect pc Il.S_float st in
+        continue_with (push pc Il.S_float st)
+    | Il.Conv_i ->
+        let st = pop_expect pc Il.S_float st in
+        continue_with (push pc Il.S_int st)
+    | Il.Conv_f ->
+        let st = pop_expect pc Il.S_int st in
+        continue_with (push pc Il.S_float st)
+    | Il.Ceq -> (
+        match st with
+        | Il.S_ref :: Il.S_ref :: rest | Il.S_int :: Il.S_int :: rest ->
+            continue_with (push pc Il.S_int rest)
+        | _ -> fail pc "ceq expects two ints or two refs")
+    | Il.Clt | Il.Cgt ->
+        let st = pop_expect pc Il.S_int st in
+        let st = pop_expect pc Il.S_int st in
+        continue_with (push pc Il.S_int st)
+    | Il.Fceq | Il.Fclt | Il.Fcgt ->
+        let st = pop_expect pc Il.S_float st in
+        let st = pop_expect pc Il.S_float st in
+        continue_with (push pc Il.S_int st)
+    | Il.Br target -> schedule target st
+    | Il.Brtrue target | Il.Brfalse target ->
+        let st = pop_expect pc Il.S_int st in
+        schedule target st;
+        continue_with st
+    | Il.Ldfld (cid, fidx) ->
+        let fd = class_field pc cid fidx in
+        let st = pop_expect pc Il.S_ref st in
+        continue_with (push pc (vt fd.Classes.f_type) st)
+    | Il.Stfld (cid, fidx) ->
+        let fd = class_field pc cid fidx in
+        let st = pop_expect pc (vt fd.Classes.f_type) st in
+        let st = pop_expect pc Il.S_ref st in
+        continue_with st
+    | Il.Isinst cid ->
+        (match Classes.find registry cid with
+        | exception Not_found -> fail pc "unknown class id %d" cid
+        | _ -> ());
+        let st = pop_expect pc Il.S_ref st in
+        continue_with (push pc Il.S_int st)
+    | Il.Newobj cid ->
+        (match Classes.find registry cid with
+        | exception Not_found -> fail pc "unknown class id %d" cid
+        | mt -> (
+            match mt.Classes.c_kind with
+            | Classes.K_class -> ()
+            | Classes.K_array _ | Classes.K_md_array _ ->
+                fail pc "newobj on array class %s" mt.Classes.c_name));
+        continue_with (push pc Il.S_ref st)
+    | Il.Newarr _ ->
+        let st = pop_expect pc Il.S_int st in
+        continue_with (push pc Il.S_ref st)
+    | Il.Ldlen ->
+        let st = pop_expect pc Il.S_ref st in
+        continue_with (push pc Il.S_int st)
+    | Il.Ldelem elem ->
+        let st = pop_expect pc Il.S_int st in
+        let st = pop_expect pc Il.S_ref st in
+        continue_with (push pc (elem_vtype elem) st)
+    | Il.Stelem elem ->
+        let st = pop_expect pc (elem_vtype elem) st in
+        let st = pop_expect pc Il.S_int st in
+        let st = pop_expect pc Il.S_ref st in
+        continue_with st
+    | Il.Newmd (_, rank) ->
+        let st = ref st in
+        for _ = 1 to rank do
+          st := pop_expect pc Il.S_int !st
+        done;
+        continue_with (push pc Il.S_ref !st)
+    | Il.Ldelem_md (elem, rank) ->
+        let st = ref st in
+        for _ = 1 to rank do
+          st := pop_expect pc Il.S_int !st
+        done;
+        let st = pop_expect pc Il.S_ref !st in
+        continue_with (push pc (elem_vtype elem) st)
+    | Il.Stelem_md (elem, rank) ->
+        let st = pop_expect pc (elem_vtype elem) st in
+        let st = ref st in
+        for _ = 1 to rank do
+          st := pop_expect pc Il.S_int !st
+        done;
+        let st = pop_expect pc Il.S_ref !st in
+        continue_with st
+    | Il.Call mid ->
+        if mid < 0 || mid >= Array.length program.Il.methods then
+          fail pc "unknown method id %d" mid;
+        let callee = program.Il.methods.(mid) in
+        let st =
+          List.fold_left
+            (fun st ty -> pop_expect pc (vt ty) st)
+            st
+            (List.rev callee.Il.m_params)
+        in
+        let st =
+          match callee.Il.m_ret with
+          | None -> st
+          | Some ty -> push pc (vt ty) st
+        in
+        continue_with st
+    | Il.Intcall name -> (
+        match intcall name with
+        | None -> fail pc "unknown internal call %s" name
+        | Some (param_tys, ret) ->
+            let st =
+              List.fold_left
+                (fun st ty -> pop_expect pc (vt ty) st)
+                st (List.rev param_tys)
+            in
+            let st =
+              match ret with None -> st | Some ty -> push pc (vt ty) st
+            in
+            continue_with st)
+    | Il.Ret -> (
+        match (m.Il.m_ret, st) with
+        | None, [] -> ()
+        | Some ty, [ v ] when v = vt ty -> ()
+        | None, _ :: _ -> fail pc "ret with non-empty stack"
+        | Some _, _ -> fail pc "ret with wrong stack shape")
+    | Il.Pop ->
+        let _, st = pop pc st in
+        continue_with st
+    | Il.Dup ->
+        let v, _ = pop pc st in
+        continue_with (push pc v st)
+  done
+
+let verify_program registry program ~intcall =
+  Array.iter (verify_method registry program ~intcall) program.Il.methods;
+  if
+    program.Il.entry < 0
+    || program.Il.entry >= Array.length program.Il.methods
+  then raise (Verify_error "entry method id out of range")

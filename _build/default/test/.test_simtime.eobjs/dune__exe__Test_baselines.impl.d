@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Fiber Motor Printf QCheck QCheck_alcotest Simtime Vm

@@ -1,0 +1,1 @@
+test/test_cart.ml: Alcotest Array Bytes Int32 Mpi_core Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_collectives.ml: Alcotest Array Bytes Char Int32 Int64 List Mpi_core Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fiber.ml: Alcotest Fiber List Printf QCheck QCheck_alcotest

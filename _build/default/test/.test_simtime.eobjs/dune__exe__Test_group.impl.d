@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Array Bytes Int32 List Mpi_core QCheck QCheck_alcotest

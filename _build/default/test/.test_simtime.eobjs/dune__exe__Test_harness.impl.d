@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Format Harness List Option Printf String Vm

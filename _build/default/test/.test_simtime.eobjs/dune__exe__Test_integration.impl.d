@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Buffer Bytes Char Fiber Format In_channel Int32 Int64 List Motor Mpi_core Option Printf QCheck QCheck_alcotest Simtime String Sys Vm

@@ -1,0 +1,1 @@
+test/test_managed_api.ml: Alcotest Array In_channel List Motor Printf Simtime Sys Vm

@@ -1,0 +1,1 @@
+test/test_motor.ml: Alcotest Array Bytes Fiber List Motor Mpi_core Option Printf QCheck QCheck_alcotest Simtime Vm

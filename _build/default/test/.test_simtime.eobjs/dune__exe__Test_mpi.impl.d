@@ -1,0 +1,1 @@
+test/test_mpi.ml: Alcotest Array Bytes Char Fiber Gen Int32 Int64 List Mpi_core Printf QCheck QCheck_alcotest Simtime

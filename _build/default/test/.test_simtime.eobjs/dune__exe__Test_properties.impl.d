@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bytes Hashtbl Int32 List Motor Option Printf QCheck QCheck_alcotest Vm

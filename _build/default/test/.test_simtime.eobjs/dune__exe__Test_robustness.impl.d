@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Buffer Bytes Char Hashtbl List Motor Printf QCheck QCheck_alcotest String Vm

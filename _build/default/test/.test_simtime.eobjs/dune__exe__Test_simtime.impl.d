@@ -1,0 +1,1 @@
+test/test_simtime.ml: Alcotest Float List QCheck QCheck_alcotest Simtime

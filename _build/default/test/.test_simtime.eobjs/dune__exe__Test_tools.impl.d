@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Buffer Bytes Fiber Format Harness List Mpi_core Simtime String

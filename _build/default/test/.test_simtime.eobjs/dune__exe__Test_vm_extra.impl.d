@@ -1,0 +1,1 @@
+test/test_vm_extra.ml: Alcotest Buffer Format Int64 List Printf QCheck QCheck_alcotest String Vm

@@ -1,0 +1,259 @@
+(* Tests for the comparator systems: standard serializers (opt-out
+   traversal, recursion limit, block-mode bump), call gateways, and the
+   managed-wrapper transport's per-operation pinning. *)
+
+module Std = Baselines.Std_serializer
+module Gate = Baselines.Call_gate
+module Wt = Baselines.Wrapper_transport
+module World = Motor.World
+module Om = Vm.Object_model
+module Gc = Vm.Gc
+module Classes = Vm.Classes
+module Types = Vm.Types
+module Key = Simtime.Stats.Key
+
+let with_runtime ?cost f =
+  let rt = Vm.Runtime.create ?cost () in
+  f rt.Vm.Runtime.gc rt.Vm.Runtime.registry rt.Vm.Runtime.env
+
+(* A class with one transportable and one plain reference — where Motor's
+   opt-in and the standard opt-out traversals disagree. *)
+let pair_class registry =
+  match Classes.find_by_name registry "Pair" with
+  | Some mt when Array.length mt.Classes.c_fields > 0 -> mt
+  | Some _ | None ->
+      let id = Classes.declare registry ~name:"Pair" in
+      Classes.complete registry id
+        ~fields:
+          [
+            ("a", Types.Ref id, true);
+            ("b", Types.Ref id, false);
+            ("v", Types.Prim Types.I4, false);
+          ]
+        ()
+
+let chain gc registry ~len =
+  let mt = pair_class registry in
+  let fa = Classes.field mt "a" in
+  let head = ref (Om.null gc) in
+  for i = len - 1 downto 0 do
+    let n = Om.alloc_instance gc mt in
+    Om.set_int gc n (Classes.field mt "v") i;
+    if not (Om.is_null gc !head) then begin
+      Om.set_ref gc n fa (Some !head);
+      Om.free gc !head
+    end;
+    head := n
+  done;
+  !head
+
+let test_opt_out_traversal () =
+  with_runtime (fun gc registry _env ->
+      let mt = pair_class registry in
+      let x = Om.alloc_instance gc mt in
+      let y = Om.alloc_instance gc mt in
+      (* y hangs off the NON-transportable field b. *)
+      Om.set_ref gc x (Classes.field mt "b") (Some y);
+      (* Motor's opt-in serializer prunes it... *)
+      let motor_repr = Motor.Serializer.serialize gc ~visited:Hashed x in
+      Alcotest.(check int) "motor ships 1 object" 1
+        (Motor.Serializer.object_count motor_repr);
+      (* ...the standard opt-out serializer ships it. *)
+      let std_repr = Std.serialize Std.clr_sscli gc x in
+      Alcotest.(check int) "standard ships 2 objects" 2
+        (Std.object_count std_repr))
+
+let test_std_roundtrip () =
+  with_runtime (fun gc registry _env ->
+      let head = chain gc registry ~len:20 in
+      let copy = Std.deserialize Std.clr_dotnet gc
+          (Std.serialize Std.clr_dotnet gc head)
+      in
+      let mt = pair_class registry in
+      let fa = Classes.field mt "a" in
+      let fv = Classes.field mt "v" in
+      let rec walk o i =
+        Alcotest.(check int) (Printf.sprintf "node %d" i) i
+          (Om.get_int gc o fv);
+        match Om.get_ref gc o fa with
+        | Some next -> walk next (i + 1)
+        | None -> i + 1
+      in
+      Alcotest.(check int) "length preserved" 20 (walk copy 0))
+
+let test_java_recursion_limit () =
+  with_runtime (fun gc registry _env ->
+      (* Within budget. *)
+      let ok = chain gc registry ~len:500 in
+      ignore (Std.serialize Std.java gc ok);
+      (* Past it: the paper's stack overflow. *)
+      let too_long = chain gc registry ~len:1200 in
+      Alcotest.check_raises "stack overflow" Std.Stack_overflow_sim
+        (fun () -> ignore (Std.serialize Std.java gc too_long)))
+
+let test_clr_has_no_recursion_limit () =
+  with_runtime (fun gc registry _env ->
+      let long = chain gc registry ~len:3000 in
+      let repr = Std.serialize Std.clr_sscli gc long in
+      Alcotest.(check int) "all objects shipped" 3000
+        (Std.object_count repr))
+
+let test_java_block_mode_bump () =
+  (* Crossing the block-data threshold must cost visibly more than scaling
+     within either regime. *)
+  let time_for len =
+    with_runtime (fun gc registry env ->
+        let head = chain gc registry ~len in
+        let t0 = Simtime.Env.now_us env in
+        ignore (Std.serialize Std.java gc head);
+        Simtime.Env.now_us env -. t0)
+  in
+  let t128 = time_for 128 and t256 = time_for 256 and t512 = time_for 512 in
+  let step_before = t256 /. t128 in
+  let step_at = t512 /. t256 in
+  Alcotest.(check bool)
+    (Printf.sprintf "bump: x%.2f then x%.2f" step_before step_at)
+    true
+    (step_at > 1.4 *. step_before)
+
+let test_call_gate_costs () =
+  let env = Simtime.Env.create ~cost:Simtime.Cost.indiana_sscli () in
+  let t0 = Simtime.Env.now_us env in
+  Gate.enter Gate.Pinvoke env ~args:6;
+  let pinvoke_cost = Simtime.Env.now_us env -. t0 in
+  Alcotest.(check bool) "costs time" true (pinvoke_cost > 0.0);
+  Alcotest.(check int) "counted" 1
+    (Simtime.Stats.get env.Simtime.Env.stats Key.pinvokes);
+  (* FCall (Motor) must be cheaper than either gateway. *)
+  let fcall = Simtime.Cost.motor.Simtime.Cost.fcall_ns /. 1000.0 in
+  Alcotest.(check bool) "fcall cheaper" true (fcall < pinvoke_cost)
+
+let test_wrapper_pins_every_op () =
+  let w = World.create ~cost:Simtime.Cost.indiana_sscli ~n:2 () in
+  let comm = World.comm_world w in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let buf = Om.alloc_array gc (Types.Eprim Types.I4) 32 in
+      for _ = 1 to 5 do
+        if World.rank ctx = 0 then begin
+          Wt.send ~mech:Gate.Pinvoke ctx ~comm ~dst:1 ~tag:0 buf;
+          ignore (Wt.recv ~mech:Gate.Pinvoke ctx ~comm ~src:1 ~tag:0 buf)
+        end
+        else begin
+          ignore (Wt.recv ~mech:Gate.Pinvoke ctx ~comm ~src:0 ~tag:0 buf);
+          Wt.send ~mech:Gate.Pinvoke ctx ~comm ~dst:0 ~tag:0 buf
+        end
+      done);
+  let stats = (World.env w).Simtime.Env.stats in
+  (* 5 iterations x 2 ops x 2 ranks. *)
+  Alcotest.(check int) "20 pins" 20 (Simtime.Stats.get stats Key.pins);
+  Alcotest.(check int) "20 unpins" 20 (Simtime.Stats.get stats Key.unpins);
+  Alcotest.(check int) "20 p/invokes" 20
+    (Simtime.Stats.get stats Key.pinvokes)
+
+let test_wrapper_does_not_gc_poll () =
+  (* A GC requested while the wrapper blocks in native code must stay
+     pending until the call returns — the opposite of Motor's FCall. *)
+  let w = World.create ~cost:Simtime.Cost.indiana_sscli ~n:2 () in
+  let comm = World.comm_world w in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let buf = Om.alloc_array gc (Types.Eprim Types.I4) 32 in
+      if World.rank ctx = 0 then begin
+        for _ = 1 to 5 do
+          Fiber.yield ()
+        done;
+        Wt.send ~mech:Gate.Pinvoke ctx ~comm ~dst:1 ~tag:0 buf
+      end
+      else begin
+        Gc.request_gc gc;
+        ignore (Wt.recv ~mech:Gate.Pinvoke ctx ~comm ~src:0 ~tag:0 buf);
+        Alcotest.(check bool) "gc still pending after native call" true
+          (Gc.gc_pending gc)
+      end)
+
+let test_wrapper_serialized_roundtrip () =
+  let w = World.create ~cost:Simtime.Cost.mpijava ~n:2 () in
+  let comm = World.comm_world w in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let registry = World.registry ctx in
+      (* Both runtimes must know the class, as both SSCLIs would. *)
+      ignore (pair_class registry);
+      if World.rank ctx = 0 then begin
+        let head = chain gc registry ~len:10 in
+        let data = Std.serialize Std.java gc head in
+        Wt.send_serialized ~mech:Gate.Jni ctx ~comm ~dst:1 ~tag:0 data
+      end
+      else begin
+        let data = Wt.recv_serialized ~mech:Gate.Jni ctx ~comm ~src:0 ~tag:0 in
+        let copy = Std.deserialize Std.java gc data in
+        let mt = pair_class registry in
+        Alcotest.(check int) "first value" 0
+          (Om.get_int gc copy (Classes.field mt "v"))
+      end)
+
+let prop_std_and_motor_agree_on_fully_transportable =
+  QCheck.Test.make
+    ~name:"std and motor serializers ship the same objects when all fields \
+           are transportable"
+    ~count:30
+    QCheck.(int_range 1 60)
+    (fun len ->
+      with_runtime (fun gc registry _env ->
+          let mt =
+            match Classes.find_by_name registry "AllT" with
+            | Some mt -> mt
+            | None ->
+                let id = Classes.declare registry ~name:"AllT" in
+                Classes.complete registry id
+                  ~fields:[ ("next", Types.Ref id, true) ]
+                  ()
+          in
+          let fnext = Classes.field mt "next" in
+          let head = ref (Om.null gc) in
+          for _ = 1 to len do
+            let n = Om.alloc_instance gc mt in
+            if not (Om.is_null gc !head) then begin
+              Om.set_ref gc n fnext (Some !head);
+              Om.free gc !head
+            end;
+            head := n
+          done;
+          let m = Motor.Serializer.serialize gc ~visited:Hashed !head in
+          let s = Std.serialize Std.clr_dotnet gc !head in
+          Motor.Serializer.object_count m = Std.object_count s))
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "std serializers",
+        [
+          Alcotest.test_case "opt-out traversal" `Quick
+            test_opt_out_traversal;
+          Alcotest.test_case "roundtrip" `Quick test_std_roundtrip;
+          Alcotest.test_case "java recursion limit" `Quick
+            test_java_recursion_limit;
+          Alcotest.test_case "clr has no recursion limit" `Quick
+            test_clr_has_no_recursion_limit;
+          Alcotest.test_case "java block-mode bump" `Quick
+            test_java_block_mode_bump;
+        ] );
+      ( "call gates",
+        [ Alcotest.test_case "costs and counters" `Quick test_call_gate_costs ]
+      );
+      ( "wrapper transport",
+        [
+          Alcotest.test_case "pins every operation" `Quick
+            test_wrapper_pins_every_op;
+          Alcotest.test_case "does not gc-poll in native code" `Quick
+            test_wrapper_does_not_gc_poll;
+          Alcotest.test_case "serialized roundtrip over JNI" `Quick
+            test_wrapper_serialized_roundtrip;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest
+            prop_std_and_motor_agree_on_fully_transportable;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+(* Tests for Cartesian topologies: factorisation, coordinate mapping,
+   periodic wrapping, shifts, and a real neighbour exchange on the grid. *)
+
+module Mpi = Mpi_core.Mpi
+module Cart = Mpi_core.Cart
+module Comm = Mpi_core.Comm
+module Bv = Mpi_core.Buffer_view
+
+let test_dims_create () =
+  Alcotest.(check (array int)) "12 in 2D" [| 4; 3 |]
+    (Cart.dims_create ~nnodes:12 ~ndims:2);
+  Alcotest.(check (array int)) "8 in 3D" [| 2; 2; 2 |]
+    (Cart.dims_create ~nnodes:8 ~ndims:3);
+  Alcotest.(check (array int)) "7 in 2D" [| 7; 1 |]
+    (Cart.dims_create ~nnodes:7 ~ndims:2);
+  Alcotest.(check (array int)) "1 in 1D" [| 1 |]
+    (Cart.dims_create ~nnodes:1 ~ndims:1)
+
+let test_coords_roundtrip () =
+  ignore
+    (Mpi.run ~n:6 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         match
+           Cart.create p comm ~dims:[| 3; 2 |]
+             ~periodic:[| false; false |]
+         with
+         | None -> Alcotest.fail "6 ranks fit a 3x2 grid"
+         | Some cart ->
+             for r = 0 to 5 do
+               let cs = Cart.coords cart r in
+               Alcotest.(check (option int))
+                 (Printf.sprintf "rank %d roundtrips" r)
+                 (Some r)
+                 (Cart.rank_of_coords cart cs)
+             done;
+             (* Row-major: rank 4 of a 3x2 grid is (2,0). *)
+             Alcotest.(check (array int)) "row-major" [| 2; 0 |]
+               (Cart.coords cart 4)))
+
+let test_periodic_wrap_and_boundaries () =
+  ignore
+    (Mpi.run ~n:4 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         match
+           Cart.create p comm ~dims:[| 2; 2 |] ~periodic:[| true; false |]
+         with
+         | None -> Alcotest.fail "4 ranks fit"
+         | Some cart ->
+             (* Periodic dimension wraps... *)
+             Alcotest.(check (option int)) "wraps" (Some 0)
+               (Cart.rank_of_coords cart [| 2; 0 |]);
+             (* ...the non-periodic one does not. *)
+             Alcotest.(check (option int)) "clamps" None
+               (Cart.rank_of_coords cart [| 0; 2 |]);
+             let me = Mpi.comm_rank p (Cart.comm cart) in
+             let src, dst = Cart.shift cart p ~dim:0 ~disp:1 in
+             Alcotest.(check bool) "periodic shift always has neighbours"
+               true
+               (src <> None && dst <> None);
+             let _, dst1 = Cart.shift cart p ~dim:1 ~disp:1 in
+             let cs = Cart.coords cart me in
+             Alcotest.(check bool) "non-periodic edge hits PROC_NULL" true
+               (if cs.(1) = 1 then dst1 = None else dst1 <> None)))
+
+let test_grid_neighbour_exchange () =
+  (* Each member sends its grid rank to its +x neighbour on a periodic
+     ring dimension; everyone must receive its -x neighbour's rank. *)
+  ignore
+    (Mpi.run ~n:6 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         match
+           Cart.create p comm ~dims:[| 3; 2 |] ~periodic:[| true; false |]
+         with
+         | None -> Alcotest.fail "fits"
+         | Some cart ->
+             let gcomm = Cart.comm cart in
+             let me = Mpi.comm_rank p gcomm in
+             let src, dst = Cart.shift cart p ~dim:0 ~disp:1 in
+             let src = Option.get src and dst = Option.get dst in
+             let outb = Bytes.create 4 and inb = Bytes.create 4 in
+             Bytes.set_int32_le outb 0 (Int32.of_int me);
+             ignore
+               (Mpi.sendrecv p ~comm:gcomm ~dst ~send_tag:0
+                  ~send:(Bv.of_bytes outb) ~src ~recv_tag:0
+                  ~recv:(Bv.of_bytes inb));
+             Alcotest.(check int)
+               (Printf.sprintf "rank %d heard from its -x neighbour" me)
+               src
+               (Int32.to_int (Bytes.get_int32_le inb 0))))
+
+let test_excess_ranks_get_none () =
+  let got = Array.make 5 true in
+  ignore
+    (Mpi.run ~n:5 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         let cart =
+           Cart.create p comm ~dims:[| 2; 2 |] ~periodic:[| false; false |]
+         in
+         got.(Mpi.rank p) <- cart <> None));
+  Alcotest.(check (array bool)) "rank 4 left out"
+    [| true; true; true; true; false |]
+    got
+
+let prop_coords_bijective =
+  QCheck.Test.make ~name:"coords and rank_of_coords are inverse" ~count:50
+    QCheck.(pair (int_range 1 4) (int_range 1 4))
+    (fun (d0, d1) ->
+      let n = d0 * d1 in
+      let ok = ref true in
+      ignore
+        (Mpi.run ~n (fun p ->
+             let comm = Mpi.comm_world (Mpi.world_of p) in
+             match
+               Cart.create p comm ~dims:[| d0; d1 |]
+                 ~periodic:[| false; false |]
+             with
+             | None -> ok := false
+             | Some cart ->
+                 if Mpi.rank p = 0 then
+                   for r = 0 to n - 1 do
+                     if Cart.rank_of_coords cart (Cart.coords cart r)
+                        <> Some r
+                     then ok := false
+                   done));
+      !ok)
+
+let prop_dims_create_partitions =
+  QCheck.Test.make ~name:"dims_create multiplies back to nnodes" ~count:100
+    QCheck.(pair (int_range 1 64) (int_range 1 4))
+    (fun (nnodes, ndims) ->
+      let dims = Cart.dims_create ~nnodes ~ndims in
+      Array.length dims = ndims
+      && Array.fold_left ( * ) 1 dims = nnodes
+      && Array.for_all (fun d -> d >= 1) dims)
+
+let () =
+  Alcotest.run "cart"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "dims_create" `Quick test_dims_create;
+          Alcotest.test_case "coords roundtrip" `Quick
+            test_coords_roundtrip;
+          Alcotest.test_case "periodic wrap and boundaries" `Quick
+            test_periodic_wrap_and_boundaries;
+          Alcotest.test_case "grid neighbour exchange" `Quick
+            test_grid_neighbour_exchange;
+          Alcotest.test_case "excess ranks get none" `Quick
+            test_excess_ranks_get_none;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_coords_bijective;
+          QCheck_alcotest.to_alcotest prop_dims_create_partitions;
+        ] );
+    ]

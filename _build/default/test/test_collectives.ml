@@ -1,0 +1,356 @@
+(* Edge cases and properties for the collective operations: singleton
+   communicators, non-zero roots, derived communicators, argument
+   validation, and algebraic properties against sequential references. *)
+
+module Mpi = Mpi_core.Mpi
+module Comm = Mpi_core.Comm
+module Coll = Mpi_core.Collectives
+module Bv = Mpi_core.Buffer_view
+
+let payload n = Bytes.init n (fun i -> Char.chr ((i * 3 + n) land 0xff))
+
+let test_singleton_world_collectives () =
+  (* Every collective must degenerate correctly when alone. *)
+  ignore
+    (Mpi.run ~n:1 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         Coll.barrier p comm;
+         let b = Bytes.copy (payload 64) in
+         Coll.bcast p comm ~root:0 (Bv.of_bytes b);
+         Alcotest.(check bytes) "bcast self" (payload 64) b;
+         let mine = Bytes.create 16 in
+         Coll.scatter p comm ~root:0
+           ~parts:(Some [| Bv.of_bytes (payload 16) |])
+           ~recv:(Bv.of_bytes mine);
+         Alcotest.(check bytes) "scatter self" (payload 16) mine;
+         let out = Bytes.create 16 in
+         Coll.gather p comm ~root:0 ~send:(Bv.of_bytes mine)
+           ~parts:(Some [| Bv.of_bytes out |]);
+         Alcotest.(check bytes) "gather self" (payload 16) out;
+         let blocks = Coll.allgather p comm ~send:(payload 8) in
+         Alcotest.(check int) "one block" 1 (Array.length blocks);
+         let acc = Coll.allreduce p comm ~op:Coll.sum_i32 (payload 8) in
+         Alcotest.(check bytes) "allreduce identity" (payload 8) acc;
+         let r = Coll.alltoall p comm ~send:[| payload 4 |] in
+         Alcotest.(check bytes) "alltoall self" (payload 4) r.(0)))
+
+let test_nonzero_roots () =
+  let n = 5 in
+  ignore
+    (Mpi.run ~n (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         let r = Mpi.rank p in
+         (* Scatter from root 3. *)
+         let mine = Bytes.create 4 in
+         let parts =
+           if r = 3 then
+             Some (Array.init n (fun i -> Bv.of_bytes (Bytes.make 4 (Char.chr (65 + i)))))
+           else None
+         in
+         Coll.scatter p comm ~root:3 ~parts ~recv:(Bv.of_bytes mine);
+         Alcotest.(check bytes)
+           (Printf.sprintf "rank %d part" r)
+           (Bytes.make 4 (Char.chr (65 + r)))
+           mine;
+         (* Reduce to root 4. *)
+         let b = Bytes.create 4 in
+         Bytes.set_int32_le b 0 (Int32.of_int (1 lsl r));
+         match Coll.reduce p comm ~root:4 ~op:Coll.sum_i32 b with
+         | Some acc ->
+             Alcotest.(check int) "root is 4" 4 r;
+             Alcotest.(check int) "bitmask sum" 0b11111
+               (Int32.to_int (Bytes.get_int32_le acc 0))
+         | None -> Alcotest.(check bool) "non-root" true (r <> 4)))
+
+let test_collectives_on_split_comm () =
+  (* Collectives must work on derived communicators with remapped ranks. *)
+  let n = 6 in
+  ignore
+    (Mpi.run ~n (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         let r = Mpi.rank p in
+         let sub = Mpi.comm_split p comm ~color:(r mod 2) ~key:r in
+         let b = Bytes.create 4 in
+         Bytes.set_int32_le b 0 (Int32.of_int r);
+         let acc = Coll.allreduce p sub ~op:Coll.sum_i32 b in
+         let expected = if r mod 2 = 0 then 0 + 2 + 4 else 1 + 3 + 5 in
+         Alcotest.(check int)
+           (Printf.sprintf "rank %d group sum" r)
+           expected
+           (Int32.to_int (Bytes.get_int32_le acc 0));
+         (* Bcast from the last member of each group. *)
+         let v = Bytes.create 4 in
+         if Mpi.comm_rank p sub = 2 then Bytes.set_int32_le v 0 99l;
+         Coll.bcast p sub ~root:2 (Bv.of_bytes v);
+         Alcotest.(check int) "group bcast" 99
+           (Int32.to_int (Bytes.get_int32_le v 0))))
+
+let test_alltoall_validation () =
+  ignore
+    (Mpi.run ~n:2 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         (try
+            ignore (Coll.alltoall p comm ~send:[| payload 4 |]);
+            Alcotest.fail "expected arity error"
+          with Invalid_argument _ -> ());
+         (try
+            ignore
+              (Coll.alltoall p comm ~send:[| payload 4; payload 8 |]);
+            Alcotest.fail "expected block-size error"
+          with Invalid_argument _ -> ());
+         (* A correct call must still work afterwards. *)
+         let r =
+           Coll.alltoall p comm ~send:[| payload 4; payload 4 |]
+         in
+         Alcotest.(check bytes) "recovered" (payload 4) r.(0)))
+
+let test_barrier_stress () =
+  let n = 7 in
+  let rounds = 25 in
+  let counters = Array.make n 0 in
+  ignore
+    (Mpi.run ~n (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         for round = 1 to rounds do
+           counters.(Mpi.rank p) <- round;
+           Coll.barrier p comm;
+           (* After each barrier everyone must be at the same round. *)
+           Array.iteri
+             (fun i c ->
+               Alcotest.(check bool)
+                 (Printf.sprintf "round %d rank %d sees %d" round
+                    (Mpi.rank p) i)
+                 true (c >= round))
+             counters;
+           Coll.barrier p comm
+         done))
+
+let prop_reduce_matches_sequential_fold =
+  QCheck.Test.make ~name:"reduce sum equals a sequential fold" ~count:40
+    QCheck.(triple (int_range 1 8) (int_range 0 7) (list small_int))
+    (fun (n, root_seed, xs) ->
+      let root = root_seed mod n in
+      let values = Array.init n (fun r -> List.nth_opt xs r |> Option.value ~default:(r * 7)) in
+      let result = ref None in
+      ignore
+        (Mpi.run ~n (fun p ->
+             let comm = Mpi.comm_world (Mpi.world_of p) in
+             let b = Bytes.create 8 in
+             Bytes.set_int64_le b 0 (Int64.of_int values.(Mpi.rank p));
+             match Coll.reduce p comm ~root ~op:Coll.sum_i64 b with
+             | Some acc -> result := Some (Bytes.get_int64_le acc 0)
+             | None -> ()));
+      !result = Some (Int64.of_int (Array.fold_left ( + ) 0 values)))
+
+let prop_bcast_delivers_everywhere =
+  QCheck.Test.make ~name:"bcast delivers identical bytes at every rank"
+    ~count:25
+    QCheck.(triple (int_range 2 6) (int_range 1 120_000) (int_range 0 5))
+    (fun (n, size, root_seed) ->
+      let root = root_seed mod n in
+      let ok = ref true in
+      ignore
+        (Mpi.run ~n (fun p ->
+             let comm = Mpi.comm_world (Mpi.world_of p) in
+             let b =
+               if Mpi.rank p = root then Bytes.copy (payload size)
+               else Bytes.create size
+             in
+             Coll.bcast p comm ~root (Bv.of_bytes b);
+             if not (Bytes.equal b (payload size)) then ok := false));
+      !ok)
+
+let prop_allgather_collects_everyone =
+  QCheck.Test.make ~name:"allgather collects every member's block in order"
+    ~count:30
+    QCheck.(pair (int_range 1 7) (int_range 1 64))
+    (fun (n, blk) ->
+      let ok = ref true in
+      ignore
+        (Mpi.run ~n (fun p ->
+             let comm = Mpi.comm_world (Mpi.world_of p) in
+             let mine = Bytes.make blk (Char.chr (48 + Mpi.rank p)) in
+             let blocks = Coll.allgather p comm ~send:mine in
+             Array.iteri
+               (fun i b ->
+                 if not (Bytes.equal b (Bytes.make blk (Char.chr (48 + i))))
+                 then ok := false)
+               blocks));
+      !ok)
+
+let prop_alltoall_is_transpose =
+  QCheck.Test.make ~name:"alltoall is a transpose" ~count:25
+    QCheck.(int_range 1 6)
+    (fun n ->
+      let ok = ref true in
+      ignore
+        (Mpi.run ~n (fun p ->
+             let comm = Mpi.comm_world (Mpi.world_of p) in
+             let me = Mpi.rank p in
+             let send =
+               Array.init n (fun r ->
+                   let b = Bytes.create 2 in
+                   Bytes.set b 0 (Char.chr me);
+                   Bytes.set b 1 (Char.chr r);
+                   b)
+             in
+             let recv = Coll.alltoall p comm ~send in
+             Array.iteri
+               (fun r b ->
+                 if Char.code (Bytes.get b 0) <> r
+                    || Char.code (Bytes.get b 1) <> me
+                 then ok := false)
+               recv));
+      !ok)
+
+
+let test_scan_prefix_sums () =
+  let n = 5 in
+  ignore
+    (Mpi.run ~n (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         let r = Mpi.rank p in
+         let b = Bytes.create 8 in
+         Bytes.set_int64_le b 0 (Int64.of_int (r + 1));
+         let acc = Coll.scan p comm ~op:Coll.sum_i64 b in
+         (* inclusive prefix: 1+2+...+(r+1) *)
+         let expected = (r + 1) * (r + 2) / 2 in
+         Alcotest.(check int)
+           (Printf.sprintf "rank %d prefix" r)
+           expected
+           (Int64.to_int (Bytes.get_int64_le acc 0))))
+
+let test_scan_order_for_noncommutative () =
+  (* "subtract" is not commutative: scan must fold strictly in rank
+     order: ((v0 - v1) - v2) ... *)
+  let n = 4 in
+  let sub acc x =
+    let a = Bytes.get_int64_le acc 0 and b = Bytes.get_int64_le x 0 in
+    Bytes.set_int64_le acc 0 (Int64.sub a b)
+  in
+  ignore
+    (Mpi.run ~n (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         let r = Mpi.rank p in
+         let b = Bytes.create 8 in
+         Bytes.set_int64_le b 0 (Int64.of_int (10 * (r + 1)));
+         let acc = Coll.scan p comm ~op:sub b in
+         (* prefix r: 10 - 20 - ... - 10(r+1) *)
+         let expected = 10 - (List.fold_left ( + ) 0 (List.init r (fun i -> 10 * (i + 2)))) in
+         Alcotest.(check int)
+           (Printf.sprintf "rank %d ordered fold" r)
+           expected
+           (Int64.to_int (Bytes.get_int64_le acc 0))))
+
+let test_reduce_scatter_block () =
+  let n = 4 in
+  ignore
+    (Mpi.run ~n (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         let r = Mpi.rank p in
+         (* Each member contributes [r; r; r; r] as 4 int32 blocks of 1. *)
+         let b = Bytes.create (4 * n) in
+         for i = 0 to n - 1 do
+           Bytes.set_int32_le b (4 * i) (Int32.of_int ((r + 1) * (i + 1)))
+         done;
+         let mine = Coll.reduce_scatter_block p comm ~op:Coll.sum_i32 b in
+         Alcotest.(check int) "block size" 4 (Bytes.length mine);
+         (* Element i of the reduction is (i+1) * sum(r+1) = (i+1)*10. *)
+         Alcotest.(check int)
+           (Printf.sprintf "rank %d block" r)
+           ((r + 1) * 10)
+           (Int32.to_int (Bytes.get_int32_le mine 0))))
+
+let test_reduce_scatter_block_validation () =
+  ignore
+    (Mpi.run ~n:3 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         try
+           ignore
+             (Coll.reduce_scatter_block p comm ~op:Coll.sum_i32
+                (Bytes.create 8));
+           Alcotest.fail "expected length error"
+         with Invalid_argument _ -> ()))
+
+let test_persistent_requests () =
+  let rounds = 6 in
+  ignore
+    (Mpi.run ~n:2 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         let other = 1 - Mpi.rank p in
+         let outb = Bytes.create 8 and inb = Bytes.create 8 in
+         let psend =
+           Mpi_core.Persistent.send_init p ~comm ~dst:other ~tag:2
+             (Bv.of_bytes outb)
+         in
+         let precv =
+           Mpi_core.Persistent.recv_init p ~comm ~src:other ~tag:2
+             (Bv.of_bytes inb)
+         in
+         for round = 1 to rounds do
+           Bytes.set_int64_le outb 0
+             (Int64.of_int ((100 * Mpi.rank p) + round));
+           ignore
+             (Mpi_core.Persistent.start_all [ psend; precv ]);
+           ignore (Mpi_core.Persistent.wait psend);
+           ignore (Mpi_core.Persistent.wait precv);
+           Alcotest.(check int)
+             (Printf.sprintf "round %d payload" round)
+             ((100 * other) + round)
+             (Int64.to_int (Bytes.get_int64_le inb 0))
+         done))
+
+let test_persistent_restart_guard () =
+  ignore
+    (Mpi.run ~n:1 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         let b = Bytes.create 4 in
+         let precv =
+           Mpi_core.Persistent.recv_init p ~comm ~src:0 ~tag:1
+             (Bv.of_bytes b)
+         in
+         ignore (Mpi_core.Persistent.start precv);
+         (try
+            ignore (Mpi_core.Persistent.start precv);
+            Alcotest.fail "expected in-flight guard"
+          with Invalid_argument _ -> ());
+         (* Complete it with a matching self-send. *)
+         Mpi.send p ~comm ~dst:0 ~tag:1 (Bv.of_bytes (Bytes.create 4));
+         ignore (Mpi_core.Persistent.wait precv);
+         Alcotest.(check bool) "inactive after completion" false
+           (Mpi_core.Persistent.is_active precv)))
+
+let () =
+  Alcotest.run "collectives"
+    [
+      ( "edges",
+        [
+          Alcotest.test_case "singleton world" `Quick
+            test_singleton_world_collectives;
+          Alcotest.test_case "non-zero roots" `Quick test_nonzero_roots;
+          Alcotest.test_case "on split communicators" `Quick
+            test_collectives_on_split_comm;
+          Alcotest.test_case "alltoall validation" `Quick
+            test_alltoall_validation;
+          Alcotest.test_case "barrier stress" `Quick test_barrier_stress;
+          Alcotest.test_case "scan prefix sums" `Quick
+            test_scan_prefix_sums;
+          Alcotest.test_case "scan order (non-commutative)" `Quick
+            test_scan_order_for_noncommutative;
+          Alcotest.test_case "reduce_scatter_block" `Quick
+            test_reduce_scatter_block;
+          Alcotest.test_case "reduce_scatter_block validation" `Quick
+            test_reduce_scatter_block_validation;
+          Alcotest.test_case "persistent requests" `Quick
+            test_persistent_requests;
+          Alcotest.test_case "persistent restart guard" `Quick
+            test_persistent_restart_guard;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_reduce_matches_sequential_fold;
+          QCheck_alcotest.to_alcotest prop_bcast_delivers_everywhere;
+          QCheck_alcotest.to_alcotest prop_allgather_collects_everyone;
+          QCheck_alcotest.to_alcotest prop_alltoall_is_transpose;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+(* Unit tests for the cooperative fiber scheduler. *)
+
+let test_run_to_completion () =
+  let log = ref [] in
+  Fiber.run
+    [
+      ("a", fun () -> log := "a" :: !log);
+      ("b", fun () -> log := "b" :: !log);
+    ];
+  Alcotest.(check (list string)) "both ran" [ "a"; "b" ] (List.rev !log)
+
+let test_yield_interleaves () =
+  let log = ref [] in
+  let fiber name =
+    ( name,
+      fun () ->
+        log := (name ^ "1") :: !log;
+        Fiber.yield ();
+        log := (name ^ "2") :: !log )
+  in
+  Fiber.run [ fiber "a"; fiber "b" ];
+  Alcotest.(check (list string))
+    "round robin" [ "a1"; "b1"; "a2"; "b2" ] (List.rev !log)
+
+let test_wait_until_wakes () =
+  let flag = ref false in
+  let woke = ref false in
+  Fiber.run
+    [
+      ( "waiter",
+        fun () ->
+          Fiber.wait_until ~label:"flag" (fun () -> !flag);
+          woke := true );
+      ("setter", fun () -> flag := true);
+    ];
+  Alcotest.(check bool) "waiter woke" true !woke
+
+let test_deadlock_detected () =
+  let saw = ref [] in
+  (try
+     Fiber.run
+       [
+         ("stuck", fun () -> Fiber.wait_until ~label:"never" (fun () -> false));
+       ]
+   with Fiber.Deadlock labels -> saw := labels);
+  Alcotest.(check (list string)) "labels reported" [ "stuck/never" ] !saw
+
+let test_activity_defers_deadlock () =
+  (* A predicate that needs several scans but reports activity must not be
+     declared deadlocked. *)
+  let countdown = ref 5 in
+  let done_ = ref false in
+  Fiber.run
+    [
+      ( "poller",
+        fun () ->
+          Fiber.wait_until ~label:"countdown" (fun () ->
+              if !countdown = 0 then true
+              else begin
+                decr countdown;
+                Fiber.note_activity ();
+                false
+              end);
+          done_ := true );
+    ];
+  Alcotest.(check bool) "finished" true !done_
+
+let test_spawn_dynamic () =
+  let log = ref [] in
+  Fiber.run
+    [
+      ( "parent",
+        fun () ->
+          Fiber.spawn "child" (fun () -> log := "child" :: !log);
+          log := "parent" :: !log );
+    ];
+  Alcotest.(check (list string))
+    "child ran after parent" [ "parent"; "child" ] (List.rev !log)
+
+let test_exception_propagates () =
+  Alcotest.check_raises "exception escapes run" (Failure "boom") (fun () ->
+      Fiber.run [ ("bomb", fun () -> failwith "boom") ])
+
+let test_nested_run () =
+  let inner_done = ref false in
+  Fiber.run
+    [
+      ( "outer",
+        fun () ->
+          Fiber.run [ ("inner", fun () -> inner_done := true) ] );
+    ];
+  Alcotest.(check bool) "nested scheduler ran" true !inner_done
+
+let test_ping_pong_handshake () =
+  (* Two fibers alternating through shared state: the core pattern of the
+     MPI ping-pong workload. *)
+  let ball = ref 0 in
+  let hits = ref 0 in
+  let player me =
+    fun () ->
+      for _ = 1 to 10 do
+        Fiber.wait_until ~label:"turn" (fun () -> !ball = me);
+        incr hits;
+        ball := 1 - me
+      done
+  in
+  Fiber.run [ ("p0", player 0); ("p1", player 1) ];
+  Alcotest.(check int) "20 hits" 20 !hits
+
+let test_in_scheduler () =
+  Alcotest.(check bool) "outside" false (Fiber.in_scheduler ());
+  let inside = ref false in
+  Fiber.run [ ("probe", fun () -> inside := Fiber.in_scheduler ()) ];
+  Alcotest.(check bool) "inside" true !inside
+
+
+let test_wait_predicate_exception_propagates () =
+  Alcotest.check_raises "predicate exception escapes run"
+    (Failure "pred-boom") (fun () ->
+      Fiber.run
+        [
+          ( "waiter",
+            fun () ->
+              Fiber.yield ();
+              Fiber.wait_until ~label:"bad" (fun () -> failwith "pred-boom")
+          );
+        ])
+
+let test_spawned_fiber_exception_propagates () =
+  Alcotest.check_raises "spawned fiber exception escapes run"
+    (Failure "child-boom") (fun () ->
+      Fiber.run
+        [ ("parent", fun () -> Fiber.spawn "child" (fun () -> failwith "child-boom")) ])
+
+let prop_many_fibers_all_run =
+  QCheck.Test.make ~name:"n fibers all complete" ~count:50
+    QCheck.(int_range 1 64)
+    (fun n ->
+      let count = ref 0 in
+      let fibers =
+        List.init n (fun i ->
+            ( Printf.sprintf "f%d" i,
+              fun () ->
+                Fiber.yield ();
+                incr count ))
+      in
+      Fiber.run fibers;
+      !count = n)
+
+let () =
+  Alcotest.run "fiber"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "run to completion" `Quick
+            test_run_to_completion;
+          Alcotest.test_case "yield interleaves" `Quick
+            test_yield_interleaves;
+          Alcotest.test_case "wait_until wakes" `Quick test_wait_until_wakes;
+          Alcotest.test_case "deadlock detected" `Quick
+            test_deadlock_detected;
+          Alcotest.test_case "activity defers deadlock" `Quick
+            test_activity_defers_deadlock;
+          Alcotest.test_case "dynamic spawn" `Quick test_spawn_dynamic;
+          Alcotest.test_case "exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "nested run" `Quick test_nested_run;
+          Alcotest.test_case "ping-pong handshake" `Quick
+            test_ping_pong_handshake;
+          Alcotest.test_case "in_scheduler" `Quick test_in_scheduler;
+          Alcotest.test_case "wait predicate exception" `Quick
+            test_wait_predicate_exception_propagates;
+          Alcotest.test_case "spawned fiber exception" `Quick
+            test_spawned_fiber_exception_propagates;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_many_fibers_all_run ]);
+    ]

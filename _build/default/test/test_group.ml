@@ -1,0 +1,118 @@
+(* Tests for MPI process groups and group-derived communicators. *)
+
+module Mpi = Mpi_core.Mpi
+module Comm = Mpi_core.Comm
+module Group = Mpi_core.Group
+module Coll = Mpi_core.Collectives
+module Bv = Mpi_core.Buffer_view
+
+let g = Group.of_ranks
+
+let test_set_algebra () =
+  let a = g [ 0; 1; 2; 3 ] and b = g [ 2; 3; 4; 5 ] in
+  Alcotest.(check (array int)) "union" [| 0; 1; 2; 3; 4; 5 |]
+    (Group.members (Group.union a b));
+  Alcotest.(check (array int)) "intersection" [| 2; 3 |]
+    (Group.members (Group.intersection a b));
+  Alcotest.(check (array int)) "difference" [| 0; 1 |]
+    (Group.members (Group.difference a b));
+  Alcotest.(check (array int)) "incl reorders" [| 3; 1 |]
+    (Group.members (Group.incl a [ 3; 1 ]));
+  Alcotest.(check (array int)) "excl preserves order" [| 0; 2 |]
+    (Group.members (Group.excl a [ 1; 3 ]))
+
+let test_identity_and_similarity () =
+  let a = g [ 1; 2; 3 ] in
+  Alcotest.(check bool) "equal to itself" true (Group.equal a (g [ 1; 2; 3 ]));
+  Alcotest.(check bool) "not equal when reordered" false
+    (Group.equal a (g [ 3; 2; 1 ]));
+  Alcotest.(check bool) "similar when reordered" true
+    (Group.similar a (g [ 3; 2; 1 ]));
+  Alcotest.(check bool) "not similar when different" false
+    (Group.similar a (g [ 1; 2 ]))
+
+let test_rank_mapping () =
+  let a = g [ 5; 2; 9 ] in
+  Alcotest.(check (option int)) "world 2 is group 1" (Some 1)
+    (Group.rank_of a 2);
+  Alcotest.(check (option int)) "world 7 absent" None (Group.rank_of a 7);
+  Alcotest.(check int) "group 2 is world 9" 9 (Group.world_rank a 2)
+
+let test_validation () =
+  Alcotest.check_raises "duplicates rejected"
+    (Invalid_argument "Group.of_ranks: duplicate rank") (fun () ->
+      ignore (g [ 1; 1 ]));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Group.of_ranks: negative rank") (fun () ->
+      ignore (g [ -1 ]))
+
+let test_comm_create () =
+  let n = 5 in
+  ignore
+    (Mpi.run ~n (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         let world_group = Group.of_comm comm in
+         (* Sub-communicator over the even world ranks, reversed. *)
+         let sub_group = Group.incl world_group [ 4; 2; 0 ] in
+         match Group.comm_create p comm sub_group with
+         | Some sub ->
+             Alcotest.(check bool) "only members get it" true
+               (Mpi.rank p mod 2 = 0);
+             Alcotest.(check (array int)) "ordering honoured" [| 4; 2; 0 |]
+               sub.Comm.members;
+             (* Use it: broadcast from sub-rank 0 (world rank 4). *)
+             let b = Bytes.create 4 in
+             if Mpi.rank p = 4 then Bytes.set_int32_le b 0 77l;
+             Coll.bcast p sub ~root:0 (Bv.of_bytes b);
+             Alcotest.(check int) "sub bcast" 77
+               (Int32.to_int (Bytes.get_int32_le b 0))
+         | None ->
+             Alcotest.(check bool) "non-members get none" true
+               (Mpi.rank p mod 2 = 1)))
+
+let test_comm_create_outside_comm_rejected () =
+  ignore
+    (Mpi.run ~n:2 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         try
+           ignore (Group.comm_create p comm (g [ 0; 7 ]));
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()))
+
+let prop_set_algebra_laws =
+  QCheck.Test.make ~name:"group algebra laws" ~count:100
+    QCheck.(pair (list (int_range 0 15)) (list (int_range 0 15)))
+    (fun (xs, ys) ->
+      let mk l = g (List.sort_uniq compare l) in
+      let a = mk xs and b = mk ys in
+      let sorted grp = List.sort compare (Array.to_list (Group.members grp)) in
+      (* |A u B| = |A| + |B| - |A n B| *)
+      Group.size (Group.union a b) + Group.size (Group.intersection a b)
+      = Group.size a + Group.size b
+      (* A \ B and A n B partition A *)
+      && sorted a
+         = List.sort compare
+             (Array.to_list (Group.members (Group.difference a b))
+             @ Array.to_list (Group.members (Group.intersection a b)))
+      (* union is similar to the flipped union *)
+      && Group.similar (Group.union a b) (Group.union b a))
+
+let () =
+  Alcotest.run "group"
+    [
+      ( "algebra",
+        [
+          Alcotest.test_case "set operations" `Quick test_set_algebra;
+          Alcotest.test_case "identity vs similarity" `Quick
+            test_identity_and_similarity;
+          Alcotest.test_case "rank mapping" `Quick test_rank_mapping;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "comm_create",
+        [
+          Alcotest.test_case "derive and use" `Quick test_comm_create;
+          Alcotest.test_case "outside members rejected" `Quick
+            test_comm_create_outside_comm_rejected;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_set_algebra_laws ]);
+    ]

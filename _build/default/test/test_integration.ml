@@ -1,0 +1,704 @@
+(* Cross-library integration tests: the newer MPI operations (sendrecv,
+   wait_any), the shm channel, mixed-protocol ordering, large OO
+   transfers, wildcard OO receives, Motor-level dynamic spawning, and the
+   managed multidimensional-matrix program. *)
+
+module Mpi = Mpi_core.Mpi
+module Comm = Mpi_core.Comm
+module Coll = Mpi_core.Collectives
+module Bv = Mpi_core.Buffer_view
+module Tm = Mpi_core.Tag_match
+module World = Motor.World
+module Ot = Motor.Object_transport
+module Smp = Motor.System_mp
+module Om = Vm.Object_model
+module Gc = Vm.Gc
+module Classes = Vm.Classes
+module Types = Vm.Types
+
+let payload n = Bytes.init n (fun i -> Char.chr ((i * 13 + n) land 0xff))
+
+(* ------------------------------------------------------------------ *)
+(* MPI facade additions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sendrecv_exchange () =
+  (* Both ranks sendrecv simultaneously: must not deadlock even with
+     synchronous-size messages. *)
+  let size = 100_000 in
+  ignore
+    (Mpi.run ~n:2 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         let other = 1 - Mpi.rank p in
+         let outb = payload (size + Mpi.rank p) in
+         let inb = Bytes.create (size + other) in
+         let st =
+           Mpi.sendrecv p ~comm ~dst:other ~send_tag:4
+             ~send:(Bv.of_bytes outb) ~src:other ~recv_tag:4
+             (* recv: *) ~recv:(Bv.of_bytes inb)
+         in
+         Alcotest.(check int) "bytes" (size + other) st.Mpi_core.Status.bytes;
+         Alcotest.(check bytes) "payload" (payload (size + other)) inb))
+
+let test_wait_any () =
+  ignore
+    (Mpi.run ~n:3 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         match Mpi.rank p with
+         | 0 ->
+             (* Two receives; rank 2 sends first (rank 1 delays). *)
+             let b1 = Bytes.create 4 and b2 = Bytes.create 4 in
+             let r1 = Mpi.irecv p ~comm ~src:1 ~tag:0 (Bv.of_bytes b1) in
+             let r2 = Mpi.irecv p ~comm ~src:2 ~tag:0 (Bv.of_bytes b2) in
+             let first = Mpi.wait_any p [ r1; r2 ] in
+             Alcotest.(check bool) "rank 2 finished first" true
+               (Mpi_core.Request.id first = Mpi_core.Request.id r2);
+             Mpi.wait_all p [ r1; r2 ]
+         | 1 ->
+             for _ = 1 to 200 do
+               Fiber.yield ()
+             done;
+             Mpi.send p ~comm ~dst:0 ~tag:0 (Bv.of_bytes (payload 4))
+         | _ -> Mpi.send p ~comm ~dst:0 ~tag:0 (Bv.of_bytes (payload 4))))
+
+let test_shm_channel_roundtrip () =
+  let received = ref Bytes.empty in
+  let w =
+    Mpi.run ~channel:`Shm ~n:2 (fun p ->
+        let comm = Mpi.comm_world (Mpi.world_of p) in
+        if Mpi.rank p = 0 then
+          Mpi.send p ~comm ~dst:1 ~tag:0 (Bv.of_bytes (payload 5000))
+        else begin
+          let b = Bytes.create 5000 in
+          ignore (Mpi.recv p ~comm ~src:0 ~tag:0 (Bv.of_bytes b));
+          received := b
+        end)
+  in
+  Alcotest.(check bytes) "payload over shm" (payload 5000) !received;
+  ignore w
+
+let test_shm_faster_than_sock () =
+  let run channel =
+    let w =
+      Mpi.run ~channel ~n:2 (fun p ->
+          let comm = Mpi.comm_world (Mpi.world_of p) in
+          let b = Bytes.create 1024 in
+          for _ = 1 to 10 do
+            if Mpi.rank p = 0 then begin
+              Mpi.send p ~comm ~dst:1 ~tag:0 (Bv.of_bytes b);
+              ignore (Mpi.recv p ~comm ~src:1 ~tag:0 (Bv.of_bytes b))
+            end
+            else begin
+              ignore (Mpi.recv p ~comm ~src:0 ~tag:0 (Bv.of_bytes b));
+              Mpi.send p ~comm ~dst:0 ~tag:0 (Bv.of_bytes b)
+            end
+          done)
+    in
+    Simtime.Env.now_us (Mpi.env w)
+  in
+  let sock = run `Sock and shm = run `Shm in
+  Alcotest.(check bool)
+    (Printf.sprintf "shm (%.0fus) at least 3x faster than sock (%.0fus)" shm
+       sock)
+    true
+    (shm *. 3.0 < sock)
+
+let test_mixed_protocol_ordering () =
+  (* Same (src, dst, tag): an eager message behind a rendezvous one must
+     still match in send order. *)
+  ignore
+    (Mpi.run ~n:2 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         if Mpi.rank p = 0 then begin
+           Mpi.send p ~comm ~dst:1 ~tag:5 (Bv.of_bytes (payload 100_000));
+           Mpi.send p ~comm ~dst:1 ~tag:5 (Bv.of_bytes (payload 16))
+         end
+         else begin
+           let big = Bytes.create 100_000 in
+           let small = Bytes.create 16 in
+           (* First posted receive takes the rendezvous message even though
+              the eager one may be sitting in the unexpected queue. *)
+           let st1 = Mpi.recv p ~comm ~src:0 ~tag:5 (Bv.of_bytes big) in
+           let st2 = Mpi.recv p ~comm ~src:0 ~tag:5 (Bv.of_bytes small) in
+           Alcotest.(check int) "first is the big one" 100_000
+             st1.Mpi_core.Status.bytes;
+           Alcotest.(check int) "second is the small one" 16
+             st2.Mpi_core.Status.bytes;
+           Alcotest.(check bytes) "big intact" (payload 100_000) big;
+           Alcotest.(check bytes) "small intact" (payload 16) small
+         end))
+
+let test_collectives_on_shm_match_sock () =
+  let run channel =
+    let acc = ref [] in
+    ignore
+      (Mpi.run ~channel ~n:4 (fun p ->
+           let comm = Mpi.comm_world (Mpi.world_of p) in
+           let b = Bytes.create 8 in
+           Bytes.set_int64_le b 0 (Int64.of_int ((Mpi.rank p + 1) * 3));
+           let r = Coll.allreduce p comm ~op:Coll.sum_i64 b in
+           if Mpi.rank p = 0 then
+             acc := [ Int64.to_int (Bytes.get_int64_le r 0) ]));
+    !acc
+  in
+  Alcotest.(check (list int)) "same result on both channels" (run `Sock)
+    (run `Shm);
+  Alcotest.(check (list int)) "and it is the right sum" [ 30 ] (run `Shm)
+
+(* ------------------------------------------------------------------ *)
+(* Motor additions                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let linked_class registry =
+  match Classes.find_by_name registry "Linked" with
+  | Some mt -> mt
+  | None ->
+      let id = Classes.declare registry ~name:"Linked" in
+      let arr = Classes.array_class registry (Types.Eprim Types.I1) in
+      Classes.complete registry id ~transportable:true
+        ~fields:
+          [
+            ("data", Types.Ref arr.Classes.c_id, true);
+            ("next", Types.Ref id, true);
+          ]
+        ()
+
+let test_orecv_any_source () =
+  ignore
+    (let w = World.create ~n:3 () in
+     World.run w (fun ctx ->
+         let gc = World.gc ctx in
+         let comm = Smp.comm_world ctx in
+         let mt = linked_class (World.registry ctx) in
+         if World.rank ctx = 0 then begin
+           let seen = ref [] in
+           for _ = 1 to 2 do
+             let obj, st = Smp.orecv ctx ~comm ~src:Tm.any_source ~tag:3 in
+             seen := st.Mpi_core.Status.source :: !seen;
+             Om.free gc obj
+           done;
+           Alcotest.(check (list int)) "both senders arrived" [ 1; 2 ]
+             (List.sort compare !seen)
+         end
+         else begin
+           let node = Om.alloc_instance gc mt in
+           Smp.osend ctx ~comm ~dst:0 ~tag:3 node
+         end);
+     w)
+
+let test_osend_range_subset () =
+  let w = World.create ~n:2 () in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let comm = Smp.comm_world ctx in
+      let mt = linked_class (World.registry ctx) in
+      let fd = Classes.field mt "data" in
+      if World.rank ctx = 0 then begin
+        let arr = Om.alloc_array gc (Types.Eref mt.Classes.c_id) 8 in
+        for i = 0 to 7 do
+          let node = Om.alloc_instance gc mt in
+          let data = Om.alloc_array gc (Types.Eprim Types.I1) 1 in
+          Om.set_elem_int gc data 0 i;
+          Om.set_ref gc node fd (Some data);
+          Om.set_elem_ref gc arr i (Some node);
+          Om.free gc node;
+          Om.free gc data
+        done;
+        (* Ship elements [2..6). *)
+        Smp.osend_range ctx ~comm ~dst:1 ~tag:0 arr ~offset:2 ~count:4
+      end
+      else begin
+        let obj, _ = Smp.orecv ctx ~comm ~src:0 ~tag:0 in
+        Alcotest.(check int) "four elements" 4 (Om.array_length gc obj);
+        let first = Option.get (Om.get_elem_ref gc obj 0) in
+        let data = Option.get (Om.get_ref gc first fd) in
+        Alcotest.(check int) "starts at element 2" 2
+          (Om.get_elem_int gc data 0)
+      end)
+
+let test_obcast_nonzero_root_large () =
+  (* Large enough to take the rendezvous path inside the bcast tree. *)
+  let w = World.create ~n:4 () in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let comm = Smp.comm_world ctx in
+      let mt = linked_class (World.registry ctx) in
+      let fd = Classes.field mt "data" in
+      let input =
+        if World.rank ctx = 3 then begin
+          let node = Om.alloc_instance gc mt in
+          let data = Om.alloc_array gc (Types.Eprim Types.I1) 120_000 in
+          Om.set_elem_int gc data 119_999 42;
+          Om.set_ref gc node fd (Some data);
+          Some node
+        end
+        else None
+      in
+      let obj = Smp.obcast ctx ~comm ~root:3 input in
+      let data = Option.get (Om.get_ref gc obj fd) in
+      Alcotest.(check int)
+        (Printf.sprintf "rank %d tail byte" (World.rank ctx))
+        42
+        (Om.get_elem_int gc data 119_999))
+
+let test_motor_serializer_very_deep_list () =
+  (* Motor's queue-based traversal has no recursion limit: a list that
+     would crash the Java model serializes fine. *)
+  let rt = Vm.Runtime.create () in
+  let gc = rt.Vm.Runtime.gc in
+  let mt = linked_class rt.Vm.Runtime.registry in
+  let fnext = Classes.field mt "next" in
+  let head = ref (Om.null gc) in
+  for _ = 1 to 20_000 do
+    let n = Om.alloc_instance gc mt in
+    if not (Om.is_null gc !head) then begin
+      Om.set_ref gc n fnext (Some !head);
+      Om.free gc !head
+    end;
+    head := n
+  done;
+  let repr = Motor.Serializer.serialize gc ~visited:Hashed !head in
+  Alcotest.(check int) "all 20k objects" 20_000
+    (Motor.Serializer.object_count repr);
+  let copy = Motor.Serializer.deserialize gc repr in
+  Alcotest.(check bool) "rebuilt" false (Om.is_null gc copy)
+
+let test_fcalls_counted () =
+  let w = World.create ~n:2 () in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let comm = Smp.comm_world ctx in
+      let buf = Om.alloc_array gc (Types.Eprim Types.I4) 8 in
+      if World.rank ctx = 0 then Ot.send ctx ~comm ~dst:1 ~tag:0 buf
+      else ignore (Ot.recv ctx ~comm ~src:0 ~tag:0 buf));
+  let stats = (World.env w).Simtime.Env.stats in
+  Alcotest.(check int) "one fcall per operation" 2
+    (Simtime.Stats.get stats Simtime.Stats.Key.fcalls);
+  Alcotest.(check int) "and no p/invokes" 0
+    (Simtime.Stats.get stats Simtime.Stats.Key.pinvokes)
+
+let test_world_spawn () =
+  let w = World.create ~n:2 () in
+  let echoes = ref 0 in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let worker wctx ic =
+        let wgc = World.gc wctx in
+        let buf = Om.alloc_array wgc (Types.Eprim Types.I4) 2 in
+        let st =
+          Mpi_core.Dynamic.recv wctx.World.proc ic ~src:Tm.any_source ~tag:1
+            (Ot.view_of_region wctx (Om.payload_region wgc buf))
+        in
+        Om.set_elem_int wgc buf 1 (Om.get_elem_int wgc buf 0 + 1);
+        Mpi_core.Dynamic.send wctx.World.proc ic
+          ~dst:st.Mpi_core.Status.source ~tag:2
+          (Ot.view_of_region wctx (Om.payload_region wgc buf))
+      in
+      let ic = World.spawn ctx ~n:2 worker in
+      let r = World.rank ctx in
+      let buf = Om.alloc_array gc (Types.Eprim Types.I4) 2 in
+      Om.set_elem_int gc buf 0 (100 + r);
+      Mpi_core.Dynamic.send ctx.World.proc ic ~dst:r ~tag:1
+        (Ot.view_of_region ctx (Om.payload_region gc buf));
+      ignore
+        (Mpi_core.Dynamic.recv ctx.World.proc ic ~src:r ~tag:2
+           (Ot.view_of_region ctx (Om.payload_region gc buf)));
+      Alcotest.(check int)
+        (Printf.sprintf "parent %d echo" r)
+        (101 + r)
+        (Om.get_elem_int gc buf 1);
+      incr echoes);
+  Alcotest.(check int) "both parents served" 2 !echoes
+
+let test_managed_matrix_program () =
+  let path =
+    List.find Sys.file_exists
+      [ "../examples/matrix.mil"; "examples/matrix.mil" ]
+  in
+  let src = In_channel.with_open_text path In_channel.input_all in
+  let w = World.create ~n:2 () in
+  let out = ref "" in
+  World.run w (fun ctx ->
+      let interp = Motor.Mil_bindings.load ctx src in
+      ignore (Vm.Interp.run_entry interp []);
+      if World.rank ctx = 1 then out := Vm.Runtime.output ctx.World.rt);
+  Alcotest.(check string) "trace of the transported matrix" "66\n" !out
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of whole worlds                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_world_runs_are_deterministic =
+  QCheck.Test.make ~name:"identical worlds give identical virtual times"
+    ~count:15
+    QCheck.(pair (int_range 1 4) (int_range 1 2048))
+    (fun (n, size) ->
+      let run () =
+        let w =
+          Mpi.run ~n:(n + 1) (fun p ->
+              let comm = Mpi.comm_world (Mpi.world_of p) in
+              let b = Bytes.create size in
+              if Mpi.rank p = 0 then
+                for r = 1 to n do
+                  Mpi.send p ~comm ~dst:r ~tag:0 (Bv.of_bytes b)
+                done
+              else
+                ignore (Mpi.recv p ~comm ~src:0 ~tag:0 (Bv.of_bytes b)))
+        in
+        Simtime.Env.now_us (Mpi.env w)
+      in
+      run () = run ())
+
+(* ------------------------------------------------------------------ *)
+(* Appended: alltoall and Motor's regular collectives                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_alltoall () =
+  let n = 4 in
+  ignore
+    (Mpi.run ~n (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         let me = Mpi.rank p in
+         (* Block for r carries (me, r). *)
+         let send =
+           Array.init n (fun r ->
+               let b = Bytes.create 8 in
+               Bytes.set_int32_le b 0 (Int32.of_int me);
+               Bytes.set_int32_le b 4 (Int32.of_int r);
+               b)
+         in
+         let recv = Coll.alltoall p comm ~send in
+         Array.iteri
+           (fun r b ->
+             Alcotest.(check int)
+               (Printf.sprintf "at %d: block %d sender" me r)
+               r
+               (Int32.to_int (Bytes.get_int32_le b 0));
+             Alcotest.(check int)
+               (Printf.sprintf "at %d: block %d addressee" me r)
+               me
+               (Int32.to_int (Bytes.get_int32_le b 4)))
+           recv))
+
+let test_motor_bcast_array () =
+  let w = World.create ~n:4 () in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let comm = Smp.comm_world ctx in
+      let a = Om.alloc_array gc (Types.Eprim Types.I4) 16 in
+      if World.rank ctx = 1 then
+        for i = 0 to 15 do
+          Om.set_elem_int gc a i (i * i)
+        done;
+      Smp.bcast ctx ~comm ~root:1 a;
+      Alcotest.(check int)
+        (Printf.sprintf "rank %d element 7" (World.rank ctx))
+        49 (Om.get_elem_int gc a 7))
+
+let test_motor_scatter_gather_array () =
+  let n = 4 in
+  let w = World.create ~n () in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let comm = Smp.comm_world ctx in
+      let r = World.rank ctx in
+      let mine = Om.alloc_array gc (Types.Eprim Types.I4) 4 in
+      let big =
+        if r = 0 then begin
+          let b = Om.alloc_array gc (Types.Eprim Types.I4) 16 in
+          for i = 0 to 15 do
+            Om.set_elem_int gc b i (1000 + i)
+          done;
+          Some b
+        end
+        else None
+      in
+      Smp.scatter_array ctx ~comm ~root:0 ~send:big ~recv:mine;
+      Alcotest.(check int)
+        (Printf.sprintf "rank %d first scattered element" r)
+        (1000 + (4 * r))
+        (Om.get_elem_int gc mine 0);
+      (* Negate locally, gather back. *)
+      for i = 0 to 3 do
+        Om.set_elem_int gc mine i (-Om.get_elem_int gc mine i)
+      done;
+      let out =
+        if r = 0 then Some (Om.alloc_array gc (Types.Eprim Types.I4) 16)
+        else None
+      in
+      Smp.gather_array ctx ~comm ~root:0 ~send:mine ~recv:out;
+      match out with
+      | Some b ->
+          for i = 0 to 15 do
+            Alcotest.(check int)
+              (Printf.sprintf "gathered %d" i)
+              (-(1000 + i))
+              (Om.get_elem_int gc b i)
+          done
+      | None -> ())
+
+let test_motor_scatter_array_size_mismatch () =
+  let w = World.create ~n:2 () in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let comm = Smp.comm_world ctx in
+      let mine = Om.alloc_array gc (Types.Eprim Types.I4) 4 in
+      if World.rank ctx = 0 then begin
+        let bad = Om.alloc_array gc (Types.Eprim Types.I4) 9 in
+        try
+          Smp.scatter_array ctx ~comm ~root:0 ~send:(Some bad) ~recv:mine;
+          Alcotest.fail "expected size mismatch"
+        with Ot.Transport_error _ ->
+          (* Unblock the peer with a correct scatter. *)
+          let good = Om.alloc_array gc (Types.Eprim Types.I4) 8 in
+          Smp.scatter_array ctx ~comm ~root:0 ~send:(Some good) ~recv:mine
+      end
+      else Smp.scatter_array ctx ~comm ~root:0 ~send:None ~recv:mine)
+
+let test_motor_allreduce_sum_f64 () =
+  let n = 3 in
+  let w = World.create ~n () in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let comm = Smp.comm_world ctx in
+      let a = Om.alloc_array gc (Types.Eprim Types.R8) 2 in
+      Om.set_elem_float gc a 0 (float_of_int (World.rank ctx));
+      Om.set_elem_float gc a 1 1.0;
+      Smp.allreduce_sum_f64 ctx ~comm a;
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "rank %d slot 0" (World.rank ctx))
+        3.0 (Om.get_elem_float gc a 0);
+      Alcotest.(check (float 1e-9)) "slot 1" 3.0 (Om.get_elem_float gc a 1))
+
+
+
+let test_many_outstanding_motor_ops_with_gc () =
+  (* Several simultaneous non-blocking operations per rank on distinct
+     tags, with allocation churn forcing collections while they are all
+     outstanding: the conditional-pin machinery must protect every
+     buffer. *)
+  let batch = 12 in
+  let w = World.create ~n:2 () in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let comm = Smp.comm_world ctx in
+      let other = 1 - World.rank ctx in
+      let outs =
+        Array.init batch (fun i ->
+            let a = Om.alloc_array gc (Types.Eprim Types.I4) 16 in
+            Om.set_elem_int gc a 0 (1000 + i);
+            a)
+      in
+      let ins =
+        Array.init batch (fun _ -> Om.alloc_array gc (Types.Eprim Types.I4) 16)
+      in
+      let rreqs =
+        Array.mapi (fun i buf -> Ot.irecv ctx ~comm ~src:other ~tag:i buf) ins
+      in
+      let sreqs =
+        Array.mapi (fun i buf -> Ot.isend ctx ~comm ~dst:other ~tag:i buf) outs
+      in
+      (* Churn: forces minor collections while everything is in flight. *)
+      for _ = 1 to 300 do
+        Om.free gc (Om.alloc_array gc (Types.Eprim Types.I8) 128)
+      done;
+      Array.iter (fun r -> ignore (Ot.wait ctx r)) sreqs;
+      Array.iter (fun r -> ignore (Ot.wait ctx r)) rreqs;
+      Array.iteri
+        (fun i buf ->
+          Alcotest.(check int)
+            (Printf.sprintf "tag %d payload" i)
+            (1000 + i)
+            (Om.get_elem_int gc buf 0))
+        ins)
+
+let test_double_spawn () =
+  (* Two successive collective spawns extend the world twice; each wave
+     must get fresh VMs and working intercommunicators. *)
+  let w = World.create ~n:2 () in
+  let served = ref 0 in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let worker wctx ic =
+        let wgc = World.gc wctx in
+        let buf = Om.alloc_array wgc (Types.Eprim Types.I4) 1 in
+        let st =
+          Mpi_core.Dynamic.recv wctx.World.proc ic ~src:Tm.any_source ~tag:1
+            (Ot.view_of_region wctx (Om.payload_region wgc buf))
+        in
+        Om.set_elem_int wgc buf 0 (Om.get_elem_int wgc buf 0 * 2);
+        Mpi_core.Dynamic.send wctx.World.proc ic
+          ~dst:st.Mpi_core.Status.source ~tag:2
+          (Ot.view_of_region wctx (Om.payload_region wgc buf))
+      in
+      let roundtrip ic v =
+        let r = World.rank ctx in
+        let buf = Om.alloc_array gc (Types.Eprim Types.I4) 1 in
+        Om.set_elem_int gc buf 0 v;
+        Mpi_core.Dynamic.send ctx.World.proc ic ~dst:r ~tag:1
+          (Ot.view_of_region ctx (Om.payload_region gc buf));
+        ignore
+          (Mpi_core.Dynamic.recv ctx.World.proc ic ~src:r ~tag:2
+             (Ot.view_of_region ctx (Om.payload_region gc buf)));
+        Om.get_elem_int gc buf 0
+      in
+      let ic1 = World.spawn ctx ~n:2 worker in
+      Alcotest.(check int) "first wave doubles" 10 (roundtrip ic1 5);
+      let ic2 = World.spawn ctx ~n:2 worker in
+      Alcotest.(check int) "second wave doubles" 14 (roundtrip ic2 7);
+      incr served);
+  Alcotest.(check int) "both parents" 2 !served;
+  Alcotest.(check int) "world grew to six" 6 (Mpi_core.Mpi.world_size (World.mpi w))
+
+let test_disassembler_roundtrips_labels () =
+  let rt = Vm.Runtime.create () in
+  let src = ".method void main() {\nspin:\n  ldc.i8 0\n  brtrue spin\n  ret\n}" in
+  let interp = Vm.Runtime.load rt src in
+  let buf = Buffer.create 128 in
+  let fmt = Format.formatter_of_buffer buf in
+  Vm.Il.pp_program fmt (Vm.Interp.program interp);
+  Format.pp_print_flush fmt ();
+  let text = Buffer.contents buf in
+  Alcotest.(check bool) "mentions the branch target" true
+    (String.length text > 0
+    &&
+    let contains sub =
+      let n = String.length text and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+      go 0
+    in
+    contains "brtrue 0" && contains "entry: main")
+
+
+let test_sibling_thread_gc_served_during_polling_wait () =
+  (* The paper's reason FCalls must poll (Section 5.1): another thread of
+     the same process may need a collection while this one blocks in MPI.
+     Here a sibling fiber sharing rank 1's VM requests a GC while the main
+     fiber sits in a Motor polling wait — the wait's GC polls must serve
+     it long before the receive completes. *)
+  let w = World.create ~n:2 () in
+  let comm = World.comm_world w in
+  let served_during_wait = ref false in
+  let ctx1 = World.rank_ctx w 1 in
+  let fibers =
+    [
+      ( "rank0",
+        fun () ->
+          let ctx = World.rank_ctx w 0 in
+          let gc = World.gc ctx in
+          (* Give the receiver time to enter its wait, then send. *)
+          for _ = 1 to 30 do
+            Fiber.yield ()
+          done;
+          let a = Om.alloc_array gc (Types.Eprim Types.I4) 8 in
+          Ot.send ctx ~comm ~dst:1 ~tag:0 a );
+      ( "rank1-app",
+        fun () ->
+          let gc = World.gc ctx1 in
+          let a = Om.alloc_array gc (Types.Eprim Types.I4) 8 in
+          ignore (Ot.recv ctx1 ~comm ~src:0 ~tag:0 a) );
+      ( "rank1-sibling",
+        fun () ->
+          let gc = World.gc ctx1 in
+          Fiber.yield ();
+          let before = Gc.minor_count gc in
+          Gc.request_gc gc;
+          (* Wait until someone (the polling wait) performs it. *)
+          Fiber.wait_until ~label:"gc-served" (fun () ->
+              Gc.minor_count gc > before);
+          served_during_wait := true );
+    ]
+  in
+  Fiber.run fibers;
+  Alcotest.(check bool) "collection served while blocked in recv" true
+    !served_during_wait
+
+
+let test_quiescence_clean_and_dirty () =
+  (* A clean ping-pong leaves no residue... *)
+  let clean =
+    Mpi.run ~n:2 (fun p ->
+        let comm = Mpi.comm_world (Mpi.world_of p) in
+        let b = Bytes.create 8 in
+        if Mpi.rank p = 0 then Mpi.send p ~comm ~dst:1 ~tag:0 (Bv.of_bytes b)
+        else ignore (Mpi.recv p ~comm ~src:0 ~tag:0 (Bv.of_bytes b)))
+  in
+  Alcotest.(check (list (pair int string))) "clean world" []
+    (Mpi.quiescence_report clean);
+  (* ...a lost message is reported against the right rank. *)
+  let dirty =
+    Mpi.run ~n:2 (fun p ->
+        let comm = Mpi.comm_world (Mpi.world_of p) in
+        if Mpi.rank p = 0 then
+          Mpi.send p ~comm ~dst:1 ~tag:0 (Bv.of_bytes (Bytes.create 8)))
+  in
+  (* Let the message arrive before judging. *)
+  Simtime.Env.charge (Mpi.env dirty) 1_000_000.0;
+  match Mpi.quiescence_report dirty with
+  | [ (rank, msg) ] ->
+      Alcotest.(check int) "reported at the receiver" 1 rank;
+      Alcotest.(check bool) "mentions the unexpected message" true
+        (String.length msg > 0)
+  | other ->
+      Alcotest.fail
+        (Printf.sprintf "expected one issue, got %d" (List.length other))
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "mpi additions",
+        [
+          Alcotest.test_case "sendrecv exchange" `Quick
+            test_sendrecv_exchange;
+          Alcotest.test_case "wait_any" `Quick test_wait_any;
+          Alcotest.test_case "shm channel roundtrip" `Quick
+            test_shm_channel_roundtrip;
+          Alcotest.test_case "shm faster than sock" `Quick
+            test_shm_faster_than_sock;
+          Alcotest.test_case "mixed-protocol ordering" `Quick
+            test_mixed_protocol_ordering;
+          Alcotest.test_case "collectives agree across channels" `Quick
+            test_collectives_on_shm_match_sock;
+        ] );
+      ( "motor additions",
+        [
+          Alcotest.test_case "orecv any_source" `Quick
+            test_orecv_any_source;
+          Alcotest.test_case "osend_range subset" `Quick
+            test_osend_range_subset;
+          Alcotest.test_case "obcast non-zero root, rendezvous size" `Quick
+            test_obcast_nonzero_root_large;
+          Alcotest.test_case "serializer handles very deep lists" `Quick
+            test_motor_serializer_very_deep_list;
+          Alcotest.test_case "fcalls counted, no p/invokes" `Quick
+            test_fcalls_counted;
+          Alcotest.test_case "World.spawn (transparent process mgmt)"
+            `Quick test_world_spawn;
+          Alcotest.test_case "managed multidim matrix program" `Quick
+            test_managed_matrix_program;
+          Alcotest.test_case "many outstanding ops under GC" `Quick
+            test_many_outstanding_motor_ops_with_gc;
+          Alcotest.test_case "double spawn" `Quick test_double_spawn;
+          Alcotest.test_case "disassembler" `Quick
+            test_disassembler_roundtrips_labels;
+          Alcotest.test_case "sibling-thread GC served in polling wait"
+            `Quick test_sibling_thread_gc_served_during_polling_wait;
+          Alcotest.test_case "quiescence report" `Quick
+            test_quiescence_clean_and_dirty;
+        ] );
+      ( "collectives additions",
+        [
+          Alcotest.test_case "alltoall" `Quick test_alltoall;
+          Alcotest.test_case "Motor bcast (regular, zero-copy)" `Quick
+            test_motor_bcast_array;
+          Alcotest.test_case "Motor scatter/gather arrays" `Quick
+            test_motor_scatter_gather_array;
+          Alcotest.test_case "Motor scatter size mismatch" `Quick
+            test_motor_scatter_array_size_mismatch;
+          Alcotest.test_case "Motor allreduce sum f64" `Quick
+            test_motor_allreduce_sum_f64;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_world_runs_are_deterministic ] );
+    ]
+

@@ -1,0 +1,208 @@
+(* Tests for the managed (MIL-visible) API surface: the reflection
+   internal calls and the extended mp.* collective bindings. *)
+
+module World = Motor.World
+
+let run_managed ~n src =
+  let world = World.create ~n () in
+  let outputs = Array.make n "" in
+  World.run world (fun ctx ->
+      let interp = Motor.Mil_bindings.load ctx src in
+      ignore (Vm.Interp.run_entry interp []);
+      outputs.(World.rank ctx) <- Vm.Runtime.output ctx.World.rt);
+  outputs
+
+let test_reflection_surface () =
+  let src =
+    {|
+  .class transportable Pair {
+    .field transportable int32[] data
+    .field Pair other
+  }
+  .method void main() {
+    .locals (Pair p)
+    newobj Pair
+    stloc p
+    ldloc p
+    intcall refl.class_name
+    intcall sys.print_str
+    intcall sys.print_nl
+    ldloc p
+    intcall refl.field_count
+    intcall sys.print_i
+    intcall sys.print_nl
+    ldloc p
+    ldc.i8 0
+    intcall refl.field_name
+    intcall sys.print_str
+    intcall sys.print_nl
+    ldloc p
+    ldc.i8 0
+    intcall refl.is_transportable
+    intcall sys.print_i
+    ldloc p
+    ldc.i8 1
+    intcall refl.is_transportable
+    intcall sys.print_i
+    intcall sys.print_nl
+    ldloc p
+    intcall refl.is_array
+    intcall sys.print_i
+    ldc.i8 2
+    newarr int32
+    intcall refl.is_array
+    intcall sys.print_i
+    intcall sys.print_nl
+    ret
+  }
+|}
+  in
+  let out = run_managed ~n:1 src in
+  Alcotest.(check string) "reflection answers" "Pair\n2\ndata\n10\n01\n"
+    out.(0)
+
+let test_reflection_null_faults () =
+  let src =
+    {|
+  .method void main() {
+    ldnull
+    intcall refl.field_count
+    pop
+    ret
+  }
+|}
+  in
+  let world = World.create ~n:1 () in
+  World.run world (fun ctx ->
+      let interp = Motor.Mil_bindings.load ctx src in
+      try
+        ignore (Vm.Interp.run_entry interp []);
+        Alcotest.fail "expected Runtime_error"
+      with Vm.Interp.Runtime_error _ -> ())
+
+let test_managed_bcast () =
+  let src =
+    {|
+  .method void main() {
+    .locals (int32[] buf)
+    ldc.i8 4
+    newarr int32
+    stloc buf
+    intcall mp.rank
+    ldc.i8 2
+    ceq
+    brfalse join
+    ldloc buf
+    ldc.i8 0
+    ldc.i8 1234
+    stelem int32
+  join:
+    ldloc buf
+    ldc.i8 2
+    intcall mp.bcast
+    ldloc buf
+    ldc.i8 0
+    ldelem int32
+    intcall sys.print_i
+    intcall sys.print_nl
+    ret
+  }
+|}
+  in
+  let out = run_managed ~n:4 src in
+  Array.iteri
+    (fun r s ->
+      Alcotest.(check string) (Printf.sprintf "rank %d" r) "1234\n" s)
+    out
+
+let test_managed_allreduce () =
+  let src =
+    {|
+  .method void main() {
+    .locals (float64[] acc)
+    ldc.i8 1
+    newarr float64
+    stloc acc
+    ldloc acc
+    ldc.i8 0
+    intcall mp.rank
+    ldc.i8 1
+    add
+    conv.r
+    stelem float64
+    ldloc acc
+    intcall mp.allreduce.f64
+    ldloc acc
+    ldc.i8 0
+    ldelem float64
+    intcall sys.print_f
+    intcall sys.print_nl
+    ret
+  }
+|}
+  in
+  let out = run_managed ~n:3 src in
+  Array.iteri
+    (fun r s ->
+      Alcotest.(check string) (Printf.sprintf "rank %d sum" r) "6\n" s)
+    out
+
+let test_reflection_costs_time () =
+  (* Reflection must be visibly slower than field access: the paper's
+     reason for the FieldDesc bit. *)
+  let world = World.create ~n:1 () in
+  World.run world (fun ctx ->
+      let src =
+        {|
+  .class Box { .field int32 v }
+  .method void main() {
+    .locals (Box b)
+    newobj Box
+    stloc b
+    ldloc b
+    intcall refl.field_count
+    pop
+    ret
+  }
+|}
+      in
+      let env = World.env ctx.World.world in
+      let interp = Motor.Mil_bindings.load ctx src in
+      let t0 = Simtime.Env.now_us env in
+      ignore (Vm.Interp.run_entry interp []);
+      let elapsed = Simtime.Env.now_us env -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "reflection charged (%.2f us)" elapsed)
+        true (elapsed >= 0.8))
+
+
+let test_managed_oscatter_ogather () =
+  let path =
+    List.find Sys.file_exists
+      [ "../examples/farm.mil"; "examples/farm.mil" ]
+  in
+  let src = In_channel.with_open_text path In_channel.input_all in
+  let out = run_managed ~n:4 src in
+  Alcotest.(check string) "root reports the gathered sum"
+    "sum of squares: 204\n" out.(0);
+  Alcotest.(check string) "workers are silent" "" out.(1)
+
+let () =
+  Alcotest.run "managed-api"
+    [
+      ( "reflection",
+        [
+          Alcotest.test_case "surface" `Quick test_reflection_surface;
+          Alcotest.test_case "null faults" `Quick
+            test_reflection_null_faults;
+          Alcotest.test_case "priced as the slow path" `Quick
+            test_reflection_costs_time;
+        ] );
+      ( "mp collectives",
+        [
+          Alcotest.test_case "bcast" `Quick test_managed_bcast;
+          Alcotest.test_case "allreduce f64" `Quick test_managed_allreduce;
+          Alcotest.test_case "oscatter/ogather (task farm)" `Quick
+            test_managed_oscatter_ogather;
+        ] );
+    ]

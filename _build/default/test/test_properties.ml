@@ -1,0 +1,214 @@
+(* Cross-cutting property tests: typed storage roundtrips over every
+   primitive type (including boundary values), serializer idempotence,
+   and agreement between the two visited structures on arbitrary graphs. *)
+
+module Om = Vm.Object_model
+module Gc = Vm.Gc
+module Classes = Vm.Classes
+module Types = Vm.Types
+module Runtime = Vm.Runtime
+module Ser = Motor.Serializer
+
+(* Representative and boundary values per primitive type. *)
+let int_values_for = function
+  | Types.I1 -> [ -128; -1; 0; 1; 127 ]
+  | Types.I2 -> [ -32768; -1; 0; 255; 32767 ]
+  | Types.I4 -> [ Int32.to_int Int32.min_int; -1; 0; 65536; Int32.to_int Int32.max_int ]
+  | Types.I8 -> [ min_int / 2; -1; 0; 1; max_int / 2 ]
+  | Types.Bool -> [ 0; 1; 255 ]
+  | Types.Char -> [ 0; 65; 0xffff ]
+  | Types.R4 | Types.R8 -> []
+
+(* What the store-then-load of [v] must produce, given each type's width
+   and signedness conventions. *)
+let canonical prim v =
+  match prim with
+  | Types.I1 ->
+      let b = v land 0xff in
+      if b > 127 then b - 256 else b
+  | Types.I2 ->
+      let b = v land 0xffff in
+      if b > 32767 then b - 65536 else b
+  | Types.I4 -> Int32.to_int (Int32.of_int v)
+  | Types.I8 -> v
+  | Types.Bool -> v land 0xff
+  | Types.Char -> v land 0xffff
+  | Types.R4 | Types.R8 -> v
+
+let all_int_prims = [ Types.I1; Types.I2; Types.I4; Types.I8; Types.Bool; Types.Char ]
+
+let prop_field_roundtrip_all_prims =
+  QCheck.Test.make ~name:"every integral field type roundtrips its range"
+    ~count:50
+    QCheck.(int_range 0 1000)
+    (fun salt ->
+      let rt = Runtime.create () in
+      let gc = rt.Runtime.gc in
+      let mt =
+        Classes.define rt.Runtime.registry ~name:"AllPrims"
+          ~fields:
+            (List.mapi
+               (fun i p -> (Printf.sprintf "f%d" i, Types.Prim p, false))
+               all_int_prims)
+          ()
+      in
+      let o = Om.alloc_instance gc mt in
+      List.for_all
+        (fun (i, p) ->
+          let fd = Classes.field_by_index mt i in
+          List.for_all
+            (fun v ->
+              let v = v + (salt * 0) in
+              Om.set_int gc o fd v;
+              Om.get_int gc o fd = canonical p v)
+            (int_values_for p))
+        (List.mapi (fun i p -> (i, p)) all_int_prims))
+
+let prop_elem_roundtrip_all_prims =
+  QCheck.Test.make ~name:"every integral element type roundtrips its range"
+    ~count:30
+    QCheck.(int_range 1 16)
+    (fun len ->
+      let rt = Runtime.create () in
+      let gc = rt.Runtime.gc in
+      List.for_all
+        (fun p ->
+          let a = Om.alloc_array gc (Types.Eprim p) len in
+          List.for_all
+            (fun v ->
+              let i = abs v mod len in
+              Om.set_elem_int gc a i v;
+              Om.get_elem_int gc a i = canonical p v)
+            (int_values_for p))
+        all_int_prims)
+
+let prop_float_fields_roundtrip =
+  QCheck.Test.make ~name:"float fields roundtrip (r8 exact, r4 narrowed)"
+    ~count:100
+    QCheck.(float_range (-1e30) 1e30)
+    (fun v ->
+      let rt = Runtime.create () in
+      let gc = rt.Runtime.gc in
+      let mt =
+        Classes.define rt.Runtime.registry ~name:"Floats"
+          ~fields:
+            [ ("s", Types.Prim Types.R4, false); ("d", Types.Prim Types.R8, false) ]
+          ()
+      in
+      let o = Om.alloc_instance gc mt in
+      let fs = Classes.field mt "s" and fd = Classes.field mt "d" in
+      Om.set_float gc o fd v;
+      Om.set_float gc o fs v;
+      Om.get_float gc o fd = v
+      && Om.get_float gc o fs = Int32.float_of_bits (Int32.bits_of_float v))
+
+(* Random-graph machinery (structure shared with test_robustness, but
+   typed differently enough to keep local). *)
+let graph_class registry =
+  match Classes.find_by_name registry "PNode" with
+  | Some mt -> mt
+  | None ->
+      let id = Classes.declare registry ~name:"PNode" in
+      Classes.complete registry id ~transportable:true
+        ~fields:
+          [
+            ("a", Types.Ref id, true);
+            ("b", Types.Ref id, true);
+            ("v", Types.Prim Types.I4, false);
+          ]
+        ()
+
+let build gc registry ~n ~seed =
+  let mt = graph_class registry in
+  let fa = Classes.field mt "a" and fb = Classes.field mt "b" in
+  let fv = Classes.field mt "v" in
+  let nodes =
+    Array.init n (fun i ->
+        let o = Om.alloc_instance gc mt in
+        Om.set_int gc o fv ((seed * 17) + i);
+        o)
+  in
+  Array.iteri
+    (fun i o ->
+      if (i + seed) mod 5 <> 0 then
+        Om.set_ref gc o fa (Some nodes.(((i * 3) + seed) mod n));
+      if (i + seed) mod 7 <> 0 then
+        Om.set_ref gc o fb (Some nodes.(((i * 11) + (2 * seed)) mod n)))
+    nodes;
+  nodes.(0)
+
+let prop_serializer_idempotent =
+  QCheck.Test.make
+    ~name:"serialize . deserialize . serialize is byte-identical" ~count:50
+    QCheck.(pair (int_range 1 25) (int_range 0 40))
+    (fun (n, seed) ->
+      let rt = Runtime.create () in
+      let gc = rt.Runtime.gc in
+      let root = build gc rt.Runtime.registry ~n ~seed in
+      let once = Ser.serialize gc ~visited:Ser.Hashed root in
+      let copy = Ser.deserialize gc once in
+      let twice = Ser.serialize gc ~visited:Ser.Hashed copy in
+      Bytes.equal once twice)
+
+let prop_visited_strategies_agree_on_graphs =
+  QCheck.Test.make
+    ~name:"linear and hashed visited structures serialize identically"
+    ~count:50
+    QCheck.(pair (int_range 1 25) (int_range 0 40))
+    (fun (n, seed) ->
+      let rt = Runtime.create () in
+      let gc = rt.Runtime.gc in
+      let root = build gc rt.Runtime.registry ~n ~seed in
+      Bytes.equal
+        (Ser.serialize gc ~visited:Ser.Linear root)
+        (Ser.serialize gc ~visited:Ser.Hashed root))
+
+let prop_split_parts_cover_disjointly =
+  QCheck.Test.make ~name:"split parts partition the element index space"
+    ~count:50
+    QCheck.(pair (int_range 1 64) (int_range 1 9))
+    (fun (len, parts) ->
+      let parts = min parts len in
+      let rt = Runtime.create () in
+      let gc = rt.Runtime.gc in
+      let mt = graph_class rt.Runtime.registry in
+      let fv = Classes.field mt "v" in
+      let arr = Om.alloc_array gc (Types.Eref mt.Classes.c_id) len in
+      for i = 0 to len - 1 do
+        let o = Om.alloc_instance gc mt in
+        Om.set_int gc o fv i;
+        Om.set_elem_ref gc arr i (Some o);
+        Om.free gc o
+      done;
+      let segs = Ser.split gc ~visited:Ser.Hashed arr ~parts in
+      (* Collect the v values across all deserialized segments. *)
+      let seen = Hashtbl.create 64 in
+      Array.iter
+        (fun s ->
+          let part = Ser.deserialize gc s in
+          for i = 0 to Om.array_length gc part - 1 do
+            let o = Option.get (Om.get_elem_ref gc part i) in
+            let v = Om.get_int gc o fv in
+            if Hashtbl.mem seen v then failwith "duplicate element"
+            else Hashtbl.replace seen v ()
+          done)
+        segs;
+      Hashtbl.length seen = len)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "typed storage",
+        [
+          QCheck_alcotest.to_alcotest prop_field_roundtrip_all_prims;
+          QCheck_alcotest.to_alcotest prop_elem_roundtrip_all_prims;
+          QCheck_alcotest.to_alcotest prop_float_fields_roundtrip;
+        ] );
+      ( "serializer algebra",
+        [
+          QCheck_alcotest.to_alcotest prop_serializer_idempotent;
+          QCheck_alcotest.to_alcotest
+            prop_visited_strategies_agree_on_graphs;
+          QCheck_alcotest.to_alcotest prop_split_parts_cover_disjointly;
+        ] );
+    ]

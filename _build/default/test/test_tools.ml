@@ -1,0 +1,135 @@
+(* Tests for the tooling layers: the MPE-style trace subsystem and the
+   ASCII chart renderer. *)
+
+module Mpi = Mpi_core.Mpi
+module Trace = Mpi_core.Trace
+module Bv = Mpi_core.Buffer_view
+
+let test_trace_records_device_events () =
+  let env = Simtime.Env.create ~cost:Simtime.Cost.native_cpp () in
+  let trace = Trace.enable env in
+  let w = Mpi.create_world ~env ~n:2 () in
+  let comm = Mpi.comm_world w in
+  let body rank () =
+    let p = Mpi.proc w rank in
+    let b = Bytes.create 64 in
+    if rank = 0 then Mpi.send p ~comm ~dst:1 ~tag:9 (Bv.of_bytes b)
+    else ignore (Mpi.recv p ~comm ~src:0 ~tag:9 (Bv.of_bytes b))
+  in
+  Fiber.run [ ("t0", body 0); ("t1", body 1) ];
+  let events = Trace.events trace in
+  let ops = List.map (fun e -> (e.Trace.rank, e.Trace.op)) events in
+  Alcotest.(check bool) "sender isend recorded" true
+    (List.mem (0, "isend") ops);
+  Alcotest.(check bool) "receiver irecv recorded" true
+    (List.mem (1, "irecv") ops);
+  Alcotest.(check bool) "delivery recorded" true (List.mem (1, "eager") ops);
+  (* Timestamps are monotone. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        a.Trace.t_us <= b.Trace.t_us && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone timeline" true (monotone events)
+
+let test_trace_off_by_default () =
+  let env = Simtime.Env.create ~cost:Simtime.Cost.native_cpp () in
+  Alcotest.(check bool) "no trace attached" true (Trace.find env = None);
+  (* Recording without a trace must be a harmless no-op. *)
+  Trace.record env ~rank:0 ~op:"x" ~detail:"y"
+
+let test_trace_ring_buffer_drops_oldest () =
+  let env = Simtime.Env.create () in
+  let trace = Trace.enable ~capacity:8 env in
+  for i = 1 to 20 do
+    Simtime.Env.charge env 1000.0;
+    Trace.record env ~rank:0 ~op:"tick" ~detail:(string_of_int i)
+  done;
+  Alcotest.(check int) "bounded" 8 (Trace.length trace);
+  Alcotest.(check int) "dropped counted" 12 (Trace.dropped trace);
+  let details = List.map (fun e -> e.Trace.detail) (Trace.events trace) in
+  Alcotest.(check (list string)) "kept the newest, oldest first"
+    [ "13"; "14"; "15"; "16"; "17"; "18"; "19"; "20" ]
+    details;
+  Trace.clear trace;
+  Alcotest.(check int) "cleared" 0 (Trace.length trace)
+
+let test_trace_rendezvous_sequence () =
+  (* A rendezvous transfer must show the full RTS/CTS/DATA handshake. *)
+  let env = Simtime.Env.create ~cost:Simtime.Cost.native_cpp () in
+  let trace = Trace.enable env in
+  let w = Mpi.create_world ~env ~n:2 () in
+  let comm = Mpi.comm_world w in
+  let size = 200_000 in
+  let body rank () =
+    let p = Mpi.proc w rank in
+    let b = Bytes.create size in
+    if rank = 0 then Mpi.send p ~comm ~dst:1 ~tag:0 (Bv.of_bytes b)
+    else ignore (Mpi.recv p ~comm ~src:0 ~tag:0 (Bv.of_bytes b))
+  in
+  Fiber.run [ ("r0", body 0); ("r1", body 1) ];
+  let ops = List.map (fun e -> e.Trace.op) (Trace.events trace) in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " present") true
+        (List.mem expected ops))
+    [ "isend/rndv"; "rts"; "cts"; "data" ]
+
+let render_chart series =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Harness.Chart.log_log ~out:fmt ~title:"t" ~xlabel:"x" ~ylabel:"y" ~series ();
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let test_chart_renders_series () =
+  let s =
+    render_chart
+      [
+        ("up", [ (1.0, 10.0); (10.0, 100.0); (100.0, 1000.0) ]);
+        ("down", [ (1.0, 1000.0); (10.0, 100.0); (100.0, 10.0) ]);
+      ]
+  in
+  Alcotest.(check bool) "has legend" true
+    (String.length s > 0
+    &&
+    let contains sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    contains "*=up" && contains "o=down" && contains "log scale")
+
+let test_chart_empty_series () =
+  let s = render_chart [ ("nothing", []) ] in
+  Alcotest.(check bool) "handles no data" true
+    (String.length s > 0)
+
+let test_chart_skips_nonpositive () =
+  (* Zero and negative values cannot be drawn on a log axis and must not
+     crash the renderer. *)
+  let s = render_chart [ ("mixed", [ (0.0, 5.0); (10.0, 0.0); (10.0, 5.0) ]) ] in
+  Alcotest.(check bool) "rendered" true (String.length s > 0)
+
+let () =
+  Alcotest.run "tools"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "records device events" `Quick
+            test_trace_records_device_events;
+          Alcotest.test_case "off by default" `Quick test_trace_off_by_default;
+          Alcotest.test_case "ring buffer drops oldest" `Quick
+            test_trace_ring_buffer_drops_oldest;
+          Alcotest.test_case "rendezvous handshake sequence" `Quick
+            test_trace_rendezvous_sequence;
+        ] );
+      ( "chart",
+        [
+          Alcotest.test_case "renders series with legend" `Quick
+            test_chart_renders_series;
+          Alcotest.test_case "empty series" `Quick test_chart_empty_series;
+          Alcotest.test_case "non-positive values skipped" `Quick
+            test_chart_skips_nonpositive;
+        ] );
+    ]
