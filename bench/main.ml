@@ -86,6 +86,29 @@ let abl_group =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Faults: how fast the simulator runs the lossy-transport machinery     *)
+(* ------------------------------------------------------------------ *)
+
+let fault_group =
+  Test.make_grouped ~name:"faults"
+    [
+      Test.make ~name:"ring-clean"
+        (Staged.stage (fun () ->
+             ignore (W.ring ~n:2 ~rounds:4 ~size:256 ())));
+      Test.make ~name:"ring-reliable-clean"
+        (Staged.stage (fun () ->
+             ignore
+               (W.ring ~reliable:Mpi_core.Reliable.default_config ~n:2
+                  ~rounds:4 ~size:256 ())));
+      Test.make ~name:"ring-10pct-loss"
+        (Staged.stage (fun () ->
+             ignore
+               (W.ring
+                  ~fault:(Mpi_core.Fault.plan ~seed:7 ~drop:0.1 ())
+                  ~n:2 ~rounds:4 ~size:256 ())));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Component micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -215,8 +238,8 @@ let mpi_group =
 let all_tests =
   Test.make_grouped ~name:"motor"
     [
-      fig9_group; fig10_group; tabb_group; abl_group; serializer_group;
-      serializer_scaling_group; gc_group; mpi_group;
+      fig9_group; fig10_group; tabb_group; abl_group; fault_group;
+      serializer_group; serializer_scaling_group; gc_group; mpi_group;
     ]
 
 let benchmark () =

@@ -339,6 +339,64 @@ let abl_split_scatter ?(elements = 64) () =
         scatter_time ~n ~use_motor:false ))
     [ 2; 4; 8 ]
 
+(* ------------------------------------------------------------------ *)
+(* Loss sweep: the ring workload under increasing fault rates           *)
+(* ------------------------------------------------------------------ *)
+
+type loss_point = {
+  loss : float;
+  time_us : float;
+  goodput_mb_s : float;
+  retransmits : int;
+  acks : int;
+  fault_drops : int;
+  fault_dups : int;
+  fault_corrupts : int;
+  dup_drops : int;
+  corrupt_drops : int;
+  digest : string;
+}
+
+let default_losses = [ 0.0; 0.02; 0.05; 0.1; 0.2; 0.3 ]
+
+let loss_sweep ?(n = 4) ?(rounds = 30) ?(size = 2048)
+    ?(losses = default_losses) () =
+  List.map
+    (fun loss ->
+      let fault =
+        if loss = 0.0 then None
+        else
+          Some
+            (Mpi_core.Fault.plan ~seed:1234 ~drop:loss
+               ~duplicate:(loss /. 2.0) ~corrupt:(loss /. 4.0) ~delay:loss
+               ~delay_ns:100_000.0 ())
+      in
+      (* The reliable layer is always on, so the zero-loss point pays the
+         same framing/ack overhead and the sweep isolates the cost of the
+         faults themselves. *)
+      let digest, w =
+        Workloads.ring ?fault ~reliable:Mpi_core.Reliable.default_config ~n
+          ~rounds ~size ()
+      in
+      let env = Mpi_core.Mpi.env w in
+      let stats = env.Env.stats in
+      let time_us = Env.now_us env in
+      let payload = float_of_int (n * rounds * size) in
+      {
+        loss;
+        time_us;
+        goodput_mb_s = payload /. time_us (* bytes/us = MB/s *);
+        retransmits = Simtime.Stats.get stats Key.retransmits;
+        acks = Simtime.Stats.get stats Key.acks;
+        fault_drops = Simtime.Stats.get stats Key.fault_drops;
+        fault_dups = Simtime.Stats.get stats Key.fault_dups;
+        fault_corrupts = Simtime.Stats.get stats Key.fault_corrupts;
+        dup_drops = Simtime.Stats.get stats Key.dup_drops;
+        corrupt_drops = Simtime.Stats.get stats Key.corrupt_drops;
+        digest;
+      })
+    losses
+
 (* Non-blocking receive stress: post a batch of irecvs on young buffers,
    churn allocations to force collections while they are outstanding, and
    account for how each policy protected the buffers. *)

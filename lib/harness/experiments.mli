@@ -60,6 +60,38 @@ val abl_channel :
     stack re-deployed over the sock and shm channels; per channel,
     (message size, us/iter) points. *)
 
+(** {1 Robustness: loss sweep} *)
+
+type loss_point = {
+  loss : float;  (** per-packet drop probability injected *)
+  time_us : float;  (** virtual completion time of the whole workload *)
+  goodput_mb_s : float;  (** application payload delivered / time *)
+  retransmits : int;
+  acks : int;
+  fault_drops : int;
+  fault_dups : int;
+  fault_corrupts : int;
+  dup_drops : int;
+  corrupt_drops : int;
+  digest : string;  (** final application state; must match loss 0 *)
+}
+
+val default_losses : float list
+(** 0, 2, 5, 10, 20, 30 per cent. *)
+
+val loss_sweep :
+  ?n:int ->
+  ?rounds:int ->
+  ?size:int ->
+  ?losses:float list ->
+  unit ->
+  loss_point list
+(** Run {!Workloads.ring} (default 4 ranks, 30 rounds, 2 KiB messages)
+    under each loss rate, with duplication, corruption and delay scaled
+    off the loss rate and the {!Mpi_core.Reliable} layer always on.
+    Completion time grows with loss while the digest stays byte-identical
+    to the fault-free run — the correctness-under-loss claim. *)
+
 val abl_split_scatter :
   ?elements:int -> unit -> (int * float * float) list
 (** Section 2.4's scatter claim quantified: OScatter of an [elements]-long

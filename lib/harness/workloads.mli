@@ -25,6 +25,37 @@ val pingpong_bytes :
 (** Figure 9's unit: average microseconds per round-trip of a [size]-byte
     buffer under the given system's binding semantics. *)
 
+(** {1 Fault-tolerance workloads}
+
+    Both drivers return a digest of the final application state together
+    with the world (whose env carries the virtual clock and the fault /
+    reliability counters). Workloads and fault schedules are fully
+    deterministic, so for a fixed fault seed the digest must equal the
+    fault-free digest — the property the loss-sweep experiment and the
+    robustness tests assert. *)
+
+val ring :
+  ?fault:Mpi_core.Fault.plan ->
+  ?reliable:Mpi_core.Reliable.config ->
+  n:int ->
+  rounds:int ->
+  size:int ->
+  unit ->
+  string * Mpi_core.Mpi.world
+(** [rounds] neighbour exchanges around an [n]-rank ring of [size]-byte
+    messages; each rank folds what it received into what it sends next,
+    so any unmasked loss, duplication or corruption changes the digest. *)
+
+val allreduce_chain :
+  ?fault:Mpi_core.Fault.plan ->
+  ?reliable:Mpi_core.Reliable.config ->
+  n:int ->
+  rounds:int ->
+  unit ->
+  string * Mpi_core.Mpi.world
+(** Collective counterpart: [rounds] chained [allreduce] sums whose
+    inputs depend on the previous result. *)
+
 type object_result = Time_us of float | Crashed of string
 
 val pingpong_objects :

@@ -56,13 +56,13 @@ let track t req =
   Request.on_complete req (fun () -> t.outstanding <- t.outstanding - 1);
   req
 
-let check_fits (env : Packet.envelope) (sink : Buffer_view.t) =
+let fits_error (env : Packet.envelope) (sink : Buffer_view.t) =
   if env.Packet.e_bytes > sink.Buffer_view.len then
-    raise
-      (Mpi_error
-         (Printf.sprintf
-            "message truncated: %d bytes arriving into a %d-byte buffer"
-            env.Packet.e_bytes sink.Buffer_view.len))
+    Some
+      (Printf.sprintf
+         "message truncated: %d bytes arriving into a %d-byte buffer"
+         env.Packet.e_bytes sink.Buffer_view.len)
+  else None
 
 let status_of (env : Packet.envelope) =
   {
@@ -114,23 +114,33 @@ let isend t ~dst ~tag ~context ?(mode = Standard) source =
 
 let accept_rts t (envelope : Packet.envelope) rndv_id (sink : Buffer_view.t)
     req =
-  check_fits envelope sink;
-  Hashtbl.replace t.pending_recvs rndv_id
-    { pr_sink = sink; pr_env = envelope; pr_req = req };
-  t.chan.Channel.send ~src:t.rank ~dst:envelope.Packet.e_src
-    (Packet.Cts rndv_id)
+  match fits_error envelope sink with
+  | Some msg ->
+      (* Refuse the transfer instead of leaking it: fail the local
+         receive and NAK the sender so its pending_sends entry (and
+         request) are released too. *)
+      Request.fail req msg;
+      t.chan.Channel.send ~src:t.rank ~dst:envelope.Packet.e_src
+        (Packet.Nak (rndv_id, msg))
+  | None ->
+      Hashtbl.replace t.pending_recvs rndv_id
+        { pr_sink = sink; pr_env = envelope; pr_req = req };
+      t.chan.Channel.send ~src:t.rank ~dst:envelope.Packet.e_src
+        (Packet.Cts rndv_id)
 
 let deliver_eager t (envelope : Packet.envelope) data
     (sink : Buffer_view.t) req ~buffered =
-  check_fits envelope sink;
-  let len = Bytes.length data in
-  sink.Buffer_view.blit_from ~pos:0 ~src:data ~src_off:0 ~len;
-  (* A message that sat in the unexpected queue costs one extra copy; a
-     matched receive lands directly in the user buffer. *)
-  if buffered then
-    Simtime.Env.charge_per_byte t.env
-      t.env.Simtime.Env.cost.memcpy_ns_per_byte len;
-  Request.complete req (Some (status_of envelope))
+  match fits_error envelope sink with
+  | Some msg -> Request.fail req msg
+  | None ->
+      let len = Bytes.length data in
+      sink.Buffer_view.blit_from ~pos:0 ~src:data ~src_off:0 ~len;
+      (* A message that sat in the unexpected queue costs one extra copy; a
+         matched receive lands directly in the user buffer. *)
+      if buffered then
+        Simtime.Env.charge_per_byte t.env
+          t.env.Simtime.Env.cost.memcpy_ns_per_byte len;
+      Request.complete req (Some (status_of envelope))
 
 let irecv t ~src ~tag ~context sink =
   charge_request t;
@@ -153,6 +163,15 @@ let irecv t ~src ~tag ~context sink =
       ignore (track t req));
   req
 
+(* A control packet that no longer matches live rendezvous state is a
+   stale duplicate (a retransmission whose original already landed, or a
+   NAK/CTS crossing on the wire). On a lossy transport these are normal;
+   they are counted and dropped, never fatal. *)
+let stale_drop t what detail =
+  Simtime.Env.count t.env Key.dup_drops;
+  Trace.record t.env ~rank:t.rank ~op:"drop"
+    ~detail:(Printf.sprintf "stale %s: %s" what detail)
+
 let handle_packet t packet =
   Trace.record t.env ~rank:t.rank
     ~op:
@@ -160,7 +179,10 @@ let handle_packet t packet =
       | Packet.Eager _ -> "eager"
       | Packet.Rts _ -> "rts"
       | Packet.Cts _ -> "cts"
-      | Packet.Rndv_data _ -> "data")
+      | Packet.Rndv_data _ -> "data"
+      | Packet.Nak _ -> "nak"
+      | Packet.Frame _ -> "frame"
+      | Packet.Ack _ -> "ack")
     ~detail:(Packet.describe packet);
   match packet with
   | Packet.Eager (envelope, data) -> (
@@ -177,7 +199,7 @@ let handle_packet t packet =
           Queues.add_unexpected t.queues (Queues.U_rts (envelope, rndv_id)))
   | Packet.Cts rndv_id -> (
       match Hashtbl.find_opt t.pending_sends rndv_id with
-      | None -> raise (Mpi_error "CTS for unknown rendezvous id")
+      | None -> stale_drop t "cts" (Packet.describe packet)
       | Some ps ->
           Hashtbl.remove t.pending_sends rndv_id;
           let len = Buffer_view.length ps.ps_source in
@@ -188,12 +210,22 @@ let handle_packet t packet =
           Request.complete ps.ps_req None)
   | Packet.Rndv_data (rndv_id, data) -> (
       match Hashtbl.find_opt t.pending_recvs rndv_id with
-      | None -> raise (Mpi_error "DATA for unknown rendezvous id")
+      | None -> stale_drop t "data" (Packet.describe packet)
       | Some pr ->
           Hashtbl.remove t.pending_recvs rndv_id;
           let len = Bytes.length data in
           pr.pr_sink.Buffer_view.blit_from ~pos:0 ~src:data ~src_off:0 ~len;
           Request.complete pr.pr_req (Some (status_of pr.pr_env)))
+  | Packet.Nak (rndv_id, msg) -> (
+      match Hashtbl.find_opt t.pending_sends rndv_id with
+      | None -> stale_drop t "nak" (Packet.describe packet)
+      | Some ps ->
+          Hashtbl.remove t.pending_sends rndv_id;
+          Request.fail ps.ps_req ("rendezvous refused by receiver: " ^ msg))
+  | Packet.Frame _ | Packet.Ack _ ->
+      (* Transport-layer framing leaking past a missing Reliable layer:
+         not addressed to the device; drop rather than crash. *)
+      stale_drop t "transport frame" (Packet.describe packet)
 
 let progress t =
   Simtime.Env.charge t.env t.env.Simtime.Env.cost.progress_poll_ns;

@@ -7,7 +7,11 @@
 
 exception Mpi_error of string
 (** Protocol-level failures (e.g. a message longer than its receive
-    buffer — the truncation error that protects object integrity). *)
+    buffer — the truncation error that protects object integrity).
+    Raised by waiters ({!Mpi.wait}) when a request was failed with a
+    categorized error; the progress engine itself never throws on stale
+    or duplicated packets — those are counted and dropped, so a lossy
+    channel (see {!Fault} and {!Reliable}) cannot crash it. *)
 
 type t
 
@@ -38,8 +42,10 @@ val isend :
 val irecv :
   t -> src:int -> tag:int -> context:int -> Buffer_view.t -> Request.t
 (** Start a receive; [src]/[tag] may be {!Tag_match.any_source} /
-    {!Tag_match.any_tag}. Raises {!Mpi_error} if a matched message is
-    larger than the buffer. *)
+    {!Tag_match.any_tag}. If a matched message is larger than the buffer
+    the request is failed with a truncation error (and a rendezvous
+    sender is NAKed so it releases its state); {!Mpi.wait} raises it as
+    {!Mpi_error}. *)
 
 val progress : t -> bool
 (** Drain arrived packets; true if any packet was handled. Never blocks. *)

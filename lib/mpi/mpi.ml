@@ -16,15 +16,28 @@ let fresh_id world () =
   world.id_counter <- world.id_counter + 1;
   world.id_counter
 
-let create_world ?(channel = `Sock) ?cost ?env ~n () =
+let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ~n () =
   if n < 1 then invalid_arg "Mpi.create_world: need at least one rank";
   let env =
     match env with Some e -> e | None -> Simtime.Env.create ?cost ()
   in
-  let chan =
+  let base =
     match channel with
     | `Shm -> Shm_channel.create env ~n_ranks:n
     | `Sock -> Sock_channel.create env ~n_ranks:n
+  in
+  let faulty =
+    match fault with
+    | None -> base
+    | Some plan -> Fault.wrap ~env plan base
+  in
+  (* A fault plan without reliable delivery would violate MPI semantics,
+     so injecting faults always installs the reliable layer on top. *)
+  let chan =
+    match (fault, reliable) with
+    | None, None -> faulty
+    | _, Some config -> Reliable.wrap_channel ~config ~env faulty
+    | Some _, None -> Reliable.wrap_channel ~env faulty
   in
   let world =
     {
@@ -120,7 +133,9 @@ let wait_poll p ~poll req =
       else spins := 0
     done
   end;
-  Request.status req
+  match Request.error req with
+  | Some msg -> raise (Ch3.Mpi_error msg)
+  | None -> Request.status req
 
 let wait p req = wait_poll p ~poll:(fun () -> ()) req
 
@@ -319,8 +334,8 @@ let quiescence_report w =
 (* Running worlds                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run ?channel ?cost ?env ~n body =
-  let w = create_world ?channel ?cost ?env ~n () in
+let run ?channel ?cost ?env ?fault ?reliable ~n body =
+  let w = create_world ?channel ?cost ?env ?fault ?reliable ~n () in
   let fibers =
     List.init n (fun i ->
         (Printf.sprintf "rank%d" i, fun () -> body (proc w i)))

@@ -15,10 +15,16 @@ val create_world :
   ?channel:[ `Shm | `Sock ] ->
   ?cost:Simtime.Cost.t ->
   ?env:Simtime.Env.t ->
+  ?fault:Fault.plan ->
+  ?reliable:Reliable.config ->
   n:int ->
   unit ->
   world
-(** Default channel is [`Sock] (the paper's configuration). *)
+(** Default channel is [`Sock] (the paper's configuration). A [fault]
+    plan makes the wire lossy (seeded, deterministic — see {!Fault}) and
+    automatically stacks the {!Reliable} go-back-N layer on top so MPI
+    semantics survive; [reliable] installs (or configures) that layer
+    explicitly, with or without faults. *)
 
 val env : world -> Simtime.Env.t
 val world_size : world -> int
@@ -57,11 +63,14 @@ val run :
   ?channel:[ `Shm | `Sock ] ->
   ?cost:Simtime.Cost.t ->
   ?env:Simtime.Env.t ->
+  ?fault:Fault.plan ->
+  ?reliable:Reliable.config ->
   n:int ->
   (proc -> unit) ->
   world
 (** Create a world and run one fiber per rank to completion; returns the
-    world (whose env carries the clock and counters). *)
+    world (whose env carries the clock and counters). [fault] and
+    [reliable] as in {!create_world}. *)
 
 (** {1 Point-to-point}
 
@@ -87,7 +96,9 @@ val recv :
 
 val wait : proc -> Request.t -> Status.t option
 (** Polling wait: pumps progress until the request completes. The optional
-    [poll] hook of {!wait_poll} is how Motor injects GC yields. *)
+    [poll] hook of {!wait_poll} is how Motor injects GC yields. Raises
+    {!Ch3.Mpi_error} if the request completed with a categorized failure
+    (truncation, rendezvous refused). *)
 
 val wait_poll : proc -> poll:(unit -> unit) -> Request.t -> Status.t option
 val test : proc -> Request.t -> bool

@@ -1,0 +1,197 @@
+module Key = Simtime.Stats.Key
+
+type config = {
+  rto_base_ns : float;
+  rto_max_ns : float;
+  max_retries : int;
+}
+
+let default_config =
+  { rto_base_ns = 100_000.0; rto_max_ns = 2_000_000.0; max_retries = 16 }
+
+(* Sender-side state for one (src, dst) direction. *)
+type tx = {
+  mutable next_seq : int;
+  mutable unacked : (int * Packet.t) list;  (* (seq, framed), oldest first *)
+  mutable rto_ns : float;
+  mutable deadline : float;  (* meaningful only while unacked <> [] *)
+  mutable retries : int;
+  mutable gave_up : bool;
+}
+
+(* Receiver-side state for one (src, dst) direction. *)
+type rx = { mutable expected : int }
+
+type t = {
+  env : Simtime.Env.t;
+  cfg : config;
+  chan : Channel.t;
+  txs : (int * int, tx) Hashtbl.t;
+  rxs : (int * int, rx) Hashtbl.t;
+}
+
+let now t = Simtime.Clock.now_ns t.env.Simtime.Env.clock
+
+let tx_state t ~src ~dst =
+  match Hashtbl.find_opt t.txs (src, dst) with
+  | Some st -> st
+  | None ->
+      let st =
+        { next_seq = 0; unacked = []; rto_ns = t.cfg.rto_base_ns;
+          deadline = infinity; retries = 0; gave_up = false }
+      in
+      Hashtbl.replace t.txs (src, dst) st;
+      st
+
+let rx_state t ~src ~dst =
+  match Hashtbl.find_opt t.rxs (src, dst) with
+  | Some st -> st
+  | None ->
+      let st = { expected = 0 } in
+      Hashtbl.replace t.rxs (src, dst) st;
+      st
+
+let send t ~src ~dst packet =
+  let st = tx_state t ~src ~dst in
+  let seq = st.next_seq in
+  st.next_seq <- seq + 1;
+  let framed =
+    Packet.Frame
+      ( { Packet.f_src = src; f_seq = seq; f_check = Packet.checksum packet },
+        packet )
+  in
+  if st.unacked = [] then begin
+    st.rto_ns <- t.cfg.rto_base_ns;
+    st.deadline <- now t +. st.rto_ns;
+    st.retries <- 0;
+    st.gave_up <- false
+  end;
+  st.unacked <- st.unacked @ [ (seq, framed) ];
+  t.chan.Channel.send ~src ~dst framed
+
+(* Retransmission is pumped from every rank's poll: all devices of a
+   world share the address space and the clock, so any progress pump can
+   service every sender's timers. This keeps fire-and-forget senders
+   honest — their frames are retransmitted even after their fiber has
+   finished its program, as long as anyone still polls. Go-back-N: on
+   timeout the whole unacked window is resent with doubled backoff. *)
+let pump_retransmits t =
+  let states =
+    Hashtbl.fold (fun k st acc -> (k, st) :: acc) t.txs []
+    |> List.filter (fun (_, st) -> st.unacked <> [])
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun ((src, dst), st) ->
+      if not st.gave_up then begin
+        (* Pending frames mean progress is a matter of time, not deadlock. *)
+        Fiber.note_activity ();
+        if now t >= st.deadline then
+          if st.retries >= t.cfg.max_retries then begin
+            st.gave_up <- true;
+            Simtime.Env.count t.env Key.retx_giveups;
+            Trace.record t.env ~rank:src ~op:"retx"
+              ~detail:
+                (Printf.sprintf "giving up on dst=%d after %d timeouts (%d \
+                                 frames stranded)"
+                   dst st.retries (List.length st.unacked))
+          end
+          else begin
+            List.iter
+              (fun (_, framed) ->
+                Simtime.Env.count t.env Key.retransmits;
+                Trace.record t.env ~rank:src ~op:"retx"
+                  ~detail:(Packet.describe framed);
+                t.chan.Channel.send ~src ~dst framed)
+              st.unacked;
+            st.retries <- st.retries + 1;
+            st.rto_ns <- Float.min (st.rto_ns *. 2.0) t.cfg.rto_max_ns;
+            st.deadline <- now t +. st.rto_ns
+          end
+      end)
+    states
+
+let send_ack t ~src ~dst ~cum =
+  Simtime.Env.count t.env Key.acks;
+  Trace.record t.env ~rank:src ~op:"ack"
+    ~detail:(Printf.sprintf "dst=%d cum=%d" dst cum);
+  t.chan.Channel.send ~src ~dst (Packet.Ack (src, cum))
+
+let rec poll t ~rank =
+  pump_retransmits t;
+  match t.chan.Channel.poll ~rank with
+  | None -> None
+  | Some (Packet.Frame (f, inner)) ->
+      let src = f.Packet.f_src in
+      let rx = rx_state t ~src ~dst:rank in
+      if Packet.checksum inner <> f.Packet.f_check then begin
+        (* Detected corruption behaves like loss: no ack, the sender's
+           retransmission recovers the frame. Never a silent bad
+           delivery. *)
+        Simtime.Env.count t.env Key.corrupt_drops;
+        Trace.record t.env ~rank ~op:"drop"
+          ~detail:("checksum mismatch " ^ Packet.describe inner);
+        poll t ~rank
+      end
+      else if f.Packet.f_seq = rx.expected then begin
+        rx.expected <- rx.expected + 1;
+        send_ack t ~src:rank ~dst:src ~cum:(rx.expected - 1);
+        Some inner
+      end
+      else if f.Packet.f_seq < rx.expected then begin
+        (* Duplicate (fault-injected or a retransmission that crossed the
+           ack): suppress, but re-ack so the sender stops resending. *)
+        Simtime.Env.count t.env Key.dup_drops;
+        Trace.record t.env ~rank ~op:"drop"
+          ~detail:
+            (Printf.sprintf "dup seq=%d (expected %d) %s" f.Packet.f_seq
+               rx.expected (Packet.describe inner));
+        send_ack t ~src:rank ~dst:src ~cum:(rx.expected - 1);
+        poll t ~rank
+      end
+      else begin
+        (* A gap: an earlier frame is missing. Go-back-N discards the
+           future frame and re-acks the last in-order sequence. *)
+        Simtime.Env.count t.env Key.ooo_drops;
+        Trace.record t.env ~rank ~op:"drop"
+          ~detail:
+            (Printf.sprintf "out-of-order seq=%d (expected %d)"
+               f.Packet.f_seq rx.expected);
+        send_ack t ~src:rank ~dst:src ~cum:(rx.expected - 1);
+        poll t ~rank
+      end
+  | Some (Packet.Ack (peer, cum)) ->
+      let st = tx_state t ~src:rank ~dst:peer in
+      let before = List.length st.unacked in
+      st.unacked <- List.filter (fun (seq, _) -> seq > cum) st.unacked;
+      if List.length st.unacked < before then begin
+        (* Forward progress: reset the backoff. *)
+        st.retries <- 0;
+        st.rto_ns <- t.cfg.rto_base_ns;
+        st.deadline <- now t +. st.rto_ns;
+        st.gave_up <- false
+      end;
+      poll t ~rank
+  | Some other ->
+      (* Unframed traffic (a peer not using the reliable layer): pass
+         through untouched. *)
+      Some other
+
+let stranded t =
+  Hashtbl.fold (fun _ st acc -> acc + List.length st.unacked) t.txs 0
+
+let wrap ?(config = default_config) ~env chan =
+  let t =
+    { env; cfg = config; chan; txs = Hashtbl.create 16;
+      rxs = Hashtbl.create 16 }
+  in
+  ( {
+      Channel.name = chan.Channel.name ^ "+reliable";
+      send = (fun ~src ~dst p -> send t ~src ~dst p);
+      poll = (fun ~rank -> poll t ~rank);
+      add_rank = chan.Channel.add_rank;
+      n_ranks = chan.Channel.n_ranks;
+    },
+    t )
+
+let wrap_channel ?config ~env chan = fst (wrap ?config ~env chan)

@@ -5,26 +5,43 @@ type t = {
   r_kind : kind;
   mutable r_complete : bool;
   mutable r_status : Status.t option;
+  mutable r_error : string option;
   mutable r_callbacks : (unit -> unit) list;
 }
 
 let create ~id kind =
   { r_id = id; r_kind = kind; r_complete = false; r_status = None;
-    r_callbacks = [] }
+    r_error = None; r_callbacks = [] }
 
 let id t = t.r_id
 let kind t = t.r_kind
 let is_complete t = t.r_complete
 
-let complete t status =
-  if t.r_complete then invalid_arg "Request.complete: already complete";
-  t.r_complete <- true;
-  t.r_status <- status;
+let fire_callbacks t =
   let cbs = List.rev t.r_callbacks in
   t.r_callbacks <- [];
   List.iter (fun f -> f ()) cbs
 
+(* Idempotent: a retransmitted CTS or DATA packet that slips past duplicate
+   suppression must not crash the progress engine; the first completion
+   wins. *)
+let complete t status =
+  if not t.r_complete then begin
+    t.r_complete <- true;
+    t.r_status <- status;
+    fire_callbacks t
+  end
+
+let fail t msg =
+  if not t.r_complete then begin
+    t.r_complete <- true;
+    t.r_status <- None;
+    t.r_error <- Some msg;
+    fire_callbacks t
+  end
+
 let status t = t.r_status
+let error t = t.r_error
 
 let on_complete t f =
   if t.r_complete then f () else t.r_callbacks <- f :: t.r_callbacks

@@ -12,12 +12,23 @@ val create : id:int -> kind -> t
 val id : t -> int
 val kind : t -> kind
 val is_complete : t -> bool
+
 val complete : t -> Status.t option -> unit
-(** Idempotent-hostile: completing twice is a protocol bug and raises
-    [Invalid_argument]. *)
+(** Idempotent: completing an already-complete request is a no-op, so a
+    duplicated control packet on a lossy transport can never crash the
+    progress engine. The first completion (or failure) wins. *)
+
+val fail : t -> string -> unit
+(** Complete the request with a categorized error instead of a status
+    (e.g. truncation, rendezvous refused). Waiters surface the error as
+    {!Ch3.Mpi_error}; callbacks still fire so tracking stays balanced.
+    No-op if the request already completed. *)
 
 val status : t -> Status.t option
 (** [Some] once a receive has completed. *)
+
+val error : t -> string option
+(** The failure reason, if the request was completed by {!fail}. *)
 
 val on_complete : t -> (unit -> unit) -> unit
 (** Register a callback fired at completion (buffer-pool recycling, tests).

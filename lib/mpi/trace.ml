@@ -29,6 +29,11 @@ let enable ?(capacity = 4096) env =
       registry := (env, t) :: !registry;
       t
 
+let disable env =
+  registry := List.filter (fun (e, _) -> not (e == env)) !registry
+
+let registered () = List.length !registry
+
 let record env ~rank ~op ~detail =
   match find env with
   | None -> ()

@@ -20,6 +20,14 @@ val enable : ?capacity:int -> Simtime.Env.t -> t
     Subsequent device activity in any world sharing the environment is
     recorded. Enabling twice returns the existing trace. *)
 
+val disable : Simtime.Env.t -> unit
+(** Detach the environment's trace (if any) from the global registry, so
+    long simulation campaigns that enable tracing per world do not
+    accumulate dead environments. No-op if tracing was never enabled. *)
+
+val registered : unit -> int
+(** Number of environments currently holding a trace (leak tests). *)
+
 val find : Simtime.Env.t -> t option
 val record : Simtime.Env.t -> rank:int -> op:string -> detail:string -> unit
 (** No-op when tracing is not enabled — safe on hot paths. *)

@@ -51,6 +51,16 @@ module Key = struct
   let eager_sends = "eager_sends"
   let rndv_sends = "rndv_sends"
   let unexpected_msgs = "unexpected_msgs"
+  let retransmits = "retransmits"
+  let retx_giveups = "retx_giveups"
+  let acks = "acks"
+  let dup_drops = "dup_drops"
+  let ooo_drops = "ooo_drops"
+  let corrupt_drops = "corrupt_drops"
+  let fault_drops = "fault_drops"
+  let fault_dups = "fault_dups"
+  let fault_delays = "fault_delays"
+  let fault_corrupts = "fault_corrupts"
   let ser_objects = "ser_objects"
   let deser_objects = "deser_objects"
   let visited_probes = "visited_probes"

@@ -49,6 +49,39 @@ module Key : sig
   val eager_sends : string
   val rndv_sends : string
   val unexpected_msgs : string
+
+  val retransmits : string
+  (** Frames re-sent by the reliable-delivery layer after an ack timeout. *)
+
+  val retx_giveups : string
+  (** Peers declared unreachable after [max_retries] timeouts. *)
+
+  val acks : string
+  (** Cumulative acknowledgements sent by the reliable-delivery layer. *)
+
+  val dup_drops : string
+  (** Duplicate (already-delivered) frames and stale control packets
+      suppressed on receive. *)
+
+  val ooo_drops : string
+  (** Out-of-order (future-sequence) frames dropped pending go-back-N
+      retransmission. *)
+
+  val corrupt_drops : string
+  (** Frames whose payload failed the wire checksum and were discarded. *)
+
+  val fault_drops : string
+  (** Packets destroyed by the fault-injection channel (loss + partition). *)
+
+  val fault_dups : string
+  (** Packets duplicated by the fault-injection channel. *)
+
+  val fault_delays : string
+  (** Packets held back (reordered) by the fault-injection channel. *)
+
+  val fault_corrupts : string
+  (** Packets whose bits were flipped by the fault-injection channel. *)
+
   val ser_objects : string
   val deser_objects : string
   val visited_probes : string

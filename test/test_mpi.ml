@@ -556,6 +556,148 @@ let prop_random_traffic =
                recvs));
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Matching queues (unit level)                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Q = Mpi_core.Queues
+module Pk = Mpi_core.Packet
+
+let envelope ~src ~tag ?(context = 0) ~seq () =
+  {
+    Pk.e_src = src; e_dst = 0; e_tag = tag; e_context = context;
+    e_bytes = 8; e_seq = seq;
+  }
+
+let unexpected_seq q pattern =
+  match Q.take_unexpected q pattern with
+  | Some (Q.U_eager (e, _)) -> Some e.Pk.e_seq
+  | Some (Q.U_rts (e, _)) -> Some e.Pk.e_seq
+  | None -> None
+
+let test_unexpected_fifo_per_pattern () =
+  let env = Simtime.Env.create () in
+  let q = Q.create env in
+  (* Interleave two (src, tag) streams; each must drain in arrival order
+     (MPI's non-overtaking guarantee), independent of the other. *)
+  List.iter
+    (fun (src, tag, seq) ->
+      Q.add_unexpected q (Q.U_eager (envelope ~src ~tag ~seq (), payload 8)))
+    [ (0, 1, 1); (2, 5, 2); (0, 1, 3); (2, 5, 4); (0, 1, 5) ];
+  let p01 = { Tm.m_src = 0; m_tag = 1; m_context = 0 } in
+  let p25 = { Tm.m_src = 2; m_tag = 5; m_context = 0 } in
+  Alcotest.(check (option int)) "first of stream A" (Some 1)
+    (unexpected_seq q p01);
+  Alcotest.(check (option int)) "first of stream B" (Some 2)
+    (unexpected_seq q p25);
+  Alcotest.(check (option int)) "second of stream A" (Some 3)
+    (unexpected_seq q p01);
+  Alcotest.(check (option int)) "third of stream A" (Some 5)
+    (unexpected_seq q p01);
+  Alcotest.(check (option int)) "second of stream B" (Some 4)
+    (unexpected_seq q p25);
+  Alcotest.(check int) "drained" 0 (Q.unexpected_length q)
+
+let test_unexpected_wildcards () =
+  let env = Simtime.Env.create () in
+  let q = Q.create env in
+  List.iter
+    (fun (src, tag, seq) ->
+      Q.add_unexpected q (Q.U_eager (envelope ~src ~tag ~seq (), payload 8)))
+    [ (3, 7, 1); (1, 7, 2); (3, 9, 3) ];
+  (* any-source keeps tag selectivity; any-tag keeps source selectivity;
+     the double wildcard takes strict arrival order. *)
+  Alcotest.(check (option int)) "any_source picks earliest tag 7" (Some 1)
+    (unexpected_seq q { Tm.m_src = Tm.any_source; m_tag = 7; m_context = 0 });
+  Alcotest.(check (option int)) "any_tag picks earliest src 3" (Some 3)
+    (unexpected_seq q { Tm.m_src = 3; m_tag = Tm.any_tag; m_context = 0 });
+  Alcotest.(check (option int)) "double wildcard takes arrival order"
+    (Some 2)
+    (unexpected_seq q
+       { Tm.m_src = Tm.any_source; m_tag = Tm.any_tag; m_context = 0 });
+  Alcotest.(check (option int)) "context still discriminates" None
+    (unexpected_seq q
+       { Tm.m_src = Tm.any_source; m_tag = Tm.any_tag; m_context = 2 })
+
+let test_posted_queue_order_and_selectivity () =
+  let env = Simtime.Env.create () in
+  let q = Q.create env in
+  let post ~src ~tag id =
+    Q.post_recv q
+      {
+        Q.p_pattern = { Tm.m_src = src; m_tag = tag; m_context = 0 };
+        p_sink = Bv.of_bytes (Bytes.create 8);
+        p_req = Mpi_core.Request.create ~id Mpi_core.Request.Recv_req;
+      }
+  in
+  post ~src:Tm.any_source ~tag:4 1;
+  post ~src:2 ~tag:Tm.any_tag 2;
+  post ~src:2 ~tag:4 3;
+  (* An envelope matching several posted receives must take the earliest
+     posted one, and matching consumes the entry. *)
+  let id_for e =
+    Option.map
+      (fun (p : Q.posted) -> Mpi_core.Request.id p.Q.p_req)
+      (Q.take_posted q e)
+  in
+  Alcotest.(check (option int)) "earliest posted wins" (Some 1)
+    (id_for (envelope ~src:2 ~tag:4 ~seq:1 ()));
+  Alcotest.(check (option int)) "next match in post order" (Some 2)
+    (id_for (envelope ~src:2 ~tag:4 ~seq:2 ()));
+  Alcotest.(check (option int)) "specific entry last" (Some 3)
+    (id_for (envelope ~src:2 ~tag:4 ~seq:3 ()));
+  Alcotest.(check (option int)) "queue now empty" None
+    (id_for (envelope ~src:2 ~tag:4 ~seq:4 ()));
+  post ~src:5 ~tag:0 4;
+  Alcotest.(check (option int)) "non-matching envelope passes by" None
+    (id_for (envelope ~src:2 ~tag:0 ~seq:5 ()));
+  Alcotest.(check int) "unmatched entry still posted" 1 (Q.posted_length q)
+
+let prop_posted_vs_unexpected_race =
+  QCheck.Test.make
+    ~name:"posted/unexpected races deliver every message exactly once"
+    ~count:60
+    QCheck.(pair (int_range 1 12) (int_range 0 1000))
+    (fun (msgs, seed) ->
+      (* Rank 1 posts half its receives before the sends land and half
+         after (a race between arrival and posting); every payload must be
+         delivered exactly once whichever queue each message went
+         through. *)
+      let received = Array.make msgs Bytes.empty in
+      ignore
+        (run2 (fun p ->
+             let comm = Mpi.comm_world (Mpi.world_of p) in
+             if Mpi.rank p = 0 then
+               for tag = 0 to msgs - 1 do
+                 Mpi.send p ~comm ~dst:1 ~tag
+                   (Bv.of_bytes (payload (tag + seed mod 7 + 1)))
+               done
+             else begin
+               let early, late =
+                 List.partition
+                   (fun tag -> (tag + seed) mod 2 = 0)
+                   (List.init msgs Fun.id)
+               in
+               let post tag =
+                 let buf = Bytes.create (tag + seed mod 7 + 1) in
+                 received.(tag) <- buf;
+                 Mpi.irecv p ~comm ~src:0 ~tag (Bv.of_bytes buf)
+               in
+               let early_reqs = List.map post early in
+               (* Let some sends land unexpected before posting the rest. *)
+               for _ = 1 to 3 do
+                 Fiber.yield ()
+               done;
+               let late_reqs = List.map post late in
+               List.iter
+                 (fun r -> ignore (Mpi.wait p r))
+                 (early_reqs @ late_reqs)
+             end));
+      Array.for_all2
+        (fun buf tag -> Bytes.equal buf (payload (tag + seed mod 7 + 1)))
+        received
+        (Array.init msgs Fun.id))
+
 let () =
   Alcotest.run "mpi_core"
     [
@@ -595,6 +737,16 @@ let () =
           Alcotest.test_case "reduce sum" `Quick test_reduce_sum;
           Alcotest.test_case "allreduce sum f64" `Quick
             test_allreduce_sum_f64;
+        ] );
+      ( "queues",
+        [
+          Alcotest.test_case "unexpected FIFO per pattern" `Quick
+            test_unexpected_fifo_per_pattern;
+          Alcotest.test_case "wildcard matching" `Quick
+            test_unexpected_wildcards;
+          Alcotest.test_case "posted order and selectivity" `Quick
+            test_posted_queue_order_and_selectivity;
+          QCheck_alcotest.to_alcotest prop_posted_vs_unexpected_race;
         ] );
       ( "communicators",
         [
