@@ -232,6 +232,66 @@ let mpi_group =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Collectives: how fast the simulator runs each algorithm, plus the    *)
+(* queue-backlog hot path the algorithms lean on                        *)
+(* ------------------------------------------------------------------ *)
+
+let coll_bench name f =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let env = Simtime.Env.create ~cost:Simtime.Cost.native_cpp () in
+         ignore
+           (Mpi_core.Mpi.run ~env ~n:8 (fun p ->
+                let comm =
+                  Mpi_core.Mpi.comm_world (Mpi_core.Mpi.world_of p)
+                in
+                f p comm))))
+
+let coll_group =
+  let module C = Mpi_core.Collectives in
+  Test.make_grouped ~name:"collectives"
+    [
+      coll_bench "allreduce-rd-8x4KiB" (fun p comm ->
+          ignore
+            (C.allreduce ~algo:`Rd p comm ~op:C.sum_i64 (Bytes.create 4096)));
+      coll_bench "allreduce-rab-8x64KiB" (fun p comm ->
+          ignore
+            (C.allreduce ~algo:`Rabenseifner p comm ~op:C.sum_i64
+               (Bytes.create 65536)));
+      coll_bench "bcast-scag-8x64KiB" (fun p comm ->
+          C.bcast ~algo:`Scatter_allgather p comm ~root:0
+            (Mpi_core.Buffer_view.of_bytes (Bytes.create 65536)));
+      Test.make ~name:"queue-backlog-4096"
+        (Staged.stage
+           (let env = Simtime.Env.create ~cost:Simtime.Cost.native_cpp () in
+            fun () ->
+              (* Amortized-O(1) append: 4096 unmatched posts then one
+                 match at the head. The pre-fix list append made this
+                 quadratic. *)
+              let queues = Mpi_core.Queues.create env in
+              for i = 0 to 4095 do
+                Mpi_core.Queues.post_recv queues
+                  {
+                    Mpi_core.Queues.p_pattern =
+                      { Mpi_core.Tag_match.m_src = 1; m_tag = i; m_context = 0 };
+                    p_sink = Mpi_core.Buffer_view.of_bytes (Bytes.create 8);
+                    p_req =
+                      Mpi_core.Request.create ~id:i Mpi_core.Request.Recv_req;
+                  }
+              done;
+              ignore
+                (Mpi_core.Queues.take_posted queues
+                   {
+                     Mpi_core.Packet.e_src = 1;
+                     e_dst = 0;
+                     e_tag = 0;
+                     e_context = 0;
+                     e_bytes = 8;
+                     e_seq = 1;
+                   })));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -240,6 +300,7 @@ let all_tests =
     [
       fig9_group; fig10_group; tabb_group; abl_group; fault_group;
       serializer_group; serializer_scaling_group; gc_group; mpi_group;
+      coll_group;
     ]
 
 let benchmark () =

@@ -235,6 +235,83 @@ let run_faults ~csv =
       Format.printf "csv written to %s@." path
   | None -> ()
 
+(* Collective algorithm sweep: latency vs ranks x payload per algorithm,
+   every algorithm forced explicitly (not just the `Auto pick). *)
+let coll_headers = [ "algo"; "ranks"; "bytes"; "time us"; "msgs" ]
+
+let run_coll ~quick ~csv =
+  let points =
+    if quick then
+      Harness.Experiments.coll_sweep ~ranks:[ 2; 4; 8 ]
+        ~sizes:[ 64; 4096 ] ()
+    else Harness.Experiments.coll_sweep ()
+  in
+  let rows =
+    List.map
+      (fun (p : Experiments.coll_point) ->
+        ( p.Experiments.c_coll,
+          [
+            Table.Text p.Experiments.c_algo;
+            Table.Num (float_of_int p.Experiments.c_ranks);
+            Table.Num (float_of_int p.Experiments.c_bytes);
+            Table.Num p.Experiments.c_time_us;
+            Table.Num (float_of_int p.Experiments.c_msgs);
+          ] ))
+      points
+  in
+  Table.print_table
+    ~title:"Collective algorithm sweep (virtual us per operation)"
+    ~headers:coll_headers ~rows ();
+  (* The selection-policy claim: whichever allreduce algorithm the
+     threshold picks must also be the measured winner, on both sides of
+     the crossover. *)
+  let find coll algo n b =
+    List.find_opt
+      (fun (p : Experiments.coll_point) ->
+        p.Experiments.c_coll = coll
+        && p.Experiments.c_algo = algo
+        && p.Experiments.c_ranks = n
+        && p.Experiments.c_bytes = b)
+      points
+  in
+  let verdict n big =
+    match
+      (find "allreduce" "rd" n big, find "allreduce" "rabenseifner" n big)
+    with
+    | Some rd, Some rab ->
+        let picked =
+          match
+            Mpi_core.Collectives.allreduce_algo_for Simtime.Cost.native_cpp
+              ~n ~bytes:big ~granule:8 ~commutative:true
+          with
+          | `Rabenseifner -> "rabenseifner"
+          | `Rd -> "rd"
+          | `Linear -> "linear"
+        in
+        let winner =
+          if rab.Experiments.c_time_us < rd.Experiments.c_time_us then
+            "rabenseifner"
+          else "rd"
+        in
+        Format.printf
+          "allreduce at %d ranks x %d B: rd %.0f us, rabenseifner %.0f us; \
+           policy picks %s -> %s@."
+          n big rd.Experiments.c_time_us rab.Experiments.c_time_us picked
+          (if picked = winner then "agrees with measurement"
+           else "MISMATCH: policy picked the slower algorithm")
+    | _ -> ()
+  in
+  if quick then verdict 8 4096
+  else begin
+    verdict 16 16_384;
+    verdict 16 262_144
+  end;
+  match csv with
+  | Some path ->
+      Table.write_csv ~path ~headers:coll_headers ~rows;
+      Format.printf "csv written to %s@." path
+  | None -> ()
+
 (* Regenerate a self-contained markdown report of every measured result:
    the machine-written companion to EXPERIMENTS.md. *)
 let run_report ~quick ~path =
@@ -364,6 +441,10 @@ let faults_cmd =
   cmd_of "faults" "Loss sweep: the ring workload under injected faults."
     Term.(const (fun csv -> run_faults ~csv) $ csv)
 
+let coll_cmd =
+  cmd_of "coll" "Collective algorithm sweep: latency vs ranks x payload."
+    Term.(const (fun quick csv -> run_coll ~quick ~csv) $ quick $ csv)
+
 let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Run all shape checks; exit 1 on failure.")
     Term.(const (fun quick -> Stdlib.exit (run_check ~quick)) $ quick)
@@ -400,5 +481,5 @@ let () =
        (Cmd.group info
           [
             fig9_cmd; fig10_cmd; taba_cmd; tabb_cmd; ablations_cmd;
-            faults_cmd; all_cmd; check_cmd; report_cmd;
+            faults_cmd; coll_cmd; all_cmd; check_cmd; report_cmd;
           ]))

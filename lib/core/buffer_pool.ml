@@ -9,7 +9,7 @@ type entry = {
 type t = {
   gc : Vm.Gc.t;
   env : Simtime.Env.t;
-  mutable entries : entry list;  (* the stack *)
+  mutable entries : entry list;  (* sorted by capacity, ascending *)
 }
 
 let create gc =
@@ -27,7 +27,10 @@ let create gc =
   t
 
 let acquire t size =
-  (* Smallest adequate buffer wins; the stack stays sorted by capacity. *)
+  (* The pool is kept sorted by capacity (insertion in [release], and the
+     reaping hook's partition preserves order), so the first adequate
+     entry is the smallest one: best fit in a single scan, no per-acquire
+     sort. *)
   let rec take acc = function
     | [] -> None
     | e :: rest when Bytes.length e.buf >= size ->
@@ -35,9 +38,7 @@ let acquire t size =
         Some e
     | e :: rest -> take (e :: acc) rest
   in
-  match take [] (List.sort (fun a b ->
-      compare (Bytes.length a.buf) (Bytes.length b.buf)) t.entries)
-  with
+  match take [] t.entries with
   | Some e ->
       e.last_used_epoch <- Vm.Gc.collection_epoch t.gc;
       Env.count t.env Key.buffers_reused;
@@ -50,7 +51,13 @@ let acquire t size =
       Bytes.create size
 
 let release t buf =
-  t.entries <-
-    { buf; last_used_epoch = Vm.Gc.collection_epoch t.gc } :: t.entries
+  (* Sorted insertion keeps the capacity order [acquire] relies on. *)
+  let e = { buf; last_used_epoch = Vm.Gc.collection_epoch t.gc } in
+  let len = Bytes.length buf in
+  let rec insert = function
+    | x :: rest when Bytes.length x.buf < len -> x :: insert rest
+    | rest -> e :: rest
+  in
+  t.entries <- insert t.entries
 
 let pooled t = List.length t.entries

@@ -13,10 +13,12 @@ val create : Vm.Gc.t -> t
 
 val acquire : t -> int -> Bytes.t
 (** Smallest pooled buffer of at least the requested size, or a fresh one.
-    The returned buffer may be larger than requested. *)
+    The returned buffer may be larger than requested. The pool is kept
+    sorted by capacity ({!release} inserts in order), so this is a single
+    best-fit scan. *)
 
 val release : t -> Bytes.t -> unit
-(** Return a buffer to the pool. *)
+(** Return a buffer to the pool (sorted insertion by capacity). *)
 
 val pooled : t -> int
 (** Buffers currently sitting in the pool. *)

@@ -459,3 +459,116 @@ let abl_nonblocking_unpin () =
         Simtime.Stats.get env.Env.stats Key.pins,
         Simtime.Stats.get env.Env.stats Key.conditional_pins_dropped ))
     policies
+
+(* ------------------------------------------------------------------ *)
+(* Collective algorithm sweep                                          *)
+(* ------------------------------------------------------------------ *)
+
+type coll_point = {
+  c_coll : string;
+  c_algo : string;
+  c_ranks : int;
+  c_bytes : int;
+  c_time_us : float;
+  c_msgs : int;
+}
+
+let default_coll_ranks = [ 2; 4; 8; 16; 32 ]
+let default_coll_sizes = [ 64; 1024; 16_384; 262_144 ]
+
+let floor_pow2 n =
+  let rec go v = if 2 * v <= n then go (2 * v) else v in
+  go 1
+
+(* One measured collective: a fresh world, a barrier fence on each side,
+   virtual time and message count deltas read on rank 0. *)
+let coll_run ~n body =
+  let env = Env.create ~cost:Cost.native_cpp () in
+  let t0 = ref 0.0 and t1 = ref 0.0 in
+  let m0 = ref 0 and m1 = ref 0 in
+  ignore
+    (Mpi_core.Mpi.run ~env ~n (fun p ->
+         let comm = Mpi_core.Mpi.comm_world (Mpi_core.Mpi.world_of p) in
+         Mpi_core.Collectives.barrier p comm;
+         if Mpi_core.Mpi.rank p = 0 then begin
+           t0 := Env.now_us env;
+           m0 := Simtime.Stats.get env.Env.stats Key.msgs_sent
+         end;
+         body p comm;
+         Mpi_core.Collectives.barrier p comm;
+         if Mpi_core.Mpi.rank p = 0 then begin
+           t1 := Env.now_us env;
+           m1 := Simtime.Stats.get env.Env.stats Key.msgs_sent
+         end));
+  (!t1 -. !t0, !m1 - !m0)
+
+let coll_sweep ?(ranks = default_coll_ranks) ?(sizes = default_coll_sizes) ()
+    =
+  let module C = Mpi_core.Collectives in
+  let measure c_coll c_algo c_ranks c_bytes body =
+    let c_time_us, c_msgs = coll_run ~n:c_ranks body in
+    { c_coll; c_algo; c_ranks; c_bytes; c_time_us; c_msgs }
+  in
+  List.concat_map
+    (fun n ->
+      List.concat_map
+        (fun size ->
+          let allreduce algo name =
+            measure "allreduce" name n size (fun p comm ->
+                ignore
+                  (C.allreduce ~algo p comm ~op:C.sum_i64
+                     (Bytes.create size)))
+          in
+          let bcast algo name =
+            measure "bcast" name n size (fun p comm ->
+                C.bcast ~algo p comm ~root:0
+                  (Mpi_core.Buffer_view.of_bytes (Bytes.create size)))
+          in
+          let allgather algo name =
+            measure "allgather" name n size (fun p comm ->
+                ignore (C.allgather ~algo p comm ~send:(Bytes.create size)))
+          in
+          let scatter algo name =
+            measure "scatter" name n size (fun p comm ->
+                let me = Mpi_core.Mpi.rank p in
+                let parts =
+                  if me = 0 then
+                    Some
+                      (Array.init n (fun _ ->
+                           Mpi_core.Buffer_view.of_bytes (Bytes.create size)))
+                  else None
+                in
+                C.scatter ~algo ~block:size p comm ~root:0 ~parts
+                  ~recv:(Mpi_core.Buffer_view.of_bytes (Bytes.create size)))
+          in
+          let gather algo name =
+            measure "gather" name n size (fun p comm ->
+                let me = Mpi_core.Mpi.rank p in
+                let parts =
+                  if me = 0 then
+                    Some
+                      (Array.init n (fun _ ->
+                           Mpi_core.Buffer_view.of_bytes (Bytes.create size)))
+                  else None
+                in
+                C.gather ~algo ~block:size p comm ~root:0
+                  ~send:(Mpi_core.Buffer_view.of_bytes (Bytes.create size))
+                  ~parts)
+          in
+          let rab_ok = size mod 8 = 0 && size / 8 >= floor_pow2 n in
+          let pow2 = n land (n - 1) = 0 in
+          [ allreduce `Linear "linear"; allreduce `Rd "rd" ]
+          @ (if rab_ok then [ allreduce `Rabenseifner "rabenseifner" ]
+             else [])
+          @ [
+              bcast `Binomial "binomial";
+              bcast `Scatter_allgather "scatter_allgather";
+              allgather `Ring "ring";
+            ]
+          @ (if pow2 then [ allgather `Rd "rd" ] else [])
+          @ [
+              scatter `Linear "linear"; scatter `Binomial "binomial";
+              gather `Linear "linear"; gather `Binomial "binomial";
+            ])
+        sizes)
+    ranks

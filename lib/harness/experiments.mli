@@ -99,3 +99,30 @@ val abl_split_scatter :
     wrapper emulation (materialize one sub-array per member, serialize
     each atomically). Returns (ranks, motor us, wrapper us) rows; the
     wrapper's cost should grow faster with the member count. *)
+
+(** {1 Collective algorithm sweep} *)
+
+type coll_point = {
+  c_coll : string;  (** collective name: allreduce, bcast, ... *)
+  c_algo : string;  (** algorithm within the collective *)
+  c_ranks : int;
+  c_bytes : int;  (** payload per member *)
+  c_time_us : float;  (** virtual time of the collective, barrier-fenced *)
+  c_msgs : int;  (** point-to-point messages the algorithm issued *)
+}
+
+val default_coll_ranks : int list
+(** 2, 4, 8, 16, 32. *)
+
+val default_coll_sizes : int list
+(** 64 B, 1 KiB, 16 KiB, 256 KiB. *)
+
+val coll_sweep :
+  ?ranks:int list -> ?sizes:int list -> unit -> coll_point list
+(** Latency versus ranks x payload for every collective algorithm in
+    {!Mpi_core.Collectives} (each forced explicitly, not just the [`Auto]
+    pick), one fresh world per point, on the native-C++ cost model.
+    Infeasible combinations are skipped (Rabenseifner needs one granule
+    per member, recursive-doubling allgather needs a power-of-two
+    communicator). Feeds [figures.exe -- coll] and
+    [results/coll_sweep.csv]. *)

@@ -1,13 +1,89 @@
-(* Tags are internal to the collective context; a distinct tag per
-   algorithm (and per round, for the barrier) keeps rounds from matching
-   each other. *)
-let tag_barrier = 0x4210
-let tag_bcast = 0x4243
-let tag_scatter = 0x5343
-let tag_gather = 0x4743
-let tag_allgather = 0x414c
-let tag_reduce = 0x5244
-let tag_alltoall = 0x4141
+(* Collective algorithms over point-to-point, with size/rank-aware
+   algorithm selection (the MPICH2 pattern: each collective picks an
+   algorithm from the payload size and communicator size; the thresholds
+   live in the cost model so selection is a measurable, tunable policy).
+   The naive reference versions are kept as [*_linear] (and the ring
+   allgather) for correctness oracles and ablations. *)
+
+(* ------------------------------------------------------------------ *)
+(* Tag table                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Every collective owns a disjoint range [base, base + width) of the
+   internal tag space on the communicator's collective context.
+   Multi-round algorithms derive per-round tags inside their range
+   ([rtag] wraps modulo the width, so a round tag can never escape into a
+   neighbour's range). Disjointness is checked by {!tag_overlap} and
+   asserted by a test — a duplicate base (scan once shared scatter's
+   0x5343) lets one collective cross-match another's stale messages. *)
+
+type tag_range = { tr_name : string; tr_base : int; tr_width : int }
+
+let r_barrier = { tr_name = "barrier"; tr_base = 0x4200; tr_width = 64 }
+let r_bcast = { tr_name = "bcast"; tr_base = 0x4300; tr_width = 1 }
+
+let r_bcast_scag =
+  { tr_name = "bcast_scag"; tr_base = 0x4310; tr_width = 0x140 }
+
+let r_scatter = { tr_name = "scatter"; tr_base = 0x4500; tr_width = 1 }
+
+let r_scatter_binomial =
+  { tr_name = "scatter_binomial"; tr_base = 0x4510; tr_width = 1 }
+
+let r_gather = { tr_name = "gather"; tr_base = 0x4520; tr_width = 1 }
+
+let r_gather_binomial =
+  { tr_name = "gather_binomial"; tr_base = 0x4530; tr_width = 1 }
+
+let r_allgather_ring =
+  { tr_name = "allgather_ring"; tr_base = 0x4600; tr_width = 0x100 }
+
+let r_allgather_rd =
+  { tr_name = "allgather_rd"; tr_base = 0x4700; tr_width = 64 }
+
+let r_reduce = { tr_name = "reduce"; tr_base = 0x4800; tr_width = 1 }
+
+let r_allreduce_rd =
+  { tr_name = "allreduce_rd"; tr_base = 0x4810; tr_width = 64 }
+
+let r_rabenseifner =
+  { tr_name = "rabenseifner"; tr_base = 0x4900; tr_width = 128 }
+
+let r_alltoall = { tr_name = "alltoall"; tr_base = 0x4a00; tr_width = 1 }
+let r_scan = { tr_name = "scan"; tr_base = 0x4a10; tr_width = 1 }
+
+let ranges =
+  [
+    r_barrier; r_bcast; r_bcast_scag; r_scatter; r_scatter_binomial;
+    r_gather; r_gather_binomial; r_allgather_ring; r_allgather_rd;
+    r_reduce; r_allreduce_rd; r_rabenseifner; r_alltoall; r_scan;
+  ]
+
+let tag_table =
+  List.map (fun r -> (r.tr_name, r.tr_base, r.tr_width)) ranges
+
+let tag_overlap () =
+  let rec go = function
+    | [] -> None
+    | a :: rest -> (
+        match
+          List.find_opt
+            (fun b ->
+              a.tr_base < b.tr_base + b.tr_width
+              && b.tr_base < a.tr_base + a.tr_width)
+            rest
+        with
+        | Some b -> Some (a.tr_name, b.tr_name)
+        | None -> go rest)
+  in
+  go ranges
+
+let tag r = r.tr_base
+let rtag r i = r.tr_base + (i mod r.tr_width)
+
+(* ------------------------------------------------------------------ *)
+(* Point-to-point plumbing                                             *)
+(* ------------------------------------------------------------------ *)
 
 let csend p comm ~dst ~tag buf =
   Ch3.isend (Mpi.device p)
@@ -26,6 +102,90 @@ let crecv_wait p comm ~src ~tag buf =
   ignore (Mpi.wait p (crecv p comm ~src ~tag buf))
 
 let empty = Buffer_view.of_bytes Bytes.empty
+let env_of p = Mpi.env (Mpi.world_of p)
+let cost_of p = (env_of p).Simtime.Env.cost
+
+let charge_memcpy p len =
+  Simtime.Env.charge_per_byte (env_of p) (cost_of p).memcpy_ns_per_byte len
+
+(* A window [off, off + len) of an existing view: sends read and receives
+   land directly in the parent's memory, so block algorithms never need a
+   charged scratch copy of the whole payload. *)
+let sub_view (v : Buffer_view.t) ~off ~len =
+  if off < 0 || len < 0 || off + len > v.Buffer_view.len then
+    invalid_arg "Collectives.sub_view";
+  {
+    Buffer_view.len;
+    blit_to =
+      (fun ~pos ~dst ~dst_off ~len:l ->
+        v.Buffer_view.blit_to ~pos:(off + pos) ~dst ~dst_off ~len:l);
+    blit_from =
+      (fun ~pos ~src ~src_off ~len:l ->
+        v.Buffer_view.blit_from ~pos:(off + pos) ~src ~src_off ~len:l);
+  }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let floor_pow2 n =
+  let rec go v = if 2 * v <= n then go (2 * v) else v in
+  go 1
+
+let ceil_pow2 n =
+  let rec go v = if v < n then go (2 * v) else v in
+  go 1
+
+(* Lowest set bit; the binomial-tree parent of relative rank [r > 0] is
+   [r - lsb r] and its subtree spans relative ranks [r, r + extent). *)
+let lsb r = r land -r
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm selection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type allreduce_algo = [ `Auto | `Linear | `Rd | `Rabenseifner ]
+type bcast_algo = [ `Auto | `Binomial | `Scatter_allgather ]
+type allgather_algo = [ `Auto | `Ring | `Rd ]
+type fan_algo = [ `Auto | `Linear | `Binomial ]
+
+let allreduce_algo_for (c : Simtime.Cost.t) ~n ~bytes ~granule ~commutative
+    : [ `Linear | `Rd | `Rabenseifner ] =
+  let pof2 = floor_pow2 n in
+  if
+    commutative
+    && bytes >= c.Simtime.Cost.coll_rabenseifner_min_bytes
+    && granule > 0
+    && bytes mod granule = 0
+    && bytes / granule >= pof2
+    && pof2 >= 2
+  then `Rabenseifner
+  else `Rd
+
+(* The scatter + ring-allgather bcast saves (log n - 1) x payload of
+   store-and-forward bandwidth but pays Theta(n) ring messages per
+   member, so its win region scales with n^2: the threshold field is the
+   switch point at n = 8 and the comparison scales it by (n/8)^2. *)
+let bcast_algo_for (c : Simtime.Cost.t) ~n ~bytes :
+    [ `Binomial | `Scatter_allgather ] =
+  if n >= 4 && bytes * 64 >= c.Simtime.Cost.coll_bcast_scatter_min_bytes * n * n
+  then `Scatter_allgather
+  else `Binomial
+
+let allgather_algo_for (c : Simtime.Cost.t) ~n ~bytes : [ `Ring | `Rd ] =
+  if is_pow2 n && n >= 4 && n * bytes <= c.Simtime.Cost.coll_allgather_rd_max_bytes
+  then `Rd
+  else `Ring
+
+let fan_algo_for (c : Simtime.Cost.t) ~n ~block : [ `Linear | `Binomial ] =
+  match block with
+  | Some b
+    when n >= c.Simtime.Cost.coll_binomial_min_ranks
+         && b <= c.Simtime.Cost.coll_binomial_max_block ->
+      `Binomial
+  | _ -> `Linear
+
+(* ------------------------------------------------------------------ *)
+(* Barrier (dissemination)                                             *)
+(* ------------------------------------------------------------------ *)
 
 let barrier p comm =
   let n = Comm.size comm in
@@ -35,15 +195,19 @@ let barrier p comm =
   while !step < n do
     let dst = (me + !step) mod n in
     let src = (me - !step + n) mod n in
-    let tag = tag_barrier + !round in
-    let s = csend p comm ~dst ~tag empty in
-    crecv_wait p comm ~src ~tag empty;
+    let t = rtag r_barrier !round in
+    let s = csend p comm ~dst ~tag:t empty in
+    crecv_wait p comm ~src ~tag:t empty;
     ignore (Mpi.wait p s);
     incr round;
     step := !step lsl 1
   done
 
-let bcast p comm ~root buf =
+(* ------------------------------------------------------------------ *)
+(* Broadcast                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bcast_binomial p comm ~root buf =
   let n = Comm.size comm in
   let me = Mpi.comm_rank p comm in
   let rel = (me - root + n) mod n in
@@ -53,77 +217,294 @@ let bcast p comm ~root buf =
   let recv_mask = ref 0 in
   while !mask < n && !recv_mask = 0 do
     if rel land !mask <> 0 then begin
-      crecv_wait p comm ~src:(abs (rel - !mask)) ~tag:tag_bcast buf;
+      crecv_wait p comm ~src:(abs (rel - !mask)) ~tag:(tag r_bcast) buf;
       recv_mask := !mask
     end
     else mask := !mask lsl 1
   done;
   (* Forward to children: bits below my lowest set bit (or below n for
      the root). *)
-  let top = if rel = 0 then
-      let rec up m = if m < n then up (m lsl 1) else m in
-      up 1
-    else !recv_mask
-  in
+  let top = if rel = 0 then ceil_pow2 n else !recv_mask in
   let m = ref (top lsr 1) in
   while !m > 0 do
     if rel + !m < n then
-      csend_wait p comm ~dst:(abs (rel + !m)) ~tag:tag_bcast buf;
+      csend_wait p comm ~dst:(abs (rel + !m)) ~tag:(tag r_bcast) buf;
     m := !m lsr 1
   done
 
-let scatter p comm ~root ~parts ~recv =
+(* Van de Geijn large-message broadcast: binomial-scatter the buffer into
+   one block per member, then a ring allgather whose rounds pipeline —
+   every rank moves ~2x the payload instead of the binomial tree's
+   (log n) x payload on internal ranks. The block layout is a pure
+   function of (length, size), so every member computes it locally. *)
+let bcast_scatter_allgather p comm ~root buf =
+  let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  let rel = (me - root + n) mod n in
+  let abs r = (r + root) mod n in
+  let len = Buffer_view.length buf in
+  let base = len / n and extra = len mod n in
+  let off j = (j * base) + min j extra in
+  let size j = base + if j < extra then 1 else 0 in
+  let extent r = if r = 0 then n else min (lsb r) (n - r) in
+  (* All traffic reads from / lands in windows of the user buffer: no
+     scratch copy of the payload. *)
+  let window lo hi = sub_view buf ~off:lo ~len:(hi - lo) in
+  (* Phase 1: binomial scatter. The subtree of relative rank r holds the
+     contiguous byte range [off r, off (r + extent r)). *)
+  if rel <> 0 then begin
+    let lo = off rel and hi = off (rel + extent rel) in
+    crecv_wait p comm
+      ~src:(abs (rel - lsb rel))
+      ~tag:(rtag r_bcast_scag 0)
+      (window lo hi)
+  end;
+  let top = if rel = 0 then ceil_pow2 n else lsb rel in
+  let m = ref (top lsr 1) in
+  while !m > 0 do
+    let child = rel + !m in
+    if child < n then begin
+      let lo = off child and hi = off (child + extent child) in
+      csend_wait p comm ~dst:(abs child)
+        ~tag:(rtag r_bcast_scag 0)
+        (window lo hi)
+    end;
+    m := !m lsr 1
+  done;
+  (* Phase 2: ring allgather of the blocks (block j lives with relative
+     rank j after the scatter). *)
+  let right = (me + 1) mod n and left = (me - 1 + n) mod n in
+  for step = 0 to n - 2 do
+    let sidx = (rel - step + n) mod n in
+    let ridx = (rel - step - 1 + n) mod n in
+    let t = rtag r_bcast_scag (step + 1) in
+    let s =
+      csend p comm ~dst:right ~tag:t (window (off sidx) (off sidx + size sidx))
+    in
+    crecv_wait p comm ~src:left ~tag:t
+      (window (off ridx) (off ridx + size ridx));
+    ignore (Mpi.wait p s)
+  done
+
+let bcast ?(algo : bcast_algo = `Auto) p comm ~root buf =
+  let n = Comm.size comm in
+  if n > 1 then
+    let algo =
+      match algo with
+      | `Auto -> bcast_algo_for (cost_of p) ~n ~bytes:(Buffer_view.length buf)
+      | (`Binomial | `Scatter_allgather) as a -> a
+    in
+    match algo with
+    | `Binomial -> bcast_binomial p comm ~root buf
+    | `Scatter_allgather -> bcast_scatter_allgather p comm ~root buf
+
+(* ------------------------------------------------------------------ *)
+(* Scatter                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let root_parts ~what ~n parts =
+  match parts with
+  | Some a ->
+      if Array.length a <> n then
+        invalid_arg ("Collectives." ^ what ^ ": need one part per member");
+      a
+  | None -> invalid_arg ("Collectives." ^ what ^ ": root must supply parts")
+
+let scatter_linear p comm ~root ~parts ~recv =
   let n = Comm.size comm in
   let me = Mpi.comm_rank p comm in
   if me = root then begin
-    let parts =
-      match parts with
-      | Some a ->
-          if Array.length a <> n then
-            invalid_arg "Collectives.scatter: need one part per member";
-          a
-      | None -> invalid_arg "Collectives.scatter: root must supply parts"
-    in
+    let parts = root_parts ~what:"scatter" ~n parts in
     let sends = ref [] in
     for r = 0 to n - 1 do
       if r <> root then
-        sends := csend p comm ~dst:r ~tag:tag_scatter parts.(r) :: !sends
+        sends := csend p comm ~dst:r ~tag:(tag r_scatter) parts.(r) :: !sends
     done;
     (* Root's own part: local copy. *)
     Buffer_view.write_all recv (Buffer_view.read_all parts.(root));
-    Simtime.Env.charge_per_byte (Mpi.env (Mpi.world_of p))
-      (Mpi.env (Mpi.world_of p)).Simtime.Env.cost.memcpy_ns_per_byte
-      (Buffer_view.length recv);
+    charge_memcpy p (Buffer_view.length recv);
     List.iter (fun s -> ignore (Mpi.wait p s)) !sends
   end
-  else crecv_wait p comm ~src:root ~tag:tag_scatter recv
+  else crecv_wait p comm ~src:root ~tag:(tag r_scatter) recv
 
-let gather p comm ~root ~send ~parts =
+(* Binomial scatter of equal [block]-byte parts: the root packs the parts
+   in relative-rank order and each internal node forwards its children's
+   contiguous sub-ranges, so the root sends log n messages instead of
+   n - 1. Every member must pass the same [block] (MPI_Scatter's
+   recvcount), which is how non-roots size their subtree buffers. *)
+let scatter_binomial p comm ~root ~parts ~recv ~block =
+  let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  let rel = (me - root + n) mod n in
+  let abs r = (r + root) mod n in
+  let extent r = if r = 0 then n else min (lsb r) (n - r) in
+  if Buffer_view.length recv <> block then
+    invalid_arg "Collectives.scatter: recv buffer must be block-sized";
+  let forward staging =
+    let top = if rel = 0 then ceil_pow2 n else lsb rel in
+    let m = ref (top lsr 1) in
+    let sends = ref [] in
+    while !m > 0 do
+      let child = rel + !m in
+      if child < n then begin
+        let cnt = extent child in
+        sends :=
+          csend p comm ~dst:(abs child)
+            ~tag:(tag r_scatter_binomial)
+            (Buffer_view.of_bytes_sub staging ~off:(!m * block)
+               ~len:(cnt * block))
+          :: !sends
+      end;
+      m := !m lsr 1
+    done;
+    List.iter (fun s -> ignore (Mpi.wait p s)) !sends
+  in
+  if rel = 0 then begin
+    let parts = root_parts ~what:"scatter" ~n parts in
+    Array.iter
+      (fun part ->
+        if Buffer_view.length part <> block then
+          invalid_arg "Collectives.scatter: binomial parts must be block-sized")
+      parts;
+    (* Pack in relative order so every subtree is contiguous. *)
+    let staging = Bytes.create (n * block) in
+    for j = 0 to n - 1 do
+      (parts.(abs j)).Buffer_view.blit_to ~pos:0 ~dst:staging
+        ~dst_off:(j * block) ~len:block
+    done;
+    charge_memcpy p (n * block);
+    recv.Buffer_view.blit_from ~pos:0 ~src:staging ~src_off:0 ~len:block;
+    charge_memcpy p block;
+    forward staging
+  end
+  else begin
+    let cnt = extent rel in
+    if cnt = 1 then
+      crecv_wait p comm
+        ~src:(abs (rel - lsb rel))
+        ~tag:(tag r_scatter_binomial) recv
+    else begin
+      let staging = Bytes.create (cnt * block) in
+      crecv_wait p comm
+        ~src:(abs (rel - lsb rel))
+        ~tag:(tag r_scatter_binomial)
+        (Buffer_view.of_bytes staging);
+      recv.Buffer_view.blit_from ~pos:0 ~src:staging ~src_off:0 ~len:block;
+      charge_memcpy p block;
+      forward staging
+    end
+  end
+
+let scatter ?(algo : fan_algo = `Auto) ?block p comm ~root ~parts ~recv =
+  let n = Comm.size comm in
+  let algo =
+    match algo with
+    | `Auto -> fan_algo_for (cost_of p) ~n ~block
+    | (`Linear | `Binomial) as a -> a
+  in
+  match (algo, block) with
+  | `Binomial, Some b when n > 1 ->
+      scatter_binomial p comm ~root ~parts ~recv ~block:b
+  | `Binomial, None ->
+      invalid_arg "Collectives.scatter: the binomial algorithm needs ~block"
+  | _ -> scatter_linear p comm ~root ~parts ~recv
+
+(* ------------------------------------------------------------------ *)
+(* Gather                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gather_linear p comm ~root ~send ~parts =
   let n = Comm.size comm in
   let me = Mpi.comm_rank p comm in
   if me = root then begin
-    let parts =
-      match parts with
-      | Some a ->
-          if Array.length a <> n then
-            invalid_arg "Collectives.gather: need one part per member";
-          a
-      | None -> invalid_arg "Collectives.gather: root must supply parts"
-    in
+    let parts = root_parts ~what:"gather" ~n parts in
     let recvs = ref [] in
     for r = 0 to n - 1 do
       if r <> root then
-        recvs := crecv p comm ~src:r ~tag:tag_gather parts.(r) :: !recvs
+        recvs := crecv p comm ~src:r ~tag:(tag r_gather) parts.(r) :: !recvs
     done;
     Buffer_view.write_all parts.(root) (Buffer_view.read_all send);
-    Simtime.Env.charge_per_byte (Mpi.env (Mpi.world_of p))
-      (Mpi.env (Mpi.world_of p)).Simtime.Env.cost.memcpy_ns_per_byte
-      (Buffer_view.length send);
+    charge_memcpy p (Buffer_view.length send);
     List.iter (fun r -> ignore (Mpi.wait p r)) !recvs
   end
-  else csend_wait p comm ~dst:root ~tag:tag_gather send
+  else csend_wait p comm ~dst:root ~tag:(tag r_gather) send
 
-let allgather p comm ~send =
+(* Mirror of {!scatter_binomial}: leaves send their block up; internal
+   nodes collect their subtree into a staging buffer and forward it as
+   one message. *)
+let gather_binomial p comm ~root ~send ~parts ~block =
+  let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  let rel = (me - root + n) mod n in
+  let abs r = (r + root) mod n in
+  let extent r = if r = 0 then n else min (lsb r) (n - r) in
+  if Buffer_view.length send <> block then
+    invalid_arg "Collectives.gather: send buffer must be block-sized";
+  let cnt = extent rel in
+  let collect staging =
+    send.Buffer_view.blit_to ~pos:0 ~dst:staging ~dst_off:0 ~len:block;
+    charge_memcpy p block;
+    let recvs = ref [] in
+    let m = ref 1 in
+    while !m < cnt do
+      let child = rel + !m in
+      if child < n then begin
+        let ccnt = extent child in
+        recvs :=
+          crecv p comm ~src:(abs child)
+            ~tag:(tag r_gather_binomial)
+            (Buffer_view.of_bytes_sub staging ~off:(!m * block)
+               ~len:(ccnt * block))
+          :: !recvs
+      end;
+      m := !m lsl 1
+    done;
+    List.iter (fun r -> ignore (Mpi.wait p r)) !recvs
+  in
+  if rel = 0 then begin
+    let parts = root_parts ~what:"gather" ~n parts in
+    Array.iter
+      (fun part ->
+        if Buffer_view.length part <> block then
+          invalid_arg "Collectives.gather: binomial parts must be block-sized")
+      parts;
+    let staging = Bytes.create (n * block) in
+    collect staging;
+    for j = 0 to n - 1 do
+      (parts.(abs j)).Buffer_view.blit_from ~pos:0 ~src:staging
+        ~src_off:(j * block) ~len:block
+    done;
+    charge_memcpy p (n * block)
+  end
+  else if cnt = 1 then
+    csend_wait p comm ~dst:(abs (rel - lsb rel)) ~tag:(tag r_gather_binomial)
+      send
+  else begin
+    let staging = Bytes.create (cnt * block) in
+    collect staging;
+    csend_wait p comm ~dst:(abs (rel - lsb rel)) ~tag:(tag r_gather_binomial)
+      (Buffer_view.of_bytes staging)
+  end
+
+let gather ?(algo : fan_algo = `Auto) ?block p comm ~root ~send ~parts =
+  let n = Comm.size comm in
+  let algo =
+    match algo with
+    | `Auto -> fan_algo_for (cost_of p) ~n ~block
+    | (`Linear | `Binomial) as a -> a
+  in
+  match (algo, block) with
+  | `Binomial, Some b when n > 1 ->
+      gather_binomial p comm ~root ~send ~parts ~block:b
+  | `Binomial, None ->
+      invalid_arg "Collectives.gather: the binomial algorithm needs ~block"
+  | _ -> gather_linear p comm ~root ~send ~parts
+
+(* ------------------------------------------------------------------ *)
+(* Allgather                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let allgather_ring p comm ~send =
   let n = Comm.size comm in
   let me = Mpi.comm_rank p comm in
   let blk = Bytes.length send in
@@ -134,15 +515,61 @@ let allgather p comm ~send =
   for step = 0 to n - 2 do
     let send_idx = (me - step + n) mod n in
     let recv_idx = (me - step - 1 + n) mod n in
+    let t = rtag r_allgather_ring step in
     let s =
-      csend p comm ~dst:right ~tag:(tag_allgather + step)
-        (Buffer_view.of_bytes blocks.(send_idx))
+      csend p comm ~dst:right ~tag:t (Buffer_view.of_bytes blocks.(send_idx))
     in
-    crecv_wait p comm ~src:left ~tag:(tag_allgather + step)
+    crecv_wait p comm ~src:left ~tag:t
       (Buffer_view.of_bytes blocks.(recv_idx));
     ignore (Mpi.wait p s)
   done;
   blocks
+
+(* Recursive-doubling allgather (power-of-two members only): log n rounds
+   of pairwise exchange of doubling aligned block ranges, against the
+   ring's n - 1 rounds — the latency-bound winner for small payloads. *)
+let allgather_rd p comm ~send =
+  let n = Comm.size comm in
+  if not (is_pow2 n) then
+    invalid_arg
+      "Collectives.allgather: recursive doubling needs a power-of-two \
+       communicator";
+  let me = Mpi.comm_rank p comm in
+  let blk = Bytes.length send in
+  let staging = Bytes.create (n * blk) in
+  Bytes.blit send 0 staging (me * blk) blk;
+  let mask = ref 1 and round = ref 0 in
+  while !mask < n do
+    let partner = me lxor !mask in
+    let lo = me land lnot (!mask - 1) in
+    let plo = lo lxor !mask in
+    let t = rtag r_allgather_rd !round in
+    let s =
+      csend p comm ~dst:partner ~tag:t
+        (Buffer_view.of_bytes_sub staging ~off:(lo * blk) ~len:(!mask * blk))
+    in
+    crecv_wait p comm ~src:partner ~tag:t
+      (Buffer_view.of_bytes_sub staging ~off:(plo * blk) ~len:(!mask * blk));
+    ignore (Mpi.wait p s);
+    mask := !mask lsl 1;
+    incr round
+  done;
+  Array.init n (fun r -> Bytes.sub staging (r * blk) blk)
+
+let allgather ?(algo : allgather_algo = `Auto) p comm ~send =
+  let n = Comm.size comm in
+  let algo =
+    match algo with
+    | `Auto -> allgather_algo_for (cost_of p) ~n ~bytes:(Bytes.length send)
+    | (`Ring | `Rd) as a -> a
+  in
+  match algo with
+  | `Ring -> allgather_ring p comm ~send
+  | `Rd -> allgather_rd p comm ~send
+
+(* ------------------------------------------------------------------ *)
+(* Alltoall                                                            *)
+(* ------------------------------------------------------------------ *)
 
 let alltoall p comm ~send =
   let n = Comm.size comm in
@@ -162,8 +589,9 @@ let alltoall p comm ~send =
   for r = 0 to n - 1 do
     if r <> me then begin
       reqs :=
-        crecv p comm ~src:r ~tag:tag_alltoall (Buffer_view.of_bytes recv.(r))
-        :: csend p comm ~dst:r ~tag:tag_alltoall
+        crecv p comm ~src:r ~tag:(tag r_alltoall)
+          (Buffer_view.of_bytes recv.(r))
+        :: csend p comm ~dst:r ~tag:(tag r_alltoall)
              (Buffer_view.of_bytes send.(r))
         :: !reqs
     end
@@ -171,45 +599,253 @@ let alltoall p comm ~send =
   List.iter (fun req -> ignore (Mpi.wait p req)) !reqs;
   recv
 
+(* ------------------------------------------------------------------ *)
+(* Reduce (binomial)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The tree is rooted at rank 0 rather than rotated to the caller's
+   root: rank rotation would fold in rotated order, silently breaking
+   non-commutative operators at any root but 0. Rooting at 0 keeps the
+   fold in absolute rank order; one extra message relocates the result
+   when another root was asked for. (Rank 0 never sends inside the tree,
+   so the relocation cannot be confused with a tree message.) *)
 let reduce p comm ~root ~op send =
   let n = Comm.size comm in
   let me = Mpi.comm_rank p comm in
-  let rel = (me - root + n) mod n in
-  let abs r = (r + root) mod n in
   let len = Bytes.length send in
   let acc = Bytes.copy send in
   let tmp = Bytes.create len in
   let mask = ref 1 in
   let sent = ref false in
   while !mask < n && not !sent do
-    if rel land !mask = 0 then begin
-      let src_rel = rel lor !mask in
-      if src_rel < n then begin
-        crecv_wait p comm ~src:(abs src_rel) ~tag:tag_reduce
+    if me land !mask = 0 then begin
+      let src = me lor !mask in
+      if src < n then begin
+        crecv_wait p comm ~src ~tag:(tag r_reduce)
           (Buffer_view.of_bytes tmp);
         op acc tmp
       end
     end
     else begin
-      let dst_rel = rel land lnot !mask in
-      csend_wait p comm ~dst:(abs dst_rel) ~tag:tag_reduce
+      csend_wait p comm ~dst:(me land lnot !mask) ~tag:(tag r_reduce)
         (Buffer_view.of_bytes acc);
       sent := true
     end;
     mask := !mask lsl 1
   done;
-  if me = root then Some acc else None
+  if root = 0 then if me = 0 then Some acc else None
+  else if me = 0 then begin
+    csend_wait p comm ~dst:root ~tag:(tag r_reduce)
+      (Buffer_view.of_bytes acc);
+    None
+  end
+  else if me = root then begin
+    crecv_wait p comm ~src:0 ~tag:(tag r_reduce) (Buffer_view.of_bytes acc);
+    Some acc
+  end
+  else None
 
-let allreduce p comm ~op send =
+(* ------------------------------------------------------------------ *)
+(* Allreduce                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The naive reference: a binomial reduce to rank 0 followed by a
+   binomial bcast — 2 log n rounds on a serial chain through rank 0. *)
+let allreduce_linear p comm ~op send =
   let result =
     match reduce p comm ~root:0 ~op send with
     | Some acc -> acc
     | None -> Bytes.create (Bytes.length send)
   in
-  bcast p comm ~root:0 (Buffer_view.of_bytes result);
+  bcast_binomial p comm ~root:0 (Buffer_view.of_bytes result);
   result
 
-let tag_scan = 0x5343
+(* Non-power-of-two pre-phase shared by recursive doubling and
+   Rabenseifner: the first 2 * rem members collapse pairwise (even ranks
+   fold into their odd neighbour and drop out), leaving a power-of-two
+   set of "new ranks" whose order preserves old-rank order — so a
+   non-commutative (but associative) operator still folds in rank
+   order. Returns the new rank, or -1 for a dropped-out member. *)
+let fold_pairs p comm ~trange ~op ~acc ~tmp ~me ~rem =
+  if me < 2 * rem then
+    if me land 1 = 0 then begin
+      csend_wait p comm ~dst:(me + 1) ~tag:(rtag trange 0)
+        (Buffer_view.of_bytes !acc);
+      -1
+    end
+    else begin
+      crecv_wait p comm ~src:(me - 1) ~tag:(rtag trange 0)
+        (Buffer_view.of_bytes !tmp);
+      (* The lower rank's data folds first: acc := recv (+) acc. *)
+      op !tmp !acc;
+      let t = !acc in
+      acc := !tmp;
+      tmp := t;
+      me asr 1
+    end
+  else me - rem
+
+(* Send the finished result back to the members dropped in the
+   pre-phase. *)
+let unfold_pairs p comm ~trange ~round ~acc ~me ~rem =
+  if me < 2 * rem then
+    if me land 1 = 1 then
+      csend_wait p comm ~dst:(me - 1) ~tag:(rtag trange round)
+        (Buffer_view.of_bytes !acc)
+    else
+      crecv_wait p comm ~src:(me + 1) ~tag:(rtag trange round)
+        (Buffer_view.of_bytes !acc)
+
+let old_rank_of ~rem pn = if pn < rem then (2 * pn) + 1 else pn + rem
+
+(* Recursive doubling: log n rounds of pairwise whole-buffer exchange.
+   At every step the two sides hold folds of adjacent contiguous rank
+   blocks, and the fold direction follows block order, so the operator
+   need not commute. *)
+let allreduce_rd p comm ~op send =
+  let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  let len = Bytes.length send in
+  let acc = ref (Bytes.copy send) in
+  let tmp = ref (Bytes.create len) in
+  let pof2 = floor_pow2 n in
+  let rem = n - pof2 in
+  let newrank = fold_pairs p comm ~trange:r_allreduce_rd ~op ~acc ~tmp ~me ~rem in
+  if newrank >= 0 then begin
+    let mask = ref 1 and round = ref 1 in
+    while !mask < pof2 do
+      let pn = newrank lxor !mask in
+      let po = old_rank_of ~rem pn in
+      let t = rtag r_allreduce_rd !round in
+      let s = csend p comm ~dst:po ~tag:t (Buffer_view.of_bytes !acc) in
+      crecv_wait p comm ~src:po ~tag:t (Buffer_view.of_bytes !tmp);
+      ignore (Mpi.wait p s);
+      if newrank land !mask = 0 then (* my block is the lower one *)
+        op !acc !tmp
+      else begin
+        op !tmp !acc;
+        let x = !acc in
+        acc := !tmp;
+        tmp := x
+      end;
+      mask := !mask lsl 1;
+      incr round
+    done
+  end;
+  unfold_pairs p comm ~trange:r_allreduce_rd
+    ~round:(r_allreduce_rd.tr_width - 1)
+    ~acc ~me ~rem;
+  !acc
+
+(* Rabenseifner: reduce-scatter by recursive halving, then allgather by
+   recursive doubling. Each member moves ~2x the payload in 2 log n
+   rounds instead of recursive doubling's (log n) x payload — the
+   bandwidth-bound winner. The halving phase combines non-adjacent rank
+   groups, so this algorithm requires a commutative operator (as in
+   MPICH2); {!allreduce_algo_for} only selects it when [commutative].
+   [granule] is the element size in bytes: segment boundaries are aligned
+   to it so the opaque byte-wise operator never sees a torn element. *)
+let allreduce_rabenseifner p comm ~op ~granule send =
+  let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  let len = Bytes.length send in
+  if granule <= 0 || len mod granule <> 0 then
+    invalid_arg "Collectives.allreduce: granule must divide the payload";
+  let pof2 = floor_pow2 n in
+  let rem = n - pof2 in
+  let elems = len / granule in
+  if elems < pof2 then
+    invalid_arg
+      "Collectives.allreduce: Rabenseifner needs at least one element per \
+       member";
+  (* Block b spans bytes [boff b, boff (b + 1)); balanced element split. *)
+  let bbase = elems / pof2 and bextra = elems mod pof2 in
+  let boff b = granule * ((b * bbase) + min b bextra) in
+  let acc = ref (Bytes.copy send) in
+  let tmp = ref (Bytes.create len) in
+  let newrank = fold_pairs p comm ~trange:r_rabenseifner ~op ~acc ~tmp ~me ~rem in
+  if newrank >= 0 then begin
+    (* Reduce-scatter by recursive halving: narrow [lo, hi) down to my
+       own block, folding the half I keep. *)
+    let lo = ref 0 and hi = ref pof2 in
+    let mask = ref (pof2 asr 1) and round = ref 1 in
+    while !mask >= 1 do
+      let pn = newrank lxor !mask in
+      let po = old_rank_of ~rem pn in
+      let mid = !lo + !mask in
+      let (slo, shi), (klo, khi) =
+        if newrank land !mask = 0 then ((mid, !hi), (!lo, mid))
+        else ((!lo, mid), (mid, !hi))
+      in
+      let sb = boff slo and se = boff shi in
+      let kb = boff klo and ke = boff khi in
+      let t = rtag r_rabenseifner !round in
+      let seg = Bytes.create (ke - kb) in
+      let s =
+        csend p comm ~dst:po ~tag:t
+          (Buffer_view.of_bytes_sub !acc ~off:sb ~len:(se - sb))
+      in
+      crecv_wait p comm ~src:po ~tag:t (Buffer_view.of_bytes seg);
+      ignore (Mpi.wait p s);
+      (* Fold the received half into the kept range (commutative op, so
+         direction is free); the operator needs a whole buffer, hence the
+         sub-copy in and out. Like [op] application everywhere else in
+         this module, the fold is not charged virtual time. *)
+      let mine = Bytes.sub !acc kb (ke - kb) in
+      op mine seg;
+      Bytes.blit mine 0 !acc kb (ke - kb);
+      lo := klo;
+      hi := khi;
+      mask := !mask asr 1;
+      incr round
+    done;
+    (* Allgather by recursive doubling: exchange doubling aligned block
+       ranges until everyone holds the whole reduced buffer. *)
+    let mask = ref 1 in
+    while !mask < pof2 do
+      let pn = newrank lxor !mask in
+      let po = old_rank_of ~rem pn in
+      let rlo = newrank land lnot (!mask - 1) in
+      let plo = rlo lxor !mask in
+      let sb = boff rlo and se = boff (rlo + !mask) in
+      let rb = boff plo and re = boff (plo + !mask) in
+      let t = rtag r_rabenseifner !round in
+      let s =
+        csend p comm ~dst:po ~tag:t
+          (Buffer_view.of_bytes_sub !acc ~off:sb ~len:(se - sb))
+      in
+      crecv_wait p comm ~src:po ~tag:t
+        (Buffer_view.of_bytes_sub !acc ~off:rb ~len:(re - rb));
+      ignore (Mpi.wait p s);
+      mask := !mask lsl 1;
+      incr round
+    done
+  end;
+  unfold_pairs p comm ~trange:r_rabenseifner
+    ~round:(r_rabenseifner.tr_width - 1)
+    ~acc ~me ~rem;
+  !acc
+
+let allreduce ?(algo : allreduce_algo = `Auto) ?(granule = 8)
+    ?(commutative = true) p comm ~op send =
+  let n = Comm.size comm in
+  if n = 1 then Bytes.copy send
+  else
+    let algo =
+      match algo with
+      | `Auto ->
+          allreduce_algo_for (cost_of p) ~n ~bytes:(Bytes.length send)
+            ~granule ~commutative
+      | (`Linear | `Rd | `Rabenseifner) as a -> a
+    in
+    match algo with
+    | `Linear -> allreduce_linear p comm ~op send
+    | `Rd -> allreduce_rd p comm ~op send
+    | `Rabenseifner -> allreduce_rabenseifner p comm ~op ~granule send
+
+(* ------------------------------------------------------------------ *)
+(* Scan                                                                *)
+(* ------------------------------------------------------------------ *)
 
 (* Linear pipeline scan: member r receives the prefix of 0..r-1 from its
    left neighbour, folds its own contribution, and forwards. MPI requires
@@ -220,7 +856,7 @@ let scan p comm ~op send =
   let acc = Bytes.copy send in
   if me > 0 then begin
     let prefix = Bytes.create (Bytes.length send) in
-    crecv_wait p comm ~src:(me - 1) ~tag:tag_scan
+    crecv_wait p comm ~src:(me - 1) ~tag:(tag r_scan)
       (Buffer_view.of_bytes prefix);
     (* acc := prefix op mine, keeping rank order. *)
     let mine = Bytes.copy acc in
@@ -228,8 +864,13 @@ let scan p comm ~op send =
     op acc mine
   end;
   if me < n - 1 then
-    csend_wait p comm ~dst:(me + 1) ~tag:tag_scan (Buffer_view.of_bytes acc);
+    csend_wait p comm ~dst:(me + 1) ~tag:(tag r_scan)
+      (Buffer_view.of_bytes acc);
   acc
+
+(* ------------------------------------------------------------------ *)
+(* Reduce-scatter                                                      *)
+(* ------------------------------------------------------------------ *)
 
 let reduce_scatter_block p comm ~op send =
   let n = Comm.size comm in
@@ -253,10 +894,12 @@ let reduce_scatter_block p comm ~op send =
              Buffer_view.of_bytes_sub full ~off:(r * block) ~len:block))
     else None
   in
-  scatter p comm ~root:0 ~parts ~recv:(Buffer_view.of_bytes mine);
+  scatter ~block p comm ~root:0 ~parts ~recv:(Buffer_view.of_bytes mine);
   mine
 
-(* Predefined operators. *)
+(* ------------------------------------------------------------------ *)
+(* Predefined operators                                                *)
+(* ------------------------------------------------------------------ *)
 
 let fold_f64 f acc x =
   let n = Bytes.length acc / 8 in

@@ -1,31 +1,126 @@
 (** Collective operations, built over point-to-point on the communicator's
     collective context (so they can never match user receives).
 
-    Algorithms follow MPICH2's defaults: dissemination barrier, binomial
-    broadcast and reduce, linear (v-capable) scatter/gather, ring
-    allgather. *)
+    Each collective is an {e algorithm-selection layer} in the MPICH2
+    style: the implementation is chosen from the payload size and the
+    communicator size, with the switch-over thresholds living in
+    {!Simtime.Cost} ([coll_*] fields) so selection is a measurable,
+    tunable policy. The naive reference algorithms are kept reachable
+    (via the [?algo] arguments and the [*_linear] exports) as correctness
+    oracles and for ablation.
+
+    Selection must {e agree} across the communicator: it depends only on
+    the shared cost model, the communicator size and the payload length,
+    plus caller-supplied arguments ([algo], [block], [granule],
+    [commutative]) — every member must pass the same values for those,
+    exactly as every rank passes the same counts to an MPI collective. *)
+
+(** {1 Algorithm choices} *)
+
+type allreduce_algo = [ `Auto | `Linear | `Rd | `Rabenseifner ]
+(** [`Linear]: binomial reduce to rank 0 + binomial bcast (the reference
+    oracle). [`Rd]: recursive doubling — log n rounds of whole-payload
+    exchange; preserves rank order, so safe for non-commutative
+    operators. [`Rabenseifner]: reduce-scatter (recursive halving) +
+    allgather (recursive doubling) — each member moves ~2x the payload
+    instead of log n x; requires a commutative operator. *)
+
+type bcast_algo = [ `Auto | `Binomial | `Scatter_allgather ]
+(** [`Scatter_allgather] (van de Geijn): binomial scatter of blocks + ring
+    allgather; pipelines large payloads so no member sends more than ~2x
+    the buffer. *)
+
+type allgather_algo = [ `Auto | `Ring | `Rd ]
+(** [`Rd] (recursive doubling) runs in log n rounds but needs a
+    power-of-two communicator; the ring works for any size. *)
+
+type fan_algo = [ `Auto | `Linear | `Binomial ]
+(** Scatter/gather: [`Binomial] needs the equal-block mode ([~block]). *)
+
+(** {1 Selection policy}
+
+    Exposed so tests and sweeps can interrogate the policy directly. *)
+
+val allreduce_algo_for :
+  Simtime.Cost.t ->
+  n:int ->
+  bytes:int ->
+  granule:int ->
+  commutative:bool ->
+  [ `Linear | `Rd | `Rabenseifner ]
+
+val bcast_algo_for :
+  Simtime.Cost.t -> n:int -> bytes:int -> [ `Binomial | `Scatter_allgather ]
+
+val allgather_algo_for :
+  Simtime.Cost.t -> n:int -> bytes:int -> [ `Ring | `Rd ]
+
+val fan_algo_for :
+  Simtime.Cost.t -> n:int -> block:int option -> [ `Linear | `Binomial ]
+
+(** {1 Tag table}
+
+    Every collective owns a disjoint range of the internal tag space on
+    the collective context; {!tag_overlap} is the static uniqueness check
+    (asserted by a test — a shared base once let scan cross-match stale
+    scatter messages). *)
+
+val tag_table : (string * int * int) list
+(** [(name, base, width)] per collective; the range is
+    [base, base + width). *)
+
+val tag_overlap : unit -> (string * string) option
+(** [None] iff all ranges in {!tag_table} are pairwise disjoint; otherwise
+    the first offending pair. *)
+
+(** {1 Collectives} *)
 
 val barrier : Mpi.proc -> Comm.t -> unit
+(** Dissemination barrier: ceil(log2 n) rounds. *)
 
-val bcast : Mpi.proc -> Comm.t -> root:int -> Buffer_view.t -> unit
+val bcast :
+  ?algo:bcast_algo -> Mpi.proc -> Comm.t -> root:int -> Buffer_view.t -> unit
 (** Every member passes a buffer of the same length; on non-roots it is
-    overwritten. *)
+    overwritten. [`Auto] switches from the binomial tree to
+    scatter + allgather at [coll_bcast_scatter_min_bytes] scaled by
+    [(n/8)^2] (see {!Simtime.Cost}). *)
 
 val scatter :
-  Mpi.proc -> Comm.t -> root:int -> parts:Buffer_view.t array option ->
-  recv:Buffer_view.t -> unit
+  ?algo:fan_algo ->
+  ?block:int ->
+  Mpi.proc ->
+  Comm.t ->
+  root:int ->
+  parts:Buffer_view.t array option ->
+  recv:Buffer_view.t ->
+  unit
 (** [parts] is [Some arr] (one source per member, in communicator-rank
     order; sizes may differ, making this scatterv) at the root and [None]
-    elsewhere. *)
+    elsewhere. Passing [~block] declares the equal-block mode (every part
+    and [recv] exactly [block] bytes — the analogue of [MPI_Scatter]'s
+    recvcount, passed identically by every member), which enables the
+    binomial tree at [coll_binomial_min_ranks] for blocks up to
+    [coll_binomial_max_block]; without it the scatter is the linear
+    root-fan. *)
 
 val gather :
-  Mpi.proc -> Comm.t -> root:int -> send:Buffer_view.t ->
-  parts:Buffer_view.t array option -> unit
+  ?algo:fan_algo ->
+  ?block:int ->
+  Mpi.proc ->
+  Comm.t ->
+  root:int ->
+  send:Buffer_view.t ->
+  parts:Buffer_view.t array option ->
+  unit
 (** Dual of {!scatter}: [parts] is [Some arr] at the root. *)
 
-val allgather : Mpi.proc -> Comm.t -> send:Bytes.t -> Bytes.t array
-(** Ring allgather of equal-size blocks; returns one block per member in
-    communicator-rank order. *)
+val allgather :
+  ?algo:allgather_algo -> Mpi.proc -> Comm.t -> send:Bytes.t -> Bytes.t array
+(** Allgather of equal-size blocks; returns one block per member in
+    communicator-rank order. [`Auto] uses recursive doubling on
+    power-of-two communicators up to [coll_allgather_rd_max_bytes] total,
+    the ring otherwise. Forcing [`Rd] on a non-power-of-two communicator
+    raises [Invalid_argument]. *)
 
 val alltoall : Mpi.proc -> Comm.t -> send:Bytes.t array -> Bytes.t array
 (** Personalised all-to-all of equal-size blocks: [send.(r)] goes to
@@ -33,14 +128,39 @@ val alltoall : Mpi.proc -> Comm.t -> send:Bytes.t array -> Bytes.t array
     must have the same length. *)
 
 val reduce :
-  Mpi.proc -> Comm.t -> root:int -> op:(Bytes.t -> Bytes.t -> unit) ->
-  Bytes.t -> Bytes.t option
-(** Binomial-tree reduction: [op acc x] folds [x] into [acc] in place.
-    Returns [Some result] at the root, [None] elsewhere. The input is not
-    modified. *)
+  Mpi.proc ->
+  Comm.t ->
+  root:int ->
+  op:(Bytes.t -> Bytes.t -> unit) ->
+  Bytes.t ->
+  Bytes.t option
+(** Binomial-tree reduction: [op acc x] folds [x] into [acc] in place,
+    and the tree folds in rank order, so the operator need not commute
+    (associativity is still required). Returns [Some result] at the root,
+    [None] elsewhere. The input is not modified. *)
 
 val allreduce :
+  ?algo:allreduce_algo ->
+  ?granule:int ->
+  ?commutative:bool ->
+  Mpi.proc ->
+  Comm.t ->
+  op:(Bytes.t -> Bytes.t -> unit) ->
+  Bytes.t ->
+  Bytes.t
+(** [`Auto] selects Rabenseifner for payloads of at least
+    [coll_rabenseifner_min_bytes] when the operator is commutative and
+    the buffer splits into at least one [granule]-aligned piece per
+    member, recursive doubling otherwise. [granule] (default 8) is the
+    element size in bytes: Rabenseifner never splits the payload inside a
+    granule, so the default is safe for every predefined operator.
+    [commutative] defaults to [true]; pass [~commutative:false] for
+    order-sensitive operators — [`Auto] then stays on recursive doubling,
+    which folds in rank order. *)
+
+val allreduce_linear :
   Mpi.proc -> Comm.t -> op:(Bytes.t -> Bytes.t -> unit) -> Bytes.t -> Bytes.t
+(** The reference oracle: binomial reduce to rank 0 + binomial bcast. *)
 
 val scan :
   Mpi.proc -> Comm.t -> op:(Bytes.t -> Bytes.t -> unit) -> Bytes.t -> Bytes.t

@@ -6,7 +6,9 @@
 
     Both are searched in arrival order, preserving MPI's non-overtaking
     guarantee; every element inspected during a search charges the
-    cost-model's [queue_probe_ns]. *)
+    cost-model's [queue_probe_ns]. Appending is amortized O(1) (a
+    two-list FIFO), so a backlog of n unmatched messages costs O(n) to
+    build, not O(n^2). *)
 
 type posted = {
   p_pattern : Tag_match.pattern;

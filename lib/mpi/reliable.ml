@@ -12,9 +12,9 @@ let default_config =
 (* Sender-side state for one (src, dst) direction. *)
 type tx = {
   mutable next_seq : int;
-  mutable unacked : (int * Packet.t) list;  (* (seq, framed), oldest first *)
+  unacked : (int * Packet.t) Queue.t;  (* (seq, framed), oldest first *)
   mutable rto_ns : float;
-  mutable deadline : float;  (* meaningful only while unacked <> [] *)
+  mutable deadline : float;  (* meaningful only while unacked non-empty *)
   mutable retries : int;
   mutable gave_up : bool;
 }
@@ -37,8 +37,9 @@ let tx_state t ~src ~dst =
   | Some st -> st
   | None ->
       let st =
-        { next_seq = 0; unacked = []; rto_ns = t.cfg.rto_base_ns;
-          deadline = infinity; retries = 0; gave_up = false }
+        { next_seq = 0; unacked = Queue.create ();
+          rto_ns = t.cfg.rto_base_ns; deadline = infinity; retries = 0;
+          gave_up = false }
       in
       Hashtbl.replace t.txs (src, dst) st;
       st
@@ -60,13 +61,13 @@ let send t ~src ~dst packet =
       ( { Packet.f_src = src; f_seq = seq; f_check = Packet.checksum packet },
         packet )
   in
-  if st.unacked = [] then begin
+  if Queue.is_empty st.unacked then begin
     st.rto_ns <- t.cfg.rto_base_ns;
     st.deadline <- now t +. st.rto_ns;
     st.retries <- 0;
     st.gave_up <- false
   end;
-  st.unacked <- st.unacked @ [ (seq, framed) ];
+  Queue.add (seq, framed) st.unacked;
   t.chan.Channel.send ~src ~dst framed
 
 (* Retransmission is pumped from every rank's poll: all devices of a
@@ -78,7 +79,7 @@ let send t ~src ~dst packet =
 let pump_retransmits t =
   let states =
     Hashtbl.fold (fun k st acc -> (k, st) :: acc) t.txs []
-    |> List.filter (fun (_, st) -> st.unacked <> [])
+    |> List.filter (fun (_, st) -> not (Queue.is_empty st.unacked))
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   List.iter
@@ -94,10 +95,10 @@ let pump_retransmits t =
               ~detail:
                 (Printf.sprintf "giving up on dst=%d after %d timeouts (%d \
                                  frames stranded)"
-                   dst st.retries (List.length st.unacked))
+                   dst st.retries (Queue.length st.unacked))
           end
           else begin
-            List.iter
+            Queue.iter
               (fun (_, framed) ->
                 Simtime.Env.count t.env Key.retransmits;
                 Trace.record t.env ~rank:src ~op:"retx"
@@ -162,9 +163,17 @@ let rec poll t ~rank =
       end
   | Some (Packet.Ack (peer, cum)) ->
       let st = tx_state t ~src:rank ~dst:peer in
-      let before = List.length st.unacked in
-      st.unacked <- List.filter (fun (seq, _) -> seq > cum) st.unacked;
-      if List.length st.unacked < before then begin
+      (* Cumulative ack: drop the window's acked prefix — O(acked), not
+         O(window). *)
+      let trimmed = ref false in
+      while
+        (not (Queue.is_empty st.unacked))
+        && fst (Queue.peek st.unacked) <= cum
+      do
+        ignore (Queue.pop st.unacked);
+        trimmed := true
+      done;
+      if !trimmed then begin
         (* Forward progress: reset the backoff. *)
         st.retries <- 0;
         st.rto_ns <- t.cfg.rto_base_ns;
@@ -178,7 +187,7 @@ let rec poll t ~rank =
       Some other
 
 let stranded t =
-  Hashtbl.fold (fun _ st acc -> acc + List.length st.unacked) t.txs 0
+  Hashtbl.fold (fun _ st acc -> acc + Queue.length st.unacked) t.txs 0
 
 let wrap ?(config = default_config) ~env chan =
   let t =

@@ -32,6 +32,11 @@ type t = {
   queue_probe_ns : float;
   request_ns : float;
   progress_poll_ns : float;
+  coll_binomial_min_ranks : int;
+  coll_binomial_max_block : int;
+  coll_rabenseifner_min_bytes : int;
+  coll_bcast_scatter_min_bytes : int;
+  coll_allgather_rd_max_bytes : int;
   ser_per_obj_ns : float;
   ser_per_field_ns : float;
   ser_ns_per_byte : float;
@@ -78,6 +83,16 @@ let native_cpp =
     queue_probe_ns = 80.0;
     request_ns = 300.0;
     progress_poll_ns = 150.0;
+    (* Collective algorithm selection (shared by every preset, like the
+       transport): below/above these the collectives layer switches
+       algorithms. The values are placed at the measured crossovers of
+       the coll_sweep experiment on this transport (~11us/msg, ~300 MB/s
+       sock channel); see DESIGN.md and results/coll_sweep.csv. *)
+    coll_binomial_min_ranks = 8;
+    coll_binomial_max_block = 4_096;
+    coll_rabenseifner_min_bytes = 131_072;
+    coll_bcast_scatter_min_bytes = 262_144;
+    coll_allgather_rd_max_bytes = 1_048_576;
     ser_per_obj_ns = 0.0;
     ser_per_field_ns = 0.0;
     ser_ns_per_byte = 0.9;

@@ -60,6 +60,28 @@ type t = {
   queue_probe_ns : float;  (** per queue element inspected during matching *)
   request_ns : float;  (** request allocation / completion *)
   progress_poll_ns : float;
+  (* Collective algorithm selection (see [Mpi_core.Collectives]): the
+     thresholds are part of the cost model so algorithm choice is a
+     measurable, tunable policy rather than hard-wired. *)
+  coll_binomial_min_ranks : int;
+      (** scatter/gather switch from a flat root-fan to a binomial tree at
+          this communicator size (equal-block mode only) *)
+  coll_binomial_max_block : int;
+      (** ... but only up to this block size: the tree's internal nodes
+          forward their whole subtree, so past this the extra store-and-
+          forward bandwidth costs more than the saved root latency *)
+  coll_rabenseifner_min_bytes : int;
+      (** allreduce switches from recursive doubling to Rabenseifner
+          (reduce-scatter + allgather) at this payload size *)
+  coll_bcast_scatter_min_bytes : int;
+      (** bcast switches from the binomial tree to the pipelined
+          scatter + ring-allgather algorithm at this payload size on an
+          8-member communicator; the switch point scales as n^2/64 times
+          this value, because the ring phase costs Theta(n) messages per
+          member *)
+  coll_allgather_rd_max_bytes : int;
+      (** allgather uses recursive doubling up to this total (size x block)
+          payload on power-of-two communicators, the ring beyond *)
   (* Serialization. *)
   ser_per_obj_ns : float;
   ser_per_field_ns : float;
