@@ -291,6 +291,41 @@ let coll_group =
                    })));
     ]
 
+(* Nonblocking mirrors of the same collectives: the schedule engine's
+   build + incremental-progress overhead against the blocking shims
+   above, plus the overlapped-compute pattern the engine exists for. *)
+let icoll_group =
+  let module C = Mpi_core.Collectives in
+  Test.make_grouped ~name:"icollectives"
+    [
+      coll_bench "iallreduce-rd-8x4KiB" (fun p comm ->
+          let req, _ =
+            C.iallreduce ~algo:`Rd p comm ~op:C.sum_i64 (Bytes.create 4096)
+          in
+          ignore (Mpi_core.Mpi.wait p req));
+      coll_bench "iallreduce-rab-8x64KiB" (fun p comm ->
+          let req, _ =
+            C.iallreduce ~algo:`Rabenseifner p comm ~op:C.sum_i64
+              (Bytes.create 65536)
+          in
+          ignore (Mpi_core.Mpi.wait p req));
+      coll_bench "ibcast-scag-8x64KiB" (fun p comm ->
+          let req =
+            C.ibcast ~algo:`Scatter_allgather p comm ~root:0
+              (Mpi_core.Buffer_view.of_bytes (Bytes.create 65536))
+          in
+          ignore (Mpi_core.Mpi.wait p req));
+      coll_bench "iallreduce-overlapped-8x64KiB" (fun p comm ->
+          let req, _ =
+            C.iallreduce p comm ~op:C.sum_i64 (Bytes.create 65536)
+          in
+          for _ = 1 to 16 do
+            ignore (Mpi_core.Mpi.test p req);
+            Fiber.yield ()
+          done;
+          ignore (Mpi_core.Mpi.wait p req));
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Runner                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -300,7 +335,7 @@ let all_tests =
     [
       fig9_group; fig10_group; tabb_group; abl_group; fault_group;
       serializer_group; serializer_scaling_group; gc_group; mpi_group;
-      coll_group;
+      coll_group; icoll_group;
     ]
 
 let benchmark () =

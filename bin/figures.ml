@@ -312,6 +312,54 @@ let run_coll ~quick ~csv =
       Format.printf "csv written to %s@." path
   | None -> ()
 
+(* Overlap sweep: how much of an in-flight iallreduce a compute loop can
+   hide, versus the blocking baseline. *)
+let overlap_headers =
+  [ "bytes"; "compute us"; "comm us"; "blocking us"; "overlap us"; "eff" ]
+
+let run_overlap ~quick ~csv =
+  let points =
+    if quick then
+      Harness.Experiments.overlap_sweep ~ranks:[ 2; 4 ] ~sizes:[ 16_384 ] ()
+    else Harness.Experiments.overlap_sweep ()
+  in
+  let rows =
+    List.map
+      (fun (p : Experiments.overlap_point) ->
+        ( string_of_int p.Experiments.v_ranks,
+          [
+            Table.Num (float_of_int p.Experiments.v_bytes);
+            Table.Num p.Experiments.v_compute_us;
+            Table.Num p.Experiments.v_comm_us;
+            Table.Num p.Experiments.v_block_us;
+            Table.Num p.Experiments.v_overlap_us;
+            Table.Num p.Experiments.v_efficiency;
+          ] ))
+      points
+  in
+  Table.print_table
+    ~title:
+      "Overlap sweep: iallreduce + chunked compute vs blocking allreduce + \
+       compute (by ranks)"
+    ~headers:overlap_headers ~rows ();
+  let ok =
+    List.for_all
+      (fun (p : Experiments.overlap_point) -> p.Experiments.v_efficiency > 0.0)
+      points
+  in
+  if ok then
+    Format.printf
+      "overlap check: every point beats the blocking baseline@."
+  else
+    Format.printf
+      "OVERLAP CHECK FAILED: some point is no better than blocking@.";
+  (match csv with
+  | Some path ->
+      Table.write_csv ~path ~headers:overlap_headers ~rows;
+      Format.printf "csv written to %s@." path
+  | None -> ());
+  if not ok then Stdlib.exit 1
+
 (* Regenerate a self-contained markdown report of every measured result:
    the machine-written companion to EXPERIMENTS.md. *)
 let run_report ~quick ~path =
@@ -445,6 +493,11 @@ let coll_cmd =
   cmd_of "coll" "Collective algorithm sweep: latency vs ranks x payload."
     Term.(const (fun quick csv -> run_coll ~quick ~csv) $ quick $ csv)
 
+let overlap_cmd =
+  cmd_of "overlap"
+    "Overlap sweep: nonblocking collectives vs the blocking baseline."
+    Term.(const (fun quick csv -> run_overlap ~quick ~csv) $ quick $ csv)
+
 let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Run all shape checks; exit 1 on failure.")
     Term.(const (fun quick -> Stdlib.exit (run_check ~quick)) $ quick)
@@ -481,5 +534,5 @@ let () =
        (Cmd.group info
           [
             fig9_cmd; fig10_cmd; taba_cmd; tabb_cmd; ablations_cmd;
-            faults_cmd; coll_cmd; all_cmd; check_cmd; report_cmd;
+            faults_cmd; coll_cmd; overlap_cmd; all_cmd; check_cmd; report_cmd;
           ]))

@@ -25,3 +25,14 @@ let polling_wait gc proc ~on_enter_wait req =
       (Mpi_core.Mpi.wait_poll proc ~poll:(fun () -> Vm.Gc.poll gc) req)
   end;
   Mpi_core.Request.status req
+
+let polling_wait_all gc proc ~on_enter_wait reqs =
+  ignore (Mpi_core.Ch3.progress (Mpi_core.Mpi.device proc));
+  if not (List.for_all Mpi_core.Request.is_complete reqs) then begin
+    on_enter_wait ();
+    List.iter
+      (fun req ->
+        ignore
+          (Mpi_core.Mpi.wait_poll proc ~poll:(fun () -> Vm.Gc.poll gc) req))
+      reqs
+  end

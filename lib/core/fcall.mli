@@ -30,3 +30,13 @@ val polling_wait :
     the wait — which is what lets the deferred pinning policy skip the pin
     entirely for fast blocking operations. Inside the wait, each poll
     pumps the progress engine and yields to the collector. *)
+
+val polling_wait_all :
+  Vm.Gc.t ->
+  Mpi_core.Mpi.proc ->
+  on_enter_wait:(unit -> unit) ->
+  Mpi_core.Request.t list ->
+  unit
+(** {!polling_wait} over a request set (including generalized collective
+    requests): one progress pump up front, then — only if some request is
+    still pending — [on_enter_wait] once and a GC-polling wait for each. *)

@@ -131,3 +131,11 @@ let test ctx req =
   let done_ = Mpi.test ctx.World.proc req in
   Fcall.exit_poll gc;
   done_
+
+let wait_all ctx reqs =
+  let gc = World.gc ctx in
+  Fcall.enter gc;
+  Fcall.polling_wait_all gc ctx.World.proc
+    ~on_enter_wait:(fun () -> ())
+    reqs;
+  Fcall.exit_poll gc

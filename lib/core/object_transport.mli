@@ -57,6 +57,11 @@ val irecv :
 val wait : World.rank_ctx -> Mpi_core.Request.t -> Mpi_core.Status.t option
 val test : World.rank_ctx -> Mpi_core.Request.t -> bool
 
+val wait_all : World.rank_ctx -> Mpi_core.Request.t list -> unit
+(** FCall-wrapped {!Fcall.polling_wait_all}: completes a mixed set of
+    point-to-point and generalized collective requests while yielding to
+    the collector. *)
+
 (** {1 Internals shared with System.MP} *)
 
 val view_of_region :

@@ -50,4 +50,10 @@ val for_nonblocking :
 (** Protect a non-blocking operation's buffer. Under [Deferred] this is
     the conditional-pin mechanism; under [Always_pin] a sticky pin is
     taken and released when the request completes (the "test and release"
-    alternative the paper rejects as requiring extra machinery). *)
+    alternative the paper rejects as requiring extra machinery).
+
+    [req] may equally be a generalized collective request (kind
+    [Coll_req], backing the [i*] collectives): the mark phase polls it
+    through [still_active] exactly like a point-to-point request, so a
+    buffer woven into an in-flight schedule stays put until every
+    schedule step is done. *)

@@ -286,3 +286,53 @@ let allreduce_sum_f64 ctx ~comm obj =
 let barrier ctx comm =
   let gc = gc_of ctx in
   Fcall.call gc (fun () -> Coll.barrier ctx.World.proc comm)
+
+(* ------------------------------------------------------------------ *)
+(* Nonblocking collectives (MPI-3 style)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Same conditional-pin path as the nonblocking point-to-point
+   operations: the schedule's generalized request (kind [Coll_req]) is
+   what the GC mark phase polls to decide whether the buffer must stay
+   put, so an in-flight collective survives a collection without an
+   unconditional pin. Complete with {!Ot.wait} / {!Ot.test} /
+   {!Ot.wait_all}. *)
+
+let ibarrier ctx comm =
+  let gc = gc_of ctx in
+  Fcall.enter gc;
+  let req = Coll.ibarrier ctx.World.proc comm in
+  Fcall.exit_poll gc;
+  req
+
+let ibcast ctx ~comm ~root obj =
+  let gc = gc_of ctx in
+  Fcall.enter gc;
+  Ot.validate gc obj;
+  let req = Coll.ibcast ctx.World.proc comm ~root (whole_view ctx obj) in
+  Pinning.for_nonblocking ctx.World.policy gc obj ~req;
+  Fcall.exit_poll gc;
+  req
+
+let iallreduce_sum_f64 ctx ~comm obj =
+  let gc = gc_of ctx in
+  Fcall.enter gc;
+  Ot.validate gc obj;
+  (match Om.array_elem_type gc obj with
+  | Vm.Types.Eprim Vm.Types.R8 -> ()
+  | _ ->
+      raise (Ot.Transport_error "iallreduce_sum_f64: need a float64 array"));
+  let local = Om.read_array_bytes gc obj in
+  let view = whole_view ctx obj in
+  let req, result =
+    Coll.iallreduce ctx.World.proc comm ~op:Coll.sum_f64 local
+  in
+  (* The write-back goes through the view captured here, so the object
+     must not move while the schedule is in flight — exactly what the
+     conditional pin guarantees. The completion callback runs inside the
+     progress pump, before any further GC poll, so the address is still
+     the pinned one when the result lands. *)
+  Pinning.for_nonblocking ctx.World.policy gc obj ~req;
+  Mpi_core.Request.on_complete req (fun () -> Bv.write_all view result);
+  Fcall.exit_poll gc;
+  req

@@ -82,6 +82,33 @@ val allreduce_sum_f64 :
 (** Element-wise float64 sum across members, in place. *)
 
 val barrier : World.rank_ctx -> Comm.t -> unit
+
+(** {1 Nonblocking collectives}
+
+    MPI-3 style: each returns the schedule's generalized request (kind
+    [Coll_req]) immediately; complete it with {!Object_transport.wait},
+    {!Object_transport.test} or {!Object_transport.wait_all}. The
+    transfer buffer is protected by the same conditional-pin mechanism
+    as nonblocking point-to-point: the GC mark phase polls the request,
+    so a collection during the collective neither moves the buffer nor
+    pins it for longer than the schedule is in flight. *)
+
+val ibarrier : World.rank_ctx -> Comm.t -> Mpi_core.Request.t
+
+val ibcast :
+  World.rank_ctx -> comm:Comm.t -> root:int -> Vm.Object_model.obj ->
+  Mpi_core.Request.t
+(** Zero-copy nonblocking broadcast of a regular-operation object; the
+    object is read (root) or overwritten (others) in place as the
+    schedule runs. *)
+
+val iallreduce_sum_f64 :
+  World.rank_ctx -> comm:Comm.t -> Vm.Object_model.obj ->
+  Mpi_core.Request.t
+(** Element-wise float64 sum; the input is copied out at the call and
+    the result is written back into the array when the request
+    completes. *)
+
 val comm_world : World.rank_ctx -> Comm.t
 val rank : World.rank_ctx -> int
 val size : World.rank_ctx -> Comm.t -> int

@@ -117,6 +117,39 @@ val default_coll_ranks : int list
 val default_coll_sizes : int list
 (** 64 B, 1 KiB, 16 KiB, 256 KiB. *)
 
+(** {1 Communication/computation overlap} *)
+
+type overlap_point = {
+  v_ranks : int;
+  v_bytes : int;  (** allreduce payload per member *)
+  v_compute_us : float;  (** compute charged per member *)
+  v_comm_us : float;  (** the allreduce alone, barrier-fenced *)
+  v_block_us : float;  (** blocking allreduce, then the compute *)
+  v_overlap_us : float;
+      (** [iallreduce], compute in chunks with a test poll between
+          chunks, then wait for the tail *)
+  v_efficiency : float;
+      (** fraction of the hideable time (min of comm and aggregate
+          compute) actually hidden: [(block - overlap) / hideable] *)
+}
+
+val default_overlap_ranks : int list
+(** 2, 4 — the wire-idle-dominated regime where overlap exists; past 8
+    members the serialized send-side work leaves nothing to hide. *)
+
+val default_overlap_sizes : int list
+(** 16 KiB, 64 KiB, 256 KiB. *)
+
+val overlap_sweep :
+  ?ranks:int list -> ?sizes:int list -> unit -> overlap_point list
+(** The claim behind the nonblocking collectives: computing through an
+    in-flight [iallreduce] schedule recovers wait time a blocking
+    allreduce burns polling. Efficiency must be strictly positive at
+    every point (asserted by a test and the CI smoke run); 1.0 would be
+    perfect overlap. Per-member compute is sized to [comm / n] so the
+    aggregate compute equals the collective latency. Feeds
+    [figures.exe -- overlap] and [results/overlap_sweep.csv]. *)
+
 val coll_sweep :
   ?ranks:int list -> ?sizes:int list -> unit -> coll_point list
 (** Latency versus ranks x payload for every collective algorithm in

@@ -19,6 +19,60 @@ let of_bytes_sub b ~off ~len =
 
 let of_bytes b = of_bytes_sub b ~off:0 ~len:(Bytes.length b)
 
+(* A window [off, off + len) of an existing view: sends read and receives
+   land directly in the parent's memory, so block algorithms never need a
+   charged scratch copy of the whole payload. *)
+let sub_view v ~off ~len =
+  if off < 0 || len < 0 || off + len > v.len then
+    invalid_arg "Buffer_view.sub_view: range out of bounds";
+  {
+    len;
+    blit_to =
+      (fun ~pos ~dst ~dst_off ~len:l ->
+        v.blit_to ~pos:(off + pos) ~dst ~dst_off ~len:l);
+    blit_from =
+      (fun ~pos ~src ~src_off ~len:l ->
+        v.blit_from ~pos:(off + pos) ~src ~src_off ~len:l);
+  }
+
+(* One logical buffer over several views laid end to end: a gathered
+   subtree (scatter/gather trees, allgather blocks) moves as a single
+   message with no packing copy — each fragment blits straight between
+   its own memory and the wire. *)
+let concat views =
+  let parts = Array.of_list views in
+  let total = Array.fold_left (fun a v -> a + v.len) 0 parts in
+  (* Walk the fragments overlapping [pos, pos + len). *)
+  let iter_range ~pos ~len f =
+    if pos < 0 || len < 0 || pos + len > total then
+      invalid_arg "Buffer_view.concat: range out of bounds";
+    let off = ref 0 and remaining = ref len and cursor = ref pos in
+    Array.iter
+      (fun v ->
+        if !remaining > 0 && !cursor < !off + v.len then begin
+          let local = max 0 (!cursor - !off) in
+          let l = min (v.len - local) !remaining in
+          if l > 0 then begin
+            f v ~local ~outer:(!cursor - pos) ~len:l;
+            cursor := !cursor + l;
+            remaining := !remaining - l
+          end
+        end;
+        off := !off + v.len)
+      parts
+  in
+  {
+    len = total;
+    blit_to =
+      (fun ~pos ~dst ~dst_off ~len ->
+        iter_range ~pos ~len (fun v ~local ~outer ~len ->
+            v.blit_to ~pos:local ~dst ~dst_off:(dst_off + outer) ~len));
+    blit_from =
+      (fun ~pos ~src ~src_off ~len ->
+        iter_range ~pos ~len (fun v ~local ~outer ~len ->
+            v.blit_from ~pos:local ~src ~src_off:(src_off + outer) ~len));
+  }
+
 let read_all t =
   let out = Bytes.create t.len in
   t.blit_to ~pos:0 ~dst:out ~dst_off:0 ~len:t.len;

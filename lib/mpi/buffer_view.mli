@@ -19,6 +19,20 @@ type t = {
 val length : t -> int
 val of_bytes : Bytes.t -> t
 val of_bytes_sub : Bytes.t -> off:int -> len:int -> t
+
+val sub_view : t -> off:int -> len:int -> t
+(** A window [off, off + len) of an existing view. Transfers read from /
+    land in the parent's memory directly, so block algorithms (van de
+    Geijn bcast, recursive-doubling allgather, binomial scatter/gather)
+    never stage a scratch copy of the payload — which would charge n×
+    global time under the serial virtual clock (DESIGN.md §9). *)
+
+val concat : t list -> t
+(** The views laid end to end as one logical buffer. A message sent from
+    (or received into) a concat view blits each fragment straight
+    between its own memory and the wire — the zero-copy equivalent of
+    packing subtree blocks into a staging buffer. *)
+
 val read_all : t -> Bytes.t
 val write_all : t -> Bytes.t -> unit
 (** Raises [Invalid_argument] if sizes differ. *)

@@ -26,6 +26,13 @@ type t = {
   mutable seq : int;
   mutable outstanding : int;
   fresh_id : unit -> int;
+  (* Progress hooks: the schedule engine (Coll_sched) registers one
+     closure per in-flight collective; [progress] invokes them after
+     draining the channel so schedules advance on every pump, exactly as
+     MPICH's progress engine drives MPIR_Sched. A hook returns true if
+     it made progress (started or retired a step). *)
+  mutable hooks : (int * (unit -> bool)) list;
+  mutable next_hook : int;
 }
 
 let create env chan ~rank ~fresh_id =
@@ -39,10 +46,14 @@ let create env chan ~rank ~fresh_id =
     seq = 0;
     outstanding = 0;
     fresh_id;
+    hooks = [];
+    next_hook = 0;
   }
 
 let rank t = t.rank
+let env t = t.env
 let queues t = t.queues
+let fresh_req_id t = t.fresh_id ()
 let outstanding t = t.outstanding
 
 let pending_rendezvous t =
@@ -55,6 +66,17 @@ let track t req =
   t.outstanding <- t.outstanding + 1;
   Request.on_complete req (fun () -> t.outstanding <- t.outstanding - 1);
   req
+
+let track_request t req = ignore (track t req)
+
+let add_progress_hook t fn =
+  let id = t.next_hook in
+  t.next_hook <- id + 1;
+  t.hooks <- (id, fn) :: t.hooks;
+  id
+
+let remove_progress_hook t id =
+  t.hooks <- List.filter (fun (i, _) -> i <> id) t.hooks
 
 let fits_error (env : Packet.envelope) (sink : Buffer_view.t) =
   if env.Packet.e_bytes > sink.Buffer_view.len then
@@ -239,4 +261,9 @@ let progress t =
     | None -> ()
   in
   drain ();
+  (* Snapshot before invoking: a hook that completes its schedule removes
+     itself (and completion callbacks may start new collectives, adding
+     hooks) while we iterate. *)
+  let hooks = t.hooks in
+  List.iter (fun (_, fn) -> if fn () then did := true) hooks;
   !did

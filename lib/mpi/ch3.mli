@@ -25,7 +25,12 @@ val create :
     rendezvous identifiers). *)
 
 val rank : t -> int
+val env : t -> Simtime.Env.t
 val queues : t -> Queues.t
+
+val fresh_req_id : t -> int
+(** Draw a request id from the world-shared counter (for generalized
+    requests created outside the device, e.g. collective schedules). *)
 
 val isend :
   t ->
@@ -48,7 +53,24 @@ val irecv :
     {!Mpi_error}. *)
 
 val progress : t -> bool
-(** Drain arrived packets; true if any packet was handled. Never blocks. *)
+(** Drain arrived packets, then run the registered progress hooks (the
+    collective schedule engine); true if any packet was handled or a hook
+    made progress. Never blocks. *)
+
+val add_progress_hook : t -> (unit -> bool) -> int
+(** Register a closure invoked by every {!progress} call after the
+    channel drain (MPICH's progress-hook slot, used by {!Coll_sched} to
+    advance in-flight collective schedules). The closure returns true if
+    it made progress. Returns a handle for {!remove_progress_hook}. *)
+
+val remove_progress_hook : t -> int -> unit
+(** Deregister a hook; hooks remove themselves when their schedule
+    completes. Safe to call from inside the hook. *)
+
+val track_request : t -> Request.t -> unit
+(** Count [req] in {!outstanding} until it completes. The schedule engine
+    tracks its generalized collective requests here so
+    [Mpi.quiescence_report] catches leaked (never-completed) schedules. *)
 
 val outstanding : t -> int
 (** Requests started on this device and not yet completed. *)

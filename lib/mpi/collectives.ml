@@ -2,8 +2,15 @@
    algorithm selection (the MPICH2 pattern: each collective picks an
    algorithm from the payload size and communicator size; the thresholds
    live in the cost model so selection is a measurable, tunable policy).
-   The naive reference versions are kept as [*_linear] (and the ring
-   allgather) for correctness oracles and ablations. *)
+
+   Since PR 3 every algorithm *compiles* into a {!Coll_sched} schedule —
+   a per-rank DAG of isend/irecv/reduce/copy steps in rounds — executed
+   incrementally by the device progress engine. The [i*] entry points
+   return the schedule's generalized request; the blocking entry points
+   are start + wait shims over them, so selection policy, [?algo]
+   oracles and the tag table carry over unchanged. The naive reference
+   versions are kept as [*_linear] (and the ring allgather) for
+   correctness oracles and ablations. *)
 
 (* ------------------------------------------------------------------ *)
 (* Tag table                                                           *)
@@ -82,47 +89,26 @@ let tag r = r.tr_base
 let rtag r i = r.tr_base + (i mod r.tr_width)
 
 (* ------------------------------------------------------------------ *)
-(* Point-to-point plumbing                                             *)
+(* Schedule plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
-
-let csend p comm ~dst ~tag buf =
-  Ch3.isend (Mpi.device p)
-    ~dst:(Comm.world_rank_of comm dst)
-    ~tag ~context:comm.Comm.ctx_coll buf
-
-let crecv p comm ~src ~tag buf =
-  Ch3.irecv (Mpi.device p)
-    ~src:(Comm.world_rank_of comm src)
-    ~tag ~context:comm.Comm.ctx_coll buf
-
-let csend_wait p comm ~dst ~tag buf =
-  ignore (Mpi.wait p (csend p comm ~dst ~tag buf))
-
-let crecv_wait p comm ~src ~tag buf =
-  ignore (Mpi.wait p (crecv p comm ~src ~tag buf))
 
 let empty = Buffer_view.of_bytes Bytes.empty
 let env_of p = Mpi.env (Mpi.world_of p)
 let cost_of p = (env_of p).Simtime.Env.cost
 
-let charge_memcpy p len =
-  Simtime.Env.charge_per_byte (env_of p) (cost_of p).memcpy_ns_per_byte len
+(* All schedule traffic runs on the communicator's collective context,
+   so it can never match user receives; [dst]/[src] below are
+   communicator ranks, translated to world ranks at build time. *)
+let builder p comm ~name =
+  Coll_sched.make (Mpi.device p) ~context:comm.Comm.ctx_coll ~name
 
-(* A window [off, off + len) of an existing view: sends read and receives
-   land directly in the parent's memory, so block algorithms never need a
-   charged scratch copy of the whole payload. *)
-let sub_view (v : Buffer_view.t) ~off ~len =
-  if off < 0 || len < 0 || off + len > v.Buffer_view.len then
-    invalid_arg "Collectives.sub_view";
-  {
-    Buffer_view.len;
-    blit_to =
-      (fun ~pos ~dst ~dst_off ~len:l ->
-        v.Buffer_view.blit_to ~pos:(off + pos) ~dst ~dst_off ~len:l);
-    blit_from =
-      (fun ~pos ~src ~src_off ~len:l ->
-        v.Buffer_view.blit_from ~pos:(off + pos) ~src ~src_off ~len:l);
-  }
+let ssend b comm ~dst ~tag v =
+  Coll_sched.isend b ~dst:(Comm.world_rank_of comm dst) ~tag v
+
+let srecv b comm ~src ~tag v =
+  Coll_sched.irecv b ~src:(Comm.world_rank_of comm src) ~tag v
+
+let wait_sched p req = ignore (Mpi.wait p req)
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -187,29 +173,33 @@ let fan_algo_for (c : Simtime.Cost.t) ~n ~block : [ `Linear | `Binomial ] =
 (* Barrier (dissemination)                                             *)
 (* ------------------------------------------------------------------ *)
 
-let barrier p comm =
+let sched_barrier b comm ~me =
   let n = Comm.size comm in
-  let me = Mpi.comm_rank p comm in
-  let round = ref 0 in
-  let step = ref 1 in
+  let round = ref 0 and step = ref 1 in
   while !step < n do
     let dst = (me + !step) mod n in
     let src = (me - !step + n) mod n in
     let t = rtag r_barrier !round in
-    let s = csend p comm ~dst ~tag:t empty in
-    crecv_wait p comm ~src ~tag:t empty;
-    ignore (Mpi.wait p s);
+    ssend b comm ~dst ~tag:t empty;
+    srecv b comm ~src ~tag:t empty;
+    Coll_sched.fence b;
     incr round;
     step := !step lsl 1
   done
+
+let ibarrier p comm =
+  let b = builder p comm ~name:"barrier" in
+  sched_barrier b comm ~me:(Mpi.comm_rank p comm);
+  Coll_sched.start b
+
+let barrier p comm = wait_sched p (ibarrier p comm)
 
 (* ------------------------------------------------------------------ *)
 (* Broadcast                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let bcast_binomial p comm ~root buf =
+let sched_bcast_binomial b comm ~root ~me buf =
   let n = Comm.size comm in
-  let me = Mpi.comm_rank p comm in
   let rel = (me - root + n) mod n in
   let abs r = (r + root) mod n in
   (* Receive from the parent (clear the lowest set bit of rel). *)
@@ -217,18 +207,19 @@ let bcast_binomial p comm ~root buf =
   let recv_mask = ref 0 in
   while !mask < n && !recv_mask = 0 do
     if rel land !mask <> 0 then begin
-      crecv_wait p comm ~src:(abs (rel - !mask)) ~tag:(tag r_bcast) buf;
+      srecv b comm ~src:(abs (rel - !mask)) ~tag:(tag r_bcast) buf;
+      Coll_sched.fence b;
       recv_mask := !mask
     end
     else mask := !mask lsl 1
   done;
   (* Forward to children: bits below my lowest set bit (or below n for
-     the root). *)
+     the root). All forwards go out in one round. *)
   let top = if rel = 0 then ceil_pow2 n else !recv_mask in
   let m = ref (top lsr 1) in
   while !m > 0 do
     if rel + !m < n then
-      csend_wait p comm ~dst:(abs (rel + !m)) ~tag:(tag r_bcast) buf;
+      ssend b comm ~dst:(abs (rel + !m)) ~tag:(tag r_bcast) buf;
     m := !m lsr 1
   done
 
@@ -237,9 +228,8 @@ let bcast_binomial p comm ~root buf =
    every rank moves ~2x the payload instead of the binomial tree's
    (log n) x payload on internal ranks. The block layout is a pure
    function of (length, size), so every member computes it locally. *)
-let bcast_scatter_allgather p comm ~root buf =
+let sched_bcast_scag b comm ~root ~me buf =
   let n = Comm.size comm in
-  let me = Mpi.comm_rank p comm in
   let rel = (me - root + n) mod n in
   let abs r = (r + root) mod n in
   let len = Buffer_view.length buf in
@@ -249,15 +239,16 @@ let bcast_scatter_allgather p comm ~root buf =
   let extent r = if r = 0 then n else min (lsb r) (n - r) in
   (* All traffic reads from / lands in windows of the user buffer: no
      scratch copy of the payload. *)
-  let window lo hi = sub_view buf ~off:lo ~len:(hi - lo) in
+  let window lo hi = Buffer_view.sub_view buf ~off:lo ~len:(hi - lo) in
   (* Phase 1: binomial scatter. The subtree of relative rank r holds the
      contiguous byte range [off r, off (r + extent r)). *)
   if rel <> 0 then begin
     let lo = off rel and hi = off (rel + extent rel) in
-    crecv_wait p comm
+    srecv b comm
       ~src:(abs (rel - lsb rel))
       ~tag:(rtag r_bcast_scag 0)
-      (window lo hi)
+      (window lo hi);
+    Coll_sched.fence b
   end;
   let top = if rel = 0 then ceil_pow2 n else lsb rel in
   let m = ref (top lsr 1) in
@@ -265,12 +256,13 @@ let bcast_scatter_allgather p comm ~root buf =
     let child = rel + !m in
     if child < n then begin
       let lo = off child and hi = off (child + extent child) in
-      csend_wait p comm ~dst:(abs child)
+      ssend b comm ~dst:(abs child)
         ~tag:(rtag r_bcast_scag 0)
         (window lo hi)
     end;
     m := !m lsr 1
   done;
+  Coll_sched.fence b;
   (* Phase 2: ring allgather of the blocks (block j lives with relative
      rank j after the scatter). *)
   let right = (me + 1) mod n and left = (me - 1 + n) mod n in
@@ -278,25 +270,29 @@ let bcast_scatter_allgather p comm ~root buf =
     let sidx = (rel - step + n) mod n in
     let ridx = (rel - step - 1 + n) mod n in
     let t = rtag r_bcast_scag (step + 1) in
-    let s =
-      csend p comm ~dst:right ~tag:t (window (off sidx) (off sidx + size sidx))
-    in
-    crecv_wait p comm ~src:left ~tag:t
+    ssend b comm ~dst:right ~tag:t (window (off sidx) (off sidx + size sidx));
+    srecv b comm ~src:left ~tag:t
       (window (off ridx) (off ridx + size ridx));
-    ignore (Mpi.wait p s)
+    Coll_sched.fence b
   done
 
-let bcast ?(algo : bcast_algo = `Auto) p comm ~root buf =
+let ibcast ?(algo : bcast_algo = `Auto) p comm ~root buf =
   let n = Comm.size comm in
-  if n > 1 then
+  let b = builder p comm ~name:"bcast" in
+  if n > 1 then begin
+    let me = Mpi.comm_rank p comm in
     let algo =
       match algo with
       | `Auto -> bcast_algo_for (cost_of p) ~n ~bytes:(Buffer_view.length buf)
       | (`Binomial | `Scatter_allgather) as a -> a
     in
     match algo with
-    | `Binomial -> bcast_binomial p comm ~root buf
-    | `Scatter_allgather -> bcast_scatter_allgather p comm ~root buf
+    | `Binomial -> sched_bcast_binomial b comm ~root ~me buf
+    | `Scatter_allgather -> sched_bcast_scag b comm ~root ~me buf
+  end;
+  Coll_sched.start b
+
+let bcast ?algo p comm ~root buf = wait_sched p (ibcast ?algo p comm ~root buf)
 
 (* ------------------------------------------------------------------ *)
 (* Scatter                                                             *)
@@ -310,55 +306,33 @@ let root_parts ~what ~n parts =
       a
   | None -> invalid_arg ("Collectives." ^ what ^ ": root must supply parts")
 
-let scatter_linear p comm ~root ~parts ~recv =
+let sched_scatter_linear b comm ~root ~me ~parts ~recv =
   let n = Comm.size comm in
-  let me = Mpi.comm_rank p comm in
   if me = root then begin
     let parts = root_parts ~what:"scatter" ~n parts in
-    let sends = ref [] in
     for r = 0 to n - 1 do
-      if r <> root then
-        sends := csend p comm ~dst:r ~tag:(tag r_scatter) parts.(r) :: !sends
+      if r <> root then ssend b comm ~dst:r ~tag:(tag r_scatter) parts.(r)
     done;
     (* Root's own part: local copy. *)
-    Buffer_view.write_all recv (Buffer_view.read_all parts.(root));
-    charge_memcpy p (Buffer_view.length recv);
-    List.iter (fun s -> ignore (Mpi.wait p s)) !sends
+    Coll_sched.copy b ~src:parts.(root) ~dst:recv
   end
-  else crecv_wait p comm ~src:root ~tag:(tag r_scatter) recv
+  else srecv b comm ~src:root ~tag:(tag r_scatter) recv
 
-(* Binomial scatter of equal [block]-byte parts: the root packs the parts
-   in relative-rank order and each internal node forwards its children's
-   contiguous sub-ranges, so the root sends log n messages instead of
-   n - 1. Every member must pass the same [block] (MPI_Scatter's
-   recvcount), which is how non-roots size their subtree buffers. *)
-let scatter_binomial p comm ~root ~parts ~recv ~block =
+(* Binomial scatter of equal [block]-byte parts: each internal node
+   forwards its children's contiguous sub-ranges, so the root sends log n
+   messages instead of n - 1. The root's message for a child subtree is a
+   {!Buffer_view.concat} of the parts in relative-rank order — sent
+   straight out of the caller's buffers, where the blocking engine staged
+   a packed copy (n x block of charged memcpy). Every member must pass
+   the same [block] (MPI_Scatter's recvcount), which is how non-roots
+   size their subtree buffers. *)
+let sched_scatter_binomial b comm ~root ~me ~parts ~recv ~block =
   let n = Comm.size comm in
-  let me = Mpi.comm_rank p comm in
   let rel = (me - root + n) mod n in
   let abs r = (r + root) mod n in
   let extent r = if r = 0 then n else min (lsb r) (n - r) in
   if Buffer_view.length recv <> block then
     invalid_arg "Collectives.scatter: recv buffer must be block-sized";
-  let forward staging =
-    let top = if rel = 0 then ceil_pow2 n else lsb rel in
-    let m = ref (top lsr 1) in
-    let sends = ref [] in
-    while !m > 0 do
-      let child = rel + !m in
-      if child < n then begin
-        let cnt = extent child in
-        sends :=
-          csend p comm ~dst:(abs child)
-            ~tag:(tag r_scatter_binomial)
-            (Buffer_view.of_bytes_sub staging ~off:(!m * block)
-               ~len:(cnt * block))
-          :: !sends
-      end;
-      m := !m lsr 1
-    done;
-    List.iter (fun s -> ignore (Mpi.wait p s)) !sends
-  in
   if rel = 0 then begin
     let parts = root_parts ~what:"scatter" ~n parts in
     Array.iter
@@ -366,101 +340,103 @@ let scatter_binomial p comm ~root ~parts ~recv ~block =
         if Buffer_view.length part <> block then
           invalid_arg "Collectives.scatter: binomial parts must be block-sized")
       parts;
-    (* Pack in relative order so every subtree is contiguous. *)
-    let staging = Bytes.create (n * block) in
-    for j = 0 to n - 1 do
-      (parts.(abs j)).Buffer_view.blit_to ~pos:0 ~dst:staging
-        ~dst_off:(j * block) ~len:block
+    (* One concat view per child subtree: relative ranks [m, m + cnt). *)
+    let top = ceil_pow2 n in
+    let m = ref (top lsr 1) in
+    while !m > 0 do
+      let child = !m in
+      if child < n then begin
+        let cnt = extent child in
+        let sub =
+          Buffer_view.concat
+            (List.init cnt (fun j -> parts.(abs (child + j))))
+        in
+        ssend b comm ~dst:(abs child) ~tag:(tag r_scatter_binomial) sub
+      end;
+      m := !m lsr 1
     done;
-    charge_memcpy p (n * block);
-    recv.Buffer_view.blit_from ~pos:0 ~src:staging ~src_off:0 ~len:block;
-    charge_memcpy p block;
-    forward staging
+    Coll_sched.copy b ~src:parts.(abs 0) ~dst:recv
   end
   else begin
     let cnt = extent rel in
     if cnt = 1 then
-      crecv_wait p comm
+      srecv b comm
         ~src:(abs (rel - lsb rel))
         ~tag:(tag r_scatter_binomial) recv
     else begin
-      let staging = Bytes.create (cnt * block) in
-      crecv_wait p comm
+      (* Internal node: my own block lands in [recv]; descendants' blocks
+         land in a scratch that exists only for store-and-forward (they
+         are not mine to keep), received as one concat view. *)
+      let staging = Bytes.create ((cnt - 1) * block) in
+      srecv b comm
         ~src:(abs (rel - lsb rel))
         ~tag:(tag r_scatter_binomial)
-        (Buffer_view.of_bytes staging);
-      recv.Buffer_view.blit_from ~pos:0 ~src:staging ~src_off:0 ~len:block;
-      charge_memcpy p block;
-      forward staging
+        (Buffer_view.concat [ recv; Buffer_view.of_bytes staging ]);
+      Coll_sched.fence b;
+      let m = ref (lsb rel lsr 1) in
+      while !m > 0 do
+        let child = rel + !m in
+        if child < n then begin
+          let ccnt = extent child in
+          ssend b comm ~dst:(abs child)
+            ~tag:(tag r_scatter_binomial)
+            (Buffer_view.of_bytes_sub staging
+               ~off:((!m - 1) * block)
+               ~len:(ccnt * block))
+        end;
+        m := !m lsr 1
+      done
     end
   end
 
-let scatter ?(algo : fan_algo = `Auto) ?block p comm ~root ~parts ~recv =
+let iscatter ?(algo : fan_algo = `Auto) ?block p comm ~root ~parts ~recv =
   let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  let b = builder p comm ~name:"scatter" in
   let algo =
     match algo with
     | `Auto -> fan_algo_for (cost_of p) ~n ~block
     | (`Linear | `Binomial) as a -> a
   in
-  match (algo, block) with
-  | `Binomial, Some b when n > 1 ->
-      scatter_binomial p comm ~root ~parts ~recv ~block:b
+  (match (algo, block) with
+  | `Binomial, Some blk when n > 1 ->
+      sched_scatter_binomial b comm ~root ~me ~parts ~recv ~block:blk
   | `Binomial, None ->
       invalid_arg "Collectives.scatter: the binomial algorithm needs ~block"
-  | _ -> scatter_linear p comm ~root ~parts ~recv
+  | _ -> sched_scatter_linear b comm ~root ~me ~parts ~recv);
+  Coll_sched.start b
+
+let scatter ?algo ?block p comm ~root ~parts ~recv =
+  wait_sched p (iscatter ?algo ?block p comm ~root ~parts ~recv)
 
 (* ------------------------------------------------------------------ *)
 (* Gather                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let gather_linear p comm ~root ~send ~parts =
+let sched_gather_linear b comm ~root ~me ~send ~parts =
   let n = Comm.size comm in
-  let me = Mpi.comm_rank p comm in
   if me = root then begin
     let parts = root_parts ~what:"gather" ~n parts in
-    let recvs = ref [] in
     for r = 0 to n - 1 do
-      if r <> root then
-        recvs := crecv p comm ~src:r ~tag:(tag r_gather) parts.(r) :: !recvs
+      if r <> root then srecv b comm ~src:r ~tag:(tag r_gather) parts.(r)
     done;
-    Buffer_view.write_all parts.(root) (Buffer_view.read_all send);
-    charge_memcpy p (Buffer_view.length send);
-    List.iter (fun r -> ignore (Mpi.wait p r)) !recvs
+    Coll_sched.copy b ~src:send ~dst:parts.(root)
   end
-  else csend_wait p comm ~dst:root ~tag:(tag r_gather) send
+  else ssend b comm ~dst:root ~tag:(tag r_gather) send
 
-(* Mirror of {!scatter_binomial}: leaves send their block up; internal
-   nodes collect their subtree into a staging buffer and forward it as
-   one message. *)
-let gather_binomial p comm ~root ~send ~parts ~block =
+(* Mirror of {!sched_scatter_binomial}: leaves send their block up;
+   internal nodes receive their subtree and forward it (own block +
+   descendants) as one concat message; the root receives each child
+   subtree directly into the caller's parts — no packed staging copy at
+   either end. *)
+let sched_gather_binomial b comm ~root ~me ~send ~parts ~block =
   let n = Comm.size comm in
-  let me = Mpi.comm_rank p comm in
   let rel = (me - root + n) mod n in
   let abs r = (r + root) mod n in
   let extent r = if r = 0 then n else min (lsb r) (n - r) in
   if Buffer_view.length send <> block then
     invalid_arg "Collectives.gather: send buffer must be block-sized";
   let cnt = extent rel in
-  let collect staging =
-    send.Buffer_view.blit_to ~pos:0 ~dst:staging ~dst_off:0 ~len:block;
-    charge_memcpy p block;
-    let recvs = ref [] in
-    let m = ref 1 in
-    while !m < cnt do
-      let child = rel + !m in
-      if child < n then begin
-        let ccnt = extent child in
-        recvs :=
-          crecv p comm ~src:(abs child)
-            ~tag:(tag r_gather_binomial)
-            (Buffer_view.of_bytes_sub staging ~off:(!m * block)
-               ~len:(ccnt * block))
-          :: !recvs
-      end;
-      m := !m lsl 1
-    done;
-    List.iter (fun r -> ignore (Mpi.wait p r)) !recvs
-  in
   if rel = 0 then begin
     let parts = root_parts ~what:"gather" ~n parts in
     Array.iter
@@ -468,135 +444,180 @@ let gather_binomial p comm ~root ~send ~parts ~block =
         if Buffer_view.length part <> block then
           invalid_arg "Collectives.gather: binomial parts must be block-sized")
       parts;
-    let staging = Bytes.create (n * block) in
-    collect staging;
-    for j = 0 to n - 1 do
-      (parts.(abs j)).Buffer_view.blit_from ~pos:0 ~src:staging
-        ~src_off:(j * block) ~len:block
-    done;
-    charge_memcpy p (n * block)
+    Coll_sched.copy b ~src:send ~dst:parts.(abs 0);
+    let m = ref 1 in
+    while !m < n do
+      let child = !m in
+      if child < n then begin
+        let ccnt = extent child in
+        let sub =
+          Buffer_view.concat
+            (List.init ccnt (fun j -> parts.(abs (child + j))))
+        in
+        srecv b comm ~src:(abs child) ~tag:(tag r_gather_binomial) sub
+      end;
+      m := !m lsl 1
+    done
   end
   else if cnt = 1 then
-    csend_wait p comm ~dst:(abs (rel - lsb rel)) ~tag:(tag r_gather_binomial)
-      send
+    ssend b comm ~dst:(abs (rel - lsb rel)) ~tag:(tag r_gather_binomial) send
   else begin
-    let staging = Bytes.create (cnt * block) in
-    collect staging;
-    csend_wait p comm ~dst:(abs (rel - lsb rel)) ~tag:(tag r_gather_binomial)
-      (Buffer_view.of_bytes staging)
+    let staging = Bytes.create ((cnt - 1) * block) in
+    let m = ref 1 in
+    while !m < cnt do
+      let child = rel + !m in
+      if child < n then begin
+        let ccnt = extent child in
+        srecv b comm ~src:(abs child)
+          ~tag:(tag r_gather_binomial)
+          (Buffer_view.of_bytes_sub staging
+             ~off:((!m - 1) * block)
+             ~len:(ccnt * block))
+      end;
+      m := !m lsl 1
+    done;
+    Coll_sched.fence b;
+    ssend b comm
+      ~dst:(abs (rel - lsb rel))
+      ~tag:(tag r_gather_binomial)
+      (Buffer_view.concat [ send; Buffer_view.of_bytes staging ])
   end
 
-let gather ?(algo : fan_algo = `Auto) ?block p comm ~root ~send ~parts =
+let igather ?(algo : fan_algo = `Auto) ?block p comm ~root ~send ~parts =
   let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  let b = builder p comm ~name:"gather" in
   let algo =
     match algo with
     | `Auto -> fan_algo_for (cost_of p) ~n ~block
     | (`Linear | `Binomial) as a -> a
   in
-  match (algo, block) with
-  | `Binomial, Some b when n > 1 ->
-      gather_binomial p comm ~root ~send ~parts ~block:b
+  (match (algo, block) with
+  | `Binomial, Some blk when n > 1 ->
+      sched_gather_binomial b comm ~root ~me ~send ~parts ~block:blk
   | `Binomial, None ->
       invalid_arg "Collectives.gather: the binomial algorithm needs ~block"
-  | _ -> gather_linear p comm ~root ~send ~parts
+  | _ -> sched_gather_linear b comm ~root ~me ~send ~parts);
+  Coll_sched.start b
+
+let gather ?algo ?block p comm ~root ~send ~parts =
+  wait_sched p (igather ?algo ?block p comm ~root ~send ~parts)
 
 (* ------------------------------------------------------------------ *)
 (* Allgather                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let allgather_ring p comm ~send =
+let sched_allgather_ring b comm ~me ~send =
   let n = Comm.size comm in
-  let me = Mpi.comm_rank p comm in
   let blk = Bytes.length send in
   let blocks = Array.init n (fun _ -> Bytes.create blk) in
-  Bytes.blit send 0 blocks.(me) 0 blk;
+  Coll_sched.copy b
+    ~src:(Buffer_view.of_bytes send)
+    ~dst:(Buffer_view.of_bytes blocks.(me));
+  Coll_sched.fence b;
   let right = (me + 1) mod n in
   let left = (me - 1 + n) mod n in
   for step = 0 to n - 2 do
     let send_idx = (me - step + n) mod n in
     let recv_idx = (me - step - 1 + n) mod n in
     let t = rtag r_allgather_ring step in
-    let s =
-      csend p comm ~dst:right ~tag:t (Buffer_view.of_bytes blocks.(send_idx))
-    in
-    crecv_wait p comm ~src:left ~tag:t
-      (Buffer_view.of_bytes blocks.(recv_idx));
-    ignore (Mpi.wait p s)
+    ssend b comm ~dst:right ~tag:t (Buffer_view.of_bytes blocks.(send_idx));
+    srecv b comm ~src:left ~tag:t (Buffer_view.of_bytes blocks.(recv_idx));
+    Coll_sched.fence b
   done;
   blocks
 
 (* Recursive-doubling allgather (power-of-two members only): log n rounds
    of pairwise exchange of doubling aligned block ranges, against the
-   ring's n - 1 rounds — the latency-bound winner for small payloads. *)
-let allgather_rd p comm ~send =
+   ring's n - 1 rounds — the latency-bound winner for small payloads.
+   The doubling ranges are concat views over the result blocks, so the
+   exchanged data lands where it lives: the blocking engine's contiguous
+   staging buffer (and its final n sub-copies) is gone. *)
+let sched_allgather_rd b comm ~me ~send =
   let n = Comm.size comm in
   if not (is_pow2 n) then
     invalid_arg
       "Collectives.allgather: recursive doubling needs a power-of-two \
        communicator";
-  let me = Mpi.comm_rank p comm in
   let blk = Bytes.length send in
-  let staging = Bytes.create (n * blk) in
-  Bytes.blit send 0 staging (me * blk) blk;
+  let blocks = Array.init n (fun _ -> Bytes.create blk) in
+  let range lo cnt =
+    Buffer_view.concat
+      (List.init cnt (fun j -> Buffer_view.of_bytes blocks.(lo + j)))
+  in
+  Coll_sched.copy b
+    ~src:(Buffer_view.of_bytes send)
+    ~dst:(Buffer_view.of_bytes blocks.(me));
+  Coll_sched.fence b;
   let mask = ref 1 and round = ref 0 in
   while !mask < n do
     let partner = me lxor !mask in
     let lo = me land lnot (!mask - 1) in
     let plo = lo lxor !mask in
     let t = rtag r_allgather_rd !round in
-    let s =
-      csend p comm ~dst:partner ~tag:t
-        (Buffer_view.of_bytes_sub staging ~off:(lo * blk) ~len:(!mask * blk))
-    in
-    crecv_wait p comm ~src:partner ~tag:t
-      (Buffer_view.of_bytes_sub staging ~off:(plo * blk) ~len:(!mask * blk));
-    ignore (Mpi.wait p s);
+    ssend b comm ~dst:partner ~tag:t (range lo !mask);
+    srecv b comm ~src:partner ~tag:t (range plo !mask);
+    Coll_sched.fence b;
     mask := !mask lsl 1;
     incr round
   done;
-  Array.init n (fun r -> Bytes.sub staging (r * blk) blk)
+  blocks
 
-let allgather ?(algo : allgather_algo = `Auto) p comm ~send =
+let iallgather ?(algo : allgather_algo = `Auto) p comm ~send =
   let n = Comm.size comm in
+  let me = Mpi.comm_rank p comm in
+  let b = builder p comm ~name:"allgather" in
   let algo =
     match algo with
     | `Auto -> allgather_algo_for (cost_of p) ~n ~bytes:(Bytes.length send)
     | (`Ring | `Rd) as a -> a
   in
-  match algo with
-  | `Ring -> allgather_ring p comm ~send
-  | `Rd -> allgather_rd p comm ~send
+  let blocks =
+    match algo with
+    | `Ring -> sched_allgather_ring b comm ~me ~send
+    | `Rd -> sched_allgather_rd b comm ~me ~send
+  in
+  (Coll_sched.start b, blocks)
+
+let allgather ?algo p comm ~send =
+  let req, blocks = iallgather ?algo p comm ~send in
+  wait_sched p req;
+  blocks
 
 (* ------------------------------------------------------------------ *)
 (* Alltoall                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let alltoall p comm ~send =
+let ialltoall p comm ~send =
   let n = Comm.size comm in
   let me = Mpi.comm_rank p comm in
   if Array.length send <> n then
     invalid_arg "Collectives.alltoall: need one block per member";
   let blk = Bytes.length send.(0) in
   Array.iter
-    (fun b ->
-      if Bytes.length b <> blk then
+    (fun bl ->
+      if Bytes.length bl <> blk then
         invalid_arg "Collectives.alltoall: blocks must have equal length")
     send;
+  let b = builder p comm ~name:"alltoall" in
   let recv = Array.init n (fun _ -> Bytes.create blk) in
-  Bytes.blit send.(me) 0 recv.(me) 0 blk;
-  (* Post everything non-blocking, then drain: no ordering deadlocks. *)
-  let reqs = ref [] in
+  Coll_sched.copy b
+    ~src:(Buffer_view.of_bytes send.(me))
+    ~dst:(Buffer_view.of_bytes recv.(me));
+  (* Everything in one round: no ordering deadlocks. *)
   for r = 0 to n - 1 do
     if r <> me then begin
-      reqs :=
-        crecv p comm ~src:r ~tag:(tag r_alltoall)
-          (Buffer_view.of_bytes recv.(r))
-        :: csend p comm ~dst:r ~tag:(tag r_alltoall)
-             (Buffer_view.of_bytes send.(r))
-        :: !reqs
+      srecv b comm ~src:r ~tag:(tag r_alltoall)
+        (Buffer_view.of_bytes recv.(r));
+      ssend b comm ~dst:r ~tag:(tag r_alltoall)
+        (Buffer_view.of_bytes send.(r))
     end
   done;
-  List.iter (fun req -> ignore (Mpi.wait p req)) !reqs;
+  (Coll_sched.start b, recv)
+
+let alltoall p comm ~send =
+  let req, recv = ialltoall p comm ~send in
+  wait_sched p req;
   recv
 
 (* ------------------------------------------------------------------ *)
@@ -609,9 +630,8 @@ let alltoall p comm ~send =
    fold in absolute rank order; one extra message relocates the result
    when another root was asked for. (Rank 0 never sends inside the tree,
    so the relocation cannot be confused with a tree message.) *)
-let reduce p comm ~root ~op send =
+let sched_reduce b comm ~root ~me ~op send =
   let n = Comm.size comm in
-  let me = Mpi.comm_rank p comm in
   let len = Bytes.length send in
   let acc = Bytes.copy send in
   let tmp = Bytes.create len in
@@ -621,29 +641,41 @@ let reduce p comm ~root ~op send =
     if me land !mask = 0 then begin
       let src = me lor !mask in
       if src < n then begin
-        crecv_wait p comm ~src ~tag:(tag r_reduce)
-          (Buffer_view.of_bytes tmp);
-        op acc tmp
+        srecv b comm ~src ~tag:(tag r_reduce) (Buffer_view.of_bytes tmp);
+        Coll_sched.fence b;
+        Coll_sched.reduce b ~label:"fold" (fun () -> op acc tmp);
+        Coll_sched.fence b
       end
     end
     else begin
-      csend_wait p comm ~dst:(me land lnot !mask) ~tag:(tag r_reduce)
+      ssend b comm ~dst:(me land lnot !mask) ~tag:(tag r_reduce)
         (Buffer_view.of_bytes acc);
       sent := true
     end;
     mask := !mask lsl 1
   done;
+  Coll_sched.fence b;
   if root = 0 then if me = 0 then Some acc else None
   else if me = 0 then begin
-    csend_wait p comm ~dst:root ~tag:(tag r_reduce)
-      (Buffer_view.of_bytes acc);
+    ssend b comm ~dst:root ~tag:(tag r_reduce) (Buffer_view.of_bytes acc);
     None
   end
   else if me = root then begin
-    crecv_wait p comm ~src:0 ~tag:(tag r_reduce) (Buffer_view.of_bytes acc);
+    srecv b comm ~src:0 ~tag:(tag r_reduce) (Buffer_view.of_bytes acc);
     Some acc
   end
   else None
+
+let ireduce p comm ~root ~op send =
+  let me = Mpi.comm_rank p comm in
+  let b = builder p comm ~name:"reduce" in
+  let out = sched_reduce b comm ~root ~me ~op send in
+  (Coll_sched.start b, out)
+
+let reduce p comm ~root ~op send =
+  let req, out = ireduce p comm ~root ~op send in
+  wait_sched p req;
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Allreduce                                                           *)
@@ -651,13 +683,14 @@ let reduce p comm ~root ~op send =
 
 (* The naive reference: a binomial reduce to rank 0 followed by a
    binomial bcast — 2 log n rounds on a serial chain through rank 0. *)
-let allreduce_linear p comm ~op send =
+let sched_allreduce_linear b comm ~me ~op send =
   let result =
-    match reduce p comm ~root:0 ~op send with
+    match sched_reduce b comm ~root:0 ~me ~op send with
     | Some acc -> acc
     | None -> Bytes.create (Bytes.length send)
   in
-  bcast_binomial p comm ~root:0 (Buffer_view.of_bytes result);
+  Coll_sched.fence b;
+  sched_bcast_binomial b comm ~root:0 ~me (Buffer_view.of_bytes result);
   result
 
 (* Non-power-of-two pre-phase shared by recursive doubling and
@@ -665,35 +698,43 @@ let allreduce_linear p comm ~op send =
    fold into their odd neighbour and drop out), leaving a power-of-two
    set of "new ranks" whose order preserves old-rank order — so a
    non-commutative (but associative) operator still folds in rank
-   order. Returns the new rank, or -1 for a dropped-out member. *)
-let fold_pairs p comm ~trange ~op ~acc ~tmp ~me ~rem =
+   order. Returns the new rank, or -1 for a dropped-out member.
+
+   The acc/tmp buffer roles rotate deterministically, so the compiler
+   tracks which physical buffer holds the accumulator at every round and
+   captures it in the step closures — the schedule never re-reads the
+   refs at run time. *)
+let sched_fold_pairs b comm ~trange ~op ~acc ~tmp ~me ~rem =
   if me < 2 * rem then
     if me land 1 = 0 then begin
-      csend_wait p comm ~dst:(me + 1) ~tag:(rtag trange 0)
+      ssend b comm ~dst:(me + 1) ~tag:(rtag trange 0)
         (Buffer_view.of_bytes !acc);
+      Coll_sched.fence b;
       -1
     end
     else begin
-      crecv_wait p comm ~src:(me - 1) ~tag:(rtag trange 0)
-        (Buffer_view.of_bytes !tmp);
+      let a = !acc and t = !tmp in
+      srecv b comm ~src:(me - 1) ~tag:(rtag trange 0)
+        (Buffer_view.of_bytes t);
+      Coll_sched.fence b;
       (* The lower rank's data folds first: acc := recv (+) acc. *)
-      op !tmp !acc;
-      let t = !acc in
-      acc := !tmp;
-      tmp := t;
+      Coll_sched.reduce b ~label:"fold-pair" (fun () -> op t a);
+      Coll_sched.fence b;
+      acc := t;
+      tmp := a;
       me asr 1
     end
   else me - rem
 
 (* Send the finished result back to the members dropped in the
    pre-phase. *)
-let unfold_pairs p comm ~trange ~round ~acc ~me ~rem =
+let sched_unfold_pairs b comm ~trange ~round ~acc ~me ~rem =
   if me < 2 * rem then
     if me land 1 = 1 then
-      csend_wait p comm ~dst:(me - 1) ~tag:(rtag trange round)
+      ssend b comm ~dst:(me - 1) ~tag:(rtag trange round)
         (Buffer_view.of_bytes !acc)
     else
-      crecv_wait p comm ~src:(me + 1) ~tag:(rtag trange round)
+      srecv b comm ~src:(me + 1) ~tag:(rtag trange round)
         (Buffer_view.of_bytes !acc)
 
 let old_rank_of ~rem pn = if pn < rem then (2 * pn) + 1 else pn + rem
@@ -702,37 +743,39 @@ let old_rank_of ~rem pn = if pn < rem then (2 * pn) + 1 else pn + rem
    At every step the two sides hold folds of adjacent contiguous rank
    blocks, and the fold direction follows block order, so the operator
    need not commute. *)
-let allreduce_rd p comm ~op send =
+let sched_allreduce_rd b comm ~me ~op send =
   let n = Comm.size comm in
-  let me = Mpi.comm_rank p comm in
   let len = Bytes.length send in
   let acc = ref (Bytes.copy send) in
   let tmp = ref (Bytes.create len) in
   let pof2 = floor_pow2 n in
   let rem = n - pof2 in
-  let newrank = fold_pairs p comm ~trange:r_allreduce_rd ~op ~acc ~tmp ~me ~rem in
+  let newrank =
+    sched_fold_pairs b comm ~trange:r_allreduce_rd ~op ~acc ~tmp ~me ~rem
+  in
   if newrank >= 0 then begin
     let mask = ref 1 and round = ref 1 in
     while !mask < pof2 do
       let pn = newrank lxor !mask in
       let po = old_rank_of ~rem pn in
       let t = rtag r_allreduce_rd !round in
-      let s = csend p comm ~dst:po ~tag:t (Buffer_view.of_bytes !acc) in
-      crecv_wait p comm ~src:po ~tag:t (Buffer_view.of_bytes !tmp);
-      ignore (Mpi.wait p s);
+      let a = !acc and tm = !tmp in
+      ssend b comm ~dst:po ~tag:t (Buffer_view.of_bytes a);
+      srecv b comm ~src:po ~tag:t (Buffer_view.of_bytes tm);
+      Coll_sched.fence b;
       if newrank land !mask = 0 then (* my block is the lower one *)
-        op !acc !tmp
+        Coll_sched.reduce b ~label:"fold-lower" (fun () -> op a tm)
       else begin
-        op !tmp !acc;
-        let x = !acc in
-        acc := !tmp;
-        tmp := x
+        Coll_sched.reduce b ~label:"fold-upper" (fun () -> op tm a);
+        acc := tm;
+        tmp := a
       end;
+      Coll_sched.fence b;
       mask := !mask lsl 1;
       incr round
     done
   end;
-  unfold_pairs p comm ~trange:r_allreduce_rd
+  sched_unfold_pairs b comm ~trange:r_allreduce_rd
     ~round:(r_allreduce_rd.tr_width - 1)
     ~acc ~me ~rem;
   !acc
@@ -745,9 +788,8 @@ let allreduce_rd p comm ~op send =
    MPICH2); {!allreduce_algo_for} only selects it when [commutative].
    [granule] is the element size in bytes: segment boundaries are aligned
    to it so the opaque byte-wise operator never sees a torn element. *)
-let allreduce_rabenseifner p comm ~op ~granule send =
+let sched_allreduce_rabenseifner b comm ~me ~op ~granule send =
   let n = Comm.size comm in
-  let me = Mpi.comm_rank p comm in
   let len = Bytes.length send in
   if granule <= 0 || len mod granule <> 0 then
     invalid_arg "Collectives.allreduce: granule must divide the payload";
@@ -763,8 +805,12 @@ let allreduce_rabenseifner p comm ~op ~granule send =
   let boff b = granule * ((b * bbase) + min b bextra) in
   let acc = ref (Bytes.copy send) in
   let tmp = ref (Bytes.create len) in
-  let newrank = fold_pairs p comm ~trange:r_rabenseifner ~op ~acc ~tmp ~me ~rem in
+  let newrank =
+    sched_fold_pairs b comm ~trange:r_rabenseifner ~op ~acc ~tmp ~me ~rem
+  in
   if newrank >= 0 then begin
+    (* The buffer roles are fixed from here on. *)
+    let a = !acc in
     (* Reduce-scatter by recursive halving: narrow [lo, hi) down to my
        own block, folding the half I keep. *)
     let lo = ref 0 and hi = ref pof2 in
@@ -781,19 +827,18 @@ let allreduce_rabenseifner p comm ~op ~granule send =
       let kb = boff klo and ke = boff khi in
       let t = rtag r_rabenseifner !round in
       let seg = Bytes.create (ke - kb) in
-      let s =
-        csend p comm ~dst:po ~tag:t
-          (Buffer_view.of_bytes_sub !acc ~off:sb ~len:(se - sb))
-      in
-      crecv_wait p comm ~src:po ~tag:t (Buffer_view.of_bytes seg);
-      ignore (Mpi.wait p s);
+      ssend b comm ~dst:po ~tag:t
+        (Buffer_view.of_bytes_sub a ~off:sb ~len:(se - sb));
+      srecv b comm ~src:po ~tag:t (Buffer_view.of_bytes seg);
+      Coll_sched.fence b;
       (* Fold the received half into the kept range (commutative op, so
          direction is free); the operator needs a whole buffer, hence the
-         sub-copy in and out. Like [op] application everywhere else in
-         this module, the fold is not charged virtual time. *)
-      let mine = Bytes.sub !acc kb (ke - kb) in
-      op mine seg;
-      Bytes.blit mine 0 !acc kb (ke - kb);
+         sub-copy in and out — the one staging copy that must stay. *)
+      Coll_sched.reduce b ~label:"fold-half" (fun () ->
+          let mine = Bytes.sub a kb (ke - kb) in
+          op mine seg;
+          Bytes.blit mine 0 a kb (ke - kb));
+      Coll_sched.fence b;
       lo := klo;
       hi := khi;
       mask := !mask asr 1;
@@ -810,27 +855,27 @@ let allreduce_rabenseifner p comm ~op ~granule send =
       let sb = boff rlo and se = boff (rlo + !mask) in
       let rb = boff plo and re = boff (plo + !mask) in
       let t = rtag r_rabenseifner !round in
-      let s =
-        csend p comm ~dst:po ~tag:t
-          (Buffer_view.of_bytes_sub !acc ~off:sb ~len:(se - sb))
-      in
-      crecv_wait p comm ~src:po ~tag:t
-        (Buffer_view.of_bytes_sub !acc ~off:rb ~len:(re - rb));
-      ignore (Mpi.wait p s);
+      ssend b comm ~dst:po ~tag:t
+        (Buffer_view.of_bytes_sub a ~off:sb ~len:(se - sb));
+      srecv b comm ~src:po ~tag:t
+        (Buffer_view.of_bytes_sub a ~off:rb ~len:(re - rb));
+      Coll_sched.fence b;
       mask := !mask lsl 1;
       incr round
     done
   end;
-  unfold_pairs p comm ~trange:r_rabenseifner
+  sched_unfold_pairs b comm ~trange:r_rabenseifner
     ~round:(r_rabenseifner.tr_width - 1)
     ~acc ~me ~rem;
   !acc
 
-let allreduce ?(algo : allreduce_algo = `Auto) ?(granule = 8)
+let iallreduce ?(algo : allreduce_algo = `Auto) ?(granule = 8)
     ?(commutative = true) p comm ~op send =
   let n = Comm.size comm in
-  if n = 1 then Bytes.copy send
-  else
+  let b = builder p comm ~name:"allreduce" in
+  if n = 1 then (Coll_sched.start b, Bytes.copy send)
+  else begin
+    let me = Mpi.comm_rank p comm in
     let algo =
       match algo with
       | `Auto ->
@@ -838,10 +883,21 @@ let allreduce ?(algo : allreduce_algo = `Auto) ?(granule = 8)
             ~granule ~commutative
       | (`Linear | `Rd | `Rabenseifner) as a -> a
     in
-    match algo with
-    | `Linear -> allreduce_linear p comm ~op send
-    | `Rd -> allreduce_rd p comm ~op send
-    | `Rabenseifner -> allreduce_rabenseifner p comm ~op ~granule send
+    let out =
+      match algo with
+      | `Linear -> sched_allreduce_linear b comm ~me ~op send
+      | `Rd -> sched_allreduce_rd b comm ~me ~op send
+      | `Rabenseifner -> sched_allreduce_rabenseifner b comm ~me ~op ~granule send
+    in
+    (Coll_sched.start b, out)
+  end
+
+let allreduce ?algo ?granule ?commutative p comm ~op send =
+  let req, out = iallreduce ?algo ?granule ?commutative p comm ~op send in
+  wait_sched p req;
+  out
+
+let allreduce_linear p comm ~op send = allreduce ~algo:`Linear p comm ~op send
 
 (* ------------------------------------------------------------------ *)
 (* Scan                                                                *)
@@ -849,24 +905,36 @@ let allreduce ?(algo : allreduce_algo = `Auto) ?(granule = 8)
 
 (* Linear pipeline scan: member r receives the prefix of 0..r-1 from its
    left neighbour, folds its own contribution, and forwards. MPI requires
-   rank order for non-commutative operators, which this preserves. *)
-let scan p comm ~op send =
+   rank order for non-commutative operators, which this preserves. The
+   fold runs as [op prefix mine] with the result living in the prefix
+   buffer, dropping the blocking engine's copy-swap of the accumulator. *)
+let iscan p comm ~op send =
   let n = Comm.size comm in
   let me = Mpi.comm_rank p comm in
-  let acc = Bytes.copy send in
-  if me > 0 then begin
-    let prefix = Bytes.create (Bytes.length send) in
-    crecv_wait p comm ~src:(me - 1) ~tag:(tag r_scan)
-      (Buffer_view.of_bytes prefix);
-    (* acc := prefix op mine, keeping rank order. *)
-    let mine = Bytes.copy acc in
-    Bytes.blit prefix 0 acc 0 (Bytes.length acc);
-    op acc mine
-  end;
+  let b = builder p comm ~name:"scan" in
+  let mine = Bytes.copy send in
+  let result =
+    if me > 0 then begin
+      let prefix = Bytes.create (Bytes.length send) in
+      srecv b comm ~src:(me - 1) ~tag:(tag r_scan)
+        (Buffer_view.of_bytes prefix);
+      Coll_sched.fence b;
+      (* prefix := prefix op mine, keeping rank order. *)
+      Coll_sched.reduce b ~label:"fold-prefix" (fun () -> op prefix mine);
+      Coll_sched.fence b;
+      prefix
+    end
+    else mine
+  in
   if me < n - 1 then
-    csend_wait p comm ~dst:(me + 1) ~tag:(tag r_scan)
-      (Buffer_view.of_bytes acc);
-  acc
+    ssend b comm ~dst:(me + 1) ~tag:(tag r_scan)
+      (Buffer_view.of_bytes result);
+  (Coll_sched.start b, result)
+
+let scan p comm ~op send =
+  let req, out = iscan p comm ~op send in
+  wait_sched p req;
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Reduce-scatter                                                      *)

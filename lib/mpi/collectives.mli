@@ -9,6 +9,18 @@
     (via the [?algo] arguments and the [*_linear] exports) as correctness
     oracles and for ablation.
 
+    Every algorithm compiles into a {!Coll_sched} schedule executed by
+    the device progress engine, so each collective also has an MPI-3
+    style nonblocking form ([ibarrier], [ibcast], [iallreduce], ...)
+    returning a generalized {!Request.t} of kind [Coll_req]; the
+    blocking forms are start + wait shims over them. Collectives whose
+    result is materialized at completion ([iallgather], [iallreduce],
+    [ireduce], [iscan], [ialltoall]) return the result buffer alongside
+    the request — its contents are defined only once the request
+    completes. As in MPI, at most one collective {e of the same kind}
+    may be in flight per communicator (different kinds overlap safely:
+    the tag table keeps their traffic disjoint).
+
     Selection must {e agree} across the communicator: it depends only on
     the shared cost model, the communicator size and the payload length,
     plus caller-supplied arguments ([algo], [block], [granule],
@@ -73,7 +85,85 @@ val tag_overlap : unit -> (string * string) option
 (** [None] iff all ranges in {!tag_table} are pairwise disjoint; otherwise
     the first offending pair. *)
 
-(** {1 Collectives} *)
+(** {1 Nonblocking collectives}
+
+    Each returns immediately with the schedule's generalized request
+    (plus the result buffer where one is materialized); complete with
+    {!Mpi.wait} / {!Mpi.test} or any request-set call. Argument
+    validation ([Invalid_argument]) still happens synchronously at the
+    call. *)
+
+val ibarrier : Mpi.proc -> Comm.t -> Request.t
+
+val ibcast :
+  ?algo:bcast_algo ->
+  Mpi.proc ->
+  Comm.t ->
+  root:int ->
+  Buffer_view.t ->
+  Request.t
+
+val iscatter :
+  ?algo:fan_algo ->
+  ?block:int ->
+  Mpi.proc ->
+  Comm.t ->
+  root:int ->
+  parts:Buffer_view.t array option ->
+  recv:Buffer_view.t ->
+  Request.t
+
+val igather :
+  ?algo:fan_algo ->
+  ?block:int ->
+  Mpi.proc ->
+  Comm.t ->
+  root:int ->
+  send:Buffer_view.t ->
+  parts:Buffer_view.t array option ->
+  Request.t
+
+val iallgather :
+  ?algo:allgather_algo ->
+  Mpi.proc ->
+  Comm.t ->
+  send:Bytes.t ->
+  Request.t * Bytes.t array
+(** The returned blocks (one per member, in communicator-rank order) are
+    filled in as the schedule runs; read them only after completion. *)
+
+val ialltoall :
+  Mpi.proc -> Comm.t -> send:Bytes.t array -> Request.t * Bytes.t array
+
+val ireduce :
+  Mpi.proc ->
+  Comm.t ->
+  root:int ->
+  op:(Bytes.t -> Bytes.t -> unit) ->
+  Bytes.t ->
+  Request.t * Bytes.t option
+(** [Some buffer] at the root (valid at completion), [None] elsewhere. *)
+
+val iallreduce :
+  ?algo:allreduce_algo ->
+  ?granule:int ->
+  ?commutative:bool ->
+  Mpi.proc ->
+  Comm.t ->
+  op:(Bytes.t -> Bytes.t -> unit) ->
+  Bytes.t ->
+  Request.t * Bytes.t
+(** The returned buffer holds the reduction at completion; the input is
+    copied at the call, so it may be reused (or collected) immediately. *)
+
+val iscan :
+  Mpi.proc ->
+  Comm.t ->
+  op:(Bytes.t -> Bytes.t -> unit) ->
+  Bytes.t ->
+  Request.t * Bytes.t
+
+(** {1 Blocking collectives} *)
 
 val barrier : Mpi.proc -> Comm.t -> unit
 (** Dissemination barrier: ceil(log2 n) rounds. *)

@@ -169,6 +169,36 @@ let wait_any p reqs =
       end;
       Option.get !found
 
+let test_all p reqs =
+  ignore (Ch3.progress p.dev);
+  List.for_all Request.is_complete reqs
+
+let test_any p reqs =
+  ignore (Ch3.progress p.dev);
+  List.find_opt Request.is_complete reqs
+
+let wait_some p reqs =
+  match reqs with
+  | [] -> invalid_arg "Mpi.wait_some: empty request list"
+  | _ ->
+      let done_ () = List.filter Request.is_complete reqs in
+      let check () =
+        ignore (Ch3.progress p.dev);
+        done_ () <> []
+      in
+      if not (check ()) then
+        if Fiber.in_scheduler () then
+          Fiber.wait_until ~label:"mpi-waitsome" check
+        else begin
+          let spins = ref 0 in
+          while not (check ()) do
+            incr spins;
+            if !spins > 1_000_000 then
+              failwith "Mpi.wait_some: no progress outside a scheduler"
+          done
+        end;
+      done_ ()
+
 let comm_status comm (st : Status.t) =
   match Comm.comm_rank_of comm st.Status.source with
   | Some r -> { st with Status.source = r }

@@ -111,6 +111,19 @@ val wait_any : proc -> Request.t list -> Request.t
     complete one in list order ([MPI_Waitany]). The list must not be
     empty. *)
 
+val test_all : proc -> Request.t list -> bool
+(** One progress pump, then [true] iff every request is complete
+    ([MPI_Testall]). An empty list is trivially complete. *)
+
+val test_any : proc -> Request.t list -> Request.t option
+(** One progress pump, then the first complete request in list order, if
+    any ([MPI_Testany]). *)
+
+val wait_some : proc -> Request.t list -> Request.t list
+(** Block until at least one request completes; returns {e all} the
+    complete ones, in list order ([MPI_Waitsome]). The list must not be
+    empty. *)
+
 val sendrecv :
   proc ->
   comm:Comm.t ->

@@ -1,4 +1,4 @@
-type kind = Send_req | Recv_req
+type kind = Send_req | Recv_req | Coll_req
 
 type t = {
   r_id : int;

@@ -4,7 +4,15 @@
     garbage collector's mark phase asks [is_complete] to decide whether a
     non-blocking operation still needs its buffer pinned (Section 4.3). *)
 
-type kind = Send_req | Recv_req
+type kind =
+  | Send_req
+  | Recv_req
+  | Coll_req
+      (** A generalized request backed by a collective schedule
+          ({!Coll_sched}): complete once every step of the schedule is
+          done. The conditional-pin machinery needs nothing beyond
+          [is_complete], so the GC mark phase polls collective requests
+          exactly like point-to-point ones. *)
 
 type t
 

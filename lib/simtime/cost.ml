@@ -32,6 +32,7 @@ type t = {
   queue_probe_ns : float;
   request_ns : float;
   progress_poll_ns : float;
+  sched_step_ns : float;
   coll_binomial_min_ranks : int;
   coll_binomial_max_block : int;
   coll_rabenseifner_min_bytes : int;
@@ -83,6 +84,13 @@ let native_cpp =
     queue_probe_ns = 80.0;
     request_ns = 300.0;
     progress_poll_ns = 150.0;
+    (* Dispatching one step of a collective schedule (MPIR_Sched-style):
+       callback bookkeeping, completion-counter update, kickoff of the
+       underlying operation. The blocking collectives paid an equivalent
+       toll in fiber rescheduling between rounds; charging it here keeps
+       the measured coll_* crossovers below valid for the schedule
+       engine that replaced them. *)
+    sched_step_ns = 900.0;
     (* Collective algorithm selection (shared by every preset, like the
        transport): below/above these the collectives layer switches
        algorithms. The values are placed at the measured crossovers of

@@ -60,6 +60,12 @@ type t = {
   queue_probe_ns : float;  (** per queue element inspected during matching *)
   request_ns : float;  (** request allocation / completion *)
   progress_poll_ns : float;
+  sched_step_ns : float;
+      (** dispatching one step of a collective schedule ([Coll_sched]):
+          callback bookkeeping plus kickoff of the underlying operation.
+          The blocking collectives paid an equivalent per-round fiber
+          rescheduling toll, so the [coll_*] crossovers measured against
+          them remain valid for the schedule engine. *)
   (* Collective algorithm selection (see [Mpi_core.Collectives]): the
      thresholds are part of the cost model so algorithm choice is a
      measurable, tunable policy rather than hard-wired. *)

@@ -14,6 +14,21 @@ module Env = Simtime.Env
 
 let payload seed n = Bytes.init n (fun i -> Char.chr ((i * 7 + seed) land 0xff))
 
+(* Every collective — blocking shim or in-flight schedule — must leave
+   the world quiescent: no posted receives never matched, no unexpected
+   messages never claimed, no outstanding requests, no half-done
+   rendezvous. Asserted after every oracle run below. *)
+let assert_quiescent label w =
+  match Mpi.quiescence_report w with
+  | [] -> ()
+  | issues ->
+      Alcotest.failf "%s left debris: %s" label
+        (String.concat "; "
+           (List.map (fun (r, s) -> Printf.sprintf "rank %d: %s" r s) issues))
+
+let run_quiescent ?fault ~n label body =
+  assert_quiescent label (Mpi.run ?fault ~n body)
+
 (* ------------------------------------------------------------------ *)
 (* Tag table                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -52,28 +67,26 @@ let test_allreduce_oracle () =
         (fun bytes ->
           (* The oracle: the linear algorithm on the same inputs. *)
           let expected = ref Bytes.empty in
-          ignore
-            (Mpi.run ~n (fun p ->
-                 let comm = Mpi.comm_world (Mpi.world_of p) in
-                 let mine = payload (Mpi.rank p) bytes in
-                 let r = Coll.allreduce ~algo:`Linear p comm ~op:Coll.sum_i64 mine in
-                 if Mpi.rank p = 0 then expected := r));
+          run_quiescent ~n "allreduce linear oracle" (fun p ->
+              let comm = Mpi.comm_world (Mpi.world_of p) in
+              let mine = payload (Mpi.rank p) bytes in
+              let r = Coll.allreduce ~algo:`Linear p comm ~op:Coll.sum_i64 mine in
+              if Mpi.rank p = 0 then expected := r);
           List.iter
             (fun (algo, name) ->
-              ignore
-                (Mpi.run ~n (fun p ->
-                     let comm = Mpi.comm_world (Mpi.world_of p) in
-                     let mine = payload (Mpi.rank p) bytes in
-                     let keep = Bytes.copy mine in
-                     let r = Coll.allreduce ~algo p comm ~op:Coll.sum_i64 mine in
-                     Alcotest.(check bytes)
-                       (Printf.sprintf "%s n=%d bytes=%d rank=%d input intact"
-                          name n bytes (Mpi.rank p))
-                       keep mine;
-                     Alcotest.(check bytes)
-                       (Printf.sprintf "%s n=%d bytes=%d rank=%d" name n bytes
-                          (Mpi.rank p))
-                       !expected r)))
+              run_quiescent ~n ("allreduce " ^ name) (fun p ->
+                  let comm = Mpi.comm_world (Mpi.world_of p) in
+                  let mine = payload (Mpi.rank p) bytes in
+                  let keep = Bytes.copy mine in
+                  let r = Coll.allreduce ~algo p comm ~op:Coll.sum_i64 mine in
+                  Alcotest.(check bytes)
+                    (Printf.sprintf "%s n=%d bytes=%d rank=%d input intact"
+                       name n bytes (Mpi.rank p))
+                    keep mine;
+                  Alcotest.(check bytes)
+                    (Printf.sprintf "%s n=%d bytes=%d rank=%d" name n bytes
+                       (Mpi.rank p))
+                    !expected r))
             ([ (`Rd, "rd"); (`Auto, "auto") ]
             @
             (* Rabenseifner needs >= 1 granule per member of the pow2
@@ -91,19 +104,17 @@ let test_bcast_oracle () =
           List.iter
             (fun (algo, name) ->
               let root = (n - 1) mod n in
-              ignore
-                (Mpi.run ~n (fun p ->
-                     let comm = Mpi.comm_world (Mpi.world_of p) in
-                     let me = Mpi.rank p in
-                     let b =
-                       if me = root then Bytes.copy (payload 42 bytes)
-                       else Bytes.create bytes
-                     in
-                     Coll.bcast ~algo p comm ~root (Bv.of_bytes b);
-                     Alcotest.(check bytes)
-                       (Printf.sprintf "%s n=%d bytes=%d rank=%d" name n bytes
-                          me)
-                       (payload 42 bytes) b)))
+              run_quiescent ~n ("bcast " ^ name) (fun p ->
+                  let comm = Mpi.comm_world (Mpi.world_of p) in
+                  let me = Mpi.rank p in
+                  let b =
+                    if me = root then Bytes.copy (payload 42 bytes)
+                    else Bytes.create bytes
+                  in
+                  Coll.bcast ~algo p comm ~root (Bv.of_bytes b);
+                  Alcotest.(check bytes)
+                    (Printf.sprintf "%s n=%d bytes=%d rank=%d" name n bytes me)
+                    (payload 42 bytes) b))
             [ (`Binomial, "binomial"); (`Scatter_allgather, "scag");
               (`Auto, "auto") ])
         [ 63; 1024 ])
@@ -117,8 +128,9 @@ let test_scatter_gather_oracle () =
           List.iter
             (fun (algo, name) ->
               let root = n / 2 in
-              ignore
-                (Mpi.run ~n (fun p ->
+              run_quiescent ~n
+                ("scatter/gather " ^ name)
+                (fun p ->
                      let comm = Mpi.comm_world (Mpi.world_of p) in
                      let me = Mpi.rank p in
                      (* Scatter: rank r must get part r. *)
@@ -155,7 +167,7 @@ let test_scatter_gather_oracle () =
                                   name n block i)
                                (payload i block) b)
                            arr
-                     | None -> ())))
+                     | None -> ()))
             [ (`Linear, "linear"); (`Binomial, "binomial"); (`Auto, "auto") ])
         [ 16; 1000 ])
     oracle_sizes
@@ -171,23 +183,22 @@ let test_allgather_oracle () =
           in
           List.iter
             (fun (algo, name) ->
-              ignore
-                (Mpi.run ~n (fun p ->
-                     let comm = Mpi.comm_world (Mpi.world_of p) in
-                     let me = Mpi.rank p in
-                     let blocks =
-                       Coll.allgather ~algo p comm ~send:(payload me block)
-                     in
-                     Alcotest.(check int)
-                       (Printf.sprintf "allgather/%s n=%d count" name n)
-                       n (Array.length blocks);
-                     Array.iteri
-                       (fun i b ->
-                         Alcotest.(check bytes)
-                           (Printf.sprintf "allgather/%s n=%d block=%d @%d"
-                              name n block i)
-                           (payload i block) b)
-                       blocks)))
+              run_quiescent ~n ("allgather " ^ name) (fun p ->
+                  let comm = Mpi.comm_world (Mpi.world_of p) in
+                  let me = Mpi.rank p in
+                  let blocks =
+                    Coll.allgather ~algo p comm ~send:(payload me block)
+                  in
+                  Alcotest.(check int)
+                    (Printf.sprintf "allgather/%s n=%d count" name n)
+                    n (Array.length blocks);
+                  Array.iteri
+                    (fun i b ->
+                      Alcotest.(check bytes)
+                        (Printf.sprintf "allgather/%s n=%d block=%d @%d"
+                           name n block i)
+                        (payload i block) b)
+                    blocks))
             algos)
         [ 8; 640 ])
     oracle_sizes
@@ -200,6 +211,177 @@ let test_allgather_rd_rejects_non_pow2 () =
            "Collectives.allgather: recursive doubling needs a power-of-two \
             communicator") (fun () ->
              ignore (Coll.allgather ~algo:`Rd p comm ~send:(Bytes.create 8)))))
+
+(* ------------------------------------------------------------------ *)
+(* Nonblocking collectives vs the blocking oracles                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The blocking result of sum_i64 over ranks 0..n-1, computed locally:
+   the oracle for ireduce/iallreduce. *)
+let fold_sum n bytes =
+  let acc = Bytes.copy (payload 0 bytes) in
+  for r = 1 to n - 1 do
+    Coll.sum_i64 acc (payload r bytes)
+  done;
+  acc
+
+(* One body exercising every i-collective back to back; run over every
+   oracle size so the schedules see power-of-two and ragged
+   communicators, and always followed by the quiescence check (no
+   schedule may leave stray posted receives or unclaimed messages). *)
+let icoll_body n p =
+  let comm = Mpi.comm_world (Mpi.world_of p) in
+  let me = Mpi.rank p in
+  (* ibarrier *)
+  ignore (Mpi.wait p (Coll.ibarrier p comm));
+  (* ibcast *)
+  let broot = 1 mod n in
+  let bbytes = 300 in
+  let bbuf =
+    if me = broot then Bytes.copy (payload 77 bbytes)
+    else Bytes.create bbytes
+  in
+  ignore (Mpi.wait p (Coll.ibcast p comm ~root:broot (Bv.of_bytes bbuf)));
+  Alcotest.(check bytes)
+    (Printf.sprintf "ibcast n=%d rank=%d" n me)
+    (payload 77 bbytes) bbuf;
+  (* iscatter / igather round trip *)
+  let block = 64 in
+  let sroot = n - 1 in
+  let parts =
+    if me = sroot then
+      Some (Array.init n (fun i -> Bv.of_bytes (payload i block)))
+    else None
+  in
+  let mine = Bytes.create block in
+  ignore
+    (Mpi.wait p
+       (Coll.iscatter ~block p comm ~root:sroot ~parts
+          ~recv:(Bv.of_bytes mine)));
+  Alcotest.(check bytes)
+    (Printf.sprintf "iscatter n=%d rank=%d" n me)
+    (payload me block) mine;
+  let out =
+    if me = sroot then Some (Array.init n (fun _ -> Bytes.create block))
+    else None
+  in
+  ignore
+    (Mpi.wait p
+       (Coll.igather ~block p comm ~root:sroot ~send:(Bv.of_bytes mine)
+          ~parts:(Option.map (Array.map Bv.of_bytes) out)));
+  (match out with
+  | Some arr ->
+      Array.iteri
+        (fun i b ->
+          Alcotest.(check bytes)
+            (Printf.sprintf "igather n=%d part=%d" n i)
+            (payload i block) b)
+        arr
+  | None -> ());
+  (* iallgather *)
+  let ag = 48 in
+  let req, blocks = Coll.iallgather p comm ~send:(payload me ag) in
+  ignore (Mpi.wait p req);
+  Alcotest.(check int) (Printf.sprintf "iallgather n=%d count" n) n
+    (Array.length blocks);
+  Array.iteri
+    (fun i b ->
+      Alcotest.(check bytes)
+        (Printf.sprintf "iallgather n=%d @%d" n i)
+        (payload i ag) b)
+    blocks;
+  (* ialltoall: cell (src, dst) carries payload (src * n + dst). *)
+  let a2a = 32 in
+  let send = Array.init n (fun d -> payload ((me * n) + d) a2a) in
+  let req, recvd = Coll.ialltoall p comm ~send in
+  ignore (Mpi.wait p req);
+  Array.iteri
+    (fun s b ->
+      Alcotest.(check bytes)
+        (Printf.sprintf "ialltoall n=%d from=%d" n s)
+        (payload ((s * n) + me) a2a)
+        b)
+    recvd;
+  (* ireduce at root 0 *)
+  let rbytes = 128 in
+  let req, acc = Coll.ireduce p comm ~root:0 ~op:Coll.sum_i64 (payload me rbytes) in
+  ignore (Mpi.wait p req);
+  (match acc with
+  | Some b ->
+      Alcotest.(check bytes)
+        (Printf.sprintf "ireduce n=%d" n)
+        (fold_sum n rbytes) b
+  | None ->
+      if me = 0 then Alcotest.fail "ireduce: root got no buffer");
+  (* iallreduce *)
+  let req, total = Coll.iallreduce p comm ~op:Coll.sum_i64 (payload me rbytes) in
+  ignore (Mpi.wait p req);
+  Alcotest.(check bytes)
+    (Printf.sprintf "iallreduce n=%d rank=%d" n me)
+    (fold_sum n rbytes) total;
+  (* iscan: rank r holds the prefix over 0..r. *)
+  let sbytes = 96 in
+  let req, prefix = Coll.iscan p comm ~op:Coll.sum_i64 (payload me sbytes) in
+  ignore (Mpi.wait p req);
+  Alcotest.(check bytes)
+    (Printf.sprintf "iscan n=%d rank=%d" n me)
+    (fold_sum (me + 1) sbytes)
+    prefix
+
+let test_icoll_oracle () =
+  List.iter
+    (fun n -> run_quiescent ~n "icoll suite" (icoll_body n))
+    oracle_sizes
+
+let test_icoll_overlapping_kinds () =
+  (* Three different collectives in flight at once on the same
+     communicator: the per-collective tag ranges must keep their traffic
+     apart even though the schedules interleave in the progress loop. *)
+  List.iter
+    (fun n ->
+      run_quiescent ~n "icoll overlap kinds" (fun p ->
+          let comm = Mpi.comm_world (Mpi.world_of p) in
+          let me = Mpi.rank p in
+          let bbytes = 256 in
+          let bbuf =
+            if me = 0 then Bytes.copy (payload 9 bbytes)
+            else Bytes.create bbytes
+          in
+          let r_bcast = Coll.ibcast p comm ~root:0 (Bv.of_bytes bbuf) in
+          let r_bar = Coll.ibarrier p comm in
+          let r_red, total =
+            Coll.iallreduce p comm ~op:Coll.sum_i64 (payload me 64)
+          in
+          let reqs = [ r_bcast; r_bar; r_red ] in
+          (* Drain via the request-set calls rather than one-by-one. *)
+          let pending = ref reqs in
+          while !pending <> [] do
+            let finished = Mpi.wait_some p !pending in
+            pending :=
+              List.filter (fun r -> not (List.memq r finished)) !pending
+          done;
+          Alcotest.(check bool) "all complete" true (Mpi.test_all p reqs);
+          Alcotest.(check bytes)
+            (Printf.sprintf "overlapped ibcast n=%d rank=%d" n me)
+            (payload 9 bbytes) bbuf;
+          Alcotest.(check bytes)
+            (Printf.sprintf "overlapped iallreduce n=%d rank=%d" n me)
+            (fold_sum n 64) total))
+    [ 2; 3; 4; 5; 8 ]
+
+let test_icoll_under_fault () =
+  (* Same i-collective suite under a lossy, duplicating, corrupting
+     channel with the reliable layer on: results must still match and —
+     the point of the test — the world must still be quiescent, i.e. the
+     schedules' retransmit traffic is fully claimed. *)
+  List.iter
+    (fun n ->
+      let fault =
+        Mpi_core.Fault.plan ~seed:7 ~drop:0.05 ~duplicate:0.02 ~corrupt:0.01
+          ()
+      in
+      run_quiescent ~fault ~n "icoll under fault" (icoll_body n))
+    [ 3; 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
 (* Non-commutative operator: rank order must be preserved              *)
@@ -311,6 +493,37 @@ let test_allreduce_rd_log_rounds () =
     (fun r c ->
       Alcotest.(check int) (Printf.sprintf "rank %d sends" r) 5 c)
     sends
+
+let test_allreduce_sched_log_rounds () =
+  (* Same claim, restated against the schedule engine's own step events:
+     the recursive-doubling schedule at 32 ranks carries exactly 5 isend
+     steps per rank, spread over 5 distinct rounds (r0..r4). This pins
+     the round-barrier dependency encoding, not just the wire traffic. *)
+  let n = 32 in
+  let env = Env.create ~cost:Simtime.Cost.native_cpp () in
+  let tr = Mpi_core.Trace.enable ~capacity:65_536 env in
+  ignore
+    (Mpi.run ~env ~n (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         ignore (Coll.allreduce ~algo:`Rd p comm ~op:Coll.sum_i64 (payload 1 64))));
+  let isends = Array.make n 0 in
+  let rounds = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Mpi_core.Trace.event) ->
+      (* detail: "allreduce[3] r2 isend dst=17 tag=.. 64B" *)
+      if e.op = "sched/step" then
+        match String.split_on_char ' ' e.detail with
+        | _ :: round :: "isend" :: _ ->
+            isends.(e.rank) <- isends.(e.rank) + 1;
+            Hashtbl.replace rounds round ()
+        | _ -> ())
+    (Mpi_core.Trace.events tr);
+  Mpi_core.Trace.disable env;
+  Array.iteri
+    (fun r c ->
+      Alcotest.(check int) (Printf.sprintf "rank %d isend steps" r) 5 c)
+    isends;
+  Alcotest.(check int) "distinct exchange rounds" 5 (Hashtbl.length rounds)
 
 let coll_time ~n body =
   let env = Env.create ~cost:Simtime.Cost.native_cpp () in
@@ -574,6 +787,15 @@ let () =
           Alcotest.test_case "allgather rd rejects non-pow2" `Quick
             test_allgather_rd_rejects_non_pow2;
         ] );
+      ( "nonblocking",
+        [
+          Alcotest.test_case "every i-collective vs blocking oracle" `Quick
+            test_icoll_oracle;
+          Alcotest.test_case "three kinds in flight at once" `Quick
+            test_icoll_overlapping_kinds;
+          Alcotest.test_case "i-collectives quiescent under faults" `Quick
+            test_icoll_under_fault;
+        ] );
       ( "rank order",
         [
           Alcotest.test_case "non-commutative operator" `Quick
@@ -585,6 +807,8 @@ let () =
         [
           Alcotest.test_case "rd allreduce is log n rounds at 32 ranks"
             `Quick test_allreduce_rd_log_rounds;
+          Alcotest.test_case "rd schedule is 5 isend steps over 5 rounds"
+            `Quick test_allreduce_sched_log_rounds;
           Alcotest.test_case "rabenseifner crossover" `Quick
             test_rabenseifner_beats_rd_past_threshold;
         ] );

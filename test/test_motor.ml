@@ -314,6 +314,59 @@ let test_conditional_pin_protects_irecv () =
           (Om.addr_of gc a)
       end)
 
+let test_conditional_pin_protects_iallreduce () =
+  (* The collective version of the same claim: a GC forced while an
+     iallreduce schedule is in flight must poll the collective's
+     generalized request (kind Coll_req) through the conditional pin,
+     hold the Motor buffer in place for the completion write-back, and
+     drop the pin at the first collection after completion. *)
+  let n = 4 in
+  let w = World.create ~n () in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let comm = Smp.comm_world ctx in
+      let me = World.rank ctx in
+      if me = 0 then
+        (* Stagger rank 0: recursive doubling needs every contribution,
+           so no other rank's schedule can finish before rank 0 joins —
+           their collections below run against genuinely in-flight
+           requests. *)
+        for _ = 1 to 5 do
+          Fiber.yield ()
+        done;
+      let elems = 64 in
+      let a = Om.alloc_array gc (Types.Eprim Types.R8) elems in
+      for i = 0 to elems - 1 do
+        Om.set_elem_float gc a i (float_of_int ((me + 1) * (i + 1)))
+      done;
+      Alcotest.(check bool) "buffer starts young" true
+        (Heap.in_young (Gc.heap gc) (Om.addr_of gc a));
+      let addr0 = Om.addr_of gc a in
+      let req = Smp.iallreduce_sum_f64 ctx ~comm a in
+      if me <> 0 then begin
+        Alcotest.(check int) "conditional pin registered" 1
+          (Gc.conditional_pin_count gc);
+        Alcotest.(check bool) "still in flight" false (Ot.test ctx req);
+        (* Collection while the schedule is outstanding. *)
+        Gc.collect gc ~full:false;
+        Alcotest.(check int) "buffer held in place" addr0 (Om.addr_of gc a)
+      end;
+      Ot.wait_all ctx [ req ];
+      (* sum over ranks of (r+1)*(i+1) = (i+1) * n(n+1)/2. *)
+      let scale = float_of_int (n * (n + 1) / 2) in
+      for i = 0 to elems - 1 do
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "elem %d" i)
+          (scale *. float_of_int (i + 1))
+          (Om.get_elem_float gc a i)
+      done;
+      Gc.collect gc ~full:false;
+      Alcotest.(check int) "pin dropped after completion" 0
+        (Gc.conditional_pin_count gc));
+  Alcotest.(check (list (pair int string)))
+    "world quiescent" []
+    (Mpi_core.Mpi.quiescence_report (World.mpi w))
+
 let test_no_pin_policy_corrupts () =
   (* The honest DMA model: without pinning, a collection during an
      outstanding receive moves the buffer and the data lands at the stale
@@ -930,6 +983,8 @@ let () =
             test_elder_objects_never_pin;
           Alcotest.test_case "conditional pin protects irecv" `Quick
             test_conditional_pin_protects_irecv;
+          Alcotest.test_case "conditional pin protects in-flight iallreduce"
+            `Quick test_conditional_pin_protects_iallreduce;
           Alcotest.test_case "no-pin policy corrupts (DMA model)" `Quick
             test_no_pin_policy_corrupts;
           Alcotest.test_case "rendezvous send pins once" `Quick

@@ -698,6 +698,92 @@ let prop_posted_vs_unexpected_race =
         received
         (Array.init msgs Fun.id))
 
+(* ------------------------------------------------------------------ *)
+(* Buffer views: windows and zero-copy concatenation                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_sub_view () =
+  let b = payload 32 in
+  let v = Bv.sub_view (Bv.of_bytes b) ~off:8 ~len:16 in
+  Alcotest.(check int) "window length" 16 (Bv.length v);
+  Alcotest.(check bytes) "window read" (Bytes.sub b 8 16) (Bv.read_all v);
+  (* A nested window composes offsets. *)
+  let vv = Bv.sub_view v ~off:4 ~len:4 in
+  Alcotest.(check bytes) "nested read" (Bytes.sub b 12 4) (Bv.read_all vv);
+  Bv.write_all v (Bytes.make 16 'x');
+  Alcotest.(check bytes) "window written" (Bytes.make 16 'x')
+    (Bytes.sub b 8 16);
+  Alcotest.(check bytes) "head intact" (Bytes.sub (payload 32) 0 8)
+    (Bytes.sub b 0 8);
+  Alcotest.(check bytes) "tail intact" (Bytes.sub (payload 32) 24 8)
+    (Bytes.sub b 24 8);
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Buffer_view.sub_view: range out of bounds") (fun () ->
+      ignore (Bv.sub_view (Bv.of_bytes b) ~off:20 ~len:16))
+
+let test_concat_view () =
+  let a = Bytes.of_string "aaaa"
+  and b = Bytes.of_string "bb"
+  and c = Bytes.of_string "cccccc" in
+  let v = Bv.concat [ Bv.of_bytes a; Bv.of_bytes b; Bv.of_bytes c ] in
+  Alcotest.(check int) "total length" 12 (Bv.length v);
+  Alcotest.(check string) "read spans fragments" "aaaabbcccccc"
+    (Bytes.to_string (Bv.read_all v));
+  (* A partial read crossing both fragment boundaries. *)
+  let dst = Bytes.make 5 '.' in
+  v.Bv.blit_to ~pos:2 ~dst ~dst_off:0 ~len:5;
+  Alcotest.(check string) "cross-fragment read" "aabbc" (Bytes.to_string dst);
+  Bv.write_all v (Bytes.of_string "XXXXYYZZZZZZ");
+  Alcotest.(check string) "fragment 1 written" "XXXX" (Bytes.to_string a);
+  Alcotest.(check string) "fragment 2 written" "YY" (Bytes.to_string b);
+  Alcotest.(check string) "fragment 3 written" "ZZZZZZ" (Bytes.to_string c);
+  (* A partial write landing across a boundary. *)
+  v.Bv.blit_from ~pos:3 ~src:(Bytes.of_string "mn") ~src_off:0 ~len:2;
+  Alcotest.(check string) "boundary write left" "XXXm" (Bytes.to_string a);
+  Alcotest.(check string) "boundary write right" "nY" (Bytes.to_string b)
+
+(* ------------------------------------------------------------------ *)
+(* Request sets: test_all / test_any / wait_some                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_sets () =
+  ignore
+    (run2 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         if Mpi.rank p = 1 then begin
+           Mpi.send p ~comm ~dst:0 ~tag:0 (Bv.of_bytes (payload 16));
+           (* Stagger the second send so the first can complete alone. *)
+           for _ = 1 to 5 do
+             Fiber.yield ()
+           done;
+           Mpi.send p ~comm ~dst:0 ~tag:1 (Bv.of_bytes (payload 16))
+         end
+         else begin
+           let b0 = Bytes.create 16 and b1 = Bytes.create 16 in
+           let r0 = Mpi.irecv p ~comm ~src:1 ~tag:0 (Bv.of_bytes b0) in
+           let r1 = Mpi.irecv p ~comm ~src:1 ~tag:1 (Bv.of_bytes b1) in
+           Alcotest.(check bool) "empty list trivially complete" true
+             (Mpi.test_all p []);
+           Alcotest.check_raises "wait_some rejects empty"
+             (Invalid_argument "Mpi.wait_some: empty request list") (fun () ->
+               ignore (Mpi.wait_some p []));
+           let some = Mpi.wait_some p [ r0; r1 ] in
+           if some = [] then Alcotest.fail "wait_some returned nothing";
+           List.iter
+             (fun r ->
+               Alcotest.(check bool) "wait_some results complete" true
+                 (Mpi_core.Request.is_complete r))
+             some;
+           (match Mpi.test_any p [ r0; r1 ] with
+           | Some _ -> ()
+           | None -> Alcotest.fail "test_any found nothing after wait_some");
+           Mpi.wait_all p [ r0; r1 ];
+           Alcotest.(check bool) "test_all after wait_all" true
+             (Mpi.test_all p [ r0; r1 ]);
+           Alcotest.(check bytes) "tag 0 payload" (payload 16) b0;
+           Alcotest.(check bytes) "tag 1 payload" (payload 16) b1
+         end))
+
 let () =
   Alcotest.run "mpi_core"
     [
@@ -725,6 +811,13 @@ let () =
             test_deadlock_detected;
           Alcotest.test_case "virtual time advances" `Quick
             test_virtual_time_advances;
+        ] );
+      ( "views and request sets",
+        [
+          Alcotest.test_case "sub_view windows" `Quick test_sub_view;
+          Alcotest.test_case "concat views" `Quick test_concat_view;
+          Alcotest.test_case "test_all / test_any / wait_some" `Quick
+            test_request_sets;
         ] );
       ( "collectives",
         [
