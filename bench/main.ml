@@ -351,6 +351,70 @@ let benchmark () =
   let results = List.map (fun i -> Analyze.all ols i raw) instances in
   Analyze.merge ols instances results
 
+(* Benchmark names are "/"-joined group paths: "motor/<group>/<test>".
+   The JSON form groups them back for tools/check_bench.ml. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path rows =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun (name, est, _) ->
+      if not (Float.is_nan est) then
+        match String.split_on_char '/' name with
+        | "motor" :: group :: (_ :: _ as rest) ->
+            let test = String.concat "/" rest in
+            let cur =
+              Option.value (Hashtbl.find_opt groups group) ~default:[]
+            in
+            Hashtbl.replace groups group ((test, est) :: cur)
+        | _ -> ())
+    rows;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": 1,\n  \"unit\": \"ns/run\",\n";
+  Buffer.add_string buf "  \"groups\": {\n";
+  let group_names =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) groups [])
+  in
+  List.iteri
+    (fun gi group ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": {\n" (json_escape group));
+      let tests = List.sort compare (Hashtbl.find groups group) in
+      List.iteri
+        (fun ti (test, est) ->
+          Buffer.add_string buf
+            (Printf.sprintf "      \"%s\": %.1f%s\n" (json_escape test) est
+               (if ti = List.length tests - 1 then "" else ",")))
+        tests;
+      Buffer.add_string buf
+        (if gi = List.length group_names - 1 then "    }\n" else "    },\n"))
+    group_names;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Format.printf "json written to %s@." path
+
+let json_path () =
+  let rec scan = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
   let results = benchmark () in
   Format.printf "%-55s %15s %10s@." "benchmark" "ns/run" "r^2";
@@ -371,7 +435,11 @@ let () =
           rows := (name, est, r2) :: !rows)
         tbl)
     results;
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows in
   List.iter
     (fun (name, est, r2) ->
       Format.printf "%-55s %15.0f %10.4f@." name est r2)
-    (List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows)
+    rows;
+  match json_path () with
+  | Some path -> write_json path rows
+  | None -> ()

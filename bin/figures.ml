@@ -195,8 +195,13 @@ let run_ablations ~quick =
 let faults_headers =
   [ "us"; "MB/s"; "retx"; "acks"; "fault drops"; "corrupt"; "dup"; "digest" ]
 
-let run_faults ~csv =
-  let points = Harness.Experiments.loss_sweep () in
+let run_faults ~quick ~csv =
+  let rounds = if quick then 10 else 30 in
+  let points =
+    if quick then
+      Harness.Experiments.loss_sweep ~rounds ~losses:[ 0.0; 0.05; 0.1 ] ()
+    else Harness.Experiments.loss_sweep ()
+  in
   let baseline =
     match points with
     | p :: _ -> p.Experiments.digest
@@ -221,8 +226,10 @@ let run_faults ~csv =
   in
   Table.print_table
     ~title:
-      "Loss sweep: 4-rank ring, 30 rounds x 2 KiB, reliable delivery over a \
-       faulty wire (by drop probability)"
+      (Printf.sprintf
+         "Loss sweep: 4-rank ring, %d rounds x 2 KiB, reliable delivery \
+          over a faulty wire (by drop probability)"
+         rounds)
     ~headers:faults_headers ~rows ();
   if List.for_all
        (fun (p : Experiments.loss_point) -> p.Experiments.digest = baseline)
@@ -360,6 +367,92 @@ let run_overlap ~quick ~csv =
   | None -> ());
   if not ok then Stdlib.exit 1
 
+(* Profile run: one representative workload per instrumented subsystem —
+   eager + rendezvous sends, a scheduled collective, serializer passes,
+   young and full GC — under tracing, then dump the virtual-time
+   histogram snapshot and the Chrome trace. *)
+let ensure_dir path =
+  if path <> "" && path <> "." && not (Sys.file_exists path) then
+    Sys.mkdir path 0o755
+
+let write_file path contents =
+  ensure_dir (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let run_profile ~quick ~out ~trace_out =
+  let env = Simtime.Env.create ~cost:Simtime.Cost.motor () in
+  let trace = Mpi_core.Trace.enable ~capacity:16384 env in
+  let iters = if quick then 4 else 32 in
+  let big = 262_144 in
+  ignore
+    (Mpi_core.Mpi.run ~env ~n:4 (fun p ->
+         let module C = Mpi_core.Collectives in
+         let comm = Mpi_core.Mpi.comm_world (Mpi_core.Mpi.world_of p) in
+         for _ = 1 to iters do
+           ignore (C.allreduce p comm ~op:C.sum_i64 (Bytes.create 4096))
+         done;
+         (* One large transfer to push the transport into rendezvous. *)
+         let bv () = Mpi_core.Buffer_view.of_bytes (Bytes.create big) in
+         match Mpi_core.Mpi.rank p with
+         | 0 -> Mpi_core.Mpi.send p ~comm ~dst:1 ~tag:99 (bv ())
+         | 1 -> ignore (Mpi_core.Mpi.recv p ~comm ~src:0 ~tag:99 (bv ()))
+         | _ -> ()));
+  let rt = Vm.Runtime.create ~env () in
+  let elems = if quick then 64 else 256 in
+  let head =
+    Workloads.make_linked_list rt.Vm.Runtime.gc rt.Vm.Runtime.registry ~elems
+      ~total_data_bytes:4096
+  in
+  let wire =
+    Motor.Serializer.serialize rt.Vm.Runtime.gc ~visited:Hashed head
+  in
+  ignore (Motor.Serializer.deserialize rt.Vm.Runtime.gc wire);
+  Vm.Gc.collect rt.Vm.Runtime.gc ~full:false;
+  Vm.Gc.collect rt.Vm.Runtime.gc ~full:true;
+  Mpi_core.Trace.disable env;
+  let snap = Simtime.Stats.snapshot env.Simtime.Env.stats in
+  write_file out (Simtime.Stats.to_json snap);
+  Format.printf "profile snapshot written to %s@." out;
+  write_file trace_out (Mpi_core.Trace.to_chrome_json trace);
+  Format.printf "chrome trace written to %s (open at ui.perfetto.dev)@."
+    trace_out;
+  let hist_rows =
+    List.map
+      (fun (key, (s : Simtime.Stats.summary)) ->
+        ( key,
+          [
+            Table.Num (float_of_int s.Simtime.Stats.n);
+            Table.Num s.Simtime.Stats.sum;
+            Table.Num s.Simtime.Stats.p50;
+            Table.Num s.Simtime.Stats.p99;
+          ] ))
+      (Simtime.Stats.snapshot_hists snap)
+  in
+  Table.print_table ~title:"Virtual-time histograms (ns)"
+    ~headers:[ "n"; "sum"; "p50"; "p99" ] ~rows:hist_rows ();
+  (* Self-check: every headline subsystem must have produced samples. *)
+  let module Key = Simtime.Stats.Key in
+  let missing =
+    List.filter
+      (fun k ->
+        match Simtime.Stats.hist_summary snap k with
+        | Some s -> s.Simtime.Stats.n = 0
+        | None -> true)
+      [
+        Key.h_ch3_send; Key.h_ch3_eager; Key.h_ch3_rndv; Key.h_sched_step;
+        Key.h_gc_young_pause; Key.h_gc_full_pause; Key.h_ser_encode;
+        Key.h_ser_decode;
+      ]
+  in
+  if missing <> [] then begin
+    Format.printf "PROFILE CHECK FAILED: no samples for %s@."
+      (String.concat ", " missing);
+    Stdlib.exit 1
+  end
+  else Format.printf "profile check: all headline histograms populated@."
+
 (* Regenerate a self-contained markdown report of every measured result:
    the machine-written companion to EXPERIMENTS.md. *)
 let run_report ~quick ~path =
@@ -487,7 +580,28 @@ let ablations_cmd =
 
 let faults_cmd =
   cmd_of "faults" "Loss sweep: the ring workload under injected faults."
-    Term.(const (fun csv -> run_faults ~csv) $ csv)
+    Term.(const (fun quick csv -> run_faults ~quick ~csv) $ quick $ csv)
+
+let profile_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "results/profile_snapshot.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Where to write the histogram snapshot.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt string "results/profile_trace.json"
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Where to write the Chrome trace (Perfetto-loadable).")
+  in
+  cmd_of "profile"
+    "Run an instrumented workload and dump histograms + Chrome trace."
+    Term.(
+      const (fun quick out trace_out -> run_profile ~quick ~out ~trace_out)
+      $ quick $ out $ trace_out)
 
 let coll_cmd =
   cmd_of "coll" "Collective algorithm sweep: latency vs ranks x payload."
@@ -521,7 +635,7 @@ let all_cmd =
           run_taba ~quick;
           run_tabb ();
           run_ablations ~quick;
-          run_faults ~csv:None)
+          run_faults ~quick ~csv:None)
       $ quick $ csv)
 
 let () =
@@ -534,5 +648,6 @@ let () =
        (Cmd.group info
           [
             fig9_cmd; fig10_cmd; taba_cmd; tabb_cmd; ablations_cmd;
-            faults_cmd; coll_cmd; overlap_cmd; all_cmd; check_cmd; report_cmd;
+            faults_cmd; coll_cmd; overlap_cmd; profile_cmd; all_cmd;
+            check_cmd; report_cmd;
           ]))

@@ -5,18 +5,21 @@ type mechanism = Pinvoke | Jni
 
 let enter mech env ~args =
   let cost = env.Env.cost in
-  let base =
+  let base, hist_key =
     match mech with
     | Pinvoke ->
         Env.count env Key.pinvokes;
-        cost.pinvoke_ns
+        (cost.pinvoke_ns, Key.h_pinvoke_gate)
     | Jni ->
         Env.count env Key.jni_calls;
-        cost.jni_ns
+        (cost.jni_ns, Key.h_jni_gate)
   in
-  Env.charge env
-    (base
+  let crossing =
+    base
     +. (cost.marshal_per_arg_ns *. float_of_int args)
-    +. cost.managed_wrapper_ns)
+    +. cost.managed_wrapper_ns
+  in
+  Env.charge env crossing;
+  Env.observe env hist_key crossing
 
 let mechanism_name = function Pinvoke -> "P/Invoke" | Jni -> "JNI"

@@ -5,7 +5,11 @@ let env gc = Vm.Heap.env (Vm.Gc.heap gc)
 
 let enter gc =
   let e = env gc in
-  Env.charge e (e.Env.cost.fcall_ns +. e.Env.cost.managed_wrapper_ns);
+  let crossing = e.Env.cost.fcall_ns +. e.Env.cost.managed_wrapper_ns in
+  Env.charge e crossing;
+  (* The gate crossing itself, excluding any GC the safepoint poll runs
+     (that lands in the gc pause histograms). *)
+  Env.observe e Key.h_fcall_gate crossing;
   Env.count e Key.fcalls;
   Vm.Gc.poll gc
 

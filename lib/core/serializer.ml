@@ -139,7 +139,9 @@ type root = Whole of Heap.addr | Slice of Heap.addr * int * int
 (* Raw (non-moving) access: serialization allocates no managed memory, so
    addresses are stable for its whole duration and no pinning is needed
    (Section 7.4). *)
-let serialize_raw gc ~visited root =
+(* The encode pass proper: everything inside the ser/encode histogram
+   ([serialize_raw] below wraps it with the timer and span). *)
+let serialize_pass gc ~visited root =
   let env = Vm.Heap.env (Gc.heap gc) in
   let cost = env.Env.cost in
   let heap = Gc.heap gc in
@@ -282,6 +284,12 @@ let serialize_raw gc ~visited root =
   u32 out root_id;
   Buffer.to_bytes out
 
+let serialize_raw gc ~visited root =
+  let env = Vm.Heap.env (Gc.heap gc) in
+  Env.with_timer env Key.h_ser_encode (fun () ->
+      Simtime.Probe.with_span env ~rank:(-1) ~cat:"ser" ~name:"ser/encode"
+        (fun () -> serialize_pass gc ~visited root))
+
 let serialize gc ~visited obj =
   serialize_raw gc ~visited (Whole (Om.addr_of gc obj))
 
@@ -400,7 +408,7 @@ let read_types gc r =
           R_md (elem, rank)
       | k -> err "bad type kind %d" k)
 
-let deserialize gc data =
+let deserialize_pass gc data =
   let env = Vm.Heap.env (Gc.heap gc) in
   let cost = env.Env.cost in
   let r = { data; pos = 0 } in
@@ -538,6 +546,12 @@ let deserialize gc data =
       | None -> ()
   done;
   root
+
+let deserialize gc data =
+  let env = Vm.Heap.env (Gc.heap gc) in
+  Env.with_timer env Key.h_ser_decode (fun () ->
+      Simtime.Probe.with_span env ~rank:(-1) ~cat:"ser" ~name:"ser/decode"
+        (fun () -> deserialize_pass gc data))
 
 (* ------------------------------------------------------------------ *)
 (* Split representation                                                *)

@@ -94,6 +94,7 @@ let status_of (env : Packet.envelope) =
   }
 
 let isend t ~dst ~tag ~context ?(mode = Standard) source =
+  let t0 = Simtime.Env.now_ns t.env in
   charge_request t;
   let req = Request.create ~id:(t.fresh_id ()) Request.Send_req in
   let len = Buffer_view.length source in
@@ -117,17 +118,34 @@ let isend t ~dst ~tag ~context ?(mode = Standard) source =
     ~op:(if eager then "isend" else "isend/rndv")
     ~detail:(Printf.sprintf "dst=%d tag=%d %dB" dst tag len);
   if eager then begin
+    Trace.span_begin t.env ~rank:t.rank ~cat:"ch3" ~name:"eager"
+      ~args:[ ("dst", string_of_int dst); ("bytes", string_of_int len) ]
+      ();
     let data = Bytes.create len in
     source.Buffer_view.blit_to ~pos:0 ~dst:data ~dst_off:0 ~len;
     t.chan.Channel.send ~src:t.rank ~dst (Packet.Eager (envelope, data));
     Simtime.Env.count t.env Key.eager_sends;
     Request.complete req None;
+    let dt = Simtime.Env.now_ns t.env -. t0 in
+    Simtime.Env.observe t.env Key.h_ch3_send dt;
+    Simtime.Env.observe t.env Key.h_ch3_eager dt;
+    Trace.span_end t.env ~rank:t.rank ~cat:"ch3" ~name:"eager" ();
     req
   end
   else begin
     let id = t.fresh_id () in
     Hashtbl.replace t.pending_sends id
       { ps_source = source; ps_dst = dst; ps_req = req };
+    Trace.span_begin t.env ~id ~rank:t.rank ~cat:"ch3" ~name:"rndv"
+      ~args:[ ("dst", string_of_int dst); ("bytes", string_of_int len) ]
+      ();
+    (* Sender-side cost of a rendezvous transfer: RTS to local
+       completion (data handed to the wire after CTS, or failure). *)
+    Request.on_complete req (fun () ->
+        let dt = Simtime.Env.now_ns t.env -. t0 in
+        Simtime.Env.observe t.env Key.h_ch3_send dt;
+        Simtime.Env.observe t.env Key.h_ch3_rndv dt;
+        Trace.span_end t.env ~id ~rank:t.rank ~cat:"ch3" ~name:"rndv" ());
     t.chan.Channel.send ~src:t.rank ~dst (Packet.Rts (envelope, id));
     Simtime.Env.count t.env Key.rndv_sends;
     ignore (track t req);

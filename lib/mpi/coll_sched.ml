@@ -115,6 +115,9 @@ let finish sc =
       Ch3.remove_progress_hook sc.sc_dev id;
       sc.sc_hook <- None
   | None -> ());
+  Trace.span_end (Ch3.env sc.sc_dev)
+    ~id:(Request.id sc.sc_req)
+    ~rank:(Ch3.rank sc.sc_dev) ~cat:"coll" ~name:sc.sc_name ();
   Trace.record (Ch3.env sc.sc_dev) ~rank:(Ch3.rank sc.sc_dev) ~op:"sched/done"
     ~detail:
       (Printf.sprintf "%s %d step(s)%s" sc.sc_name (Array.length sc.sc_steps)
@@ -144,29 +147,32 @@ let start_step sc i st =
      same). The blocking engine charged the equivalent implicitly by
      rescheduling the calling fiber between rounds. *)
   let env = Ch3.env sc.sc_dev in
-  Simtime.Env.charge env env.Simtime.Env.cost.sched_step_ns;
-  trace_step sc "sched/step" i st;
-  match st.s_action with
-  | Isend { dst; tag; view } ->
-      watch sc i st
-        (Ch3.isend sc.sc_dev ~dst ~tag ~context:sc.sc_context view)
-  | Irecv { src; tag; view } ->
-      watch sc i st
-        (Ch3.irecv sc.sc_dev ~src ~tag ~context:sc.sc_context view)
-  | Reduce { f; _ } ->
-      (* Operator application is not charged virtual time, matching the
-         blocking engine this replaces. *)
-      f ();
-      st.s_state <- Done;
-      trace_step sc "sched/step-done" i st
-  | Copy { src; dst } ->
-      let len = Buffer_view.length dst in
-      Buffer_view.write_all dst (Buffer_view.read_all src);
-      let env = Ch3.env sc.sc_dev in
-      Simtime.Env.charge_per_byte env env.Simtime.Env.cost.memcpy_ns_per_byte
-        len;
-      st.s_state <- Done;
-      trace_step sc "sched/step-done" i st
+  Simtime.Env.with_timer env Simtime.Stats.Key.h_sched_step (fun () ->
+      Simtime.Env.with_timer env
+        (Simtime.Stats.Key.h_sched_step ^ "/" ^ sc.sc_name)
+        (fun () ->
+          Simtime.Env.charge env env.Simtime.Env.cost.sched_step_ns;
+          trace_step sc "sched/step" i st;
+          match st.s_action with
+          | Isend { dst; tag; view } ->
+              watch sc i st
+                (Ch3.isend sc.sc_dev ~dst ~tag ~context:sc.sc_context view)
+          | Irecv { src; tag; view } ->
+              watch sc i st
+                (Ch3.irecv sc.sc_dev ~src ~tag ~context:sc.sc_context view)
+          | Reduce { f; _ } ->
+              (* Operator application is not charged virtual time, matching
+                 the blocking engine this replaces. *)
+              f ();
+              st.s_state <- Done;
+              trace_step sc "sched/step-done" i st
+          | Copy { src; dst } ->
+              let len = Buffer_view.length dst in
+              Buffer_view.write_all dst (Buffer_view.read_all src);
+              Simtime.Env.charge_per_byte env
+                env.Simtime.Env.cost.memcpy_ns_per_byte len;
+              st.s_state <- Done;
+              trace_step sc "sched/step-done" i st))
 
 (* One advance pass: retire the Done prefix, then start every Pending
    step of the frontier round. Repeats while frontier steps complete
@@ -236,6 +242,10 @@ let start b =
     }
   in
   Ch3.track_request b.b_dev req;
+  Trace.span_begin (Ch3.env b.b_dev) ~id:(Request.id req)
+    ~rank:(Ch3.rank b.b_dev) ~cat:"coll" ~name:sc.sc_name
+    ~args:[ ("steps", string_of_int (Array.length steps)) ]
+    ();
   Trace.record (Ch3.env b.b_dev) ~rank:(Ch3.rank b.b_dev) ~op:"sched/start"
     ~detail:
       (Printf.sprintf "%s %d step(s) %d round(s)" sc.sc_name

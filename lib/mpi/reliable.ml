@@ -98,6 +98,9 @@ let pump_retransmits t =
                    dst st.retries (Queue.length st.unacked))
           end
           else begin
+            (* The backoff that had to elapse before this timeout fired:
+               the per-retransmission latency toll paid by the workload. *)
+            Simtime.Env.observe t.env Key.h_ch3_retransmit st.rto_ns;
             Queue.iter
               (fun (_, framed) ->
                 Simtime.Env.count t.env Key.retransmits;

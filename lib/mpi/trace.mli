@@ -1,16 +1,28 @@
 (** Event tracing for message-passing runs (in the spirit of MPICH's MPE
     logging): every device-level operation can be recorded with its
-    virtual timestamp and rank, then dumped as a readable timeline or
-    handed to tests.
+    virtual timestamp and rank, as an instant event or a typed span
+    (begin/end with a category and key/value args), then dumped as a
+    readable timeline, exported as a Chrome-trace JSON that loads in
+    [chrome://tracing] and Perfetto, or handed to tests.
 
     Tracing is per-environment and off by default; enabling it attaches a
-    bounded ring buffer (oldest events are dropped once full). *)
+    bounded ring buffer (oldest events are dropped once full) and installs
+    the environment's {!Simtime.Probe} sink, so spans emitted by the VM
+    and serializer layers land in the same buffer as device events. *)
+
+type kind = Instant | Span_begin | Span_end
 
 type event = {
   t_us : float;  (** virtual time at which the event was recorded *)
-  rank : int;
-  op : string;  (** e.g. "isend", "irecv", "eager", "cts" *)
+  rank : int;  (** [-1] denotes the runtime (GC, serializer) *)
+  op : string;  (** e.g. "isend", "eager", or a span name like "gc/full" *)
   detail : string;
+  kind : kind;
+  cat : string;  (** span category: "ch3", "coll", "gc", "ser", ... *)
+  args : (string * string) list;
+  span_id : int option;
+      (** [Some id] marks an async span (rendezvous, schedule) that may
+          overlap others; sync spans nest per rank. *)
 }
 
 type t
@@ -21,9 +33,10 @@ val enable : ?capacity:int -> Simtime.Env.t -> t
     recorded. Enabling twice returns the existing trace. *)
 
 val disable : Simtime.Env.t -> unit
-(** Detach the environment's trace (if any) from the global registry, so
-    long simulation campaigns that enable tracing per world do not
-    accumulate dead environments. No-op if tracing was never enabled. *)
+(** Detach the environment's trace (if any) from the global registry and
+    remove its probe sink, so long simulation campaigns that enable
+    tracing per world do not accumulate dead environments. No-op if
+    tracing was never enabled. *)
 
 val registered : unit -> int
 (** Number of environments currently holding a trace (leak tests). *)
@@ -31,6 +44,45 @@ val registered : unit -> int
 val find : Simtime.Env.t -> t option
 val record : Simtime.Env.t -> rank:int -> op:string -> detail:string -> unit
 (** No-op when tracing is not enabled — safe on hot paths. *)
+
+(** {1 Spans}
+
+    Thin wrappers over {!Simtime.Probe}: no-ops unless tracing is enabled
+    on the environment. Pass [id] for async spans (operations that overlap
+    other activity on the same rank); omit it for scoped sync spans. *)
+
+val span_begin :
+  Simtime.Env.t ->
+  ?id:int ->
+  rank:int ->
+  cat:string ->
+  name:string ->
+  ?args:(string * string) list ->
+  unit ->
+  unit
+
+val span_end :
+  Simtime.Env.t ->
+  ?id:int ->
+  rank:int ->
+  cat:string ->
+  name:string ->
+  ?args:(string * string) list ->
+  unit ->
+  unit
+
+val with_span :
+  Simtime.Env.t ->
+  rank:int ->
+  cat:string ->
+  name:string ->
+  ?args:(string * string) list ->
+  (unit -> 'a) ->
+  'a
+
+val open_spans : t -> int
+(** Span begins minus span ends ever recorded: 0 when every span emitted
+    so far is balanced (leak tests). *)
 
 val events : t -> event list
 (** Oldest first. *)
@@ -42,4 +94,15 @@ val dropped : t -> int
 val clear : t -> unit
 
 val pp_timeline : Format.formatter -> t -> unit
-(** One line per event: [  123.4us r0 isend    dst=1 tag=0 64B]. *)
+(** One line per event: [  123.4us r0 isend    dst=1 tag=0 64B]; span
+    begins/ends are marked with [[] and []]. *)
+
+val to_chrome_json : t -> string
+(** The trace as Chrome-trace JSON ("traceEvents" array): instants as
+    ["i"], sync spans as ["B"]/["E"] pairs, async spans as ["b"]/["e"]
+    pairs keyed by id, plus process/thread-name metadata. Span pairs are
+    always well formed even after ring-buffer overflow: orphan ends are
+    dropped, dangling begins are closed at the trace's last timestamp.
+    Field order is fixed, so output is golden-testable. *)
+
+val write_chrome : path:string -> t -> unit

@@ -9,6 +9,7 @@ let create ?(cost = Cost.motor) () =
 
 let with_cost cost t = { t with cost }
 let now_us t = Clock.now_us t.clock
+let now_ns t = Clock.now_ns t.clock
 let charge t ns = Clock.advance t.clock ns
 
 let charge_per_byte t ns_per_byte n =
@@ -17,3 +18,7 @@ let charge_per_byte t ns_per_byte n =
 
 let count t key = Stats.incr t.stats key
 let count_n t key n = Stats.add t.stats key n
+let observe t key v = Stats.observe t.stats key v
+
+let with_timer t key f =
+  Stats.with_timer t.stats key ~now:(fun () -> Clock.now_ns t.clock) f

@@ -19,6 +19,7 @@ val with_cost : Cost.t -> t -> t
     baselines that share a world with other systems. *)
 
 val now_us : t -> float
+val now_ns : t -> float
 val charge : t -> float -> unit
 (** Charge raw nanoseconds. *)
 
@@ -27,3 +28,11 @@ val charge_per_byte : t -> float -> int -> unit
 
 val count : t -> string -> unit
 val count_n : t -> string -> int -> unit
+
+val observe : t -> string -> float -> unit
+(** Record a virtual-time sample (ns) into the named {!Stats} histogram. *)
+
+val with_timer : t -> string -> (unit -> 'a) -> 'a
+(** Run a scope and observe the virtual time it charged into the named
+    histogram: the standard way to attribute a pause or a pass to a
+    mechanism. *)

@@ -1,0 +1,50 @@
+(* Layer-neutral span emission.
+
+   The VM and serializer live below the MPI library, so they cannot call
+   Mpi_core.Trace directly; instead every layer emits spans through this
+   registry and Trace installs itself as the sink when tracing is enabled
+   on an environment. With no sink installed, emission is a registry miss
+   — safe on hot paths, exactly like Trace.record. *)
+
+type kind = Begin | End | Instant
+
+type sink =
+  kind:kind ->
+  id:int option ->
+  rank:int ->
+  cat:string ->
+  name:string ->
+  args:(string * string) list ->
+  unit
+
+(* Environments are few and long-lived (same reasoning as the Trace
+   registry): a small association list keyed by identity is enough. *)
+let sinks : (Env.t * sink) list ref = ref []
+
+let set_sink env sink =
+  sinks := (env, sink) :: List.filter (fun (e, _) -> not (e == env)) !sinks
+
+let clear_sink env =
+  sinks := List.filter (fun (e, _) -> not (e == env)) !sinks
+
+let installed () = List.length !sinks
+
+let emit env ~kind ?id ~rank ~cat ~name ?(args = []) () =
+  match
+    List.find_map (fun (e, s) -> if e == env then Some s else None) !sinks
+  with
+  | Some sink -> sink ~kind ~id ~rank ~cat ~name ~args
+  | None -> ()
+
+let span_begin env ?id ~rank ~cat ~name ?(args = []) () =
+  emit env ~kind:Begin ?id ~rank ~cat ~name ~args ()
+
+let span_end env ?id ~rank ~cat ~name ?(args = []) () =
+  emit env ~kind:End ?id ~rank ~cat ~name ~args ()
+
+let instant env ~rank ~cat ~name ?(args = []) () =
+  emit env ~kind:Instant ~rank ~cat ~name ~args ()
+
+let with_span env ~rank ~cat ~name ?(args = []) f =
+  span_begin env ~rank ~cat ~name ~args ();
+  Fun.protect ~finally:(fun () -> span_end env ~rank ~cat ~name ()) f

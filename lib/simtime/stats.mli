@@ -1,9 +1,11 @@
-(** Named event counters.
+(** Named event counters and virtual-time histograms.
 
     Each simulated subsystem records how often its mechanisms fire (pins,
     pins avoided by the policy, GC collections, messages, FCalls, visited-
-    list probes, ...). Counters back the ablation tables and let tests assert
-    on mechanism behaviour rather than only on timings. *)
+    list probes, ...) and — via histograms — how much virtual time each
+    firing cost. Counters back the ablation tables; histograms back the
+    profile snapshot and the CI perf gate, letting tests assert "mechanism
+    X fired N times and cost at most T" instead of eyeballing timelines. *)
 
 type t
 
@@ -18,16 +20,69 @@ val add : t -> string -> int -> unit
 val get : t -> string -> int
 (** Current value, 0 if the counter was never touched. *)
 
+val observe : t -> string -> float -> unit
+(** Record a non-negative sample (virtual nanoseconds by convention) into
+    the named histogram, creating it if absent. *)
+
+val with_timer : t -> string -> now:(unit -> float) -> (unit -> 'a) -> 'a
+(** [with_timer t key ~now f] runs [f] and observes [now() - now()@entry]
+    into [key] — including when [f] raises. [now] is typically the
+    environment's virtual clock ({!Env.with_timer} wires that up). *)
+
 val reset : t -> unit
-(** Zero every counter. *)
+(** Zero every counter and drop every histogram. *)
+
+(** Derived view of one histogram. [p50]/[p99] are read off half-octave
+    log2 bucket boundaries: deterministic upper bounds, accurate to ~41%,
+    clamped into [[min], [max]]. *)
+type summary = {
+  n : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p99 : float;
+}
+
+val hist : t -> string -> summary option
+(** Summary of a histogram, or [None] if nothing was ever observed. *)
 
 val to_alist : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+val hists_alist : t -> (string * summary) list
+(** All histograms, sorted by name. *)
+
 val pp : Format.formatter -> t -> unit
 
-(** Conventional counter names used across the codebase, so that tests, the
-    harness and the libraries agree on spelling. *)
+(** {1 Snapshots}
+
+    An immutable copy of every counter and histogram, cheap enough to take
+    around a region of interest. [diff] turns two snapshots into the
+    activity between them; [to_json] is the stable machine-readable form
+    written to [results/profile_snapshot.json]. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] subtracts counter values, histogram counts, sums
+    and buckets (so quantiles of a diff describe only the interval).
+    Histogram min/max are carried from [later] — interval extrema are not
+    recoverable from two endpoint summaries. *)
+
+val snapshot_counters : snapshot -> (string * int) list
+val snapshot_hists : snapshot -> (string * summary) list
+val counter_value : snapshot -> string -> int
+val hist_summary : snapshot -> string -> summary option
+
+val to_json : snapshot -> string
+(** Stable field order (keys sorted, fixed float formatting): suitable for
+    golden tests and the CI gate. *)
+
+(** Conventional counter and histogram names used across the codebase, so
+    that tests, the harness and the libraries agree on spelling. *)
 module Key : sig
   val pins : string
   val unpins : string
@@ -88,4 +143,32 @@ module Key : sig
   val buffers_created : string
   val buffers_reused : string
   val buffers_reaped : string
+
+  (** {2 Histogram keys} — all in virtual nanoseconds. *)
+
+  val h_ch3_send : string
+  (** Every point-to-point send, eager and rendezvous together. *)
+
+  val h_ch3_eager : string
+  val h_ch3_rndv : string
+  (** Rendezvous sends, measured from RTS to sender-side completion. *)
+
+  val h_ch3_retransmit : string
+  (** The backoff that elapsed before each go-back-N retransmission. *)
+
+  val h_sched_step : string
+  (** Collective schedule step dispatch; per-algorithm variants live under
+      ["sched/step_ns/<schedule name>"]. *)
+
+  val h_gc_young_pause : string
+  val h_gc_full_pause : string
+
+  val h_gc_pin_poll : string
+  (** Mark-phase resolution of conditional pin requests. *)
+
+  val h_ser_encode : string
+  val h_ser_decode : string
+  val h_fcall_gate : string
+  val h_pinvoke_gate : string
+  val h_jni_gate : string
 end

@@ -218,9 +218,22 @@ let resolve_pins t =
   t.conditional_pins <- still;
   cycle
 
-let collect t ~full =
+let rec collect t ~full =
   if t.in_gc then invalid_arg "Gc.collect: re-entrant collection";
   t.in_gc <- true;
+  Simtime.Env.with_timer t.env
+    (if full then Key.h_gc_full_pause else Key.h_gc_young_pause)
+    (fun () ->
+      Simtime.Probe.with_span t.env ~rank:(-1) ~cat:"gc"
+        ~name:(if full then "gc/full" else "gc/young")
+        (fun () -> collect_timed t ~full));
+  t.in_gc <- false;
+  List.iter (fun hook -> hook ()) t.post_gc_hooks
+
+(* The collection proper: everything inside the pause histogram and the
+   "gc" span. Post-GC hooks run outside (they may start new work whose
+   cost is not part of the pause). *)
+and collect_timed t ~full =
   let h = t.heap in
   let cost = t.env.Simtime.Env.cost in
   Simtime.Env.charge t.env
@@ -229,7 +242,9 @@ let collect t ~full =
      elder slots that point into the young generation so the evacuation can
      update them. The conditional pin requests are resolved here, "during
      the mark phase", exactly as Section 7.4 describes. *)
-  let cycle_pins = resolve_pins t in
+  let cycle_pins =
+    Simtime.Env.with_timer t.env Key.h_gc_pin_poll (fun () -> resolve_pins t)
+  in
   let in_young a = a <> Heap.null && Heap.in_young h a in
   let young_refs = ref [] in
   let marked = ref 0 in
@@ -372,9 +387,7 @@ let collect t ~full =
   else begin
     t.minor_count <- t.minor_count + 1;
     Simtime.Env.count t.env Key.gc_young
-  end;
-  t.in_gc <- false;
-  List.iter (fun hook -> hook ()) t.post_gc_hooks
+  end
 
 let request_gc ?(full = false) t =
   t.pending <-

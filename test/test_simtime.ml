@@ -92,6 +92,55 @@ let test_stats_alist_sorted () =
   Alcotest.(check (list string)) "sorted keys" [ "apple"; "zebra" ]
     (List.map fst (Stats.to_alist s))
 
+let test_hist_observe () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "absent histogram" true (Stats.hist s "lat" = None);
+  for i = 1 to 100 do
+    Stats.observe s "lat" (float_of_int i)
+  done;
+  match Stats.hist s "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check int) "count" 100 h.Stats.n;
+      Alcotest.(check (float 1e-6)) "sum" 5050.0 h.Stats.sum;
+      Alcotest.(check (float 1e-6)) "min" 1.0 h.Stats.min;
+      Alcotest.(check (float 1e-6)) "max" 100.0 h.Stats.max;
+      (* Quantiles are half-octave bucket upper bounds, clamped into
+         [min, max]: p50 of 1..100 lands on 64 (= 2^6), p99 clamps to
+         the max. *)
+      Alcotest.(check bool) "p50 is an upper bound" true
+        (h.Stats.p50 >= 50.0 && h.Stats.p50 <= 72.0);
+      Alcotest.(check bool) "p99 clamped to max" true
+        (h.Stats.p99 >= 99.0 && h.Stats.p99 <= 100.0)
+
+let test_hist_negative () =
+  let s = Stats.create () in
+  Alcotest.check_raises "negative observe rejected"
+    (Invalid_argument "Stats.observe: negative value") (fun () ->
+      Stats.observe s "lat" (-1.0))
+
+let test_hist_reset () =
+  let s = Stats.create () in
+  Stats.observe s "lat" 5.0;
+  Stats.reset s;
+  Alcotest.(check bool) "reset drops histograms" true
+    (Stats.hist s "lat" = None)
+
+let test_env_with_timer () =
+  let env = Env.create ~cost:Cost.motor () in
+  let r =
+    Env.with_timer env "work" (fun () ->
+        Env.charge env 1234.0;
+        42)
+  in
+  Alcotest.(check int) "result passed through" 42 r;
+  match Stats.hist env.Env.stats "work" with
+  | None -> Alcotest.fail "timer histogram missing"
+  | Some h ->
+      Alcotest.(check int) "one sample" 1 h.Stats.n;
+      Alcotest.(check (float 1e-9)) "sum is the virtual charge" 1234.0
+        h.Stats.sum
+
 let test_env_charges () =
   let env = Env.create ~cost:Cost.motor () in
   Env.charge env 1000.0;
@@ -152,6 +201,11 @@ let () =
           Alcotest.test_case "basic accumulation" `Quick test_stats_basic;
           Alcotest.test_case "negative rejected" `Quick test_stats_negative;
           Alcotest.test_case "alist sorted" `Quick test_stats_alist_sorted;
+          Alcotest.test_case "histogram observe + quantiles" `Quick
+            test_hist_observe;
+          Alcotest.test_case "histogram rejects negatives" `Quick
+            test_hist_negative;
+          Alcotest.test_case "reset drops histograms" `Quick test_hist_reset;
         ] );
       ( "env",
         [
@@ -159,6 +213,8 @@ let () =
             test_env_charges;
           Alcotest.test_case "with_cost shares the clock" `Quick
             test_env_with_cost_shares_clock;
+          Alcotest.test_case "with_timer observes the charge" `Quick
+            test_env_with_timer;
         ] );
       ( "properties",
         [

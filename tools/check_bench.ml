@@ -1,0 +1,281 @@
+(* CI perf gate: compare a fresh BENCH_results.json against the checked-in
+   baseline and fail on wall-clock regressions.
+
+   Usage: check_bench CURRENT BASELINE
+
+   Both files are the output of `bench/main.exe --json` — a fixed shape
+   {"schema":1,"unit":"ns/run","groups":{"<group>":{"<test>":ns}}}. Only
+   the groups listed in [gated] are compared (the virtual-time figures and
+   the collectives hot path); the rest of the bench exists for local
+   profiling and is too noisy to gate on. A test regresses when its
+   current estimate exceeds baseline * threshold; a test missing from the
+   current run also fails (a silently dropped benchmark would otherwise
+   retire its own gate). New tests absent from the baseline pass with a
+   note — the baseline is reseeded whenever a PR adds benches. *)
+
+let gated = [ "fig9"; "fig10"; "collectives" ]
+let threshold = 1.25
+
+(* --- A minimal recursive-descent JSON parser (numbers, strings, objects,
+   arrays, literals). Stdlib-only: the container has no JSON library, and
+   the input is our own emitter's output, so strict ASCII is fine. --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); loop ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); loop ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); loop ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); loop ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); loop ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); loop ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); loop ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); loop ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* Our emitters only escape control characters; anything in
+                 the BMP is re-encoded as UTF-8. *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buf
+                  (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end;
+              loop ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* --- Gate logic --- *)
+
+let read_file path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Printf.eprintf "check_bench: cannot open %s: %s\n" path msg;
+      exit 2
+  in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  contents
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let groups_of path =
+  let json =
+    try parse (read_file path)
+    with Parse_error msg ->
+      Printf.eprintf "check_bench: %s: %s\n" path msg;
+      exit 2
+  in
+  match member "groups" json with
+  | Some (Obj groups) ->
+      List.filter_map
+        (fun (group, v) ->
+          match v with
+          | Obj tests ->
+              Some
+                ( group,
+                  List.filter_map
+                    (fun (test, v) ->
+                      match v with Num f -> Some (test, f) | _ -> None)
+                    tests )
+          | _ -> None)
+        groups
+  | _ ->
+      Printf.eprintf "check_bench: %s: no \"groups\" object\n" path;
+      exit 2
+
+let () =
+  (match Sys.argv with
+  | [| _; _; _ |] -> ()
+  | _ ->
+      Printf.eprintf "usage: check_bench CURRENT BASELINE\n";
+      exit 2);
+  let current = groups_of Sys.argv.(1) in
+  let baseline = groups_of Sys.argv.(2) in
+  let failures = ref 0 in
+  let checked = ref 0 in
+  Printf.printf "%-45s %12s %12s %8s  %s\n" "benchmark" "baseline ns"
+    "current ns" "ratio" "verdict";
+  Printf.printf "%s\n" (String.make 90 '-');
+  List.iter
+    (fun group ->
+      match List.assoc_opt group baseline with
+      | None -> Printf.printf "group %s: not in baseline, skipped\n" group
+      | Some base_tests ->
+          let cur_tests =
+            Option.value (List.assoc_opt group current) ~default:[]
+          in
+          List.iter
+            (fun (test, base_ns) ->
+              let name = group ^ "/" ^ test in
+              incr checked;
+              match List.assoc_opt test cur_tests with
+              | None ->
+                  incr failures;
+                  Printf.printf "%-45s %12.0f %12s %8s  MISSING\n" name
+                    base_ns "-" "-"
+              | Some cur_ns ->
+                  let ratio = cur_ns /. base_ns in
+                  let ok = cur_ns <= base_ns *. threshold in
+                  if not ok then incr failures;
+                  Printf.printf "%-45s %12.0f %12.0f %8.2f  %s\n" name
+                    base_ns cur_ns ratio
+                    (if ok then "ok" else "REGRESSION"))
+            base_tests;
+          (* Tests present now but not in the baseline: informational. *)
+          List.iter
+            (fun (test, _) ->
+              if not (List.mem_assoc test base_tests) then
+                Printf.printf "%-45s %12s %12s %8s  new (reseed baseline)\n"
+                  (group ^ "/" ^ test) "-" "-" "-")
+            cur_tests)
+    gated;
+  Printf.printf "%s\n" (String.make 90 '-');
+  if !failures > 0 then begin
+    Printf.printf
+      "perf gate: %d of %d gated benchmarks regressed beyond %.0f%%\n"
+      !failures !checked ((threshold -. 1.0) *. 100.0);
+    exit 1
+  end
+  else
+    Printf.printf "perf gate: all %d gated benchmarks within %.0f%% of \
+                   baseline\n"
+      !checked ((threshold -. 1.0) *. 100.0)
