@@ -1,0 +1,571 @@
+module Mpi = Mpi_core.Mpi
+module Collectives = Mpi_core.Collectives
+module Fault = Mpi_core.Fault
+module Bv = Mpi_core.Buffer_view
+module World = Motor.World
+module Ot = Motor.Object_transport
+module Smp = Motor.System_mp
+module Om = Vm.Object_model
+module Classes = Vm.Classes
+module Types = Vm.Types
+
+type workload = {
+  w_name : string;
+  w_faultable : bool;
+  w_default : bool;
+  w_run :
+    fault:Fault.plan option -> quick:bool -> string * Invariant.violation list;
+}
+
+let name w = w.w_name
+let faultable w = w.w_faultable
+
+(* ------------------------------------------------------------------ *)
+(* Workload: point-to-point ring (eager sendrecv + rendezvous ssend)   *)
+(* ------------------------------------------------------------------ *)
+
+(* Payload evolves every round as a function of what was received, so any
+   reordering or corruption the stack fails to mask changes the digest.
+   The final exchange uses synchronous mode in parity order (even ranks
+   send first), covering the RTS/CTS rendezvous path without deadlock. *)
+let ring_run ~fault ~quick =
+  let n = if quick then 3 else 4 in
+  let rounds = if quick then 3 else 5 in
+  let size = 48 in
+  let w = Mpi.create_world ?fault ~n () in
+  let mon = Invariant.attach w in
+  let comm = Mpi.comm_world w in
+  let finals = Array.make n Bytes.empty in
+  let body r () =
+    let p = Mpi.proc w r in
+    let buf = Bytes.init size (fun i -> Char.chr ((r + i) land 0xff)) in
+    let inb = Bytes.create size in
+    let mix round =
+      for i = 0 to size - 1 do
+        Bytes.set buf i
+          (Char.chr
+             ((Char.code (Bytes.get buf i)
+              + (Char.code (Bytes.get inb i) * 31)
+              + round)
+             land 0xff))
+      done
+    in
+    for round = 1 to rounds do
+      ignore
+        (Mpi.sendrecv p ~comm
+           ~dst:((r + 1) mod n)
+           ~send_tag:round ~send:(Bv.of_bytes buf)
+           ~src:((r + n - 1) mod n)
+           ~recv_tag:round ~recv:(Bv.of_bytes inb));
+      mix round
+    done;
+    (if r mod 2 = 0 then begin
+       Mpi.ssend p ~comm ~dst:((r + 1) mod n) ~tag:99 (Bv.of_bytes buf);
+       ignore
+         (Mpi.recv p ~comm ~src:((r + n - 1) mod n) ~tag:99
+            (Bv.of_bytes inb))
+     end
+     else begin
+       ignore
+         (Mpi.recv p ~comm ~src:((r + n - 1) mod n) ~tag:99
+            (Bv.of_bytes inb));
+       Mpi.ssend p ~comm ~dst:((r + 1) mod n) ~tag:99 (Bv.of_bytes buf)
+     end);
+    mix 0;
+    finals.(r) <- Bytes.copy buf
+  in
+  Fiber.run (List.init n (fun r -> (Printf.sprintf "ring%d" r, body r)));
+  let digest =
+    Digest.to_hex
+      (Digest.bytes (Bytes.concat Bytes.empty (Array.to_list finals)))
+  in
+  let bad = Invariant.order_violations mon @ Invariant.quiescence w in
+  Invariant.detach mon;
+  (digest, bad)
+
+(* ------------------------------------------------------------------ *)
+(* Workload: chained allreduce + non-commutative reduce                *)
+(* ------------------------------------------------------------------ *)
+
+(* 2x2 matrix multiply over Z/256: associative, not commutative — the
+   binomial reduce must fold in rank order under every schedule. *)
+let matmul acc x =
+  let g b i = Char.code (Bytes.get b i) in
+  let a0 = g acc 0 and a1 = g acc 1 and a2 = g acc 2 and a3 = g acc 3 in
+  let b0 = g x 0 and b1 = g x 1 and b2 = g x 2 and b3 = g x 3 in
+  Bytes.set acc 0 (Char.chr (((a0 * b0) + (a1 * b2)) land 0xff));
+  Bytes.set acc 1 (Char.chr (((a0 * b1) + (a1 * b3)) land 0xff));
+  Bytes.set acc 2 (Char.chr (((a2 * b0) + (a3 * b2)) land 0xff));
+  Bytes.set acc 3 (Char.chr (((a2 * b1) + (a3 * b3)) land 0xff))
+
+let matrix_of_rank r =
+  Bytes.init 4 (fun i -> Char.chr (((r * 5) + (i * 3) + 1) land 0xff))
+
+let seq_product lo hi =
+  let acc = Bytes.copy (matrix_of_rank lo) in
+  for r = lo + 1 to hi do
+    matmul acc (matrix_of_rank r)
+  done;
+  acc
+
+let allreduce_chain_run ~fault ~quick =
+  let n = if quick then 3 else 4 in
+  let rounds = if quick then 2 else 4 in
+  let w = Mpi.create_world ?fault ~n () in
+  let mon = Invariant.attach w in
+  let comm = Mpi.comm_world w in
+  let finals = Array.make n 0L in
+  let reduced = Array.make n Bytes.empty in
+  let body r () =
+    let p = Mpi.proc w r in
+    let acc = ref (Int64.of_int (r + 1)) in
+    for round = 1 to rounds do
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0
+        (Int64.add !acc (Int64.of_int (round * (r + 1))));
+      let out = Collectives.allreduce p comm ~op:Collectives.sum_i64 b in
+      acc := Bytes.get_int64_le out 0
+    done;
+    finals.(r) <- !acc;
+    match Collectives.reduce p comm ~root:0 ~op:matmul (matrix_of_rank r) with
+    | Some res -> reduced.(r) <- Bytes.copy res
+    | None -> ()
+  in
+  Fiber.run (List.init n (fun r -> (Printf.sprintf "chain%d" r, body r)));
+  let semantic = ref [] in
+  Array.iteri
+    (fun r f ->
+      if f <> finals.(0) then
+        semantic :=
+          Invariant.v "agreement" "rank %d ended with %Ld, rank 0 with %Ld" r
+            f finals.(0)
+          :: !semantic)
+    finals;
+  if not (Bytes.equal reduced.(0) (seq_product 0 (n - 1))) then
+    semantic :=
+      Invariant.v "reduce-order"
+        "non-commutative reduce result differs from the rank-order fold"
+      :: !semantic;
+  let digest =
+    Digest.to_hex
+      (Digest.string
+         (String.concat ","
+            (Array.to_list (Array.map Int64.to_string finals))
+         ^ "|"
+         ^ Bytes.to_string reduced.(0)))
+  in
+  let bad =
+    Invariant.order_violations mon @ Invariant.quiescence w
+    @ List.rev !semantic
+  in
+  Invariant.detach mon;
+  (digest, bad)
+
+(* ------------------------------------------------------------------ *)
+(* Workload: overlapping nonblocking collectives + point-to-point      *)
+(* ------------------------------------------------------------------ *)
+
+let icoll_overlap_run ~fault ~quick =
+  let n = if quick then 3 else 4 in
+  let w = Mpi.create_world ?fault ~n () in
+  let mon = Invariant.attach w in
+  let comm = Mpi.comm_world w in
+  let per_rank = Array.make n "" in
+  let body r () =
+    let p = Mpi.proc w r in
+    let rb = Collectives.ibarrier p comm in
+    let bbuf =
+      Bytes.init 16 (fun i ->
+          if r = 0 then Char.chr (((i * 11) + 3) land 0xff) else '\000')
+    in
+    let rbc = Collectives.ibcast p comm ~root:0 (Bv.of_bytes bbuf) in
+    let ab = Bytes.create 8 in
+    Bytes.set_int64_le ab 0 (Int64.of_int ((r + 1) * 1000));
+    let rar, asum =
+      Collectives.iallreduce p comm ~op:Collectives.sum_i64 ab
+    in
+    let out = Bytes.init 24 (fun i -> Char.chr (((r * 17) + i) land 0xff)) in
+    let inb = Bytes.create 24 in
+    let rs =
+      Mpi.isend p ~comm ~dst:((r + 1) mod n) ~tag:77 (Bv.of_bytes out)
+    in
+    let rr =
+      Mpi.irecv p ~comm ~src:((r + n - 1) mod n) ~tag:77 (Bv.of_bytes inb)
+    in
+    Mpi.wait_all p [ rb; rbc; rar; rs; rr ];
+    per_rank.(r) <-
+      Printf.sprintf "%s|%s|%Ld" (Bytes.to_string bbuf)
+        (Bytes.to_string inb)
+        (Bytes.get_int64_le asum 0)
+  in
+  Fiber.run (List.init n (fun r -> (Printf.sprintf "icoll%d" r, body r)));
+  let digest =
+    Digest.to_hex (Digest.string (String.concat "#" (Array.to_list per_rank)))
+  in
+  let bad = Invariant.order_violations mon @ Invariant.quiescence w in
+  Invariant.detach mon;
+  (digest, bad)
+
+(* ------------------------------------------------------------------ *)
+(* Workload: object transport with collections forced mid-flight       *)
+(* ------------------------------------------------------------------ *)
+
+let node_class registry =
+  match Classes.find_by_name registry "CheckNode" with
+  | Some mt -> mt
+  | None ->
+      let id = Classes.declare registry ~name:"CheckNode" in
+      let arr = Classes.array_class registry (Types.Eprim Types.I1) in
+      Classes.complete registry id ~transportable:true
+        ~fields:
+          [
+            ("data", Types.Ref arr.Classes.c_id, true);
+            ("next", Types.Ref id, true);
+          ]
+        ()
+
+let osend_gc_run ~fault:_ ~quick:_ =
+  let w = World.create ~n:2 () in
+  let mon = Invariant.attach (World.mpi w) in
+  let comm = World.comm_world w in
+  let per_rank = Array.make 2 "" in
+  let pins = ref [] in
+  World.run w (fun ctx ->
+      let gc = World.gc ctx in
+      let registry = World.registry ctx in
+      let mt = node_class registry in
+      let fdata = Classes.field mt "data" in
+      let fnext = Classes.field mt "next" in
+      if World.rank ctx = 0 then begin
+        (* Zero-copy send with a collection while the request is in
+           flight: the conditional pin must keep the payload in place. *)
+        let arr = Om.alloc_array gc (Types.Eprim Types.I1) 64 in
+        for i = 0 to 63 do
+          Om.set_elem_int gc arr i (((i * 7) + 1) land 0xff)
+        done;
+        let req = Ot.isend ctx ~comm ~dst:1 ~tag:1 arr in
+        Vm.Gc.collect gc ~full:false;
+        ignore (Ot.wait ctx req);
+        Om.free gc arr;
+        (* A three-node linked graph through the serializer. *)
+        let head = ref (Om.null gc) in
+        for i = 2 downto 0 do
+          let node = Om.alloc_instance gc mt in
+          let data = Om.alloc_array gc (Types.Eprim Types.I1) 8 in
+          for j = 0 to 7 do
+            Om.set_elem_int gc data j (((i * 13) + j) land 0xff)
+          done;
+          Om.set_ref gc node fdata (Some data);
+          Om.free gc data;
+          if not (Om.is_null gc !head) then begin
+            Om.set_ref gc node fnext (Some !head);
+            Om.free gc !head
+          end;
+          head := node
+        done;
+        Smp.osend ctx ~comm ~dst:1 ~tag:2 !head;
+        Om.free gc !head;
+        let back = Om.alloc_array gc (Types.Eprim Types.I1) 64 in
+        ignore (Ot.recv ctx ~comm ~src:1 ~tag:3 back);
+        let sum = ref 0 in
+        for i = 0 to 63 do
+          sum := !sum + Om.get_elem_int gc back i
+        done;
+        Om.free gc back;
+        per_rank.(0) <- Printf.sprintf "echo=%d" !sum;
+        pins := Invariant.pin_table ~rank:0 gc @ !pins
+      end
+      else begin
+        let arr = Om.alloc_array gc (Types.Eprim Types.I1) 64 in
+        let req = Ot.irecv ctx ~comm ~src:0 ~tag:1 arr in
+        Vm.Gc.collect gc ~full:false;
+        ignore (Ot.wait ctx req);
+        let graph, _ = Smp.orecv ctx ~comm ~src:0 ~tag:2 in
+        let gsum = ref 0 and len = ref 0 in
+        let node = ref graph in
+        while not (Om.is_null gc !node) do
+          incr len;
+          (match Om.get_ref gc !node fdata with
+          | Some data ->
+              for j = 0 to 7 do
+                gsum := !gsum + Om.get_elem_int gc data j
+              done;
+              Om.free gc data
+          | None -> ());
+          let next = Om.get_ref gc !node fnext in
+          Om.free gc !node;
+          node := (match next with Some nx -> nx | None -> Om.null gc)
+        done;
+        let echo = Om.alloc_array gc (Types.Eprim Types.I1) 64 in
+        for i = 0 to 63 do
+          Om.set_elem_int gc echo i
+            ((Om.get_elem_int gc arr i + !gsum + !len) land 0xff)
+        done;
+        Om.free gc arr;
+        Ot.send ctx ~comm ~dst:0 ~tag:3 echo;
+        Om.free gc echo;
+        per_rank.(1) <- Printf.sprintf "graph=%d/%d" !gsum !len;
+        pins := Invariant.pin_table ~rank:1 gc @ !pins
+      end);
+  let digest =
+    Digest.to_hex (Digest.string (String.concat "#" (Array.to_list per_rank)))
+  in
+  let bad =
+    Invariant.order_violations mon
+    @ Invariant.quiescence (World.mpi w)
+    @ !pins
+  in
+  Invariant.detach mon;
+  (digest, bad)
+
+(* ------------------------------------------------------------------ *)
+(* Workload: the planted lost-update race (harness self-test)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Two fibers increment a shared counter through read/yield-window/write
+   sections whose windows are phase-shifted: under strict round-robin
+   "fast" has written (round 3) before "slow" reads (round 4), so the
+   schedule is correct by accident — exactly the kind of latent race the
+   explorer exists to surface. Random schedules overlap the windows and
+   lose an update. The fixed variant writes without yielding inside the
+   window. *)
+let planted_bug_run ~buggy ~fault:_ ~quick:_ =
+  let counter = ref 0 in
+  let fast () =
+    if buggy then begin
+      let v = !counter in
+      Fiber.yield ();
+      Fiber.yield ();
+      counter := v + 1
+    end
+    else begin
+      Fiber.yield ();
+      Fiber.yield ();
+      counter := !counter + 1
+    end
+  in
+  let slow () =
+    Fiber.yield ();
+    Fiber.yield ();
+    Fiber.yield ();
+    if buggy then begin
+      let v = !counter in
+      Fiber.yield ();
+      counter := v + 1
+    end
+    else begin
+      Fiber.yield ();
+      counter := !counter + 1
+    end
+  in
+  let noise () =
+    for _ = 1 to 6 do
+      Fiber.yield ()
+    done
+  in
+  Fiber.run [ ("fast", fast); ("slow", slow); ("noise", noise) ];
+  let bad =
+    if !counter <> 2 then
+      [
+        Invariant.v "planted-race" "lost update: counter = %d, expected 2"
+          !counter;
+      ]
+    else []
+  in
+  (string_of_int !counter, bad)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let planted_bug ~buggy =
+  {
+    w_name = (if buggy then "planted_bug" else "planted_bug_fixed");
+    w_faultable = false;
+    w_default = false;
+    w_run = planted_bug_run ~buggy;
+  }
+
+let registry =
+  [
+    {
+      w_name = "ring";
+      w_faultable = true;
+      w_default = true;
+      w_run = ring_run;
+    };
+    {
+      w_name = "allreduce_chain";
+      w_faultable = true;
+      w_default = true;
+      w_run = allreduce_chain_run;
+    };
+    {
+      w_name = "icoll_overlap";
+      w_faultable = true;
+      w_default = true;
+      w_run = icoll_overlap_run;
+    };
+    {
+      w_name = "osend_gc";
+      w_faultable = false;
+      w_default = true;
+      w_run = osend_gc_run;
+    };
+    planted_bug ~buggy:true;
+    planted_bug ~buggy:false;
+  ]
+
+let all_workloads () = registry
+let default_workloads () = List.filter (fun w -> w.w_default) registry
+let find n = List.find_opt (fun w -> w.w_name = n) registry
+
+(* ------------------------------------------------------------------ *)
+(* The explorer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  o_workload : string;
+  o_policy : Policy.t;
+  o_fault_seed : int option;
+  o_digest : string;
+  o_violations : Invariant.violation list;
+  o_trace : int list;
+}
+
+let failed o = o.o_violations <> []
+
+let fault_plan seed =
+  Fault.plan ~seed ~drop:0.02 ~duplicate:0.01 ~corrupt:0.01 ~delay:0.05 ()
+
+let run_one ?fault_seed ?(quick = false) w pol =
+  let record = Fiber.new_trace () in
+  let fault = Option.map fault_plan fault_seed in
+  let digest, violations =
+    try Fiber.with_policy ~record (Policy.to_fiber pol) (fun () ->
+            w.w_run ~fault ~quick)
+    with
+    | Fiber.Deadlock { policy; waiting } ->
+        ( "<deadlock>",
+          [
+            Invariant.v "crash" "deadlock under %s (blocked: %s)" policy
+              (String.concat ", " waiting);
+          ] )
+    | exn -> ("<crash>", [ Invariant.v "crash" "%s" (Printexc.to_string exn) ])
+  in
+  {
+    o_workload = w.w_name;
+    o_policy = pol;
+    o_fault_seed = fault_seed;
+    o_digest = digest;
+    o_violations = violations;
+    o_trace = Fiber.trace_to_list record;
+  }
+
+let minimize_failure ?fault_seed ?(quick = false) ?baseline w trace =
+  let fails ds =
+    let o = run_one ?fault_seed ~quick w (Policy.Replay ds) in
+    o.o_violations <> []
+    || match baseline with Some b -> o.o_digest <> b | None -> false
+  in
+  Shrink.minimize ~fails trace
+
+type report = {
+  r_runs : int;
+  r_baselines : (string * string) list;
+  r_failures : outcome list;
+  r_shrunk : (string * Corpus.entry) list;
+}
+
+let explore ?(quick = false) ?(faults = false) ?progress ~workloads ~seeds ()
+    =
+  let emit o = match progress with Some f -> f o | None -> () in
+  let runs = ref 0 in
+  let baselines = ref [] in
+  let failures = ref [] in
+  let shrunk = ref [] in
+  List.iter
+    (fun w ->
+      let base = run_one ~quick w Policy.Round_robin in
+      incr runs;
+      emit base;
+      baselines := (w.w_name, base.o_digest) :: !baselines;
+      let first_failure = ref (if failed base then Some base else None) in
+      if failed base then failures := { base with o_trace = [] } :: !failures;
+      let check seed fault_seed =
+        let o = run_one ?fault_seed ~quick w (Policy.Seeded_random seed) in
+        incr runs;
+        let o =
+          if o.o_violations = [] && o.o_digest <> base.o_digest then
+            {
+              o with
+              o_violations =
+                [
+                  Invariant.v "digest"
+                    "digest %s diverged from round-robin baseline %s"
+                    o.o_digest base.o_digest;
+                ];
+            }
+          else o
+        in
+        emit o;
+        if failed o then begin
+          failures := { o with o_trace = [] } :: !failures;
+          if !first_failure = None then first_failure := Some o
+        end
+      in
+      for seed = 1 to seeds do
+        check seed None;
+        if faults && w.w_faultable then
+          check seed (Some (Policy.fault_seed ~schedule_seed:seed))
+      done;
+      match !first_failure with
+      | Some o when o.o_trace <> [] ->
+          let mini =
+            minimize_failure ?fault_seed:o.o_fault_seed ~quick
+              ~baseline:base.o_digest w o.o_trace
+          in
+          shrunk :=
+            ( w.w_name,
+              {
+                Corpus.c_workload = w.w_name;
+                c_expect = Corpus.Must_fail;
+                c_note = "shrunk from " ^ Policy.name o.o_policy;
+                c_fault = o.o_fault_seed;
+                c_decisions = mini;
+              } )
+            :: !shrunk
+      | _ -> ())
+    workloads;
+  {
+    r_runs = !runs;
+    r_baselines = List.rev !baselines;
+    r_failures = List.rev !failures;
+    r_shrunk = List.rev !shrunk;
+  }
+
+let replay_entry ?(quick = false) (e : Corpus.entry) =
+  match find e.c_workload with
+  | None -> Error (Printf.sprintf "unknown workload %S" e.c_workload)
+  | Some w ->
+      let o =
+        run_one ?fault_seed:e.c_fault ~quick w (Policy.Replay e.c_decisions)
+      in
+      let describe () =
+        String.concat "; "
+          (List.map
+             (fun viol -> Format.asprintf "%a" Invariant.pp viol)
+             o.o_violations)
+      in
+      (match (e.c_expect, failed o) with
+      | Corpus.Must_fail, true | Corpus.Must_pass, false -> Ok o
+      | Corpus.Must_fail, false ->
+          Error
+            (Printf.sprintf
+               "%s: expected the replay to fail, but no invariant was \
+                violated (digest %s)"
+               e.c_workload o.o_digest)
+      | Corpus.Must_pass, true ->
+          Error
+            (Printf.sprintf "%s: expected a clean replay, got: %s"
+               e.c_workload (describe ())))

@@ -1,0 +1,103 @@
+(** The schedule explorer: run workloads under many scheduling policies,
+    check invariants, shrink what fails (DESIGN.md §12).
+
+    Exploration is CHESS-style interleaving fuzzing over the cooperative
+    scheduler: each {e workload} is a small deterministic program over the
+    MPI/VM stack whose correctness is expressed as {!Invariant} oracles
+    plus a schedule-independent digest. The explorer runs the workload
+    once under round-robin (the baseline — byte for byte the historical
+    schedule), then under [seeds] seeded-random schedules, optionally
+    crossing each schedule seed with a derived fault-plan seed; every
+    failing run's recorded decision trace is minimized with {!Shrink}
+    into a replayable {!Corpus} entry. *)
+
+type workload
+
+val name : workload -> string
+val faultable : workload -> bool
+
+val default_workloads : unit -> workload list
+(** The exploration set: [ring] (sendrecv rounds plus a synchronous-mode
+    neighbour exchange, so the rendezvous path is exercised),
+    [allreduce_chain] (chained allreduce plus a non-commutative reduce
+    against the rank-order oracle), [icoll_overlap] (ibarrier + ibcast +
+    iallreduce + point-to-point all in flight, completed by one
+    [wait_all]) and [osend_gc] (OSend/ORecv and zero-copy transfers with
+    collections forced mid-flight, checking the pin table drains). *)
+
+val all_workloads : unit -> workload list
+(** {!default_workloads} plus the planted-bug self-tests (which fail by
+    design and are therefore excluded from exploration). *)
+
+val find : string -> workload option
+(** Look up by name among {!all_workloads} (corpus replay, CLI). *)
+
+val planted_bug : buggy:bool -> workload
+(** The harness self-test: three fibers share an unsynchronized counter.
+    With [~buggy:true] ("planted_bug") the two incrementing fibers each
+    read, yield through a window, then write — but the windows are
+    phase-shifted so strict round-robin keeps them disjoint: the planted
+    lost-update races {e only} under schedule perturbation, which is
+    exactly what the explorer must be able to catch (and round-robin must
+    not). [~buggy:false] ("planted_bug_fixed") writes without yielding
+    inside the window and passes under every schedule. *)
+
+type outcome = {
+  o_workload : string;
+  o_policy : Policy.t;
+  o_fault_seed : int option;
+  o_digest : string;  (** ["<crash>"] / ["<deadlock>"] on abnormal exit *)
+  o_violations : Invariant.violation list;
+  o_trace : int list;  (** the recorded decision stream *)
+}
+
+val failed : outcome -> bool
+
+val run_one :
+  ?fault_seed:int -> ?quick:bool -> workload -> Policy.t -> outcome
+(** One run under one policy, decisions recorded. Exceptions (including
+    {!Fiber.Deadlock}) become a ["crash"] violation, never an escape.
+    [quick] shrinks rank counts and round counts (CI smoke). *)
+
+type report = {
+  r_runs : int;
+  r_baselines : (string * string) list;
+      (** per workload: the round-robin digest every seeded run must
+          reproduce *)
+  r_failures : outcome list;  (** all failing outcomes, traces dropped *)
+  r_shrunk : (string * Corpus.entry) list;
+      (** per workload with failures: the first failure's trace,
+          minimized and packaged for the corpus *)
+}
+
+val explore :
+  ?quick:bool ->
+  ?faults:bool ->
+  ?progress:(outcome -> unit) ->
+  workloads:workload list ->
+  seeds:int ->
+  unit ->
+  report
+(** Baseline + seeds 1..[seeds] per workload; with [faults] each seed is
+    additionally crossed with [Policy.fault_seed] (faultable workloads
+    only — the reliable layer must mask the faults, so the digest and all
+    invariants still hold). A seeded digest differing from the baseline
+    is reported as a ["digest"] violation. [progress] sees every outcome
+    as it completes (the CLI's per-run CSV hook). *)
+
+val minimize_failure :
+  ?fault_seed:int ->
+  ?quick:bool ->
+  ?baseline:string ->
+  workload ->
+  int list ->
+  int list
+(** Shrink a failing decision trace with {!Shrink.minimize}, replaying
+    under [Policy.Replay]; a run counts as failing if it reports any
+    violation or (when [baseline] is given) its digest diverges. *)
+
+val replay_entry : ?quick:bool -> Corpus.entry -> (outcome, string) result
+(** Replay a corpus entry and check it against its expectation:
+    [Must_fail] entries must still produce a violation (the detector
+    works), [Must_pass] entries must stay clean. [Error] carries a
+    human-readable mismatch description. *)

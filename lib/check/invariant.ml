@@ -1,0 +1,103 @@
+module Mpi = Mpi_core.Mpi
+module Ch3 = Mpi_core.Ch3
+module Packet = Mpi_core.Packet
+module Reliable = Mpi_core.Reliable
+
+type violation = { inv : string; detail : string }
+
+let v inv fmt = Printf.ksprintf (fun detail -> { inv; detail }) fmt
+let pp fmt { inv; detail } = Format.fprintf fmt "[%s] %s" inv detail
+
+type monitor = {
+  m_world : Mpi.world;
+  (* (src, dst, tag, context) -> last matched per-sender sequence number *)
+  m_last : (int * int * int * int, int) Hashtbl.t;
+  mutable m_bad : violation list;
+}
+
+let attach w =
+  let mon = { m_world = w; m_last = Hashtbl.create 64; m_bad = [] } in
+  for r = 0 to Mpi.world_size w - 1 do
+    let dev = Mpi.device (Mpi.proc w r) in
+    Ch3.set_match_observer dev
+      (Some
+         (fun (e : Packet.envelope) ->
+           let key = (e.e_src, e.e_dst, e.e_tag, e.e_context) in
+           (match Hashtbl.find_opt mon.m_last key with
+           | Some last when e.e_seq <= last ->
+               mon.m_bad <-
+                 v "non-overtaking"
+                   "src=%d dst=%d tag=%d ctx=%d: seq %d matched after seq %d"
+                   e.e_src e.e_dst e.e_tag e.e_context e.e_seq last
+                 :: mon.m_bad
+           | _ -> ());
+           Hashtbl.replace mon.m_last key e.e_seq))
+  done;
+  mon
+
+let detach mon =
+  for r = 0 to Mpi.world_size mon.m_world - 1 do
+    Ch3.set_match_observer (Mpi.device (Mpi.proc mon.m_world r)) None
+  done
+
+let order_violations mon = List.rev mon.m_bad
+
+(* Final acks and retransmission cycles land after the last fiber exits:
+   nobody is left polling, and the clock no longer advances through the
+   backoff deadlines. Pump every device's progress engine by hand,
+   advancing the clock past the retransmit ceiling whenever nothing
+   moves, until the go-back-N windows drain or give up. Only frames
+   still stranded after this are a real leak. *)
+let drain_reliable w t =
+  let tries = ref 0 in
+  while Reliable.stranded t > 0 && !tries < 64 do
+    incr tries;
+    let moved = ref false in
+    for r = 0 to Mpi.world_size w - 1 do
+      if Ch3.progress (Mpi.device (Mpi.proc w r)) then moved := true
+    done;
+    if not !moved then
+      Simtime.Clock.advance (Mpi.env w).Simtime.Env.clock 2_000_000.0
+  done
+
+let quiescence w =
+  (match Mpi.reliable_handle w with
+  | Some t -> drain_reliable w t
+  | None -> ());
+  let leftover =
+    List.map
+      (fun (r, s) -> v "quiescence" "rank %d: %s" r s)
+      (Mpi.quiescence_report w)
+  in
+  let hooks = ref [] in
+  for r = Mpi.world_size w - 1 downto 0 do
+    let h = Ch3.progress_hook_count (Mpi.device (Mpi.proc w r)) in
+    if h > 0 then
+      hooks :=
+        v "coll-sched" "rank %d: %d collective progress hook(s) leaked" r h
+        :: !hooks
+  done;
+  let stranded =
+    match Mpi.reliable_handle w with
+    | Some t when Reliable.stranded t > 0 ->
+        [
+          v "reliable" "%d frame(s) stranded in retransmission queues"
+            (Reliable.stranded t);
+        ]
+    | _ -> []
+  in
+  leftover @ !hooks @ stranded
+
+let pin_table ~rank gc =
+  (* One collection resolves conditional pins whose requests completed;
+     anything left after it is a leak. *)
+  Vm.Gc.collect gc ~full:false;
+  let cond = Vm.Gc.conditional_pin_count gc in
+  let sticky = Vm.Gc.pinned_count gc in
+  (if cond > 0 then
+     [ v "pin-table" "rank %d: %d conditional pin(s) left" rank cond ]
+   else [])
+  @
+  if sticky > 0 then
+    [ v "pin-table" "rank %d: %d sticky pin(s) left" rank sticky ]
+  else []

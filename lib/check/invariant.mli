@@ -1,0 +1,48 @@
+(** Invariant oracles for schedule exploration (DESIGN.md §12).
+
+    Each oracle turns "this run was correct" into a checkable predicate
+    that must hold {e whatever the schedule}:
+
+    - {e quiescence}: when a workload finishes, no communication state
+      survives — no outstanding requests, unmatched receives, unexpected
+      messages or half-done rendezvous ({!Mpi_core.Mpi.quiescence_report}),
+      no leaked collective-schedule progress hooks
+      ({!Mpi_core.Ch3.progress_hook_count}) and no frames stranded in the
+      reliable layer's retransmission queues ({!Mpi_core.Reliable.stranded});
+    - {e non-overtaking}: per (source, destination, tag, context) stream,
+      messages match in send order (the envelope sequence numbers a
+      {!monitor} observes are strictly increasing);
+    - {e pin-table emptiness}: after a rank completes its blocking waits,
+      one collection later its GC holds no conditional pins and no sticky
+      pins ({!pin_table});
+    - schedule-independent {e digest agreement} is checked by the
+      explorer itself, which compares every seeded digest to the
+      round-robin baseline. *)
+
+type violation = { inv : string;  (** invariant name *) detail : string }
+
+val v : string -> ('a, unit, string, violation) format4 -> 'a
+(** [v inv fmt ...] builds a violation (printf-style detail). *)
+
+val pp : Format.formatter -> violation -> unit
+
+type monitor
+(** Match-order recorder: one observer per device of a world. *)
+
+val attach : Mpi_core.Mpi.world -> monitor
+(** Install a non-overtaking observer on every device of the world
+    (must run before the workload's fibers). *)
+
+val detach : monitor -> unit
+(** Remove the observers. At most one monitor per world at a time. *)
+
+val order_violations : monitor -> violation list
+(** Matches observed out of send order, oldest first. *)
+
+val quiescence : Mpi_core.Mpi.world -> violation list
+(** The three queue-drain oracles above; empty on a clean world. *)
+
+val pin_table : rank:int -> Vm.Gc.t -> violation list
+(** Run one collection (resolving conditional pins of completed
+    requests), then report any pin left in the table. Call from the
+    rank's own fiber, after its last wait. *)

@@ -1,0 +1,14 @@
+type t = Round_robin | Seeded_random of int | Replay of int list
+
+let to_fiber = function
+  | Round_robin -> Fiber.Round_robin
+  | Seeded_random s -> Fiber.Seeded_random s
+  | Replay ds -> Fiber.Replay (Fiber.trace_of_list ds)
+
+let name t = Fiber.policy_name (to_fiber t)
+let seed_of = function Seeded_random s -> Some s | _ -> None
+
+let fault_seed ~schedule_seed =
+  (* Any fixed mixing works; it only has to decorrelate the two seed
+     spaces and never produce the degenerate seed 0. *)
+  1 + (((schedule_seed * 0x9e3779b1) + 0x7f4a7c15) land 0x3fffffff)

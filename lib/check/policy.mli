@@ -1,0 +1,24 @@
+(** Scheduling policies as the exploration harness names them.
+
+    A thin, serializable layer over {!Fiber.policy}: decisions are plain
+    [int list]s here (what the corpus stores), converted to {!Fiber.trace}
+    at the boundary. Seed derivation for crossing schedule seeds with
+    fault-plan seeds lives here so every component (explorer, CLI, tests)
+    agrees on the mapping. *)
+
+type t =
+  | Round_robin
+  | Seeded_random of int
+  | Replay of int list  (** recorded decision stream, explorer format *)
+
+val to_fiber : t -> Fiber.policy
+val name : t -> string
+(** Matches {!Fiber.policy_name} on the converted policy. *)
+
+val seed_of : t -> int option
+(** The seed of a [Seeded_random], if that's what this is. *)
+
+val fault_seed : schedule_seed:int -> int
+(** The fault-plan seed crossed with a schedule seed: a fixed mix, so
+    [explore --faults] runs are reproducible from the schedule seed
+    alone. Nonzero for every input. *)

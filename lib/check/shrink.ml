@@ -1,0 +1,55 @@
+let minimize ~fails trace =
+  let fails_arr a = fails (Array.to_list a) in
+  let cur = ref (Array.of_list trace) in
+  (* Pass 1: shortest failing prefix, halving steps. *)
+  let rec trim () =
+    let n = Array.length !cur in
+    let try_len l =
+      if l >= 0 && l < n then begin
+        let cand = Array.sub !cur 0 l in
+        if fails_arr cand then begin
+          cur := cand;
+          true
+        end
+        else false
+      end
+      else false
+    in
+    if n > 0 then
+      if try_len (n / 2) then trim ()
+      else if try_len (3 * n / 4) then trim ()
+      else if try_len (n - 1) then trim ()
+  in
+  trim ();
+  (* Pass 2: zero out chunks (0 = the round-robin choice). *)
+  let sz = ref (max 1 (Array.length !cur / 2)) in
+  let continue_ = ref true in
+  while !continue_ do
+    let i = ref 0 in
+    while !i < Array.length !cur do
+      let j = min (Array.length !cur) (!i + !sz) in
+      let nonzero = ref false in
+      for k = !i to j - 1 do
+        if !cur.(k) <> 0 then nonzero := true
+      done;
+      if !nonzero then begin
+        let cand = Array.copy !cur in
+        for k = !i to j - 1 do
+          cand.(k) <- 0
+        done;
+        if fails_arr cand then cur := cand
+      end;
+      i := j
+    done;
+    if !sz = 1 then continue_ := false else sz := !sz / 2
+  done;
+  (* Pass 3: strip the all-zero tail (replay pads with zeros anyway). *)
+  let m = ref (Array.length !cur) in
+  while !m > 0 && !cur.(!m - 1) = 0 do
+    decr m
+  done;
+  if !m < Array.length !cur then begin
+    let cand = Array.sub !cur 0 !m in
+    if fails_arr cand then cur := cand
+  end;
+  Array.to_list !cur

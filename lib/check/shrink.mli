@@ -1,0 +1,22 @@
+(** Greedy delta-debugging over schedule decision streams.
+
+    A failing trace found by exploration is typically hundreds of
+    decisions, almost all irrelevant: {!minimize} reduces it to the few
+    decisions that actually force the failing interleaving. Three greedy
+    passes, each keeping a candidate only if it still fails:
+
+    + {e prefix trimming} — replay pads an exhausted trace with the
+      round-robin choice, so truncation is always a legal mutation;
+      tried in halving steps;
+    + {e chunk zeroing} — rewrite spans of decisions to 0 (the
+      round-robin choice) in ddmin style, chunk sizes halving down to 1;
+    + {e tail stripping} — trailing zeros are equivalent to no trace.
+
+    The result is 1-minimal-ish, not globally minimal — good enough to
+    make a schedule human-readable, cheap enough to run inside a test. *)
+
+val minimize : fails:(int list -> bool) -> int list -> int list
+(** [minimize ~fails trace] assumes [fails trace = true] and returns a
+    trace that still satisfies [fails]. [fails] must be deterministic
+    (replay the workload under [Replay]; any invariant violation or
+    crash counts as failing). *)

@@ -33,6 +33,10 @@ type t = {
      it made progress (started or retired a step). *)
   mutable hooks : (int * (unit -> bool)) list;
   mutable next_hook : int;
+  (* Observer invoked at every match decision (posted receive meets
+     message), with the matched envelope — the hook the schedule
+     explorer's non-overtaking invariant builds on. *)
+  mutable on_match : (Packet.envelope -> unit) option;
 }
 
 let create env chan ~rank ~fresh_id =
@@ -48,6 +52,7 @@ let create env chan ~rank ~fresh_id =
     fresh_id;
     hooks = [];
     next_hook = 0;
+    on_match = None;
   }
 
 let rank t = t.rank
@@ -77,6 +82,12 @@ let add_progress_hook t fn =
 
 let remove_progress_hook t id =
   t.hooks <- List.filter (fun (i, _) -> i <> id) t.hooks
+
+let progress_hook_count t = List.length t.hooks
+let set_match_observer t obs = t.on_match <- obs
+
+let notify_match t envelope =
+  match t.on_match with Some f -> f envelope | None -> ()
 
 let fits_error (env : Packet.envelope) (sink : Buffer_view.t) =
   if env.Packet.e_bytes > sink.Buffer_view.len then
@@ -193,8 +204,10 @@ let irecv t ~src ~tag ~context sink =
   in
   (match Queues.take_unexpected t.queues pattern with
   | Some (Queues.U_eager (envelope, data)) ->
+      notify_match t envelope;
       deliver_eager t envelope data sink req ~buffered:true
   | Some (Queues.U_rts (envelope, rndv_id)) ->
+      notify_match t envelope;
       accept_rts t envelope rndv_id sink req;
       ignore (track t req)
   | None ->
@@ -228,13 +241,16 @@ let handle_packet t packet =
   | Packet.Eager (envelope, data) -> (
       match Queues.take_posted t.queues envelope with
       | Some p ->
+          notify_match t envelope;
           deliver_eager t envelope data p.Queues.p_sink p.Queues.p_req
             ~buffered:false
       | None ->
           Queues.add_unexpected t.queues (Queues.U_eager (envelope, data)))
   | Packet.Rts (envelope, rndv_id) -> (
       match Queues.take_posted t.queues envelope with
-      | Some p -> accept_rts t envelope rndv_id p.Queues.p_sink p.Queues.p_req
+      | Some p ->
+          notify_match t envelope;
+          accept_rts t envelope rndv_id p.Queues.p_sink p.Queues.p_req
       | None ->
           Queues.add_unexpected t.queues (Queues.U_rts (envelope, rndv_id)))
   | Packet.Cts rndv_id -> (

@@ -67,6 +67,21 @@ val remove_progress_hook : t -> int -> unit
 (** Deregister a hook; hooks remove themselves when their schedule
     completes. Safe to call from inside the hook. *)
 
+val progress_hook_count : t -> int
+(** Live progress hooks. Every in-flight collective schedule holds one;
+    a clean run drains to 0, so the schedule-exploration harness checks
+    this as a quiescence invariant (a leaked hook is a leaked schedule). *)
+
+val set_match_observer : t -> (Packet.envelope -> unit) option -> unit
+(** Install (or clear) an observer invoked at every match decision — a
+    posted receive meeting an arriving message, or a new receive meeting
+    a queued unexpected message — with the matched envelope. The envelope
+    carries the sender's per-send sequence number, so an observer can
+    check MPI's non-overtaking rule per (source, tag, context) stream;
+    this is what [Check.Invariant] builds on. At most one observer per
+    device; [None] removes it. Not called for probes (no match is
+    consumed). *)
+
 val track_request : t -> Request.t -> unit
 (** Count [req] in {!outstanding} until it completes. The schedule engine
     tracks its generalized collective requests here so

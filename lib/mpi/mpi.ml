@@ -8,6 +8,7 @@ type world = {
   split_epochs : (int * int, int ref) Hashtbl.t;  (* (rank, ctx) -> count *)
   spawned : (string, int array) Hashtbl.t;  (* dynamic-spawn rendezvous *)
   initial_n : int;  (* comm_world is fixed at creation, as in MPI *)
+  reliable : Reliable.t option;  (* handle on the go-back-N layer, if any *)
 }
 
 type proc = { world : world; prank : int; dev : Ch3.t }
@@ -33,11 +34,15 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ~n () =
   in
   (* A fault plan without reliable delivery would violate MPI semantics,
      so injecting faults always installs the reliable layer on top. *)
-  let chan =
+  let chan, rel =
     match (fault, reliable) with
-    | None, None -> faulty
-    | _, Some config -> Reliable.wrap_channel ~config ~env faulty
-    | Some _, None -> Reliable.wrap_channel ~env faulty
+    | None, None -> (faulty, None)
+    | _, Some config ->
+        let c, r = Reliable.wrap ~config ~env faulty in
+        (c, Some r)
+    | Some _, None ->
+        let c, r = Reliable.wrap ~env faulty in
+        (c, Some r)
   in
   let world =
     {
@@ -50,6 +55,7 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ~n () =
       split_epochs = Hashtbl.create 16;
       spawned = Hashtbl.create 4;
       initial_n = n;
+      reliable = rel;
     }
   in
   world.devices <-
@@ -59,6 +65,7 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ~n () =
 
 let env w = w.env
 let world_size w = Array.length w.devices
+let reliable_handle w = w.reliable
 
 let proc w i =
   if i < 0 || i >= Array.length w.devices then

@@ -28,6 +28,13 @@ val create_world :
 
 val env : world -> Simtime.Env.t
 val world_size : world -> int
+
+val reliable_handle : world -> Reliable.t option
+(** Handle on the world's go-back-N layer when one was installed
+    ([?fault] or [?reliable]); lets tests and the schedule-exploration
+    harness assert that retransmission queues drained
+    ({!Reliable.stranded} = 0) as a quiescence invariant. *)
+
 val proc : world -> int -> proc
 val comm_world : world -> Comm.t
 (** The communicator over the world's {e initial} ranks; processes added

@@ -6,7 +6,112 @@ type _ Effect.t +=
   | Wait : ((unit -> bool) * string) -> unit Effect.t
   | Spawn : (string * (unit -> unit)) -> unit Effect.t
 
-exception Deadlock of string list
+(* ------------------------------------------------------------------ *)
+(* Decision traces                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type trace = { mutable tr_buf : int array; mutable tr_len : int }
+
+let new_trace () = { tr_buf = Array.make 64 0; tr_len = 0 }
+
+let trace_of_list l =
+  let a = Array.of_list l in
+  { tr_buf = a; tr_len = Array.length a }
+
+let trace_to_list t = Array.to_list (Array.sub t.tr_buf 0 t.tr_len)
+let trace_length t = t.tr_len
+
+let trace_push t d =
+  if t.tr_len = Array.length t.tr_buf then begin
+    let bigger = Array.make (max 64 (2 * t.tr_len)) 0 in
+    Array.blit t.tr_buf 0 bigger 0 t.tr_len;
+    t.tr_buf <- bigger
+  end;
+  t.tr_buf.(t.tr_len) <- d;
+  t.tr_len <- t.tr_len + 1
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling policies                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type policy = Round_robin | Seeded_random of int | Replay of trace
+
+let policy_name = function
+  | Round_robin -> "round-robin"
+  | Seeded_random seed -> Printf.sprintf "seeded-random(seed=%d)" seed
+  | Replay t -> Printf.sprintf "replay(%d decisions)" t.tr_len
+
+(* splitmix64, as in Fault.draw: a seed fully determines the decision
+   stream, so a seeded run is exactly reproducible. *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A driver owns the mutable policy state (RNG position, replay cursor,
+   recording buffer). One driver may span several nested [run]s — the
+   scoped form installed by [with_policy] — so a recorded trace replays
+   across the same nesting structure decision for decision. *)
+type driver = {
+  d_policy : policy;
+  mutable d_rng : int64;
+  d_record : trace option;
+  mutable d_cursor : int;
+}
+
+let make_driver ?record policy =
+  {
+    d_policy = policy;
+    d_rng =
+      (match policy with
+      | Seeded_random seed -> mix64 (Int64.of_int (seed + 0x5eed))
+      | _ -> 0L);
+    d_record = record;
+    d_cursor = 0;
+  }
+
+(* Pick the next fiber among [n] runnable ones (slot 0 is the head of
+   the FIFO, i.e. what strict round-robin runs next). Every decision is
+   recorded when recording is on — forced decisions (n = 1) included, so
+   a trace replays with a plain cursor and no lookahead. *)
+let decide d n =
+  let choice =
+    match d.d_policy with
+    | Round_robin -> 0
+    | Seeded_random _ ->
+        if n <= 1 then 0
+        else begin
+          d.d_rng <- Int64.add d.d_rng 0x9e3779b97f4a7c15L;
+          (Int64.to_int (mix64 d.d_rng) land max_int) mod n
+        end
+    | Replay t ->
+        let c = if d.d_cursor < t.tr_len then t.tr_buf.(d.d_cursor) else 0 in
+        d.d_cursor <- d.d_cursor + 1;
+        (* A shrunk trace may carry indices wider than the live run
+           queue (earlier edits change queue sizes downstream); clamp
+           instead of failing so every mutated trace stays replayable. *)
+        if c <= 0 || n <= 1 then 0 else c mod n
+  in
+  (match d.d_record with Some t -> trace_push t choice | None -> ());
+  choice
+
+(* Scoped default policy: [run]s that don't pass ~policy pick it up. *)
+let ambient : driver option ref = ref None
+
+let with_policy ?record policy f =
+  let saved = !ambient in
+  ambient := Some (make_driver ?record policy);
+  Fun.protect ~finally:(fun () -> ambient := saved) f
+
+exception Deadlock of { policy : string; waiting : string list }
 
 type blocked = {
   pred : unit -> bool;
@@ -14,11 +119,35 @@ type blocked = {
   resume : unit -> unit;
 }
 
+(* The run queue is an indexable FIFO vector: round-robin takes slot 0
+   (exactly the old Queue semantics), the random and replay policies take
+   an arbitrary slot. Runnable counts are small (one per rank), so the
+   O(n) shift on removal is noise. *)
 type sched = {
-  runq : (unit -> unit) Queue.t;
+  mutable runv : (unit -> unit) array;
+  mutable runn : int;
   mutable blocked : blocked list;
   mutable activity : int;
+  driver : driver;
 }
+
+let nop () = ()
+
+let push sched thunk =
+  if sched.runn = Array.length sched.runv then begin
+    let bigger = Array.make (max 8 (2 * sched.runn)) nop in
+    Array.blit sched.runv 0 bigger 0 sched.runn;
+    sched.runv <- bigger
+  end;
+  sched.runv.(sched.runn) <- thunk;
+  sched.runn <- sched.runn + 1
+
+let take sched i =
+  let t = sched.runv.(i) in
+  Array.blit sched.runv (i + 1) sched.runv i (sched.runn - i - 1);
+  sched.runn <- sched.runn - 1;
+  sched.runv.(sched.runn) <- nop;
+  t
 
 (* Stack of active schedulers: runs may nest. *)
 let stack : sched list ref = ref []
@@ -43,7 +172,7 @@ let rec exec sched label body =
           | Yield ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  Queue.push (fun () -> continue k ()) sched.runq)
+                  push sched (fun () -> continue k ()))
           | Wait (pred, wlabel) ->
               Some
                 (fun (k : (a, _) continuation) ->
@@ -60,43 +189,59 @@ let rec exec sched label body =
           | Spawn (l, f) ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  Queue.push (fun () -> exec sched l f) sched.runq;
+                  push sched (fun () -> exec sched l f);
                   continue k ())
           | _ -> None);
     }
 
-(* Main loop: drain the run queue; when empty, re-test blocked predicates.
-   Deadlock is declared only when a full scan wakes nobody and no subsystem
-   reported activity, so multi-step progress (e.g. one packet per poll) is
-   never mistaken for a hang. *)
-let run fibers =
-  let sched = { runq = Queue.create (); blocked = []; activity = 0 } in
+(* Main loop: drain the run queue (the policy picks which runnable fiber
+   goes next); when empty, re-test blocked predicates. Deadlock is
+   declared only when a full scan wakes nobody and no subsystem reported
+   activity, so multi-step progress (e.g. one packet per poll) is never
+   mistaken for a hang — under any policy. *)
+let run ?policy ?record fibers =
+  let driver =
+    match policy with
+    | Some p -> make_driver ?record p
+    | None -> (
+        match !ambient with
+        | Some d -> d
+        | None -> make_driver ?record Round_robin)
+  in
+  let sched =
+    { runv = Array.make 8 nop; runn = 0; blocked = []; activity = 0; driver }
+  in
   List.iter
-    (fun (label, f) -> Queue.push (fun () -> exec sched label f) sched.runq)
+    (fun (label, f) -> push sched (fun () -> exec sched label f))
     fibers;
   stack := sched :: !stack;
   let finish () = stack := List.tl !stack in
   let rec loop () =
-    match Queue.take_opt sched.runq with
-    | Some thunk ->
-        thunk ();
-        loop ()
-    | None ->
-        if sched.blocked <> [] then begin
-          let activity_before = sched.activity in
-          let woken, still =
-            List.partition (fun b -> b.pred ()) (List.rev sched.blocked)
-          in
-          sched.blocked <- List.rev still;
-          match woken with
-          | [] ->
-              if sched.activity = activity_before then
-                raise (Deadlock (List.map (fun b -> b.wlabel) still))
-              else loop ()
-          | _ ->
-              List.iter (fun b -> Queue.push b.resume sched.runq) woken;
-              loop ()
-        end
+    if sched.runn > 0 then begin
+      let thunk = take sched (decide driver sched.runn) in
+      thunk ();
+      loop ()
+    end
+    else if sched.blocked <> [] then begin
+      let activity_before = sched.activity in
+      let woken, still =
+        List.partition (fun b -> b.pred ()) (List.rev sched.blocked)
+      in
+      sched.blocked <- List.rev still;
+      match woken with
+      | [] ->
+          if sched.activity = activity_before then
+            raise
+              (Deadlock
+                 {
+                   policy = policy_name driver.d_policy;
+                   waiting = List.map (fun b -> b.wlabel) still;
+                 })
+          else loop ()
+      | _ ->
+          List.iter (fun b -> push sched b.resume) woken;
+          loop ()
+    end
   in
   match loop () with
   | () -> finish ()

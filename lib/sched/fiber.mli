@@ -1,42 +1,100 @@
 (** Cooperative fibers: the simulation's stand-in for OS processes.
 
-    Each MPI rank runs as a fiber with its own managed heap; the scheduler is
-    a deterministic round-robin, so every run is reproducible. Blocking MPI
-    operations suspend with {!wait_until}; the predicate typically pumps the
-    progress engine, mirroring the paper's polling-wait (Section 7.4).
+    Each MPI rank runs as a fiber with its own managed heap; the scheduler
+    is deterministic — by default a strict round-robin, so every run is
+    reproducible. Blocking MPI operations suspend with {!wait_until}; the
+    predicate typically pumps the progress engine, mirroring the paper's
+    polling-wait (Section 7.4).
 
-    GC interactions are preserved exactly: a rank's garbage collector can run
-    only while that rank's own fiber executes, so remote ranks never move
-    local objects — the same invariant the paper gets from per-process
-    address spaces. *)
+    The scheduling {e policy} is pluggable (DESIGN.md §12): a seeded
+    pseudo-random policy explores alternative interleavings of the same
+    program, and every scheduling decision can be recorded as a compact
+    {!trace} that the replay policy re-executes decision for decision.
+    This is the substrate of the schedule-exploration harness
+    ([lib/check]): races between progress pumping, GC pin polling,
+    retransmission timers and collective schedule steps that a fixed
+    round-robin can never exhibit become reachable, reproducible and
+    shrinkable.
 
-exception Deadlock of string list
-(** Raised by {!run} when every live fiber is blocked and no predicate can
-    make progress. Carries the labels of the blocked waits. *)
+    GC interactions are preserved exactly under every policy: a rank's
+    garbage collector can run only while that rank's own fiber executes,
+    so remote ranks never move local objects — the same invariant the
+    paper gets from per-process address spaces. *)
 
-val run : (string * (unit -> unit)) list -> unit
-(** [run fibers] executes the labelled fibers round-robin until all complete.
-    An exception escaping any fiber aborts the whole run and is re-raised.
-    Runs may nest (a fiber may start an inner scheduler). *)
+(** {1 Decision traces} *)
+
+type trace
+(** A growable record of scheduling decisions: the index of the chosen
+    fiber among the runnable ones (0 = strict round-robin head) for every
+    decision the scheduler made, in order, across nested runs. *)
+
+val new_trace : unit -> trace
+val trace_of_list : int list -> trace
+val trace_to_list : trace -> int list
+val trace_length : trace -> int
+
+(** {1 Scheduling policies} *)
+
+type policy =
+  | Round_robin  (** strict FIFO — the historical, default behaviour *)
+  | Seeded_random of int
+      (** uniformly random among runnable fibers; the seed fully
+          determines the decision stream (splitmix64), so a run is
+          reproducible from its seed alone *)
+  | Replay of trace
+      (** re-execute a recorded decision stream; an exhausted or
+          out-of-range entry falls back to the round-robin choice, so
+          shrunk (edited) traces always stay runnable *)
+
+val policy_name : policy -> string
+(** Human-readable descriptor, e.g. ["seeded-random(seed=42)"] — embedded
+    in {!Deadlock} diagnostics so a failing schedule is reproducible from
+    the error alone. *)
+
+exception Deadlock of { policy : string; waiting : string list }
+(** Raised by {!run} when every live fiber is blocked and no predicate
+    can make progress. Carries the labels of the blocked waits and the
+    {!policy_name} of the active scheduling policy (with its seed), so a
+    deadlock found by exploration is reproducible from the report. *)
+
+val run :
+  ?policy:policy -> ?record:trace -> (string * (unit -> unit)) list -> unit
+(** [run fibers] executes the labelled fibers until all complete, picking
+    the next runnable fiber according to [policy]. The default policy is
+    the ambient one installed by {!with_policy}, or [Round_robin] — byte
+    for byte the historical schedule. Decisions are appended to [record]
+    when given. An exception escaping any fiber aborts the whole run and
+    is re-raised. Runs may nest (a fiber may start an inner scheduler);
+    a nested run without an explicit [policy] shares the ambient driver,
+    so one trace covers the whole nesting structure. *)
+
+val with_policy : ?record:trace -> policy -> (unit -> 'a) -> 'a
+(** [with_policy p f] runs [f] with [p] as the default policy for every
+    {!run} inside it that does not pass [~policy] — including runs buried
+    under library layers ([Mpi.run], [World.run]). All such runs share
+    one policy driver: the RNG stream and the replay cursor continue
+    across them, and decisions accumulate into [record] in execution
+    order. Restores the previous ambient policy on exit. *)
 
 val yield : unit -> unit
-(** Suspend and reschedule at the back of the run queue. Must be called from
-    within {!run}. *)
+(** Suspend and reschedule at the back of the run queue. Must be called
+    from within {!run}. *)
 
 val wait_until : ?label:string -> (unit -> bool) -> unit
 (** [wait_until pred] suspends until [pred ()] is true. [pred] runs in
     scheduler context: it must not yield or wait, but it may perform plain
-    side effects (e.g. pumping a progress engine). Predicates that move data
-    without yet becoming true must call {!note_activity} (the channels do
-    this) so the deadlock detector is not fooled by multi-step progress. *)
+    side effects (e.g. pumping a progress engine). Predicates that move
+    data without yet becoming true must call {!note_activity} (the
+    channels do this) so the deadlock detector is not fooled by multi-step
+    progress. *)
 
 val spawn : string -> (unit -> unit) -> unit
 (** Add a fiber to the running scheduler (used by dynamic process
     management). Must be called from within {!run}. *)
 
 val note_activity : unit -> unit
-(** Record that useful work happened outside of fiber resumption; resets the
-    deadlock detector. Safe to call when no scheduler is running. *)
+(** Record that useful work happened outside of fiber resumption; resets
+    the deadlock detector. Safe to call when no scheduler is running. *)
 
 val in_scheduler : unit -> bool
 (** True when called from inside {!run}. *)

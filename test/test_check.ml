@@ -1,0 +1,220 @@
+(* Schedule-exploration harness tests: the planted race is invisible to
+   round-robin but caught by seeded random schedules and shrinks to a
+   tiny replayable trace; the real workloads hold their invariants over
+   a seed sweep; recorded traces reproduce runs exactly; the committed
+   corpus replays with the expected outcomes. *)
+
+module E = Check.Explore
+module Policy = Check.Policy
+module Corpus = Check.Corpus
+module Shrink = Check.Shrink
+
+let violations_line o =
+  String.concat "; "
+    (List.map
+       (fun v -> Format.asprintf "%a" Check.Invariant.pp v)
+       o.E.o_violations)
+
+let check_clean what o =
+  if E.failed o then
+    Alcotest.failf "%s: unexpected violation(s): %s" what (violations_line o)
+
+(* ------------------------------------------------------------------ *)
+(* The planted bug                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let planted = E.planted_bug ~buggy:true
+let fixed = E.planted_bug ~buggy:false
+
+let test_planted_bug_invisible_to_round_robin () =
+  check_clean "planted bug under round-robin"
+    (E.run_one planted Policy.Round_robin)
+
+let first_failing_seed ?(max = 200) w =
+  let rec go s =
+    if s > max then None
+    else
+      let o = E.run_one w (Policy.Seeded_random s) in
+      if E.failed o then Some (s, o) else go (s + 1)
+  in
+  go 1
+
+let test_planted_bug_caught_by_random_schedules () =
+  match first_failing_seed planted with
+  | None ->
+      Alcotest.fail "planted race not caught within 200 seeds"
+  | Some (_, o) ->
+      Alcotest.(check bool)
+        "violation names the planted race" true
+        (List.exists (fun v -> v.Check.Invariant.inv = "planted-race")
+           o.E.o_violations)
+
+let test_fixed_variant_passes_under_random_schedules () =
+  for s = 1 to 50 do
+    check_clean
+      (Printf.sprintf "fixed counter under seed %d" s)
+      (E.run_one fixed (Policy.Seeded_random s))
+  done
+
+let test_planted_bug_shrinks_to_small_replayable_trace () =
+  match first_failing_seed planted with
+  | None -> Alcotest.fail "planted race not caught within 200 seeds"
+  | Some (seed, o) ->
+      let mini = E.minimize_failure planted o.E.o_trace in
+      Alcotest.(check bool)
+        (Printf.sprintf "trace from seed %d shrinks to <= 25 decisions (got \
+                         %d)"
+           seed (List.length mini))
+        true
+        (List.length mini <= 25);
+      (* The minimized schedule still loses the update... *)
+      let replayed = E.run_one planted (Policy.Replay mini) in
+      Alcotest.(check bool) "shrunk trace still fails" true
+        (E.failed replayed);
+      (* ...and the fix makes the same schedule pass. *)
+      check_clean "fixed variant under the failing schedule"
+        (E.run_one fixed (Policy.Replay mini))
+
+(* ------------------------------------------------------------------ *)
+(* Exploration of the real workloads                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_explorer_clean_on_default_workloads () =
+  let report =
+    E.explore ~quick:true ~faults:true ~workloads:(E.default_workloads ())
+      ~seeds:10 ()
+  in
+  List.iter
+    (fun o ->
+      Alcotest.failf "%s under %s%s: %s" o.E.o_workload
+        (Policy.name o.E.o_policy)
+        (match o.E.o_fault_seed with
+        | Some s -> Printf.sprintf " x fault(seed=%d)" s
+        | None -> "")
+        (violations_line o))
+    report.E.r_failures;
+  Alcotest.(check int)
+    "one baseline per workload" 4
+    (List.length report.E.r_baselines)
+
+let test_record_replay_reproduces_digest () =
+  let w = Option.get (E.find "ring") in
+  let original = E.run_one ~quick:true w (Policy.Seeded_random 42) in
+  check_clean "ring under seed 42" original;
+  let replayed =
+    E.run_one ~quick:true w (Policy.Replay original.E.o_trace)
+  in
+  check_clean "ring replay" replayed;
+  Alcotest.(check string)
+    "replay reproduces the digest" original.E.o_digest replayed.E.o_digest
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_shrinker_minimizes_synthetic_predicate () =
+  (* Fails iff decisions 3 and 11 both survive with nonzero values; the
+     minimal failing trace keeps exactly those two (zeros elsewhere are
+     stripped or truncated away). *)
+  let fails ds =
+    let a = Array.of_list ds in
+    let get i = if i < Array.length a then a.(i) else 0 in
+    get 3 = 7 && get 11 = 2
+  in
+  let noisy = [ 5; 1; 4; 7; 9; 2; 6; 8; 1; 3; 5; 2; 4; 4; 9; 1; 7; 3 ] in
+  Alcotest.(check bool) "synthetic trace fails" true (fails noisy);
+  let mini = Shrink.minimize ~fails noisy in
+  Alcotest.(check bool) "minimized trace still fails" true (fails mini);
+  Alcotest.(check (list int))
+    "only the two load-bearing decisions survive"
+    [ 0; 0; 0; 7; 0; 0; 0; 0; 0; 0; 0; 2 ]
+    mini
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_round_trip () =
+  let entry =
+    {
+      Corpus.c_workload = "ring";
+      c_expect = Corpus.Must_pass;
+      c_note = "round-trip test";
+      c_fault = Some 17;
+      c_decisions = [ 0; 3; 1; 0; 2 ];
+    }
+  in
+  Alcotest.(check bool)
+    "entry survives to_string/of_string" true
+    (Corpus.of_string (Corpus.to_string entry) = entry);
+  let bare = { entry with Corpus.c_note = ""; c_fault = None } in
+  Alcotest.(check bool)
+    "optional fields survive omission" true
+    (Corpus.of_string (Corpus.to_string bare) = bare)
+
+let test_corpus_rejects_malformed () =
+  let bad s =
+    match Corpus.of_string s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "malformed corpus accepted: %S" s
+  in
+  bad "";
+  bad "workload ring\ndecisions 0";
+  bad "# motor schedule trace v1\nworkload ring\nexpect maybe\ndecisions 0";
+  bad "# motor schedule trace v1\nworkload ring\nexpect fail\ndecisions x"
+
+let test_committed_corpus_replays () =
+  let dir = "corpus" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".trace")
+    |> List.sort compare
+  in
+  Alcotest.(check bool)
+    "corpus is not empty" true (files <> []);
+  List.iter
+    (fun f ->
+      let entry = Corpus.load ~path:(Filename.concat dir f) in
+      match E.replay_entry entry with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: %s" f msg)
+    files
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "planted bug",
+        [
+          Alcotest.test_case "invisible to round-robin" `Quick
+            test_planted_bug_invisible_to_round_robin;
+          Alcotest.test_case "caught by random schedules" `Quick
+            test_planted_bug_caught_by_random_schedules;
+          Alcotest.test_case "fixed variant passes" `Quick
+            test_fixed_variant_passes_under_random_schedules;
+          Alcotest.test_case "shrinks to a small replayable trace" `Quick
+            test_planted_bug_shrinks_to_small_replayable_trace;
+        ] );
+      ( "exploration",
+        [
+          Alcotest.test_case "default workloads clean over seeds x faults"
+            `Quick test_explorer_clean_on_default_workloads;
+          Alcotest.test_case "record/replay reproduces digest" `Quick
+            test_record_replay_reproduces_digest;
+        ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "minimizes a synthetic predicate" `Quick
+            test_shrinker_minimizes_synthetic_predicate;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "entry round-trips" `Quick
+            test_corpus_round_trip;
+          Alcotest.test_case "malformed entries rejected" `Quick
+            test_corpus_rejects_malformed;
+          Alcotest.test_case "committed traces replay as expected" `Quick
+            test_committed_corpus_replays;
+        ] );
+    ]

@@ -37,13 +37,17 @@ let test_wait_until_wakes () =
 
 let test_deadlock_detected () =
   let saw = ref [] in
+  let pol = ref "" in
   (try
      Fiber.run
        [
          ("stuck", fun () -> Fiber.wait_until ~label:"never" (fun () -> false));
        ]
-   with Fiber.Deadlock labels -> saw := labels);
-  Alcotest.(check (list string)) "labels reported" [ "stuck/never" ] !saw
+   with Fiber.Deadlock { policy; waiting } ->
+     saw := waiting;
+     pol := policy);
+  Alcotest.(check (list string)) "labels reported" [ "stuck/never" ] !saw;
+  Alcotest.(check string) "policy reported" "round-robin" !pol
 
 let test_activity_defers_deadlock () =
   (* A predicate that needs several scans but reports activity must not be
@@ -132,6 +136,136 @@ let test_spawned_fiber_exception_propagates () =
       Fiber.run
         [ ("parent", fun () -> Fiber.spawn "child" (fun () -> failwith "child-boom")) ])
 
+(* ---- scheduling policies ---- *)
+
+(* A workload whose event order depends on every scheduling decision. *)
+let order_log policy =
+  let log = ref [] in
+  let fiber name =
+    ( name,
+      fun () ->
+        for i = 1 to 3 do
+          log := Printf.sprintf "%s%d" name i :: !log;
+          Fiber.yield ()
+        done )
+  in
+  Fiber.run ~policy [ fiber "a"; fiber "b"; fiber "c" ];
+  List.rev !log
+
+let test_seeded_random_deterministic () =
+  let one = order_log (Fiber.Seeded_random 7) in
+  let two = order_log (Fiber.Seeded_random 7) in
+  Alcotest.(check (list string)) "same seed, same schedule" one two;
+  let other = List.exists (fun s -> order_log (Fiber.Seeded_random s) <> one)
+      [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check bool) "some other seed differs" true other
+
+let test_record_replay_reproduces () =
+  let tr = Fiber.new_trace () in
+  let log = ref [] in
+  let run policy record =
+    log := [];
+    let fiber name =
+      ( name,
+        fun () ->
+          for i = 1 to 3 do
+            log := Printf.sprintf "%s%d" name i :: !log;
+            Fiber.yield ()
+          done )
+    in
+    Fiber.run ~policy ?record [ fiber "a"; fiber "b"; fiber "c" ];
+    List.rev !log
+  in
+  let seeded = run (Fiber.Seeded_random 42) (Some tr) in
+  Alcotest.(check bool) "decisions recorded" true (Fiber.trace_length tr > 0);
+  let replayed = run (Fiber.Replay tr) None in
+  Alcotest.(check (list string)) "replay reproduces the schedule" seeded
+    replayed
+
+let test_replay_clamps_bad_indices () =
+  (* Mutated (shrunk) traces may hold indices wider than the live run
+     queue; replay must clamp them, not crash. *)
+  let tr = Fiber.trace_of_list [ 99; 99; 99 ] in
+  let count = ref 0 in
+  Fiber.run ~policy:(Fiber.Replay tr)
+    [ ("a", fun () -> incr count); ("b", fun () -> incr count) ];
+  Alcotest.(check int) "all fibers ran" 2 !count
+
+let test_with_policy_scopes_nested_runs () =
+  (* The ambient policy reaches a nested run and one trace covers both
+     schedulers; replaying it reproduces the whole nested execution. *)
+  let tr = Fiber.new_trace () in
+  let run_nested record policy =
+    let log = ref [] in
+    let body () =
+      Fiber.run
+        [
+          ( "outer",
+            fun () ->
+              log := "o1" :: !log;
+              Fiber.run
+                [
+                  ("i1", fun () -> log := "i1" :: !log);
+                  ("i2", fun () -> log := "i2" :: !log);
+                ];
+              log := "o2" :: !log );
+          ("peer", fun () -> log := "p" :: !log);
+        ]
+    in
+    (match record with
+    | Some t -> Fiber.with_policy ~record:t policy body
+    | None -> Fiber.with_policy policy body);
+    List.rev !log
+  in
+  let seeded = run_nested (Some tr) (Fiber.Seeded_random 11) in
+  let replayed = run_nested None (Fiber.Replay tr) in
+  Alcotest.(check (list string)) "nested replay matches" seeded replayed
+
+let test_deadlock_reports_seed () =
+  (* Diagnostics must identify the schedule that found the deadlock. *)
+  try
+    Fiber.run ~policy:(Fiber.Seeded_random 1234)
+      [
+        ("stuck", fun () -> Fiber.wait_until ~label:"never" (fun () -> false));
+        ("also", fun () -> Fiber.yield ());
+      ];
+    Alcotest.fail "expected deadlock"
+  with Fiber.Deadlock { policy; waiting } ->
+    Alcotest.(check string) "policy names the seed" "seeded-random(seed=1234)"
+      policy;
+    Alcotest.(check (list string)) "waiting labels" [ "stuck/never" ] waiting
+
+let test_two_step_progress_under_random () =
+  (* A predicate that needs several scans but reports activity (the
+     channels' one-packet-per-poll pattern) must not be declared
+     deadlocked under any seed. *)
+  List.iter
+    (fun seed ->
+      let countdown = ref 2 in
+      let done_ = ref false in
+      Fiber.run ~policy:(Fiber.Seeded_random seed)
+        [
+          ( "poller",
+            fun () ->
+              Fiber.wait_until ~label:"two-step" (fun () ->
+                  if !countdown = 0 then true
+                  else begin
+                    decr countdown;
+                    Fiber.note_activity ();
+                    false
+                  end);
+              done_ := true );
+          ( "noise",
+            fun () ->
+              for _ = 1 to 3 do
+                Fiber.yield ()
+              done );
+        ];
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d finished" seed)
+        true !done_)
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
 let prop_many_fibers_all_run =
   QCheck.Test.make ~name:"n fibers all complete" ~count:50
     QCheck.(int_range 1 64)
@@ -172,6 +306,21 @@ let () =
             test_wait_predicate_exception_propagates;
           Alcotest.test_case "spawned fiber exception" `Quick
             test_spawned_fiber_exception_propagates;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "seeded random deterministic" `Quick
+            test_seeded_random_deterministic;
+          Alcotest.test_case "record + replay reproduces" `Quick
+            test_record_replay_reproduces;
+          Alcotest.test_case "replay clamps bad indices" `Quick
+            test_replay_clamps_bad_indices;
+          Alcotest.test_case "with_policy scopes nested runs" `Quick
+            test_with_policy_scopes_nested_runs;
+          Alcotest.test_case "deadlock reports seed" `Quick
+            test_deadlock_reports_seed;
+          Alcotest.test_case "two-step progress under random" `Quick
+            test_two_step_progress_under_random;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_many_fibers_all_run ]);
     ]

@@ -238,8 +238,8 @@ let test_deadlock_detected () =
               (Mpi.recv p ~comm ~src:other ~tag:0
                  (Bv.of_bytes (Bytes.create 8)))));
      Alcotest.fail "expected deadlock"
-   with Fiber.Deadlock labels ->
-     Alcotest.(check int) "both ranks blocked" 2 (List.length labels))
+   with Fiber.Deadlock { waiting; _ } ->
+     Alcotest.(check int) "both ranks blocked" 2 (List.length waiting))
 
 let test_virtual_time_advances () =
   let w =

@@ -163,6 +163,161 @@ let prop_visited_strategies_agree_on_graphs =
         (Ser.serialize gc ~visited:Ser.Linear root)
         (Ser.serialize gc ~visited:Ser.Hashed root))
 
+(* Mixed-transportability round-trip: graphs with cycles, shared
+   substructure, per-node data arrays and a non-transportable reference
+   field must decode to a graph {e isomorphic} to the original with the
+   non-transportable edges cut (Section 4.2.2) — same shape, same
+   sharing (a shared array stays one array, a cycle stays a cycle), same
+   payloads. QCheck prints the failing (n, seed) pair, which rebuilds
+   the graph deterministically. *)
+let mixed_class registry =
+  match Classes.find_by_name registry "MixNode" with
+  | Some mt -> mt
+  | None ->
+      let id = Classes.declare registry ~name:"MixNode" in
+      let arr = Classes.array_class registry (Types.Eprim Types.I1) in
+      Classes.complete registry id ~transportable:true
+        ~fields:
+          [
+            ("t", Types.Ref id, true);
+            ("u", Types.Ref id, false);
+            (* never travels: must decode as null *)
+            ("d", Types.Ref arr.Classes.c_id, true);
+            ("v", Types.Prim Types.I4, false);
+          ]
+        ()
+
+let build_mixed gc registry ~n ~seed =
+  let mt = mixed_class registry in
+  let ft = Classes.field mt "t" and fu = Classes.field mt "u" in
+  let fd = Classes.field mt "d" and fv = Classes.field mt "v" in
+  let state = ref (seed + 1) in
+  let next m =
+    state := ((!state * 1103515245) + 12345) land 0x3fffffff;
+    !state mod m
+  in
+  let shared = Om.alloc_array gc (Types.Eprim Types.I1) 6 in
+  for i = 0 to 5 do
+    Om.set_elem_int gc shared i ((seed + (i * 9)) land 0xff)
+  done;
+  let nodes =
+    Array.init n (fun i ->
+        let o = Om.alloc_instance gc mt in
+        Om.set_int gc o fv ((seed * 31) + i);
+        o)
+  in
+  Array.iter
+    (fun o ->
+      (* Random t/u edges produce self-loops, cycles and sharing. *)
+      if next 4 > 0 then Om.set_ref gc o ft (Some nodes.(next n));
+      if next 3 > 0 then Om.set_ref gc o fu (Some nodes.(next n));
+      match next 3 with
+      | 0 -> Om.set_ref gc o fd (Some shared)
+      | 1 ->
+          let len = 1 + next 8 in
+          let a = Om.alloc_array gc (Types.Eprim Types.I1) len in
+          for j = 0 to len - 1 do
+            Om.set_elem_int gc a j (next 256)
+          done;
+          Om.set_ref gc o fd (Some a);
+          Om.free gc a
+      | _ -> ())
+    nodes;
+  Om.free gc shared;
+  Array.iteri (fun i o -> if i > 0 then Om.free gc o) nodes;
+  (mt, nodes.(0))
+
+(* Parallel walk with a bijective correspondence table: original object
+   X must always map to the same copy X' and vice versa, so shape and
+   sharing are both checked. No allocation happens during the walk
+   (handles aside), so payload addresses are stable identities. *)
+let isomorphic gc mt root copy =
+  let ft = Classes.field mt "t" and fu = Classes.field mt "u" in
+  let fd = Classes.field mt "d" and fv = Classes.field mt "v" in
+  let fwd = Hashtbl.create 64 and bwd = Hashtbl.create 64 in
+  let addr o = fst (Om.payload_region gc o) in
+  let pair ao ac =
+    match (Hashtbl.find_opt fwd ao, Hashtbl.find_opt bwd ac) with
+    | Some x, Some y -> if x = ac && y = ao then `Seen else `Mismatch
+    | None, None ->
+        Hashtbl.replace fwd ao ac;
+        Hashtbl.replace bwd ac ao;
+        `Fresh
+    | _ -> `Mismatch
+  in
+  let data_equal a b =
+    let la = Om.array_length gc a in
+    la = Om.array_length gc b
+    &&
+    let ok = ref true in
+    for j = 0 to la - 1 do
+      if Om.get_elem_int gc a j <> Om.get_elem_int gc b j then ok := false
+    done;
+    !ok
+  in
+  let both f o c k =
+    match (Om.get_ref gc o f, Om.get_ref gc c f) with
+    | None, None -> true
+    | Some a, Some b ->
+        let r = k a b in
+        Om.free gc a;
+        Om.free gc b;
+        r
+    | Some a, None ->
+        Om.free gc a;
+        false
+    | None, Some b ->
+        Om.free gc b;
+        false
+  in
+  let rec go o c =
+    match pair (addr o) (addr c) with
+    | `Mismatch -> false
+    | `Seen -> true
+    | `Fresh ->
+        Om.get_int gc o fv = Om.get_int gc c fv
+        && (match Om.get_ref gc c fu with
+           | None -> true
+           | Some x ->
+               Om.free gc x;
+               false)
+        && both fd o c (fun a b ->
+               match pair (addr a) (addr b) with
+               | `Mismatch -> false
+               | `Seen -> true
+               | `Fresh -> data_equal a b)
+        && both ft o c go
+  in
+  go root copy
+
+let prop_mixed_transport_roundtrip_isomorphic =
+  QCheck.Test.make
+    ~name:
+      "mixed-transportability graphs decode isomorphic (untransportable \
+       edges cut)"
+    ~count:100
+    QCheck.(pair (int_range 1 24) (int_range 0 9999))
+    (fun (n, seed) ->
+      let rt = Runtime.create () in
+      let gc = rt.Runtime.gc in
+      let mt, root = build_mixed gc rt.Runtime.registry ~n ~seed in
+      let data = Ser.serialize gc ~visited:Ser.Hashed root in
+      let copy = Ser.deserialize gc data in
+      isomorphic gc mt root copy)
+
+let prop_mixed_transport_strategies_agree =
+  QCheck.Test.make
+    ~name:"visited strategies agree on mixed-transportability graphs"
+    ~count:50
+    QCheck.(pair (int_range 1 24) (int_range 0 9999))
+    (fun (n, seed) ->
+      let rt = Runtime.create () in
+      let gc = rt.Runtime.gc in
+      let _, root = build_mixed gc rt.Runtime.registry ~n ~seed in
+      Bytes.equal
+        (Ser.serialize gc ~visited:Ser.Linear root)
+        (Ser.serialize gc ~visited:Ser.Hashed root))
+
 let prop_split_parts_cover_disjointly =
   QCheck.Test.make ~name:"split parts partition the element index space"
     ~count:50
@@ -210,5 +365,8 @@ let () =
           QCheck_alcotest.to_alcotest
             prop_visited_strategies_agree_on_graphs;
           QCheck_alcotest.to_alcotest prop_split_parts_cover_disjointly;
+          QCheck_alcotest.to_alcotest
+            prop_mixed_transport_roundtrip_isomorphic;
+          QCheck_alcotest.to_alcotest prop_mixed_transport_strategies_agree;
         ] );
     ]
