@@ -109,6 +109,37 @@ let fault_group =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: detector + ULFM recovery loop + checkpoint machinery      *)
+(* ------------------------------------------------------------------ *)
+
+let resilience_group =
+  Test.make_grouped ~name:"resilience"
+    [
+      (* One full rank-death recovery per workload: world creation, the
+         kill, heartbeat detection, revoke/agree/shrink, the retry. *)
+      Test.make ~name:"kill-recover-roundrobin"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun w ->
+                 ignore (Check.Explore.run_one w Check.Policy.Round_robin))
+               (Check.Explore.kill_workloads ())));
+      Test.make ~name:"checkpoint-roundtrip-256f64"
+        (Staged.stage (fun () ->
+             let w = Motor.World.create ~n:1 () in
+             Motor.World.run w (fun ctx ->
+                 let gc = Motor.World.gc ctx in
+                 let arr = Om.alloc_array gc (Types.Eprim Types.R8) 256 in
+                 for i = 0 to 255 do
+                   Om.set_elem_float gc arr i (float_of_int i)
+                 done;
+                 let store = Motor.Checkpoint.create_store () in
+                 ignore (Motor.Checkpoint.save store ctx ~step:1 arr);
+                 let root, _step = Motor.Checkpoint.restore store ctx in
+                 Om.free gc root;
+                 Om.free gc arr)));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Component micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -334,8 +365,8 @@ let all_tests =
   Test.make_grouped ~name:"motor"
     [
       fig9_group; fig10_group; tabb_group; abl_group; fault_group;
-      serializer_group; serializer_scaling_group; gc_group; mpi_group;
-      coll_group; icoll_group;
+      resilience_group; serializer_group; serializer_scaling_group;
+      gc_group; mpi_group; coll_group; icoll_group;
     ]
 
 let benchmark () =

@@ -367,10 +367,6 @@ let run_overlap ~quick ~csv =
   | None -> ());
   if not ok then Stdlib.exit 1
 
-(* Profile run: one representative workload per instrumented subsystem —
-   eager + rendezvous sends, a scheduled collective, serializer passes,
-   young and full GC — under tracing, then dump the virtual-time
-   histogram snapshot and the Chrome trace. *)
 let ensure_dir path =
   if path <> "" && path <> "." && not (Sys.file_exists path) then
     Sys.mkdir path 0o755
@@ -381,6 +377,61 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
+(* Kill sweep: the rank-death workloads (lib/check) under many fault
+   seeds — each seed picks a victim and a kill time, each run goes
+   through the ULFM recovery loop (attempt, agree, revoke, shrink,
+   retry) and is judged by the survivor-convergence invariant. The CSV
+   is the committed results/kill_sweep.csv artifact. *)
+let run_killsweep ~quick ~seeds ~out =
+  let module E = Check.Explore in
+  let n_seeds =
+    match seeds with Some s -> s | None -> if quick then 20 else 200
+  in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "workload,seed,victim,kill_at_ns,status,violations\n";
+  let runs = ref 0 and failures = ref 0 in
+  let per_workload = ref [] in
+  List.iter
+    (fun w ->
+      let wfail = ref 0 in
+      for seed = 1 to n_seeds do
+        let o = E.run_one ~fault_seed:seed w (Check.Policy.Seeded_random seed) in
+        incr runs;
+        if E.failed o then begin
+          incr failures;
+          incr wfail
+        end;
+        let k = E.kill_of_fault ~seed:(Some seed) ~n:4 in
+        let violations =
+          String.map
+            (fun c -> if c = ',' || c = '\n' then ';' else c)
+            (String.concat "; "
+               (List.map
+                  (fun v -> Format.asprintf "%a" Check.Invariant.pp v)
+                  o.E.o_violations))
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s,%d,%d,%.0f,%s,%s\n" (E.name w) seed
+             k.Mpi_core.Fault.k_rank k.Mpi_core.Fault.k_at_ns
+             (if E.failed o then "fail" else "pass")
+             violations)
+      done;
+      per_workload := (E.name w, !wfail) :: !per_workload)
+    (E.kill_workloads ());
+  List.iter
+    (fun (name, wfail) ->
+      Format.printf "%s: %d seed(s), %d failure(s)@." name n_seeds wfail)
+    (List.rev !per_workload);
+  write_file out (Buffer.contents buf);
+  Format.printf
+    "kill sweep: %d run(s), %d failure(s); csv written to %s@." !runs
+    !failures out;
+  if !failures > 0 then Stdlib.exit 1
+
+(* Profile run: one representative workload per instrumented subsystem —
+   eager + rendezvous sends, a scheduled collective, serializer passes,
+   young and full GC — under tracing, then dump the virtual-time
+   histogram snapshot and the Chrome trace. *)
 let run_profile ~quick ~out ~trace_out =
   let env = Simtime.Env.create ~cost:Simtime.Cost.motor () in
   let trace = Mpi_core.Trace.enable ~capacity:16384 env in
@@ -603,6 +654,27 @@ let profile_cmd =
       const (fun quick out trace_out -> run_profile ~quick ~out ~trace_out)
       $ quick $ out $ trace_out)
 
+let killsweep_cmd =
+  let seeds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Fault seeds per workload (default 200; 20 with --quick).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "results/kill_sweep.csv"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the CSV.")
+  in
+  cmd_of "killsweep"
+    "Rank-death sweep: the ULFM recovery loop under seeded kills, judged \
+     by survivor convergence."
+    Term.(
+      const (fun quick seeds out -> run_killsweep ~quick ~seeds ~out)
+      $ quick $ seeds $ out)
+
 let coll_cmd =
   cmd_of "coll" "Collective algorithm sweep: latency vs ranks x payload."
     Term.(const (fun quick csv -> run_coll ~quick ~csv) $ quick $ csv)
@@ -648,6 +720,6 @@ let () =
        (Cmd.group info
           [
             fig9_cmd; fig10_cmd; taba_cmd; tabb_cmd; ablations_cmd;
-            faults_cmd; coll_cmd; overlap_cmd; profile_cmd; all_cmd;
-            check_cmd; report_cmd;
+            faults_cmd; killsweep_cmd; coll_cmd; overlap_cmd; profile_cmd;
+            all_cmd; check_cmd; report_cmd;
           ]))

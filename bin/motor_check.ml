@@ -19,6 +19,22 @@ let resolve_workloads = function
         Error ("unknown workload(s): " ^ String.concat ", " missing)
       else Ok (List.filter_map E.find names)
 
+(* Output paths (--csv, --save-failing) get their parent directories
+   created, and an unwritable path is a clean usage error (exit 2)
+   instead of a Sys_error mid-sweep. *)
+let rec mkdirs dir =
+  if
+    dir <> "" && dir <> "." && dir <> "/" && dir <> Filename.current_dir_name
+    && not (Sys.file_exists dir)
+  then begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let open_out_checked path =
+  mkdirs (Filename.dirname path);
+  try Ok (open_out path) with Sys_error msg -> Error msg
+
 let csv_header = "workload,policy,seed,fault_seed,status,digest,trace_len"
 
 let csv_row (o : E.outcome) =
@@ -40,8 +56,17 @@ let explore seeds faults quick workload_names csv save_failing =
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       2
-  | Ok workloads ->
-      let csv_oc = Option.map open_out csv in
+  | Ok workloads -> (
+      match
+        match csv with
+        | None -> Ok None
+        | Some path -> Result.map Option.some (open_out_checked path)
+      with
+      | Error msg ->
+          Printf.eprintf "error: cannot write CSV: %s\n" msg;
+          2
+      | Ok csv_oc ->
+      let io_errors = ref false in
       Option.iter (fun oc -> output_string oc (csv_header ^ "\n")) csv_oc;
       let progress o =
         Option.iter (fun oc -> output_string oc (csv_row o ^ "\n")) csv_oc;
@@ -60,16 +85,21 @@ let explore seeds faults quick workload_names csv save_failing =
           Printf.printf "shrunk %s failure to %d decision(s)\n" wname
             (List.length entry.Check.Corpus.c_decisions);
           match save_failing with
-          | Some dir ->
+          | Some dir -> (
               let path = Filename.concat dir (wname ^ ".trace") in
-              Check.Corpus.save ~path entry;
-              Printf.printf "  saved %s\n" path
+              try
+                mkdirs dir;
+                Check.Corpus.save ~path entry;
+                Printf.printf "  saved %s\n" path
+              with Sys_error msg ->
+                io_errors := true;
+                Printf.eprintf "error: cannot save %s: %s\n" path msg)
           | None -> ())
         report.E.r_shrunk;
       let failures = List.length report.E.r_failures in
       Printf.printf "%d run(s), %d workload(s), %d failure(s)\n"
         report.E.r_runs (List.length workloads) failures;
-      if failures = 0 then 0 else 1
+      if failures > 0 then 1 else if !io_errors then 2 else 0)
 
 let replay quick files =
   let bad = ref 0 in
@@ -136,9 +166,11 @@ let csv_arg =
 let save_arg =
   Arg.(
     value
-    & opt (some dir) None
+    & opt (some string) None
     & info [ "save-failing" ] ~docv:"DIR"
-        ~doc:"Save shrunk failing traces as corpus files in $(docv).")
+        ~doc:
+          "Save shrunk failing traces as corpus files in $(docv) (created, \
+           with parents, if missing).")
 
 let files_arg =
   Arg.(

@@ -1,6 +1,8 @@
 module Mpi = Mpi_core.Mpi
 module Collectives = Mpi_core.Collectives
 module Fault = Mpi_core.Fault
+module Ft = Mpi_core.Ft
+module Comm = Mpi_core.Comm
 module Bv = Mpi_core.Buffer_view
 module World = Motor.World
 module Ot = Motor.Object_transport
@@ -319,6 +321,233 @@ let osend_gc_run ~fault:_ ~quick:_ =
   (digest, bad)
 
 (* ------------------------------------------------------------------ *)
+(* Workloads: rank death under the ULFM recovery loop                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A detector fast enough that detecting a death costs microseconds of
+   virtual time, not the default milliseconds — the kill sweep runs
+   hundreds of worlds. *)
+let sweep_detector = { Ft.hb_period_ns = 5_000.0; hb_timeout_ns = 200_000.0 }
+
+let kill_ranks = 4
+
+(* Victim and kill time come from the fault seed, so a seed sweep
+   exercises deaths in every phase of the workload: before the victim's
+   first operation, mid-collective (mixed outcomes — some ranks complete
+   the round, others see [Proc_failed]; reconciling that asymmetry is
+   what [comm_agree] is for), or after the work finished (no failure
+   observed at all, the rank simply exits). Without a fault seed the
+   victim is the last rank, killed at its first operation. *)
+let kill_of_fault ~seed ~n =
+  match seed with
+  | None -> Fault.kill ~rank:(n - 1) ~at_ns:1_000.0 ()
+  | Some s ->
+      let rank =
+        min (n - 1)
+          (int_of_float
+             (Fault.draw ~seed:s ~packet:0 ~salt:901 *. float_of_int n))
+      in
+      let at_ns =
+        500.0 +. (Fault.draw ~seed:s ~packet:0 ~salt:902 *. 80_000.0)
+      in
+      Fault.kill ~rank ~at_ns ()
+
+(* The uniform ULFM recovery loop: attempt the work, agree on whether
+   every member succeeded, and on any failure revoke, shrink and retry
+   over the survivors. The unilateral revoke in the failure arm matters
+   for point-to-point work: a survivor blocked on a pairwise operation
+   with a live partner that already bailed out would otherwise hang. *)
+let recover p comm work =
+  let rec attempt () =
+    let ok =
+      match work !comm with
+      | () -> 1
+      | exception (Ft.Proc_failed _ | Ft.Revoked _) ->
+          Mpi.comm_revoke p !comm;
+          0
+    in
+    if Mpi.comm_agree p !comm ~value:ok <> 1 then begin
+      Mpi.comm_revoke p !comm;
+      comm := Mpi.comm_shrink p !comm;
+      attempt ()
+    end
+  in
+  attempt ()
+
+(* Shared driver: run [work] (which must leave this rank's converged
+   value in a string) under the recovery loop on every rank, then check
+   survivor convergence plus a per-workload oracle tying the value to the
+   final membership. The digest is constant: which ranks survive depends
+   on the fault seed, so correctness is judged by the invariants, not by
+   comparing against the no-fault baseline digest. *)
+let kill_run ~wname ~work ~oracle ~fault ~quick:_ =
+  let n = kill_ranks in
+  let kill =
+    kill_of_fault ~seed:(Option.map (fun p -> p.Fault.seed) fault) ~n
+  in
+  let plan =
+    match fault with
+    | Some p -> { p with Fault.kills = [ kill ] }
+    | None -> Fault.plan ~kills:[ kill ] ()
+  in
+  let w = Mpi.create_world ~fault:plan ~detector:sweep_detector ~n () in
+  let mon = Invariant.attach w in
+  let reports = ref [] in
+  let semantic = ref [] in
+  let body r () =
+    let p = Mpi.proc w r in
+    let comm = ref (Mpi.comm_world w) in
+    let value = ref 0L in
+    recover p comm (fun c -> work p c value);
+    let members = Array.copy !comm.Comm.members in
+    let expect = oracle members in
+    if !value <> expect then
+      semantic :=
+        Invariant.v "oracle"
+          "rank %d converged to %Ld but its membership implies %Ld" r !value
+          expect
+        :: !semantic;
+    reports := (r, members, Int64.to_string !value) :: !reports
+  in
+  Fiber.run
+    (List.init n (fun r ->
+         ( Printf.sprintf "%s%d" wname r,
+           fun () -> Mpi.rank_guard w r (body r) )));
+  (* "Survivor" means the rank finished alive: a victim killed after
+     its last operation is torn down but never declared (nobody had to
+     detect it), so [dead_ranks] alone would under-count the dead. *)
+  let out =
+    match Mpi.ft_handle w with
+    | Some ft -> Ft.out_ranks ft
+    | None -> []
+  in
+  let survivors =
+    List.filter (fun r -> not (List.mem r out)) (List.init n Fun.id)
+  in
+  let bad =
+    Invariant.order_violations mon
+    @ Invariant.quiescence w
+    @ Invariant.survivor_convergence ~survivors !reports
+    @ List.rev !semantic
+  in
+  Invariant.detach mon;
+  ("converged", bad)
+
+(* Collective flavor: a summing allreduce; the aborted-schedule path,
+   the collective-failure flood and agreement over mixed outcomes. *)
+let kill_allreduce_run ~fault ~quick =
+  let work p c value =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int (Mpi.rank p + 1));
+    let out = Collectives.allreduce p c ~op:Collectives.sum_i64 b in
+    value := Bytes.get_int64_le out 0
+  in
+  let oracle members =
+    Array.fold_left
+      (fun acc m -> Int64.add acc (Int64.of_int (m + 1)))
+      0L members
+  in
+  kill_run ~wname:"killall" ~work ~oracle ~fault ~quick
+
+(* Point-to-point flavor: a ring allreduce by token passing, so failures
+   surface on pairwise operations (and on ranks not adjacent to the
+   victim only via the revoke flood). *)
+let kill_p2p_run ~fault ~quick =
+  let work p c value =
+    let size = Comm.size c in
+    let me = Mpi.comm_rank p c in
+    let cur = ref (Int64.of_int ((Mpi.rank p + 1) * 7)) in
+    let acc = ref !cur in
+    let sbuf = Bytes.create 8 and rbuf = Bytes.create 8 in
+    for _ = 1 to size - 1 do
+      Bytes.set_int64_le sbuf 0 !cur;
+      ignore
+        (Mpi.sendrecv p ~comm:c
+           ~dst:((me + 1) mod size)
+           ~send_tag:5 ~send:(Bv.of_bytes sbuf)
+           ~src:((me + size - 1) mod size)
+           ~recv_tag:5 ~recv:(Bv.of_bytes rbuf));
+      cur := Bytes.get_int64_le rbuf 0;
+      acc := Int64.add !acc !cur
+    done;
+    value := !acc
+  in
+  let oracle members =
+    Array.fold_left
+      (fun acc m -> Int64.add acc (Int64.of_int ((m + 1) * 7)))
+      0L members
+  in
+  kill_run ~wname:"killp2p" ~work ~oracle ~fault ~quick
+
+(* ------------------------------------------------------------------ *)
+(* Workload: the planted detector bug (harness self-test)              *)
+(* ------------------------------------------------------------------ *)
+
+(* A heartbeat timeout shorter than the workload's longest silence: rank
+   1 computes 500us of virtual time between arriving and replying — it
+   beats on nothing while busy, so under the buggy 200us timeout the
+   waiter's own progress pumps sweep the merely-busy rank into the
+   declared-dead set and the wait completes with [Proc_failed]. (Under
+   some schedules the busy rank finishes first and its reply declares
+   the idle waiter instead — either way a live rank is declared.) The
+   fixed variant uses the default detector, whose timeout dwarfs any
+   compute phase here. *)
+let planted_detector_run ~buggy ~fault:_ ~quick:_ =
+  let detector =
+    if buggy then sweep_detector else Ft.default_detector
+  in
+  let declared = ref None in
+  let got = ref 0L in
+  let compute p total =
+    let env = Mpi.env (Mpi.world_of p) in
+    for _ = 1 to 50 do
+      Simtime.Env.charge env (total /. 50.0);
+      Fiber.yield ()
+    done
+  in
+  (* Poll nonblockingly so the two fibers interleave: a blocked wait is
+     only re-tested once the run queue drains, by which time the compute
+     phase would be over. *)
+  let poll_recv p ~comm b =
+    let req = Mpi.irecv p ~comm ~src:1 ~tag:0 b in
+    while not (Mpi.test p req) do
+      Fiber.yield ()
+    done;
+    ignore (Mpi.wait p req)
+  in
+  ignore
+    (Mpi.run ~detector ~n:2 (fun p ->
+         let comm = Mpi.comm_world (Mpi.world_of p) in
+         if Mpi.rank p = 0 then begin
+           let b = Bytes.create 8 in
+           try
+             poll_recv p ~comm (Bv.of_bytes b);
+             got := Bytes.get_int64_le b 0
+           with Ft.Proc_failed r -> declared := Some r
+         end
+         else begin
+           compute p 500_000.0;
+           let b = Bytes.create 8 in
+           Bytes.set_int64_le b 0 3L;
+           try Mpi.send p ~comm ~dst:0 ~tag:0 (Bv.of_bytes b)
+           with Ft.Proc_failed r -> declared := Some r
+         end));
+  let bad =
+    match !declared with
+    | Some r ->
+        [
+          Invariant.v "planted-detector"
+            "live rank %d declared dead: heartbeat timeout is shorter \
+             than the compute phase"
+            r;
+        ]
+    | None when !got <> 3L ->
+        [ Invariant.v "planted-detector" "reply lost: got %Ld" !got ]
+    | None -> []
+  in
+  ((if bad = [] then "ok" else "false-positive"), bad)
+
+(* ------------------------------------------------------------------ *)
 (* Workload: the planted lost-update race (harness self-test)          *)
 (* ------------------------------------------------------------------ *)
 
@@ -386,6 +615,37 @@ let planted_bug ~buggy =
     w_run = planted_bug_run ~buggy;
   }
 
+let planted_detector_bug ~buggy =
+  {
+    w_name =
+      (if buggy then "planted_detector_bug" else "planted_detector_bug_fixed");
+    w_faultable = false;
+    w_default = false;
+    w_run = planted_detector_run ~buggy;
+  }
+
+(* Not in the default set: the kill sweep (figures killsweep, CI) drives
+   these across hundreds of fault seeds; the schedule-exploration default
+   set stays kill-free so its digests keep comparing against the
+   historical baselines. *)
+let kill_workload_entries =
+  [
+    {
+      w_name = "kill_allreduce";
+      w_faultable = true;
+      w_default = false;
+      w_run = kill_allreduce_run;
+    };
+    {
+      w_name = "kill_p2p";
+      w_faultable = true;
+      w_default = false;
+      w_run = kill_p2p_run;
+    };
+  ]
+
+let kill_workloads () = kill_workload_entries
+
 let registry =
   [
     {
@@ -414,7 +674,10 @@ let registry =
     };
     planted_bug ~buggy:true;
     planted_bug ~buggy:false;
+    planted_detector_bug ~buggy:true;
+    planted_detector_bug ~buggy:false;
   ]
+  @ kill_workload_entries
 
 let all_workloads () = registry
 let default_workloads () = List.filter (fun w -> w.w_default) registry
@@ -445,11 +708,14 @@ let run_one ?fault_seed ?(quick = false) w pol =
     try Fiber.with_policy ~record (Policy.to_fiber pol) (fun () ->
             w.w_run ~fault ~quick)
     with
-    | Fiber.Deadlock { policy; waiting } ->
+    | Fiber.Deadlock { policy; waiting; pending } ->
         ( "<deadlock>",
           [
-            Invariant.v "crash" "deadlock under %s (blocked: %s)" policy
-              (String.concat ", " waiting);
+            Invariant.v "crash" "deadlock under %s (blocked: %s)%s" policy
+              (String.concat ", " waiting)
+              (match pending with
+              | [] -> ""
+              | lines -> " pending: " ^ String.concat " | " lines);
           ] )
     | exn -> ("<crash>", [ Invariant.v "crash" "%s" (Printexc.to_string exn) ])
   in

@@ -26,8 +26,10 @@ val default_workloads : unit -> workload list
     collections forced mid-flight, checking the pin table drains). *)
 
 val all_workloads : unit -> workload list
-(** {!default_workloads} plus the planted-bug self-tests (which fail by
-    design and are therefore excluded from exploration). *)
+(** {!default_workloads} plus the planted-bug and planted-detector-bug
+    self-tests (which fail by design and are therefore excluded from
+    exploration) and the {!kill_workloads} (driven by the kill sweep
+    rather than the default exploration set). *)
 
 val find : string -> workload option
 (** Look up by name among {!all_workloads} (corpus replay, CLI). *)
@@ -41,6 +43,36 @@ val planted_bug : buggy:bool -> workload
     exactly what the explorer must be able to catch (and round-robin must
     not). [~buggy:false] ("planted_bug_fixed") writes without yielding
     inside the window and passes under every schedule. *)
+
+val planted_detector_bug : buggy:bool -> workload
+(** The failure-detector self-test: a two-rank exchange whose busy rank
+    computes 500us of virtual time before replying. With [~buggy:true]
+    ("planted_detector_bug") the world runs a heartbeat timeout of 200us
+    — shorter than that silence — so a {e live} rank is swept into the
+    declared-dead set and the workload reports a ["planted-detector"]
+    violation; the explorer must catch and shrink this. [~buggy:false]
+    uses {!Mpi_core.Ft.default_detector}, whose timeout dwarfs the
+    compute phase, and passes under every schedule. *)
+
+val kill_workloads : unit -> workload list
+(** The rank-death workloads ("kill_allreduce", "kill_p2p"): [4]-rank
+    jobs that run their work inside the uniform ULFM recovery loop
+    (attempt, [comm_agree] on the outcome, on failure revoke + shrink +
+    retry over the survivors) under a fault plan extended with one
+    {!Mpi_core.Fault.kill} whose victim and time derive from the fault
+    seed ({!kill_of_fault}). Checked with
+    {!Invariant.survivor_convergence} plus a membership-implies-value
+    oracle; the digest is the constant ["converged"], since which ranks
+    survive legitimately varies with the fault seed. Not in the default
+    exploration set — the kill sweep ([figures killsweep], CI) drives
+    them across seeds. *)
+
+val kill_of_fault : seed:int option -> n:int -> Mpi_core.Fault.kill
+(** The kill a fault seed implies for an [n]-rank kill workload: victim
+    uniform over ranks, time uniform over the workload's active window
+    (so sweeps hit pre-operation, mid-collective and after-completion
+    deaths). [None] (no fault seed) kills the last rank at its first
+    operation. Exposed so the sweep CSV can annotate rows. *)
 
 type outcome = {
   o_workload : string;

@@ -88,6 +88,60 @@ let quiescence w =
   in
   leftover @ !hooks @ stranded
 
+(* After a kill plan, the ULFM guarantee the recovery loop provides is
+   agreement among the ranks that lived: every survivor reports a result,
+   all survivors report the same final membership and the same value, and
+   each survivor belongs to the communicator it ended on. Membership is
+   deliberately NOT required to equal the survivor set: a rank that dies
+   after the last collective completed leaves a membership that still
+   names it — correctly, since no attempt failed. *)
+let survivor_convergence ~survivors reports =
+  let bad = ref [] in
+  let push x = bad := x :: !bad in
+  let show m =
+    String.concat "," (List.map string_of_int (Array.to_list m))
+  in
+  List.iter
+    (fun r ->
+      match List.filter (fun (rk, _, _) -> rk = r) reports with
+      | [] ->
+          push
+            (v "survivor-convergence"
+               "surviving rank %d never reported a result" r)
+      | [ _ ] -> ()
+      | l ->
+          push
+            (v "survivor-convergence" "rank %d reported %d results" r
+               (List.length l)))
+    survivors;
+  let surv =
+    List.filter (fun (rk, _, _) -> List.mem rk survivors) reports
+  in
+  (match surv with
+  | [] | [ _ ] -> ()
+  | (r0, m0, v0) :: rest ->
+      List.iter
+        (fun (r, m, value) ->
+          if m <> m0 then
+            push
+              (v "survivor-convergence"
+                 "rank %d ended on members [%s], rank %d on [%s]" r (show m)
+                 r0 (show m0));
+          if value <> v0 then
+            push
+              (v "survivor-convergence"
+                 "rank %d converged to %s, rank %d to %s" r value r0 v0))
+        rest);
+  List.iter
+    (fun (r, m, _) ->
+      if not (Array.exists (Int.equal r) m) then
+        push
+          (v "survivor-convergence"
+             "rank %d is not a member of its own final communicator [%s]" r
+             (show m)))
+    surv;
+  List.rev !bad
+
 let pin_table ~rank gc =
   (* One collection resolves conditional pins whose requests completed;
      anything left after it is a leak. *)

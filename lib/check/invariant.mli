@@ -42,6 +42,16 @@ val order_violations : monitor -> violation list
 val quiescence : Mpi_core.Mpi.world -> violation list
 (** The three queue-drain oracles above; empty on a clean world. *)
 
+val survivor_convergence :
+  survivors:int list -> (int * int array * string) list -> violation list
+(** [survivor_convergence ~survivors reports] checks the ULFM guarantee
+    after a kill plan: every surviving rank reported exactly one
+    [(rank, final members, value)] triple, all survivors agree on the
+    final membership and the value, and each survivor is a member of the
+    communicator it finished on. Membership may still name a rank that
+    died {e after} the last successful attempt — only agreement among
+    survivors is required. *)
+
 val pin_table : rank:int -> Vm.Gc.t -> violation list
 (** Run one collection (resolving conditional pins of completed
     requests), then report any pin left in the table. Call from the

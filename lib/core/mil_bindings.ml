@@ -13,7 +13,11 @@ let as_int = function
 let register interp ctx =
   let gc = World.gc ctx in
   let obj_ty = Types.Ref (Vm.Classes.object_class (Gc.registry gc)).Vm.Classes.c_id in
-  let comm = System_mp.comm_world ctx in
+  (* The communicator every mp.* operation runs on. Starts as the world;
+     [mp.shrink] replaces it after a failure, so a managed program that
+     recovers simply keeps calling the same operations — they continue on
+     the shrunken communicator. *)
+  let cur = ref (System_mp.comm_world ctx) in
   let reg name sg impl = Vm.Interp.register_intcall interp name sg impl in
   let with_obj v f =
     match v with
@@ -28,41 +32,72 @@ let register interp ctx =
   reg "mp.rank" ([], Some i64) (fun _ ->
       Some (Il.V_int (Int64.of_int (World.rank ctx))));
   reg "mp.size" ([], Some i64) (fun _ ->
-      Some (Il.V_int (Int64.of_int (Mpi_core.Comm.size comm))));
+      Some (Il.V_int (Int64.of_int (Mpi_core.Comm.size !cur))));
   reg "mp.send" ([ obj_ty; i64; i64 ], None) (fun args ->
       with_obj args.(0) (fun obj ->
-          Object_transport.send ctx ~comm ~dst:(as_int args.(1))
+          Object_transport.send ctx ~comm:!cur ~dst:(as_int args.(1))
             ~tag:(as_int args.(2)) obj);
       None);
   reg "mp.recv" ([ obj_ty; i64; i64 ], None) (fun args ->
       with_obj args.(0) (fun obj ->
           ignore
-            (Object_transport.recv ctx ~comm ~src:(as_int args.(1))
+            (Object_transport.recv ctx ~comm:!cur ~src:(as_int args.(1))
                ~tag:(as_int args.(2)) obj));
       None);
   reg "mp.osend" ([ obj_ty; i64; i64 ], None) (fun args ->
       with_obj args.(0) (fun obj ->
-          System_mp.osend ctx ~comm ~dst:(as_int args.(1))
+          System_mp.osend ctx ~comm:!cur ~dst:(as_int args.(1))
             ~tag:(as_int args.(2)) obj);
       None);
   reg "mp.orecv" ([ i64; i64 ], Some obj_ty) (fun args ->
       let obj, _st =
-        System_mp.orecv ctx ~comm ~src:(as_int args.(0))
+        System_mp.orecv ctx ~comm:!cur ~src:(as_int args.(0))
           ~tag:(as_int args.(1))
       in
       let addr = Om.addr_of gc obj in
       Om.free gc obj;
       Some (Il.V_ref addr));
   reg "mp.barrier" ([], None) (fun _ ->
-      System_mp.barrier ctx comm;
+      System_mp.barrier ctx !cur;
       None);
   reg "mp.bcast" ([ obj_ty; i64 ], None) (fun args ->
       with_obj args.(0) (fun obj ->
-          System_mp.bcast ctx ~comm ~root:(as_int args.(1)) obj);
+          System_mp.bcast ctx ~comm:!cur ~root:(as_int args.(1)) obj);
       None);
   reg "mp.allreduce.f64" ([ obj_ty ], None) (fun args ->
-      with_obj args.(0) (fun obj -> System_mp.allreduce_sum_f64 ctx ~comm obj);
+      with_obj args.(0) (fun obj ->
+          System_mp.allreduce_sum_f64 ctx ~comm:!cur obj);
       None);
+  (* Fault tolerance: failures surface as status codes, not exceptions —
+     MIL has no unwinding, so the try-variants catch the OCaml exception
+     at the gate and let the managed program branch on the result. *)
+  let code_of_exn = function
+    | Mpi_core.Ft.Proc_failed _ -> 1L
+    | Mpi_core.Ft.Revoked _ -> 2L
+    | e -> raise e
+  in
+  reg "mp.tryallreduce.f64" ([ obj_ty ], Some i64) (fun args ->
+      with_obj args.(0) (fun obj ->
+          match System_mp.allreduce_sum_f64 ctx ~comm:!cur obj with
+          | () -> Some (Il.V_int 0L)
+          | exception e -> Some (Il.V_int (code_of_exn e))));
+  reg "mp.trybarrier" ([], Some i64) (fun _ ->
+      match System_mp.barrier ctx !cur with
+      | () -> Some (Il.V_int 0L)
+      | exception e -> Some (Il.V_int (code_of_exn e)));
+  reg "mp.agree" ([ i64 ], Some i64) (fun args ->
+      let v =
+        System_mp.comm_agree ctx ~comm:!cur ~value:(as_int args.(0))
+      in
+      Some (Il.V_int (Int64.of_int v)));
+  reg "mp.revoke" ([], None) (fun _ ->
+      System_mp.comm_revoke ctx !cur;
+      None);
+  reg "mp.shrink" ([], None) (fun _ ->
+      cur := System_mp.comm_shrink ctx !cur;
+      None);
+  reg "mp.failed" ([], Some i64) (fun _ ->
+      Some (Il.V_int (Int64.of_int (List.length (System_mp.failed_ranks ctx)))));
   (* OO collectives: the root passes its array, the rest pass null. *)
   let opt_obj v f =
     match v with
@@ -83,10 +118,10 @@ let register interp ctx =
   reg "mp.oscatter" ([ obj_ty; i64 ], Some obj_ty) (fun args ->
       opt_obj args.(0) (fun input ->
           return_obj
-            (System_mp.oscatter ctx ~comm ~root:(as_int args.(1)) input)));
+            (System_mp.oscatter ctx ~comm:!cur ~root:(as_int args.(1)) input)));
   reg "mp.ogather" ([ obj_ty; i64 ], Some obj_ty) (fun args ->
       with_obj args.(0) (fun obj ->
-          match System_mp.ogather ctx ~comm ~root:(as_int args.(1)) obj with
+          match System_mp.ogather ctx ~comm:!cur ~root:(as_int args.(1)) obj with
           | Some combined -> return_obj combined
           | None -> Some (Il.V_ref Vm.Heap.null)))
 

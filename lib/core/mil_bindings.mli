@@ -24,4 +24,17 @@ val register : Vm.Interp.t -> World.rank_ctx -> unit
     - [mp.oscatter : object -> int64 -> object] (root's array or null ->
       root -> this rank's sub-array)
     - [mp.ogather : object -> int64 -> object] (my array -> root ->
-      combined array at the root, null elsewhere) *)
+      combined array at the root, null elsewhere)
+
+    All operations run on the binding's {e current} communicator, which
+    starts as the world. The fault-tolerance calls (MIL has no exception
+    unwinding, so failures surface as status codes):
+    - [mp.tryallreduce.f64 : object -> int64] — 0 = ok, 1 = a peer died
+      ([Proc_failed]), 2 = communicator revoked
+    - [mp.trybarrier : -> int64] — same codes
+    - [mp.revoke : -> void] — revoke the current communicator
+    - [mp.shrink : -> void] — replace the current communicator with its
+      shrunken (survivors-only) version; [mp.size] and every subsequent
+      operation reflect it
+    - [mp.agree : int64 -> int64] — fault-tolerant AND-agreement
+    - [mp.failed : -> int64] — number of ranks declared dead *)

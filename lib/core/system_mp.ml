@@ -288,6 +288,29 @@ let barrier ctx comm =
   Fcall.call gc (fun () -> Coll.barrier ctx.World.proc comm)
 
 (* ------------------------------------------------------------------ *)
+(* Fault tolerance (ULFM surface for managed code)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Same gate crossing as every other System.MP operation: the managed
+   caller pays the fcall cost and the safepoint polls run, so a recovery
+   sequence (revoke / agree / shrink) interleaves with collections like
+   any other message-passing call. *)
+
+let comm_revoke ctx comm =
+  let gc = gc_of ctx in
+  Fcall.call gc (fun () -> Mpi.comm_revoke ctx.World.proc comm)
+
+let comm_agree ctx ~comm ~value =
+  let gc = gc_of ctx in
+  Fcall.call gc (fun () -> Mpi.comm_agree ctx.World.proc comm ~value)
+
+let comm_shrink ctx comm =
+  let gc = gc_of ctx in
+  Fcall.call gc (fun () -> Mpi.comm_shrink ctx.World.proc comm)
+
+let failed_ranks ctx = Mpi.dead_ranks (World.mpi ctx.World.world)
+
+(* ------------------------------------------------------------------ *)
 (* Nonblocking collectives (MPI-3 style)                               *)
 (* ------------------------------------------------------------------ *)
 

@@ -83,6 +83,30 @@ val allreduce_sum_f64 :
 
 val barrier : World.rank_ctx -> Comm.t -> unit
 
+(** {1 Fault tolerance}
+
+    The ULFM-style recovery calls ({!Mpi_core.Mpi.comm_revoke} family),
+    surfaced through the managed gate: an operation that loses a peer
+    raises {!Mpi_core.Ft.Proc_failed} out of the System.MP call; the
+    application revokes the communicator, shrinks it to the survivors and
+    retries on the result. *)
+
+val comm_revoke : World.rank_ctx -> Comm.t -> unit
+(** Revoke [comm] on every rank (any member may call it, non-collective;
+    idempotent). *)
+
+val comm_agree : World.rank_ctx -> comm:Comm.t -> value:int -> int
+(** Fault-tolerant agreement: bitwise AND over the surviving members'
+    contributions; every survivor gets the same result. *)
+
+val comm_shrink : World.rank_ctx -> Comm.t -> Comm.t
+(** Collective over the survivors: a new communicator containing exactly
+    the members all survivors agree are alive. *)
+
+val failed_ranks : World.rank_ctx -> int list
+(** World ranks currently declared dead (empty without a failure
+    service). *)
+
 (** {1 Nonblocking collectives}
 
     MPI-3 style: each returns the schedule's generalized request (kind

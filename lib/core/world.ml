@@ -47,9 +47,9 @@ let make_ctx t i =
   }
 
 let create ?channel ?(cost = Simtime.Cost.motor) ?(config = default_config)
-    ~n () =
+    ?fault ?detector ~n () =
   let env = Simtime.Env.create ~cost () in
-  let mpi_world = Mpi.create_world ?channel ~env ~n () in
+  let mpi_world = Mpi.create_world ?channel ~env ?fault ?detector ~n () in
   let t = { env; mpi_world; config; ctxs = [||] } in
   t.ctxs <- Array.init n (fun i -> make_ctx t i);
   t
@@ -71,9 +71,22 @@ let comm_world t = Mpi.comm_world t.mpi_world
 let run t body =
   let fibers =
     List.init (size t) (fun i ->
-        (Printf.sprintf "motor-rank%d" i, fun () -> body (rank_ctx t i)))
+        ( Printf.sprintf "motor-rank%d" i,
+          fun () ->
+            (* Fail-stop guard: a scheduled kill tears this rank's VM
+               down instead of aborting the whole world. *)
+            Mpi.rank_guard t.mpi_world i (fun () -> body (rank_ctx t i)) ))
   in
   Fiber.run fibers
+
+(* A restarted incarnation gets a fresh VM instance — its old heap died
+   with the process; the state it resumes from comes out of a checkpoint
+   image, not the corpse. *)
+let respawn_ctx t i =
+  let ctx = make_ctx t i in
+  t.ctxs <-
+    Array.map (fun c -> if Mpi.rank c.proc = i then ctx else c) t.ctxs;
+  ctx
 
 let rank ctx = Mpi.rank ctx.proc
 let gc ctx = ctx.rt.Vm.Runtime.gc

@@ -36,9 +36,16 @@ val create :
   ?channel:[ `Shm | `Sock ] ->
   ?cost:Simtime.Cost.t ->
   ?config:config ->
+  ?fault:Mpi_core.Fault.plan ->
+  ?detector:Mpi_core.Ft.detector ->
   n:int ->
   unit ->
   t
+(** [fault] and [detector] pass through to {!Mpi_core.Mpi.create_world}:
+    a plan with {!Mpi_core.Fault.kill} events (or an explicit detector)
+    gives the world a process-failure service, and {!run} guards each
+    rank's fiber so a kill tears that VM down fail-stop instead of
+    aborting the run. *)
 
 val env : t -> Simtime.Env.t
 val mpi : t -> Mpi_core.Mpi.world
@@ -47,7 +54,18 @@ val rank_ctx : t -> int -> rank_ctx
 val comm_world : t -> Comm.t
 
 val run : t -> (rank_ctx -> unit) -> unit
-(** Run one fiber per rank to completion. *)
+(** Run one fiber per rank to completion. Bodies are wrapped in
+    {!Mpi_core.Mpi.rank_guard}, so under a kill plan a victim's death is
+    survivable by the other ranks. *)
+
+val respawn_ctx : t -> int -> rank_ctx
+(** A fresh VM instance (heap, collector, registry, buffer pool) for a
+    rank restarted after a failure: the old context's heap died with the
+    process, and the new incarnation's state comes from a checkpoint
+    image (the [Checkpoint] store). Replaces the
+    rank's context, so later {!rank_ctx} calls see the new one. Call
+    after {!Mpi_core.Mpi.revive_rank} and before spawning the
+    replacement fiber. *)
 
 val rank : rank_ctx -> int
 val gc : rank_ctx -> Vm.Gc.t

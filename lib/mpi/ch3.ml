@@ -7,6 +7,7 @@ type send_mode = Standard | Synchronous
 type pending_send = {
   ps_source : Buffer_view.t;
   ps_dst : int;
+  ps_ctx : int;
   ps_req : Request.t;
 }
 
@@ -30,13 +31,36 @@ type t = {
      closure per in-flight collective; [progress] invokes them after
      draining the channel so schedules advance on every pump, exactly as
      MPICH's progress engine drives MPIR_Sched. A hook returns true if
-     it made progress (started or retired a step). *)
-  mutable hooks : (int * (unit -> bool)) list;
+     it made progress (started or retired a step). Hooks may carry their
+     schedule's context id and an abort callback so failure teardown and
+     communicator revocation can cancel in-flight schedules cleanly. *)
+  mutable hooks : hook list;
   mutable next_hook : int;
   (* Observer invoked at every match decision (posted receive meets
      message), with the matched envelope — the hook the schedule
      explorer's non-overtaking invariant builds on. *)
   mutable on_match : (Packet.envelope -> unit) option;
+  (* Failure-layer plumbing (all None in a world without kills):
+     [tick] runs at the head of every progress pump (heartbeat + sweep);
+     [revoked] says whether a context id was revoked; [dead] whether a
+     world rank was declared dead. None of them may raise. *)
+  mutable tick : (unit -> unit) option;
+  mutable revoked : (int -> bool) option;
+  mutable dead : (int -> bool) option;
+  (* Collective-failure flood: when one rank's in-flight schedule fails
+     with a process failure, ULFM requires the error to surface at every
+     rank of the collective — survivors whose own steps only touch live
+     peers would otherwise wait forever on the rank that bailed. The
+     world installs a closure here that aborts the context on all
+     devices. *)
+  mutable coll_failed : (int -> Request.reason -> unit) option;
+}
+
+and hook = {
+  h_id : int;
+  h_fn : unit -> bool;
+  h_ctx : int option;
+  h_abort : (Request.reason -> unit) option;
 }
 
 let create env chan ~rank ~fresh_id =
@@ -53,6 +77,10 @@ let create env chan ~rank ~fresh_id =
     hooks = [];
     next_hook = 0;
     on_match = None;
+    tick = None;
+    revoked = None;
+    dead = None;
+    coll_failed = None;
   }
 
 let rank t = t.rank
@@ -74,14 +102,24 @@ let track t req =
 
 let track_request t req = ignore (track t req)
 
-let add_progress_hook t fn =
+let add_progress_hook ?ctx ?on_abort t fn =
   let id = t.next_hook in
   t.next_hook <- id + 1;
-  t.hooks <- (id, fn) :: t.hooks;
+  t.hooks <- { h_id = id; h_fn = fn; h_ctx = ctx; h_abort = on_abort } :: t.hooks;
   id
 
 let remove_progress_hook t id =
-  t.hooks <- List.filter (fun (i, _) -> i <> id) t.hooks
+  t.hooks <- List.filter (fun h -> h.h_id <> id) t.hooks
+
+let set_tick t f = t.tick <- f
+let set_revoked_check t f = t.revoked <- f
+let set_dead_check t f = t.dead <- f
+let set_coll_failed t f = t.coll_failed <- f
+
+let notify_coll_failed t ~ctx reason =
+  match t.coll_failed with Some f -> f ctx reason | None -> ()
+let ctx_revoked t ctx = match t.revoked with Some f -> f ctx | None -> false
+let peer_dead t peer = match t.dead with Some f -> f peer | None -> false
 
 let progress_hook_count t = List.length t.hooks
 let set_match_observer t obs = t.on_match <- obs
@@ -108,6 +146,17 @@ let isend t ~dst ~tag ~context ?(mode = Standard) source =
   let t0 = Simtime.Env.now_ns t.env in
   charge_request t;
   let req = Request.create ~id:(t.fresh_id ()) Request.Send_req in
+  if ctx_revoked t context then begin
+    Request.fail_reason req (Request.Comm_revoked context);
+    req
+  end
+  else if peer_dead t dst then begin
+    (* ULFM semantics: an operation naming a failed peer completes with
+       MPI_ERR_PROC_FAILED instead of hanging. *)
+    Request.fail_reason req (Request.Proc_failed dst);
+    req
+  end
+  else begin
   let len = Buffer_view.length source in
   t.seq <- t.seq + 1;
   let envelope =
@@ -146,7 +195,7 @@ let isend t ~dst ~tag ~context ?(mode = Standard) source =
   else begin
     let id = t.fresh_id () in
     Hashtbl.replace t.pending_sends id
-      { ps_source = source; ps_dst = dst; ps_req = req };
+      { ps_source = source; ps_dst = dst; ps_ctx = context; ps_req = req };
     Trace.span_begin t.env ~id ~rank:t.rank ~cat:"ch3" ~name:"rndv"
       ~args:[ ("dst", string_of_int dst); ("bytes", string_of_int len) ]
       ();
@@ -161,6 +210,7 @@ let isend t ~dst ~tag ~context ?(mode = Standard) source =
     Simtime.Env.count t.env Key.rndv_sends;
     ignore (track t req);
     req
+  end
   end
 
 let accept_rts t (envelope : Packet.envelope) rndv_id (sink : Buffer_view.t)
@@ -199,6 +249,15 @@ let irecv t ~src ~tag ~context sink =
     ~detail:(Printf.sprintf "src=%d tag=%d %dB" src tag
                (Buffer_view.length sink));
   let req = Request.create ~id:(t.fresh_id ()) Request.Recv_req in
+  if ctx_revoked t context then begin
+    Request.fail_reason req (Request.Comm_revoked context);
+    req
+  end
+  else if src <> Tag_match.any_source && peer_dead t src then begin
+    Request.fail_reason req (Request.Proc_failed src);
+    req
+  end
+  else begin
   let pattern =
     { Tag_match.m_src = src; m_tag = tag; m_context = context }
   in
@@ -215,6 +274,7 @@ let irecv t ~src ~tag ~context sink =
         { Queues.p_pattern = pattern; p_sink = sink; p_req = req };
       ignore (track t req));
   req
+  end
 
 (* A control packet that no longer matches live rendezvous state is a
    stale duplicate (a retransmission whose original already landed, or a
@@ -238,6 +298,22 @@ let handle_packet t packet =
       | Packet.Ack _ -> "ack")
     ~detail:(Packet.describe packet);
   match packet with
+  | Packet.Eager (envelope, _)
+    when ctx_revoked t envelope.Packet.e_context ->
+      stale_drop t "eager on revoked comm" (Packet.describe packet)
+  | Packet.(Eager (envelope, _) | Rts (envelope, _))
+    when peer_dead t envelope.Packet.e_src ->
+      (* In-flight traffic from a rank declared dead while the packet was
+         on the wire: the failure model discards it (endpoints silent). *)
+      stale_drop t "message from dead rank" (Packet.describe packet)
+  | Packet.Rts (envelope, rndv_id)
+    when ctx_revoked t envelope.Packet.e_context ->
+      (* Refuse the transfer so the sender releases its rendezvous state
+         (its own request was already failed when it aborted the
+         context; the NAK covers senders outside the revoking world). *)
+      stale_drop t "rts on revoked comm" (Packet.describe packet);
+      t.chan.Channel.send ~src:t.rank ~dst:envelope.Packet.e_src
+        (Packet.Nak (rndv_id, "communicator revoked"))
   | Packet.Eager (envelope, data) -> (
       match Queues.take_posted t.queues envelope with
       | Some p ->
@@ -285,6 +361,9 @@ let handle_packet t packet =
 
 let progress t =
   Simtime.Env.charge t.env t.env.Simtime.Env.cost.progress_poll_ns;
+  (* Failure detector first: beat this rank, sweep the others. Pending
+     declarations may fail requests, which the hooks below observe. *)
+  (match t.tick with Some f -> f () | None -> ());
   let did = ref false in
   let rec drain () =
     match t.chan.Channel.poll ~rank:t.rank with
@@ -299,5 +378,135 @@ let progress t =
      itself (and completion callbacks may start new collectives, adding
      hooks) while we iterate. *)
   let hooks = t.hooks in
-  List.iter (fun (_, fn) -> if fn () then did := true) hooks;
+  List.iter (fun h -> if h.h_fn () then did := true) hooks;
   !did
+
+(* ------------------------------------------------------------------ *)
+(* Failure teardown and communicator revocation                        *)
+(* ------------------------------------------------------------------ *)
+
+let abort_hooks t ~keep ~reason =
+  let gone, kept = List.partition (fun h -> not (keep h)) t.hooks in
+  (* Drop before aborting: an abort callback typically finishes its
+     schedule, which calls remove_progress_hook — already gone is fine. *)
+  t.hooks <- kept;
+  List.iter
+    (fun h -> match h.h_abort with Some f -> f reason | None -> ())
+    gone
+
+let fail_pending t ~keep_send ~keep_recv ~reason =
+  let failed_sends =
+    Hashtbl.fold
+      (fun id ps acc -> if keep_send ps then acc else (id, ps) :: acc)
+      t.pending_sends []
+  in
+  List.iter
+    (fun (id, ps) ->
+      Hashtbl.remove t.pending_sends id;
+      Request.fail_reason ps.ps_req reason)
+    failed_sends;
+  let failed_recvs =
+    Hashtbl.fold
+      (fun id pr acc -> if keep_recv pr then acc else (id, pr) :: acc)
+      t.pending_recvs []
+  in
+  List.iter
+    (fun (id, pr) ->
+      Hashtbl.remove t.pending_recvs id;
+      Request.fail_reason pr.pr_req reason)
+    failed_recvs
+
+(* A peer was declared dead: everything on this device that can only be
+   satisfied by that peer completes with [Proc_failed]. Receives from
+   any-source stay posted (a survivor can still match them); unexpected
+   messages the dead rank got onto the wire before dying are discarded —
+   the fail-stop model's "endpoints go silent". *)
+let fail_peer t ~peer =
+  let reason = Request.Proc_failed peer in
+  fail_pending t
+    ~keep_send:(fun ps -> ps.ps_dst <> peer)
+    ~keep_recv:(fun pr -> pr.pr_env.Packet.e_src <> peer)
+    ~reason;
+  Queues.remove_posted t.queues ~pred:(fun p ->
+      p.Queues.p_pattern.Tag_match.m_src = peer)
+  |> List.iter (fun p -> Request.fail_reason p.Queues.p_req reason);
+  Queues.remove_unexpected t.queues ~pred:(fun u ->
+      (match u with
+       | Queues.U_eager (e, _) | Queues.U_rts (e, _) ->
+           e.Packet.e_src = peer))
+  |> List.iter (fun _ -> stale_drop t "message from dead rank" "purged")
+
+(* Revocation: cancel every operation on the context, including in-flight
+   collective schedules (their abort hook fails the generalized request),
+   so no pin, hook or rendezvous state leaks. *)
+let abort_context t ~ctx ~reason =
+  fail_pending t
+    ~keep_send:(fun ps -> ps.ps_ctx <> ctx)
+    ~keep_recv:(fun pr -> pr.pr_env.Packet.e_context <> ctx)
+    ~reason;
+  Queues.remove_posted t.queues ~pred:(fun p ->
+      p.Queues.p_pattern.Tag_match.m_context = ctx)
+  |> List.iter (fun p -> Request.fail_reason p.Queues.p_req reason);
+  Queues.remove_unexpected t.queues ~pred:(fun u ->
+      (match u with
+       | Queues.U_eager (e, _) | Queues.U_rts (e, _) ->
+           e.Packet.e_context = ctx))
+  |> List.iter (function
+       | Queues.U_rts (e, rndv_id) ->
+           (* Release the sender's rendezvous state. *)
+           t.chan.Channel.send ~src:t.rank ~dst:e.Packet.e_src
+             (Packet.Nak (rndv_id, "communicator revoked"))
+       | Queues.U_eager _ -> ());
+  abort_hooks t ~keep:(fun h -> h.h_ctx <> Some ctx) ~reason
+
+(* Fail-stop teardown of this device's own rank: every local endpoint
+   dies with the fiber. *)
+let purge t ~reason =
+  fail_pending t ~keep_send:(fun _ -> false) ~keep_recv:(fun _ -> false)
+    ~reason;
+  Queues.remove_posted t.queues ~pred:(fun _ -> true)
+  |> List.iter (fun p -> Request.fail_reason p.Queues.p_req reason);
+  ignore (Queues.remove_unexpected t.queues ~pred:(fun _ -> true));
+  abort_hooks t ~keep:(fun _ -> false) ~reason
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let describe_pending t =
+  let lines = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  let show_reason req =
+    match Request.error req with Some m -> " FAILED: " ^ m | None -> ""
+  in
+  Queues.iter_posted t.queues (fun p ->
+      let pat = p.Queues.p_pattern in
+      add "rank %d: recv req#%d src=%d tag=%d ctx=%d (posted)%s" t.rank
+        (Request.id p.Queues.p_req)
+        pat.Tag_match.m_src pat.Tag_match.m_tag pat.Tag_match.m_context
+        (show_reason p.Queues.p_req));
+  Hashtbl.iter
+    (fun id ps ->
+      add "rank %d: rndv-send req#%d dst=%d ctx=%d (rndv %d awaiting CTS)%s"
+        t.rank (Request.id ps.ps_req) ps.ps_dst ps.ps_ctx id
+        (show_reason ps.ps_req))
+    t.pending_sends;
+  Hashtbl.iter
+    (fun id pr ->
+      add "rank %d: rndv-recv req#%d src=%d tag=%d ctx=%d (rndv %d awaiting \
+           DATA)%s"
+        t.rank (Request.id pr.pr_req) pr.pr_env.Packet.e_src
+        pr.pr_env.Packet.e_tag pr.pr_env.Packet.e_context id
+        (show_reason pr.pr_req))
+    t.pending_recvs;
+  let unexpected = Queues.unexpected_length t.queues in
+  if unexpected > 0 then
+    add "rank %d: %d unexpected message(s) never received" t.rank unexpected;
+  List.iter
+    (fun h ->
+      add "rank %d: progress hook #%d%s (in-flight schedule)" t.rank h.h_id
+        (match h.h_ctx with
+        | Some c -> Printf.sprintf " ctx=%d" c
+        | None -> ""))
+    t.hooks;
+  List.rev !lines

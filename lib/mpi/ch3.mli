@@ -57,11 +57,16 @@ val progress : t -> bool
     collective schedule engine); true if any packet was handled or a hook
     made progress. Never blocks. *)
 
-val add_progress_hook : t -> (unit -> bool) -> int
+val add_progress_hook :
+  ?ctx:int -> ?on_abort:(Request.reason -> unit) -> t -> (unit -> bool) -> int
 (** Register a closure invoked by every {!progress} call after the
     channel drain (MPICH's progress-hook slot, used by {!Coll_sched} to
     advance in-flight collective schedules). The closure returns true if
-    it made progress. Returns a handle for {!remove_progress_hook}. *)
+    it made progress. Returns a handle for {!remove_progress_hook}.
+    [ctx] tags the hook with its schedule's context id and [on_abort] is
+    invoked (after the hook is dropped) when that context is revoked or
+    the device is purged, so the schedule can fail its generalized
+    request instead of leaking. *)
 
 val remove_progress_hook : t -> int -> unit
 (** Deregister a hook; hooks remove themselves when their schedule
@@ -92,3 +97,62 @@ val outstanding : t -> int
 
 val pending_rendezvous : t -> int
 (** Rendezvous transfers awaiting CTS or DATA. *)
+
+(** {1 Failure plumbing}
+
+    All installed by {!Mpi.create_world} when the world has a failure
+    service ({!Ft}); absent (and free) otherwise. *)
+
+val set_tick : t -> (unit -> unit) option -> unit
+(** Closure run at the head of every {!progress} pump — the failure
+    detector's beat + sweep. Must never raise. *)
+
+val set_revoked_check : t -> (int -> bool) option -> unit
+(** Predicate consulted on every operation start and packet arrival:
+    operations on a revoked context fail immediately with
+    {!Request.Comm_revoked}; arriving traffic on one is refused. *)
+
+val set_dead_check : t -> (int -> bool) option -> unit
+(** Predicate for declared-dead world ranks: sends to (and receives
+    from) a dead peer fail immediately with {!Request.Proc_failed} —
+    ULFM's [MPI_ERR_PROC_FAILED] — and stale in-flight traffic from one
+    is discarded. *)
+
+val set_coll_failed : t -> (int -> Request.reason -> unit) option -> unit
+(** Flood callback for collective failure: invoked by the schedule
+    engine when an in-flight collective on this device fails with a
+    process failure, with the schedule's context id. The world installs
+    a closure that aborts that context on {e every} device, so the error
+    surfaces at all ranks of the collective (ULFM's uniform
+    [MPI_ERR_PROC_FAILED] guarantee) instead of only at ranks whose own
+    steps touched the dead peer. *)
+
+val notify_coll_failed : t -> ctx:int -> Request.reason -> unit
+(** Invoke the installed flood callback (no-op without one). *)
+
+val ctx_revoked : t -> int -> bool
+(** The installed revoked-check's verdict ([false] without one). *)
+
+val peer_dead : t -> int -> bool
+(** The installed dead-check's verdict ([false] without one). *)
+
+val fail_peer : t -> peer:int -> unit
+(** A peer was declared dead: complete every operation on this device
+    that only [peer] could satisfy (rendezvous toward it, posted receives
+    naming it) with [Proc_failed], and discard unexpected messages it
+    left behind. Any-source receives stay posted. *)
+
+val abort_context : t -> ctx:int -> reason:Request.reason -> unit
+(** Revocation sweep: fail every pending operation on [ctx] (posted and
+    rendezvous state on both sides), NAK queued rendezvous announcements
+    so remote senders release theirs, and abort in-flight schedule hooks
+    registered with this [ctx]. *)
+
+val purge : t -> reason:Request.reason -> unit
+(** Fail-stop teardown of the device's own rank: fail everything, drop
+    all unexpected messages, abort every hook. *)
+
+val describe_pending : t -> string list
+(** One line per pending operation (posted receives, rendezvous in both
+    directions, unexpected backlog, live hooks) — the deadlock
+    diagnostics dump. *)

@@ -126,16 +126,29 @@ let finish sc =
          | None -> ""))
 
 (* Mark [st] done when its device request retires; a failed transfer
-   (truncation, rendezvous refused) fails the whole schedule — remaining
-   steps are never started, and the waiter surfaces the error exactly as
-   for point-to-point. *)
+   (truncation, rendezvous refused, a dead peer, a revoked context) fails
+   the whole schedule — remaining steps are never started, and the waiter
+   surfaces the error exactly as for point-to-point. Typed reasons
+   (process failure, revocation) propagate unchanged so recovery code can
+   branch on them. *)
 let watch sc i st req =
   Request.on_complete req (fun () ->
-      match Request.error req with
-      | Some msg ->
+      match Request.reason req with
+      | Some (Request.Error msg) ->
           Request.fail sc.sc_req
             (Printf.sprintf "%s step %d (%s): %s" sc.sc_name i
                (describe_action st.s_action) msg)
+      | Some ((Request.Proc_failed _ | Request.Comm_revoked _) as reason) ->
+          Request.fail_reason sc.sc_req reason;
+          (* A process failure inside a collective must surface at every
+             member (ULFM): flood the abort to the peer devices, whose
+             own steps may only involve live ranks and would otherwise
+             wait forever on this one. Revocation already reaches every
+             device through the revoked-context check. *)
+          (match reason with
+          | Request.Proc_failed _ ->
+              Ch3.notify_coll_failed sc.sc_dev ~ctx:sc.sc_context reason
+          | _ -> ())
       | None ->
           st.s_state <- Done;
           trace_step sc "sched/step-done" i st)
@@ -252,9 +265,29 @@ let start b =
          (Array.length steps)
          (if Array.length steps = 0 then 0
           else steps.(Array.length steps - 1).s_round + 1));
-  (* Post round 0 immediately (an empty schedule completes here); the
-     device progress hook drives the rest. *)
-  ignore (advance sc);
-  if not (Request.is_complete req) then
-    sc.sc_hook <- Some (Ch3.add_progress_hook b.b_dev (fun () -> advance sc));
-  req
+  (* A collective started on an already-revoked communicator fails
+     before any step runs (entry check ULFM prescribes for every op). *)
+  if Ch3.ctx_revoked b.b_dev b.b_context then begin
+    Request.fail_reason req (Request.Comm_revoked b.b_context);
+    finish sc;
+    req
+  end
+  else begin
+    (* Post round 0 immediately (an empty schedule completes here); the
+       device progress hook drives the rest. *)
+    ignore (advance sc);
+    if not (Request.is_complete req) then
+      sc.sc_hook <-
+        Some
+          (Ch3.add_progress_hook ~ctx:b.b_context
+             ~on_abort:(fun reason ->
+               (* The context was revoked or the rank torn down: fail the
+                  generalized request and close the span. The hook itself
+                  was already dropped by the aborter. *)
+               sc.sc_hook <- None;
+               Request.fail_reason sc.sc_req reason;
+               finish sc)
+             b.b_dev
+             (fun () -> advance sc));
+    req
+  end

@@ -7,6 +7,21 @@ type partition = {
   pt_until_ns : float;
 }
 
+type kill = {
+  k_rank : int;
+  k_at_ns : float;
+  k_restart_ns : float option;
+}
+
+let kill ?restart_after_ns ~rank ~at_ns () =
+  if rank < 0 then invalid_arg "Fault.kill: rank must be >= 0";
+  if at_ns < 0.0 then invalid_arg "Fault.kill: at_ns must be >= 0";
+  (match restart_after_ns with
+  | Some d when d < 0.0 ->
+      invalid_arg "Fault.kill: restart_after_ns must be >= 0"
+  | _ -> ());
+  { k_rank = rank; k_at_ns = at_ns; k_restart_ns = restart_after_ns }
+
 type plan = {
   seed : int;
   drop : float;
@@ -15,10 +30,12 @@ type plan = {
   delay : float;
   delay_ns : float;
   partitions : partition list;
+  kills : kill list;
 }
 
 let plan ?(seed = 1) ?(drop = 0.0) ?(duplicate = 0.0) ?(corrupt = 0.0)
-    ?(delay = 0.0) ?(delay_ns = 100_000.0) ?(partitions = []) () =
+    ?(delay = 0.0) ?(delay_ns = 100_000.0) ?(partitions = []) ?(kills = []) ()
+    =
   let check name p =
     if p < 0.0 || p > 1.0 then
       invalid_arg (Printf.sprintf "Fault.plan: %s must be in [0, 1]" name)
@@ -28,7 +45,16 @@ let plan ?(seed = 1) ?(drop = 0.0) ?(duplicate = 0.0) ?(corrupt = 0.0)
   check "corrupt" corrupt;
   check "delay" delay;
   if delay_ns < 0.0 then invalid_arg "Fault.plan: delay_ns must be >= 0";
-  { seed; drop; duplicate; corrupt; delay; delay_ns; partitions }
+  (match
+     List.find_opt
+       (fun k -> List.length (List.filter (fun k' -> k'.k_rank = k.k_rank) kills) > 1)
+       kills
+   with
+  | Some k ->
+      invalid_arg
+        (Printf.sprintf "Fault.plan: multiple kills for rank %d" k.k_rank)
+  | None -> ());
+  { seed; drop; duplicate; corrupt; delay; delay_ns; partitions; kills }
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic randomness: a splitmix64-style hash of                 *)

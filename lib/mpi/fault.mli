@@ -25,6 +25,21 @@ type partition = {
     matching (src, dst) pair is dropped (and counted as a fault drop). A
     symmetric partition needs two entries, one per direction. *)
 
+type kill = {
+  k_rank : int;  (** world rank to fail-stop *)
+  k_at_ns : float;  (** virtual time at which the rank dies *)
+  k_restart_ns : float option;
+      (** delay after the kill at which the rank may be restarted from a
+          checkpoint ([None]: the rank stays down) *)
+}
+(** A fail-stop process-failure event. The rank's fiber is torn down at
+    the first MPI operation or wait after [k_at_ns]; its channel endpoints
+    go silent; surviving ranks learn of the death through the heartbeat
+    detector ({!Ft}) and see {!Request.Proc_failed} completions. *)
+
+val kill : ?restart_after_ns:float -> rank:int -> at_ns:float -> unit -> kill
+(** Raises [Invalid_argument] on a negative rank or time. *)
+
 type plan = {
   seed : int;
   drop : float;  (** per-packet loss probability, [0, 1] *)
@@ -33,6 +48,7 @@ type plan = {
   delay : float;  (** probability a packet is held back (reordering) *)
   delay_ns : float;  (** maximum extra delay for held packets *)
   partitions : partition list;
+  kills : kill list;  (** fail-stop process failures (at most one per rank) *)
 }
 
 val plan :
@@ -43,11 +59,13 @@ val plan :
   ?delay:float ->
   ?delay_ns:float ->
   ?partitions:partition list ->
+  ?kills:kill list ->
   unit ->
   plan
 (** All probabilities default to 0 (a transparent plan); [seed] defaults
-    to 1, [delay_ns] to 100us. Raises [Invalid_argument] on probabilities
-    outside [0, 1]. *)
+    to 1, [delay_ns] to 100us; [kills] defaults to none. Raises
+    [Invalid_argument] on probabilities outside [0, 1] or two kills for
+    the same rank. *)
 
 val wrap : env:Simtime.Env.t -> plan -> Channel.t -> Channel.t
 (** Decorate a channel with the plan's fault schedule. Counts

@@ -1,0 +1,116 @@
+(** Process-failure service: fail-stop kills, heartbeat detection,
+    revocation — the runtime plumbing under the ULFM-style recovery API.
+
+    One instance per world (created by {!Mpi.create_world} when the fault
+    plan carries kills, or when a detector is requested explicitly). Rank
+    life cycle: [Alive -> Finished] on normal return, or
+    [Alive -> Torn_down -> Dead] under a {!Fault.kill} — [Torn_down] when
+    the victim's fiber is dismantled, [Dead] once the heartbeat detector
+    declares the failure to the survivors. Only the declaration triggers
+    {!Request.Proc_failed} completions; the window in between models real
+    detection latency.
+
+    The detector is driven from {!Ch3.progress}: each pump beats the
+    pumping rank and sweeps every other rank's last-beat timestamp
+    against [hb_timeout_ns] of virtual time. No heartbeat packets travel
+    on the wire (they would perturb the fault injector's seeded per-send
+    PRNG), so the detector models an out-of-band watchdog. A rank that
+    merely computes for longer than the timeout without pumping progress
+    is declared dead anyway — the false positive a too-aggressive timeout
+    buys, observable with the schedule explorer's planted detector bug. *)
+
+exception Killed of int
+(** Raised (in fiber context) by the victim's own MPI calls once its kill
+    time has passed; {!Mpi.rank_guard} catches it and tears the rank
+    down. *)
+
+exception Proc_failed of int
+(** Raised by waiters when a request failed with
+    {!Request.Proc_failed} — the peer world rank is carried. *)
+
+exception Revoked of int
+(** Raised by waiters / operation entry when the communicator's context
+    was revoked. *)
+
+type detector = { hb_period_ns : float; hb_timeout_ns : float }
+
+val default_detector : detector
+(** 20us beat granularity, 5ms timeout — safely above the reliable
+    layer's 2ms backoff ceiling so retransmission storms are never
+    mistaken for death. *)
+
+type rank_state = Alive | Finished | Torn_down | Dead
+
+type t
+
+val create :
+  env:Simtime.Env.t ->
+  ?detector:detector ->
+  ?kills:Fault.kill list ->
+  n:int ->
+  unit ->
+  t
+
+val detector : t -> detector
+val state : t -> int -> rank_state
+val is_down : t -> int -> bool
+(** Declared dead by the detector. *)
+
+val is_out : t -> int -> bool
+(** Torn down or declared dead (endpoints silent either way). *)
+
+val dead_ranks : t -> int list
+val out_ranks : t -> int list
+
+val detections : t -> (int * float) list
+(** Every declaration, oldest first: (rank, virtual time declared). *)
+
+val self_doomed : t -> rank:int -> bool
+(** The rank's kill time has passed but its fiber hasn't been torn down
+    yet. Safe to call from scheduler context (never raises) — wait
+    predicates use it to wake a doomed fiber. *)
+
+val check_self : t -> rank:int -> unit
+(** Raise {!Killed} if {!self_doomed}. Call only from fiber context. *)
+
+val mark_killed : t -> rank:int -> unit
+(** Record the fail-stop: state [Torn_down], endpoints silent. Called by
+    {!Mpi.rank_guard} during teardown; idempotent. *)
+
+val finish : t -> rank:int -> unit
+(** Normal completion: the rank stops beating without being a failure. *)
+
+val declare_dead : t -> int -> unit
+(** Detector declaration (also exposed for tests): fires the on-death
+    subscribers once. No-op on [Finished] or already-[Dead] ranks. *)
+
+val revive : t -> rank:int -> unit
+(** Restart a down rank: state back to [Alive], heartbeat reset, on-revive
+    subscribers fired. Raises [Invalid_argument] if the rank is not
+    down. *)
+
+val restart_after : t -> rank:int -> float option
+(** The kill plan's restart delay for the rank, if any. *)
+
+val on_death : t -> (int -> unit) -> unit
+val on_revive : t -> (int -> unit) -> unit
+
+val pending_detection : t -> bool
+(** A kill has fired but not been declared (or is still scheduled): the
+    detector guarantees progress, so a blocked configuration is not yet a
+    deadlock. *)
+
+val tick : t -> rank:int -> unit
+(** One detector step, called from every progress pump: beat [rank],
+    report pending detections as scheduler activity, sweep the other
+    ranks' timeouts. Never raises. *)
+
+val revoke : t -> int -> unit
+(** Mark a context id revoked (idempotent). *)
+
+val is_revoked : t -> int -> bool
+
+val wrap_channel : t -> Channel.t -> Channel.t
+(** The silencer: discard packets to or from dead/torn-down ranks. Stack
+    it {e above} reliable delivery so nothing keeps retransmitting on a
+    dead rank's behalf. Counts [ft_silenced]. *)

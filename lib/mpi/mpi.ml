@@ -1,6 +1,7 @@
 type world = {
   env : Simtime.Env.t;
-  chan : Channel.t;
+  chan : Channel.t;  (* full stack (failure silencer on top, if any) *)
+  inner_chan : Channel.t;  (* below the silencer: teardown drains here *)
   mutable devices : Ch3.t array;
   mutable id_counter : int;
   contexts : (string, int) Hashtbl.t;
@@ -9,6 +10,7 @@ type world = {
   spawned : (string, int array) Hashtbl.t;  (* dynamic-spawn rendezvous *)
   initial_n : int;  (* comm_world is fixed at creation, as in MPI *)
   reliable : Reliable.t option;  (* handle on the go-back-N layer, if any *)
+  ft : Ft.t option;  (* process-failure service, if kills or a detector *)
 }
 
 type proc = { world : world; prank : int; dev : Ch3.t }
@@ -17,7 +19,8 @@ let fresh_id world () =
   world.id_counter <- world.id_counter + 1;
   world.id_counter
 
-let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ~n () =
+let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ?detector ~n
+    () =
   if n < 1 then invalid_arg "Mpi.create_world: need at least one rank";
   let env =
     match env with Some e -> e | None -> Simtime.Env.create ?cost ()
@@ -34,7 +37,7 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ~n () =
   in
   (* A fault plan without reliable delivery would violate MPI semantics,
      so injecting faults always installs the reliable layer on top. *)
-  let chan, rel =
+  let inner_chan, rel =
     match (fault, reliable) with
     | None, None -> (faulty, None)
     | _, Some config ->
@@ -44,10 +47,22 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ~n () =
         let c, r = Reliable.wrap ~env faulty in
         (c, Some r)
   in
+  let kills = match fault with Some p -> p.Fault.kills | None -> [] in
+  let ft =
+    match (kills, detector) with
+    | [], None -> None
+    | _ -> Some (Ft.create ~env ?detector ~kills ~n ())
+  in
+  (* The silencer sits on top of the whole stack: nothing is framed (or
+     retransmitted) toward a dead rank once the failure is known. *)
+  let chan =
+    match ft with None -> inner_chan | Some ft -> Ft.wrap_channel ft inner_chan
+  in
   let world =
     {
       env;
       chan;
+      inner_chan;
       devices = [||];
       id_counter = 0;
       contexts = Hashtbl.create 16;
@@ -56,16 +71,92 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ~n () =
       spawned = Hashtbl.create 4;
       initial_n = n;
       reliable = rel;
+      ft;
     }
   in
   world.devices <-
     Array.init n (fun rank ->
         Ch3.create env chan ~rank ~fresh_id:(fresh_id world));
+  (match ft with
+  | None -> ()
+  | Some ft ->
+      Array.iter
+        (fun dev ->
+          Ch3.set_tick dev (Some (fun () -> Ft.tick ft ~rank:(Ch3.rank dev)));
+          Ch3.set_revoked_check dev (Some (Ft.is_revoked ft));
+          Ch3.set_dead_check dev (Some (Ft.is_down ft));
+          Ch3.set_coll_failed dev
+            (Some
+               (fun ctx reason ->
+                 (* Flood only failures of declared-dead peers: the
+                    victim's own teardown also completes its schedule
+                    with Proc_failed, but at that point nobody else can
+                    know — the error must not outrun the detector. *)
+                 match reason with
+                 | Request.Proc_failed r when Ft.is_down ft r ->
+                     Array.iter
+                       (fun d -> Ch3.abort_context d ~ctx ~reason)
+                       world.devices
+                 | _ -> ())))
+        world.devices;
+      Ft.on_death ft (fun dead ->
+          (* Discard whatever the dead rank's inbox still holds (its NIC
+             is gone), then drop the reliable layer's sequence state on
+             both directions so nothing retransmits on its behalf and a
+             restarted incarnation starts from sequence zero. *)
+          let rec drain () =
+            match world.inner_chan.Channel.poll ~rank:dead with
+            | Some _ -> drain ()
+            | None -> ()
+          in
+          drain ();
+          (match rel with
+          | Some r -> ignore (Reliable.reset_peer r ~peer:dead)
+          | None -> ());
+          (* Every survivor's operations that only the dead rank could
+             satisfy complete now, with Proc_failed. *)
+          Array.iter
+            (fun dev ->
+              if Ch3.rank dev <> dead then Ch3.fail_peer dev ~peer:dead)
+            world.devices);
+      Ft.on_revive ft (fun rank ->
+          match rel with
+          | Some r -> ignore (Reliable.reset_peer r ~peer:rank)
+          | None -> ()));
+  (* Deadlock reports name the requests that never completed. *)
+  Fiber.register_deadlock_dump (fun () ->
+      Array.to_list world.devices |> List.concat_map Ch3.describe_pending);
   world
 
 let env w = w.env
 let world_size w = Array.length w.devices
 let reliable_handle w = w.reliable
+let ft_handle w = w.ft
+let dead_ranks w = match w.ft with Some ft -> Ft.dead_ranks ft | None -> []
+
+let ft_of p =
+  match p.world.ft with
+  | Some ft -> ft
+  | None ->
+      invalid_arg
+        "Mpi: this world has no failure service (pass kills or ?detector)"
+
+(* Entry guard, fiber context only: a rank whose kill time has passed
+   dies at its next MPI call. *)
+let check_self p =
+  match p.world.ft with
+  | Some ft -> Ft.check_self ft ~rank:p.prank
+  | None -> ()
+
+let self_doomed p =
+  match p.world.ft with
+  | Some ft -> Ft.self_doomed ft ~rank:p.prank
+  | None -> false
+
+let raise_reason = function
+  | Request.Proc_failed r -> raise (Ft.Proc_failed r)
+  | Request.Comm_revoked ctx -> raise (Ft.Revoked ctx)
+  | Request.Error msg -> raise (Ch3.Mpi_error msg)
 
 let proc w i =
   if i < 0 || i >= Array.length w.devices then
@@ -105,32 +196,40 @@ let add_rank w =
 (* ------------------------------------------------------------------ *)
 
 let isend p ~comm ~dst ~tag buf =
+  check_self p;
   Ch3.isend p.dev
     ~dst:(Comm.world_rank_of comm dst)
     ~tag ~context:comm.Comm.ctx buf
 
 let issend p ~comm ~dst ~tag buf =
+  check_self p;
   Ch3.isend p.dev
     ~dst:(Comm.world_rank_of comm dst)
     ~tag ~context:comm.Comm.ctx ~mode:Ch3.Synchronous buf
 
 let irecv p ~comm ~src ~tag buf =
+  check_self p;
   let src =
     if src = Tag_match.any_source then src else Comm.world_rank_of comm src
   in
   Ch3.irecv p.dev ~src ~tag ~context:comm.Comm.ctx buf
 
 (* Polling wait. Inside a fiber scheduler we suspend; in plain code (unit
-   tests, self-sends) we spin on the progress engine with a safety bound. *)
+   tests, self-sends) we spin on the progress engine with a safety bound.
+   A doomed rank (its kill time passed) wakes from the wait and dies via
+   [check_self] — the raise happens in fiber context, never inside the
+   predicate (predicates run in scheduler context, where an exception
+   would abort the whole run). *)
 let wait_poll p ~poll req =
+  check_self p;
   if Fiber.in_scheduler () then
     Fiber.wait_until ~label:"mpi-wait" (fun () ->
         poll ();
         ignore (Ch3.progress p.dev);
-        Request.is_complete req)
+        Request.is_complete req || self_doomed p)
   else begin
     let spins = ref 0 in
-    while not (Request.is_complete req) do
+    while not (Request.is_complete req || self_doomed p) do
       poll ();
       if not (Ch3.progress p.dev) then begin
         incr spins;
@@ -140,8 +239,9 @@ let wait_poll p ~poll req =
       else spins := 0
     done
   end;
-  match Request.error req with
-  | Some msg -> raise (Ch3.Mpi_error msg)
+  check_self p;
+  match Request.reason req with
+  | Some reason -> raise_reason reason
   | None -> Request.status req
 
 let wait p req = wait_poll p ~poll:(fun () -> ()) req
@@ -156,6 +256,7 @@ let wait_any p reqs =
   match reqs with
   | [] -> invalid_arg "Mpi.wait_any: empty request list"
   | _ ->
+      check_self p;
       let found = ref None in
       let check () =
         ignore (Ch3.progress p.dev);
@@ -163,7 +264,7 @@ let wait_any p reqs =
         | Some r ->
             found := Some r;
             true
-        | None -> false
+        | None -> self_doomed p
       in
       if Fiber.in_scheduler () then Fiber.wait_until ~label:"mpi-waitany" check
       else begin
@@ -174,6 +275,7 @@ let wait_any p reqs =
             failwith "Mpi.wait_any: no progress outside a scheduler"
         done
       end;
+      check_self p;
       Option.get !found
 
 let test_all p reqs =
@@ -188,10 +290,11 @@ let wait_some p reqs =
   match reqs with
   | [] -> invalid_arg "Mpi.wait_some: empty request list"
   | _ ->
+      check_self p;
       let done_ () = List.filter Request.is_complete reqs in
       let check () =
         ignore (Ch3.progress p.dev);
-        done_ () <> []
+        done_ () <> [] || self_doomed p
       in
       if not (check ()) then
         if Fiber.in_scheduler () then
@@ -204,6 +307,7 @@ let wait_some p reqs =
               failwith "Mpi.wait_some: no progress outside a scheduler"
           done
         end;
+      check_self p;
       done_ ()
 
 let comm_status comm (st : Status.t) =
@@ -343,11 +447,179 @@ let comm_dup p comm =
   in
   Comm.make ~ctx:new_ctx ~members:(Array.copy comm.Comm.members)
 
+(* ------------------------------------------------------------------ *)
+(* ULFM-style recovery: revoke / agree / shrink                        *)
+(* ------------------------------------------------------------------ *)
+
+let comm_revoke p comm =
+  check_self p;
+  let ft = ft_of p in
+  if not (Ft.is_revoked ft comm.Comm.ctx) then begin
+    Ft.revoke ft comm.Comm.ctx;
+    Ft.revoke ft comm.Comm.ctx_coll;
+    Trace.record p.world.env ~rank:p.prank ~op:"revoke"
+      ~detail:(Printf.sprintf "ctx=%d" comm.Comm.ctx);
+    (* The revocation reaches every rank "now" — the simulation's
+       stand-in for ULFM's reliable revoke flood. Every device cancels
+       its pending operations on the context, so no rank stays blocked
+       on a communicator that can no longer complete collectively. *)
+    Array.iter
+      (fun dev ->
+        Ch3.abort_context dev ~ctx:comm.Comm.ctx
+          ~reason:(Request.Comm_revoked comm.Comm.ctx);
+        Ch3.abort_context dev ~ctx:comm.Comm.ctx_coll
+          ~reason:(Request.Comm_revoked comm.Comm.ctx))
+      p.world.devices
+  end
+
+(* Fault-tolerant agreement (ULFM's MPI_Comm_agree): bitwise AND of the
+   surviving members' contributions. A linear gather at the lowest-rank
+   survivor, then one atomic broadcast of the verdict.
+
+   Protocol notes, load-bearing for correctness under failures:
+   - each participant sends its contribution at most once per root; on a
+     root change (the old root died) it re-sends to the new root, whose
+     gather would otherwise miss contributions consumed by the dead one;
+   - the root remembers contributions across retries ([got]), because a
+     survivor that already delivered will not send again;
+   - the verdict broadcast is a sequence of eager sends with no fiber
+     suspension in between, so for a single failure it is all-or-nothing:
+     either every survivor learns the verdict or none does. Survivors that
+     die mid-agreement are routed around on retry; their contribution is
+     included only if it was received (ULFM leaves exactly this choice to
+     the implementation). *)
+let comm_agree p comm ~value =
+  check_self p;
+  let ft = ft_of p in
+  let w = p.world in
+  let me = p.prank in
+  let members = Array.to_list comm.Comm.members in
+  if not (List.mem me members) then
+    invalid_arg "Mpi.comm_agree: not a member of this communicator";
+  let e = next_epoch p comm in
+  let ctx =
+    alloc_context w ~key:(Printf.sprintf "agree/%d/%d" comm.Comm.ctx e)
+  in
+  let tag_gather = 1 and tag_verdict = 2 in
+  let survivors () = List.filter (fun r -> not (Ft.is_down ft r)) members in
+  let buf_of v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int v);
+    b
+  in
+  let int_of b = Int64.to_int (Bytes.get_int64_le b 0) in
+  let got : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let sent_to = ref [] in
+  let rec attempt () =
+    check_self p;
+    let svs = survivors () in
+    let root = List.fold_left min me svs in
+    try
+      if root = me then begin
+        List.iter
+          (fun s ->
+            if s <> me && not (Hashtbl.mem got s) then begin
+              let b = Bytes.create 8 in
+              ignore
+                (wait p
+                   (Ch3.irecv p.dev ~src:s ~tag:tag_gather ~context:ctx
+                      (Buffer_view.of_bytes b)));
+              Hashtbl.replace got s (int_of b)
+            end)
+          svs;
+        let acc =
+          List.fold_left
+            (fun acc s ->
+              if s = me then acc land value
+              else
+                match Hashtbl.find_opt got s with
+                | Some v -> acc land v
+                | None -> acc)
+            (-1) svs
+        in
+        List.iter
+          (fun s ->
+            if s <> me then
+              (* 8 bytes is far below the eager threshold: the send
+                 completes synchronously, keeping the verdict broadcast
+                 atomic with respect to the fiber scheduler. *)
+              ignore
+                (Ch3.isend p.dev ~dst:s ~tag:tag_verdict ~context:ctx
+                   (Buffer_view.of_bytes (buf_of acc))))
+          svs;
+        acc
+      end
+      else begin
+        if not (List.mem root !sent_to) then begin
+          sent_to := root :: !sent_to;
+          ignore
+            (wait p
+               (Ch3.isend p.dev ~dst:root ~tag:tag_gather ~context:ctx
+                  (Buffer_view.of_bytes (buf_of value))))
+        end;
+        let b = Bytes.create 8 in
+        ignore
+          (wait p
+             (Ch3.irecv p.dev ~src:root ~tag:tag_verdict ~context:ctx
+                (Buffer_view.of_bytes b)));
+        int_of b
+      end
+    with Ft.Proc_failed _ ->
+      (* Someone died mid-agreement: recompute survivors and retry. The
+         dead set only grows, so this terminates. *)
+      attempt ()
+  in
+  attempt ()
+
+let max_shrink_members = 62  (* agreement value is an OCaml int bitmap *)
+
+let comm_shrink p comm =
+  check_self p;
+  let ft = ft_of p in
+  let members = comm.Comm.members in
+  if Array.length members > max_shrink_members then
+    invalid_arg "Mpi.comm_shrink: communicator too large for the bitmap \
+                 agreement";
+  let bitmap = ref 0 in
+  Array.iteri
+    (fun i r -> if not (Ft.is_down ft r) then bitmap := !bitmap lor (1 lsl i))
+    members;
+  (* Agree on the intersection of everyone's alive-view, so all survivors
+     build the identical member list even if detections straggle. *)
+  let agreed = comm_agree p comm ~value:!bitmap in
+  let alive =
+    Array.to_list members
+    |> List.filteri (fun i _ -> agreed land (1 lsl i) <> 0)
+  in
+  let e = next_epoch p comm in
+  let ctx =
+    alloc_context p.world
+      ~key:(Printf.sprintf "shrink/%d/%d/%x" comm.Comm.ctx e agreed)
+  in
+  Trace.record p.world.env ~rank:p.prank ~op:"shrink"
+    ~detail:
+      (Printf.sprintf "ctx=%d -> ctx=%d survivors=[%s]" comm.Comm.ctx ctx
+         (String.concat ";" (List.map string_of_int alive)));
+  Comm.make ~ctx ~members:(Array.of_list alive)
+
+let revive_rank w rank =
+  match w.ft with
+  | Some ft -> Ft.revive ft ~rank
+  | None -> invalid_arg "Mpi.revive_rank: no failure service"
+
 let spawn_table w = w.spawned
 
 let quiescence_report w =
   Array.to_list w.devices
   |> List.filter_map (fun dev ->
+         (* A torn-down rank is exempt: its device was purged at death
+            and judging it would blame the victim for its own murder. *)
+         if
+           match w.ft with
+           | Some ft -> Ft.is_out ft (Ch3.rank dev)
+           | None -> false
+         then None
+         else begin
          (* Drain anything already delivered before judging. *)
          ignore (Ch3.progress dev);
          let issues = ref [] in
@@ -365,17 +637,37 @@ let quiescence_report w =
          if rndv > 0 then add "%d unfinished rendezvous transfer(s)" rndv;
          match !issues with
          | [] -> None
-         | list -> Some (Ch3.rank dev, String.concat "; " (List.rev list)))
+         | list -> Some (Ch3.rank dev, String.concat "; " (List.rev list))
+         end)
 
 (* ------------------------------------------------------------------ *)
 (* Running worlds                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run ?channel ?cost ?env ?fault ?reliable ~n body =
-  let w = create_world ?channel ?cost ?env ?fault ?reliable ~n () in
+(* Fail-stop semantics for a rank's fiber: [Ft.Killed] escaping [body]
+   tears the rank down — its device is purged (every local request fails,
+   hooks abort, queues empty) and the rank transitions to [Torn_down],
+   after which the silencer drops its traffic. The fiber then returns
+   normally; survivors learn of the death only when the detector declares
+   it. A clean return marks the rank [Finished] so the detector never
+   suspects a rank that merely exited. *)
+let rank_guard w rank body =
+  match w.ft with
+  | None -> body ()
+  | Some ft -> (
+      match body () with
+      | () -> Ft.finish ft ~rank
+      | exception Ft.Killed r when r = rank ->
+          Ch3.purge w.devices.(rank) ~reason:(Request.Proc_failed rank);
+          Ft.mark_killed ft ~rank;
+          Trace.record w.env ~rank ~op:"kill" ~detail:"fiber torn down")
+
+let run ?channel ?cost ?env ?fault ?reliable ?detector ~n body =
+  let w = create_world ?channel ?cost ?env ?fault ?reliable ?detector ~n () in
   let fibers =
     List.init n (fun i ->
-        (Printf.sprintf "rank%d" i, fun () -> body (proc w i)))
+        ( Printf.sprintf "rank%d" i,
+          fun () -> rank_guard w i (fun () -> body (proc w i)) ))
   in
   Fiber.run fibers;
   w

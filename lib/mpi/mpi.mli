@@ -17,6 +17,7 @@ val create_world :
   ?env:Simtime.Env.t ->
   ?fault:Fault.plan ->
   ?reliable:Reliable.config ->
+  ?detector:Ft.detector ->
   n:int ->
   unit ->
   world
@@ -24,7 +25,14 @@ val create_world :
     plan makes the wire lossy (seeded, deterministic — see {!Fault}) and
     automatically stacks the {!Reliable} go-back-N layer on top so MPI
     semantics survive; [reliable] installs (or configures) that layer
-    explicitly, with or without faults. *)
+    explicitly, with or without faults.
+
+    A fault plan with {!Fault.kill} events, or an explicit [detector],
+    installs the process-failure service ({!Ft}): a heartbeat failure
+    detector runs off every progress pump, killed ranks are torn down
+    fail-stop, and operations that can no longer complete raise
+    {!Ft.Proc_failed} instead of hanging (see the {!section-ft} section
+    below). *)
 
 val env : world -> Simtime.Env.t
 val world_size : world -> int
@@ -34,6 +42,20 @@ val reliable_handle : world -> Reliable.t option
     ([?fault] or [?reliable]); lets tests and the schedule-exploration
     harness assert that retransmission queues drained
     ({!Reliable.stranded} = 0) as a quiescence invariant. *)
+
+val ft_handle : world -> Ft.t option
+(** The process-failure service, when installed (kills or [?detector]). *)
+
+val dead_ranks : world -> int list
+(** Ranks currently declared dead (empty without a failure service). *)
+
+val revive_rank : world -> int -> unit
+(** Re-admit a torn-down or dead rank (checkpoint/restart): its state
+    returns to alive, the detector starts trusting it again and the
+    reliable layer's sequence state toward it is reset so the new
+    incarnation starts from sequence zero. The caller then respawns a
+    fiber for it (see {!Ft.revive}). Raises [Invalid_argument] if the
+    rank is alive or the world has no failure service. *)
 
 val proc : world -> int -> proc
 val comm_world : world -> Comm.t
@@ -64,7 +86,10 @@ val quiescence_report : world -> (int * string) list
 (** Leftover communication state per rank — outstanding requests, posted
     receives never matched, unexpected messages never received, rendezvous
     transfers never finished. A clean program ends with an empty report
-    (the check MPI_Finalize performs); tests use it to catch leaks. *)
+    (the check MPI_Finalize performs); tests use it to catch leaks.
+    Torn-down (killed) ranks are exempt: their devices were purged at
+    death, and survivors' state referring to them was completed with
+    [Proc_failed]. *)
 
 val run :
   ?channel:[ `Shm | `Sock ] ->
@@ -72,12 +97,24 @@ val run :
   ?env:Simtime.Env.t ->
   ?fault:Fault.plan ->
   ?reliable:Reliable.config ->
+  ?detector:Ft.detector ->
   n:int ->
   (proc -> unit) ->
   world
 (** Create a world and run one fiber per rank to completion; returns the
-    world (whose env carries the clock and counters). [fault] and
-    [reliable] as in {!create_world}. *)
+    world (whose env carries the clock and counters). [fault], [reliable]
+    and [detector] as in {!create_world}. Each rank's fiber runs under
+    {!rank_guard}, so a scheduled kill tears the rank down instead of
+    aborting the run. *)
+
+val rank_guard : world -> int -> (unit -> unit) -> unit
+(** [rank_guard w rank body] runs [body], implementing fail-stop
+    semantics: if {!Ft.Killed}[ rank] escapes, the rank's device is
+    purged, the rank transitions to torn-down (its endpoints go silent;
+    survivors find out via the detector) and the fiber exits normally. A
+    clean return marks the rank finished so the detector never declares
+    an exited rank dead. Custom drivers that spawn their own fibers
+    (checkpoint/restart respawns) must wrap bodies in this. *)
 
 (** {1 Point-to-point}
 
@@ -164,3 +201,38 @@ val comm_split : proc -> Comm.t -> color:int -> key:int -> Comm.t
 (** Collective over [comm]: every member must call it. Members with equal
     [color] land in the same new communicator, ordered by [key] (ties by
     old rank). Implemented with real messages (allgather of (color, key)). *)
+
+(** {1:ft Fault tolerance (ULFM-style)}
+
+    The recovery calls below follow MPI's User-Level Failure Mitigation
+    proposal: an operation touching a dead process raises
+    {!Ft.Proc_failed}; the application then {!comm_revoke}s the broken
+    communicator (so no member stays blocked in it), {!comm_shrink}s it
+    to the survivors, and continues — optionally re-admitting a restarted
+    incarnation of the dead rank via {!revive_rank} + checkpoint restore.
+    All three require the world to have a failure service. *)
+
+val comm_revoke : proc -> Comm.t -> unit
+(** Revoke [comm] (both its point-to-point and collective contexts):
+    every rank's pending operations on it complete with
+    {!Ft.Revoked}, in-flight collective schedules abort, and new
+    operations on it fail immediately. Idempotent. Unlike most MPI calls
+    this is {e not} collective — any member may revoke unilaterally; the
+    simulation propagates the revocation instantly, standing in for
+    ULFM's reliable revoke flood. *)
+
+val comm_agree : proc -> Comm.t -> value:int -> int
+(** Fault-tolerant agreement ([MPI_Comm_agree]): returns the bitwise AND
+    of the values contributed by the surviving members — the same result
+    on every survivor, even if members die mid-call. Collective over the
+    survivors of [comm]; tolerates any number of failures (including the
+    internal root's). A dead member's contribution is included only if it
+    was received before the death was declared. *)
+
+val comm_shrink : proc -> Comm.t -> Comm.t
+(** Fault-tolerant shrink ([MPI_Comm_shrink]): collective over the
+    survivors, returns a new communicator containing exactly the members
+    every survivor agrees are alive, in [comm]'s rank order. Built on
+    {!comm_agree} over an alive-bitmap, so stragglers' divergent failure
+    views are reconciled; communicators up to 62 members (an OCaml int
+    bitmap). *)

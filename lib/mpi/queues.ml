@@ -100,3 +100,24 @@ let peek_unexpected t pattern =
 
 let posted_length t = t.posted.size
 let unexpected_length t = t.unexpected.size
+
+(* Administrative removal (failure teardown, revocation): unlike the
+   matching paths above this charges no probe time — it models the
+   runtime sweeping its own tables, not the device searching a queue. *)
+let fifo_extract q ~pred =
+  fifo_norm q;
+  let gone, kept = List.partition pred q.front in
+  q.front <- kept;
+  q.size <- List.length kept;
+  gone
+
+let remove_posted t ~pred = fifo_extract t.posted ~pred
+let remove_unexpected t ~pred = fifo_extract t.unexpected ~pred
+
+let iter_posted t f =
+  fifo_norm t.posted;
+  List.iter f t.posted.front
+
+let iter_unexpected t f =
+  fifo_norm t.unexpected;
+  List.iter f t.unexpected.front

@@ -36,3 +36,16 @@ val peek_unexpected : t -> Tag_match.pattern -> Packet.envelope option
 
 val posted_length : t -> int
 val unexpected_length : t -> int
+
+val remove_posted : t -> pred:(posted -> bool) -> posted list
+(** Remove (and return, in arrival order) every posted receive matching
+    the predicate. Administrative — used by failure teardown and
+    communicator revocation — so no [queue_probe_ns] is charged. *)
+
+val remove_unexpected : t -> pred:(unexpected -> bool) -> unexpected list
+(** Same, over the unexpected queue. *)
+
+val iter_posted : t -> (posted -> unit) -> unit
+(** Visit every posted receive in arrival order (diagnostics). *)
+
+val iter_unexpected : t -> (unexpected -> unit) -> unit

@@ -192,6 +192,29 @@ let rec poll t ~rank =
 let stranded t =
   Hashtbl.fold (fun _ st acc -> acc + Queue.length st.unacked) t.txs 0
 
+(* A dead peer's sequence spaces are meaningless: frames toward it will
+   never be acked (abandoning them keeps [stranded] honest and stops the
+   retransmission pump from servicing a dead NIC), and frames from it
+   must not constrain a restarted incarnation, which starts again at
+   sequence 0. Dropping the state entirely covers both directions; a
+   fresh tx/rx pair is recreated on demand with matching zeros. *)
+let reset_peer t ~peer =
+  let dropped = ref 0 in
+  let involved (src, dst) = src = peer || dst = peer in
+  Hashtbl.iter
+    (fun k st -> if involved k then dropped := !dropped + Queue.length st.unacked)
+    t.txs;
+  let purge tbl =
+    let keys = Hashtbl.fold (fun k _ acc -> if involved k then k :: acc else acc) tbl [] in
+    List.iter (Hashtbl.remove tbl) keys
+  in
+  purge t.txs;
+  purge t.rxs;
+  if !dropped > 0 then
+    Trace.record t.env ~rank:peer ~op:"retx"
+      ~detail:(Printf.sprintf "abandoned %d frame(s) for dead rank %d" !dropped peer);
+  !dropped
+
 let wrap ?(config = default_config) ~env chan =
   let t =
     { env; cfg = config; chan; txs = Hashtbl.create 16;

@@ -48,3 +48,10 @@ val wrap_channel : ?config:config -> env:Simtime.Env.t -> Channel.t -> Channel.t
 val stranded : t -> int
 (** Frames still in retransmission queues (unacked). A clean run drains
     to 0; a partitioned run strands the frames the partition swallowed. *)
+
+val reset_peer : t -> peer:int -> int
+(** Drop every tx/rx state involving [peer], in both directions: frames
+    toward a dead rank stop retransmitting (and stop counting as
+    {!stranded}), and a restarted incarnation of the rank renegotiates
+    sequence numbers from zero. Returns the number of frames abandoned.
+    Called by the failure layer at declaration and at revive. *)

@@ -1,17 +1,27 @@
 type kind = Send_req | Recv_req | Coll_req
 
+type reason =
+  | Error of string
+  | Proc_failed of int
+  | Comm_revoked of int
+
+let reason_message = function
+  | Error msg -> msg
+  | Proc_failed r -> Printf.sprintf "process failure: rank %d is dead" r
+  | Comm_revoked ctx -> Printf.sprintf "communicator revoked (ctx %d)" ctx
+
 type t = {
   r_id : int;
   r_kind : kind;
   mutable r_complete : bool;
   mutable r_status : Status.t option;
-  mutable r_error : string option;
+  mutable r_reason : reason option;
   mutable r_callbacks : (unit -> unit) list;
 }
 
 let create ~id kind =
   { r_id = id; r_kind = kind; r_complete = false; r_status = None;
-    r_error = None; r_callbacks = [] }
+    r_reason = None; r_callbacks = [] }
 
 let id t = t.r_id
 let kind t = t.r_kind
@@ -32,16 +42,18 @@ let complete t status =
     fire_callbacks t
   end
 
-let fail t msg =
+let fail_reason t reason =
   if not t.r_complete then begin
     t.r_complete <- true;
     t.r_status <- None;
-    t.r_error <- Some msg;
+    t.r_reason <- Some reason;
     fire_callbacks t
   end
 
+let fail t msg = fail_reason t (Error msg)
 let status t = t.r_status
-let error t = t.r_error
+let reason t = t.r_reason
+let error t = Option.map reason_message t.r_reason
 
 let on_complete t f =
   if t.r_complete then f () else t.r_callbacks <- f :: t.r_callbacks

@@ -14,6 +14,18 @@ type kind =
           [is_complete], so the GC mark phase polls collective requests
           exactly like point-to-point ones. *)
 
+type reason =
+  | Error of string  (** categorized protocol error (truncation, NAK, ...) *)
+  | Proc_failed of int
+      (** the operation touched a peer (world rank) declared dead by the
+          failure detector — ULFM's [MPI_ERR_PROC_FAILED] *)
+  | Comm_revoked of int
+      (** the operation's communicator (context id) was revoked —
+          ULFM's [MPI_ERR_REVOKED] *)
+
+val reason_message : reason -> string
+(** Human-readable form (what {!error} returns for the reason). *)
+
 type t
 
 val create : id:int -> kind -> t
@@ -30,13 +42,23 @@ val fail : t -> string -> unit
 (** Complete the request with a categorized error instead of a status
     (e.g. truncation, rendezvous refused). Waiters surface the error as
     {!Ch3.Mpi_error}; callbacks still fire so tracking stays balanced.
-    No-op if the request already completed. *)
+    No-op if the request already completed. Equivalent to
+    [fail_reason t (Error msg)]. *)
+
+val fail_reason : t -> reason -> unit
+(** Complete the request with a typed failure reason. [Proc_failed] and
+    [Comm_revoked] are raised by waiters as {!Ft.Proc_failed} /
+    {!Ft.Revoked} so recovery code can branch without string matching.
+    First completion wins, as with {!complete}. *)
 
 val status : t -> Status.t option
 (** [Some] once a receive has completed. *)
 
+val reason : t -> reason option
+(** The typed failure reason, if the request was failed. *)
+
 val error : t -> string option
-(** The failure reason, if the request was completed by {!fail}. *)
+(** The failure reason as a message, if the request was failed. *)
 
 val on_complete : t -> (unit -> unit) -> unit
 (** Register a callback fired at completion (buffer-pool recycling, tests).

@@ -111,7 +111,30 @@ let with_policy ?record policy f =
   ambient := Some (make_driver ?record policy);
   Fun.protect ~finally:(fun () -> ambient := saved) f
 
-exception Deadlock of { policy : string; waiting : string list }
+exception
+  Deadlock of {
+    policy : string;
+    waiting : string list;
+    pending : string list;
+  }
+
+(* Diagnostics dumps: subsystems (the MPI device layer) register a
+   closure describing their pending operations; the deadlock report
+   concatenates them so a hang names the requests that never completed
+   (rank, kind, peer, tag, failure reason), not just the blocked wait
+   labels. Registrations are capped to the most recent few — worlds are
+   created per run and never unregister; a quiesced stale world
+   contributes nothing but must not accumulate without bound. *)
+let max_dumps = 8
+let dumps : (unit -> string list) list ref = ref []
+
+let register_deadlock_dump f =
+  dumps := f :: (if List.length !dumps >= max_dumps
+                 then List.filteri (fun i _ -> i < max_dumps - 1) !dumps
+                 else !dumps)
+
+let pending_dump () =
+  List.concat_map (fun f -> try f () with _ -> []) (List.rev !dumps)
 
 type blocked = {
   pred : unit -> bool;
@@ -236,6 +259,7 @@ let run ?policy ?record fibers =
                  {
                    policy = policy_name driver.d_policy;
                    waiting = List.map (fun b -> b.wlabel) still;
+                   pending = pending_dump ();
                  })
           else loop ()
       | _ ->

@@ -51,11 +51,25 @@ val policy_name : policy -> string
     in {!Deadlock} diagnostics so a failing schedule is reproducible from
     the error alone. *)
 
-exception Deadlock of { policy : string; waiting : string list }
+exception
+  Deadlock of {
+    policy : string;
+    waiting : string list;
+    pending : string list;
+  }
 (** Raised by {!run} when every live fiber is blocked and no predicate
-    can make progress. Carries the labels of the blocked waits and the
+    can make progress. Carries the labels of the blocked waits, the
     {!policy_name} of the active scheduling policy (with its seed), so a
-    deadlock found by exploration is reproducible from the report. *)
+    deadlock found by exploration is reproducible from the report — and
+    [pending], the registered subsystems' dumps of their incomplete
+    operations (per-rank posted receives, rendezvous in flight, hooks),
+    which is what makes a hang under a kill plan triageable. *)
+
+val register_deadlock_dump : (unit -> string list) -> unit
+(** Register a closure contributing lines to {!Deadlock}'s [pending]
+    dump ({!Mpi.create_world} registers one per world, describing every
+    device's pending requests). Only the most recent registrations are
+    kept (bounded); a dump that raises contributes nothing. *)
 
 val run :
   ?policy:policy -> ?record:trace -> (string * (unit -> unit)) list -> unit

@@ -294,6 +294,11 @@ module Key = struct
   let fault_dups = "fault_dups"
   let fault_delays = "fault_delays"
   let fault_corrupts = "fault_corrupts"
+  let proc_kills = "proc_kills"
+  let proc_detections = "proc_detections"
+  let ft_silenced = "ft_silenced"
+  let checkpoints = "checkpoints"
+  let restores = "restores"
   let ser_objects = "ser_objects"
   let deser_objects = "deser_objects"
   let visited_probes = "visited_probes"
@@ -306,6 +311,7 @@ module Key = struct
   let h_ch3_eager = "ch3/eager_send_ns"
   let h_ch3_rndv = "ch3/rndv_send_ns"
   let h_ch3_retransmit = "ch3/retransmit_backoff_ns"
+  let h_ft_detect = "ft/detect_latency_ns"
   let h_sched_step = "sched/step_ns"
   let h_gc_young_pause = "gc/young_pause_ns"
   let h_gc_full_pause = "gc/full_pause_ns"

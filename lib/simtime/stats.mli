@@ -137,6 +137,22 @@ module Key : sig
   val fault_corrupts : string
   (** Packets whose bits were flipped by the fault-injection channel. *)
 
+  val proc_kills : string
+  (** Ranks torn down by a fail-stop kill event ({!Fault.kill}). *)
+
+  val proc_detections : string
+  (** Rank failures declared by the heartbeat/timeout detector. *)
+
+  val ft_silenced : string
+  (** Packets dropped because an endpoint (sender or receiver) is a dead
+      rank — the failure layer's silencer. *)
+
+  val checkpoints : string
+  (** VM-state checkpoints taken (serialized heap images stored). *)
+
+  val restores : string
+  (** VM-state restores (checkpoint images deserialized into a heap). *)
+
   val ser_objects : string
   val deser_objects : string
   val visited_probes : string
@@ -155,6 +171,10 @@ module Key : sig
 
   val h_ch3_retransmit : string
   (** The backoff that elapsed before each go-back-N retransmission. *)
+
+  val h_ft_detect : string
+  (** Failure-detection latency: kill event to the detector declaring the
+      rank dead. *)
 
   val h_sched_step : string
   (** Collective schedule step dispatch; per-algorithm variants live under

@@ -76,6 +76,82 @@ let test_planted_bug_shrinks_to_small_replayable_trace () =
         (E.run_one fixed (Policy.Replay mini))
 
 (* ------------------------------------------------------------------ *)
+(* The planted detector bug                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_planted_detector_bug_caught_and_shrunk () =
+  let buggy = E.planted_detector_bug ~buggy:true in
+  (* Unlike the planted race, the misconfigured detector fails under
+     every schedule — including the round-robin baseline. *)
+  let base = E.run_one buggy Policy.Round_robin in
+  Alcotest.(check bool)
+    "violation names the planted detector bug" true
+    (List.exists
+       (fun v -> v.Check.Invariant.inv = "planted-detector")
+       base.E.o_violations);
+  let mini = E.minimize_failure buggy base.E.o_trace in
+  let replayed = E.run_one buggy (Policy.Replay mini) in
+  Alcotest.(check bool) "shrunk trace still fails" true (E.failed replayed);
+  check_clean "fixed detector under the failing schedule"
+    (E.run_one (E.planted_detector_bug ~buggy:false) (Policy.Replay mini))
+
+let test_fixed_detector_passes_under_random_schedules () =
+  let fixed = E.planted_detector_bug ~buggy:false in
+  for s = 1 to 10 do
+    check_clean
+      (Printf.sprintf "sane detector under seed %d" s)
+      (E.run_one fixed (Policy.Seeded_random s))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Rank death under the recovery loop                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_kill_workloads_clean_over_seeds_and_faults () =
+  let report =
+    E.explore ~faults:true ~workloads:(E.kill_workloads ()) ~seeds:8 ()
+  in
+  List.iter
+    (fun o ->
+      Alcotest.failf "%s under %s%s: %s" o.E.o_workload
+        (Policy.name o.E.o_policy)
+        (match o.E.o_fault_seed with
+        | Some s -> Printf.sprintf " x fault(seed=%d)" s
+        | None -> "")
+        (violations_line o))
+    report.E.r_failures
+
+let test_survivor_convergence_oracle () =
+  let module I = Check.Invariant in
+  let names vs = List.map (fun v -> v.I.inv) vs in
+  (* Converged: both survivors agree; the dead rank 2 reported nothing. *)
+  Alcotest.(check (list string))
+    "agreement passes" []
+    (names
+       (I.survivor_convergence ~survivors:[ 0; 1 ]
+          [ (0, [| 0; 1 |], "3"); (1, [| 0; 1 |], "3") ]));
+  (* A member that died after the last attempt may linger in the
+     membership; survivors still agree. *)
+  Alcotest.(check (list string))
+    "stale membership naming the dead rank still passes" []
+    (names
+       (I.survivor_convergence ~survivors:[ 0; 1 ]
+          [ (0, [| 0; 1; 2 |], "6"); (1, [| 0; 1; 2 |], "6") ]));
+  let bad reports = names (I.survivor_convergence ~survivors:[ 0; 1 ] reports) in
+  Alcotest.(check bool)
+    "missing report flagged" true
+    (bad [ (0, [| 0; 1 |], "3") ] <> []);
+  Alcotest.(check bool)
+    "value disagreement flagged" true
+    (bad [ (0, [| 0; 1 |], "3"); (1, [| 0; 1 |], "4") ] <> []);
+  Alcotest.(check bool)
+    "membership disagreement flagged" true
+    (bad [ (0, [| 0; 1 |], "3"); (1, [| 0; 1; 2 |], "3") ] <> []);
+  Alcotest.(check bool)
+    "non-member reporter flagged" true
+    (bad [ (0, [| 1 |], "3"); (1, [| 1 |], "3") ] <> [])
+
+(* ------------------------------------------------------------------ *)
 (* Exploration of the real workloads                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -195,6 +271,20 @@ let () =
             test_fixed_variant_passes_under_random_schedules;
           Alcotest.test_case "shrinks to a small replayable trace" `Quick
             test_planted_bug_shrinks_to_small_replayable_trace;
+        ] );
+      ( "planted detector bug",
+        [
+          Alcotest.test_case "caught at baseline and shrunk" `Quick
+            test_planted_detector_bug_caught_and_shrunk;
+          Alcotest.test_case "fixed detector passes" `Quick
+            test_fixed_detector_passes_under_random_schedules;
+        ] );
+      ( "rank death",
+        [
+          Alcotest.test_case "kill workloads clean over seeds x faults"
+            `Quick test_kill_workloads_clean_over_seeds_and_faults;
+          Alcotest.test_case "survivor-convergence oracle" `Quick
+            test_survivor_convergence_oracle;
         ] );
       ( "exploration",
         [

@@ -43,7 +43,7 @@ let test_deadlock_detected () =
        [
          ("stuck", fun () -> Fiber.wait_until ~label:"never" (fun () -> false));
        ]
-   with Fiber.Deadlock { policy; waiting } ->
+   with Fiber.Deadlock { policy; waiting; _ } ->
      saw := waiting;
      pol := policy);
   Alcotest.(check (list string)) "labels reported" [ "stuck/never" ] !saw;
@@ -230,7 +230,7 @@ let test_deadlock_reports_seed () =
         ("also", fun () -> Fiber.yield ());
       ];
     Alcotest.fail "expected deadlock"
-  with Fiber.Deadlock { policy; waiting } ->
+  with Fiber.Deadlock { policy; waiting; _ } ->
     Alcotest.(check string) "policy names the seed" "seeded-random(seed=1234)"
       policy;
     Alcotest.(check (list string)) "waiting labels" [ "stuck/never" ] waiting

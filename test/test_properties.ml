@@ -1,6 +1,7 @@
 (* Cross-cutting property tests: typed storage roundtrips over every
    primitive type (including boundary values), serializer idempotence,
-   and agreement between the two visited structures on arbitrary graphs. *)
+   agreement between the two visited structures on arbitrary graphs,
+   corpus trace-file round-trips and checkpoint save/restore. *)
 
 module Om = Vm.Object_model
 module Gc = Vm.Gc
@@ -8,6 +9,8 @@ module Classes = Vm.Classes
 module Types = Vm.Types
 module Runtime = Vm.Runtime
 module Ser = Motor.Serializer
+module Corpus = Check.Corpus
+module Ckpt = Motor.Checkpoint
 
 (* Representative and boundary values per primitive type. *)
 let int_values_for = function
@@ -350,6 +353,107 @@ let prop_split_parts_cover_disjointly =
         segs;
       Hashtbl.length seen = len)
 
+(* --- Corpus trace files ------------------------------------------- *)
+
+(* The parser trims every line and drops blank ones, so only trim-stable,
+   newline-free fields round-trip — which is all the explorer ever
+   writes. The generators stay inside that contract. *)
+let gen_entry =
+  let open QCheck.Gen in
+  let ident =
+    string_size
+      ~gen:(oneofl [ 'a'; 'g'; 'k'; 'r'; 'z'; '0'; '7'; '_'; '-' ])
+      (int_range 1 12)
+  in
+  let note =
+    map String.trim
+      (string_size
+         ~gen:(oneofl [ 's'; 'e'; 'd'; '7'; ' '; '('; ')'; '='; ',' ])
+         (int_range 0 24))
+  in
+  map
+    (fun (w, (ef, (n, (f, ds)))) ->
+      {
+        Corpus.c_workload = w;
+        c_expect = (if ef then Corpus.Must_fail else Corpus.Must_pass);
+        c_note = n;
+        c_fault = f;
+        c_decisions = ds;
+      })
+    (pair ident
+       (pair bool
+          (pair note
+             (pair
+                (opt (int_range 0 10_000))
+                (list_size (int_range 0 40) (int_range 0 64))))))
+
+let arb_entry = QCheck.make gen_entry ~print:Corpus.to_string
+
+let prop_corpus_round_trip =
+  QCheck.Test.make ~name:"corpus entries survive to_string/of_string"
+    ~count:200 arb_entry
+    (fun e -> Corpus.of_string (Corpus.to_string e) = e)
+
+(* Six ways to damage a well-formed trace; each must be rejected with a
+   "corpus:" diagnostic, never accepted or crashed on. *)
+let mutate k text =
+  let lines = String.split_on_char '\n' text in
+  let without pfx =
+    List.filter (fun l -> not (String.starts_with ~prefix:pfx l)) lines
+  in
+  match k with
+  | 0 -> String.concat "\n" (List.tl lines) (* magic header gone *)
+  | 1 ->
+      String.concat "\n"
+        (List.map
+           (fun l ->
+             if String.starts_with ~prefix:"expect " l then "expect maybe"
+             else l)
+           lines)
+  | 2 -> text ^ "fault zz\n"
+  | 3 -> text ^ "decisions 1 x 2\n" (* later line wins, and is malformed *)
+  | 4 -> String.concat "\n" (without "decisions")
+  | _ -> String.concat "\n" (without "workload")
+
+let prop_corpus_rejects_mutants =
+  QCheck.Test.make
+    ~name:"damaged corpus files fail with a corpus: diagnostic" ~count:200
+    QCheck.(pair arb_entry (int_range 0 5))
+    (fun (e, k) ->
+      match Corpus.of_string (mutate k (Corpus.to_string e)) with
+      | exception Failure msg -> String.starts_with ~prefix:"corpus:" msg
+      | _ -> false)
+
+(* --- Checkpoint round-trip ---------------------------------------- *)
+
+(* Save, restore into the same heap, save again: the rebuilt graph must
+   re-serialize to the byte-identical image (digest-equal), and restore
+   must hand back the step the image was taken at. Runs over the same
+   random graphs as the serializer properties, inside a 1-rank world so
+   the device state is quiescent (the only kind of image the store
+   accepts). *)
+let prop_checkpoint_round_trip =
+  QCheck.Test.make
+    ~name:"checkpoint restore rebuilds a digest-identical heap" ~count:30
+    QCheck.(pair (int_range 1 25) (int_range 0 40))
+    (fun (n, seed) ->
+      let w = Motor.World.create ~n:1 () in
+      let ok = ref false in
+      Motor.World.run w (fun ctx ->
+          let gc = Motor.World.gc ctx in
+          let root = build gc (Motor.World.registry ctx) ~n ~seed in
+          let store = Ckpt.create_store () in
+          let img = Ckpt.save store ctx ~step:3 root in
+          let copy, step = Ckpt.restore store ctx in
+          let again = Ckpt.save store ctx ~step:4 copy in
+          ok :=
+            step = 3
+            && String.equal img.Ckpt.i_digest (Ckpt.digest img.Ckpt.i_data)
+            && String.equal img.Ckpt.i_digest again.Ckpt.i_digest;
+          Om.free gc copy;
+          Om.free gc root);
+      !ok)
+
 let () =
   Alcotest.run "properties"
     [
@@ -369,4 +473,11 @@ let () =
             prop_mixed_transport_roundtrip_isomorphic;
           QCheck_alcotest.to_alcotest prop_mixed_transport_strategies_agree;
         ] );
+      ( "corpus format",
+        [
+          QCheck_alcotest.to_alcotest prop_corpus_round_trip;
+          QCheck_alcotest.to_alcotest prop_corpus_rejects_mutants;
+        ] );
+      ( "checkpoint",
+        [ QCheck_alcotest.to_alcotest prop_checkpoint_round_trip ] );
     ]

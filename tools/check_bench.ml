@@ -1,7 +1,11 @@
 (* CI perf gate: compare a fresh BENCH_results.json against the checked-in
    baseline and fail on wall-clock regressions.
 
-   Usage: check_bench CURRENT BASELINE
+   Usage: check_bench CURRENT BASELINE [--update-baseline]
+
+   --update-baseline prints the usual comparison, then overwrites
+   BASELINE with CURRENT and exits 0 — the reseed path when a PR adds
+   bench groups (no hand-editing of the JSON).
 
    Both files are the output of `bench/main.exe --json` — a fixed shape
    {"schema":1,"unit":"ns/run","groups":{"<group>":{"<test>":ns}}}. Only
@@ -13,7 +17,7 @@
    retire its own gate). New tests absent from the baseline pass with a
    note — the baseline is reseeded whenever a PR adds benches. *)
 
-let gated = [ "fig9"; "fig10"; "collectives" ]
+let gated = [ "fig9"; "fig10"; "collectives"; "resilience" ]
 let threshold = 1.25
 
 (* --- A minimal recursive-descent JSON parser (numbers, strings, objects,
@@ -223,13 +227,17 @@ let groups_of path =
       exit 2
 
 let () =
-  (match Sys.argv with
-  | [| _; _; _ |] -> ()
-  | _ ->
-      Printf.eprintf "usage: check_bench CURRENT BASELINE\n";
-      exit 2);
-  let current = groups_of Sys.argv.(1) in
-  let baseline = groups_of Sys.argv.(2) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let update = List.mem "--update-baseline" args in
+  let current_path, baseline_path =
+    match List.filter (fun a -> a <> "--update-baseline") args with
+    | [ c; b ] -> (c, b)
+    | _ ->
+        Printf.eprintf "usage: check_bench CURRENT BASELINE [--update-baseline]\n";
+        exit 2
+  in
+  let current = groups_of current_path in
+  let baseline = groups_of baseline_path in
   let failures = ref 0 in
   let checked = ref 0 in
   Printf.printf "%-45s %12s %12s %8s  %s\n" "benchmark" "baseline ns"
@@ -269,7 +277,20 @@ let () =
             cur_tests)
     gated;
   Printf.printf "%s\n" (String.make 90 '-');
-  if !failures > 0 then begin
+  if update then begin
+    (* Reseed: the comparison above is informational; the current run
+       becomes the new baseline verbatim. *)
+    let oc =
+      try open_out_bin baseline_path
+      with Sys_error msg ->
+        Printf.eprintf "check_bench: cannot write %s: %s\n" baseline_path msg;
+        exit 2
+    in
+    output_string oc (read_file current_path);
+    close_out oc;
+    Printf.printf "baseline %s reseeded from %s\n" baseline_path current_path
+  end
+  else if !failures > 0 then begin
     Printf.printf
       "perf gate: %d of %d gated benchmarks regressed beyond %.0f%%\n"
       !failures !checked ((threshold -. 1.0) *. 100.0);
