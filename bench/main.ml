@@ -357,6 +357,54 @@ let icoll_group =
           ignore (Mpi_core.Mpi.wait p req));
     ]
 
+(* Hierarchical (two-level) collectives on a 4-node x 4-core world: the
+   shard-reduce + leader-exchange + bcast pipeline against the flat
+   algorithm on the same world, plus the O(1) sparse-descriptor hot
+   path the 64k-rank scale sweep leans on. *)
+let hier_bench name f =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let env = Simtime.Env.create ~cost:Simtime.Cost.native_cpp () in
+         ignore
+           (Mpi_core.Mpi.run ~env
+              ~topology:(Simtime.Topology.make ~nodes:4 ~cores:4)
+              ~n:16
+              (fun p ->
+                let comm =
+                  Mpi_core.Mpi.comm_world (Mpi_core.Mpi.world_of p)
+                in
+                f p comm))))
+
+let hier_group =
+  let module C = Mpi_core.Collectives in
+  Test.make_grouped ~name:"hier"
+    [
+      hier_bench "allreduce-hier-16x4KiB" (fun p comm ->
+          ignore
+            (C.allreduce ~algo:`Hier p comm ~op:C.sum_i64
+               (Bytes.create 4096)));
+      hier_bench "allreduce-rd-16x4KiB" (fun p comm ->
+          ignore
+            (C.allreduce ~algo:`Rd p comm ~op:C.sum_i64 (Bytes.create 4096)));
+      hier_bench "bcast-hier-16x64KiB" (fun p comm ->
+          C.bcast ~algo:`Hier p comm ~root:0
+            (Mpi_core.Buffer_view.of_bytes (Bytes.create 65536)));
+      hier_bench "barrier-hier-16" (fun p comm -> C.barrier ~algo:`Hier p comm);
+      Test.make ~name:"comm-64k-sparse-lookups"
+        (Staged.stage (fun () ->
+             (* Descriptor construction plus 1024 membership probes on a
+                65536-rank communicator: no O(world) array may appear. *)
+             let c = Mpi_core.Comm.range ~ctx:0 ~start:0 ~count:65536 () in
+             let acc = ref 0 in
+             for i = 0 to 1023 do
+               acc := !acc + Mpi_core.Comm.world_rank_of c (i * 64);
+               match Mpi_core.Comm.comm_rank_of c (i * 63) with
+               | Some r -> acc := !acc + r
+               | None -> ()
+             done;
+             ignore !acc));
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Runner                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -366,7 +414,7 @@ let all_tests =
     [
       fig9_group; fig10_group; tabb_group; abl_group; fault_group;
       resilience_group; serializer_group; serializer_scaling_group;
-      gc_group; mpi_group; coll_group; icoll_group;
+      gc_group; mpi_group; coll_group; icoll_group; hier_group;
     ]
 
 let benchmark () =

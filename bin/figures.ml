@@ -367,6 +367,59 @@ let run_overlap ~quick ~csv =
   | None -> ());
   if not ok then Stdlib.exit 1
 
+(* Scale sweep: the two-level allreduce at 1k-64k simulated ranks, each
+   row checked against the analytic message and round model. *)
+let scale_headers =
+  [
+    "algo"; "ranks"; "nodes"; "cores"; "bytes"; "time us"; "msgs intra";
+    "msgs inter"; "rounds"; "model msgs"; "model rounds"; "ok";
+  ]
+
+let run_scale ~quick ~out =
+  let points = Harness.Experiments.scale_sweep ~quick () in
+  let rows =
+    List.map
+      (fun (p : Experiments.scale_point) ->
+        ( p.Experiments.sc_algo,
+          [
+            Table.Num (float_of_int p.Experiments.sc_ranks);
+            Table.Num (float_of_int p.Experiments.sc_nodes);
+            Table.Num (float_of_int p.Experiments.sc_cores);
+            Table.Num (float_of_int p.Experiments.sc_bytes);
+            Table.Num p.Experiments.sc_time_us;
+            Table.Num (float_of_int p.Experiments.sc_msgs_intra);
+            Table.Num (float_of_int p.Experiments.sc_msgs_inter);
+            Table.Num (float_of_int p.Experiments.sc_rounds);
+            Table.Num (float_of_int p.Experiments.sc_model_msgs);
+            Table.Num (float_of_int p.Experiments.sc_model_rounds);
+            Table.Text (if Experiments.scale_ok p then "yes" else "NO");
+          ] ))
+      points
+  in
+  Table.print_table
+    ~title:
+      "Scale sweep: two-level allreduce vs the analytic model (8 B, 64 \
+       ranks/node)"
+    ~headers:scale_headers ~rows ();
+  let bad = List.filter (fun p -> not (Experiments.scale_ok p)) points in
+  if bad = [] then
+    Format.printf
+      "scale check: every row matches the analytic round/message model@."
+  else
+    List.iter
+      (fun (p : Experiments.scale_point) ->
+        Format.printf
+          "SCALE CHECK FAILED: %s at %d ranks measured %d msgs / %d rounds, \
+           model says %d / %d@."
+          p.Experiments.sc_algo p.Experiments.sc_ranks
+          (p.Experiments.sc_msgs_intra + p.Experiments.sc_msgs_inter)
+          p.Experiments.sc_rounds p.Experiments.sc_model_msgs
+          p.Experiments.sc_model_rounds)
+      bad;
+  Table.write_csv ~path:out ~headers:scale_headers ~rows;
+  Format.printf "csv written to %s@." out;
+  if bad <> [] then Stdlib.exit 1
+
 let ensure_dir path =
   if path <> "" && path <> "." && not (Sys.file_exists path) then
     Sys.mkdir path 0o755
@@ -401,7 +454,11 @@ let run_killsweep ~quick ~seeds ~out =
           incr failures;
           incr wfail
         end;
-        let k = E.kill_of_fault ~seed:(Some seed) ~n:4 in
+        let victims =
+          if E.name w = "kill_hier_leader" then Some E.hier_leader_victims
+          else None
+        in
+        let k = E.kill_of_fault ?victims ~seed:(Some seed) ~n:4 () in
         let violations =
           String.map
             (fun c -> if c = ',' || c = '\n' then ';' else c)
@@ -679,6 +736,18 @@ let coll_cmd =
   cmd_of "coll" "Collective algorithm sweep: latency vs ranks x payload."
     Term.(const (fun quick csv -> run_coll ~quick ~csv) $ quick $ csv)
 
+let scale_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "results/scale_sweep.csv"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the CSV.")
+  in
+  cmd_of "scale"
+    "Scale sweep: the two-level allreduce at 1k-64k simulated ranks, \
+     checked against the analytic round/message model; exit 1 on mismatch."
+    Term.(const (fun quick out -> run_scale ~quick ~out) $ quick $ out)
+
 let overlap_cmd =
   cmd_of "overlap"
     "Overlap sweep: nonblocking collectives vs the blocking baseline."
@@ -720,6 +789,6 @@ let () =
        (Cmd.group info
           [
             fig9_cmd; fig10_cmd; taba_cmd; tabb_cmd; ablations_cmd;
-            faults_cmd; killsweep_cmd; coll_cmd; overlap_cmd; profile_cmd;
-            all_cmd; check_cmd; report_cmd;
+            faults_cmd; killsweep_cmd; coll_cmd; overlap_cmd; scale_cmd;
+            profile_cmd; all_cmd; check_cmd; report_cmd;
           ]))

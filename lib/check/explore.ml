@@ -164,6 +164,89 @@ let allreduce_chain_run ~fault ~quick =
   (digest, bad)
 
 (* ------------------------------------------------------------------ *)
+(* Workload: two-level collectives on a multi-node topology            *)
+(* ------------------------------------------------------------------ *)
+
+(* A 2x2-node world, so [`Auto] routes every collective through the
+   hierarchical (shard + leader) algorithms: chained allreduces, an
+   explicit `Hier-vs-`Linear cross-check, a non-commutative fold and a
+   bcast from a non-leader root, digested for schedule invariance. *)
+let hier_allreduce_run ~fault ~quick =
+  let nodes = 2 and cores = 2 in
+  let n = nodes * cores in
+  let rounds = if quick then 2 else 4 in
+  let w =
+    Mpi.create_world ?fault
+      ~topology:(Simtime.Topology.make ~nodes ~cores)
+      ~n ()
+  in
+  let mon = Invariant.attach w in
+  let comm = Mpi.comm_world w in
+  let finals = Array.make n 0L in
+  let bcasts = Array.make n Bytes.empty in
+  let semantic = ref [] in
+  let body r () =
+    let p = Mpi.proc w r in
+    let acc = ref (Int64.of_int ((r * 3) + 1)) in
+    for round = 1 to rounds do
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0
+        (Int64.add !acc (Int64.of_int (round * (r + 2))));
+      (* `Auto: hierarchical, multi-node topology. *)
+      let out = Collectives.allreduce p comm ~op:Collectives.sum_i64 b in
+      acc := Bytes.get_int64_le out 0
+    done;
+    finals.(r) <- !acc;
+    (* The two-level result must equal the flat oracle's, including for
+       a non-commutative operator (rank-order fold across shards). *)
+    let hier =
+      Collectives.allreduce ~algo:`Hier ~commutative:false p comm
+        ~op:matmul (matrix_of_rank r)
+    in
+    let flat =
+      Collectives.allreduce ~algo:`Linear ~commutative:false p comm
+        ~op:matmul (matrix_of_rank r)
+    in
+    if not (Bytes.equal hier flat) then
+      semantic :=
+        Invariant.v "hier-oracle"
+          "rank %d: hierarchical allreduce differs from the flat oracle" r
+        :: !semantic;
+    Collectives.barrier p comm;
+    (* Bcast from a non-leader root exercises the relocation hop. *)
+    let bb =
+      if r = n - 1 then
+        Bytes.init 12 (fun i -> Char.chr (((i * 13) + 5) land 0xff))
+      else Bytes.create 12
+    in
+    Collectives.bcast p comm ~root:(n - 1) (Bv.of_bytes bb);
+    bcasts.(r) <- Bytes.copy bb
+  in
+  Fiber.run (List.init n (fun r -> (Printf.sprintf "hier%d" r, body r)));
+  Array.iteri
+    (fun r f ->
+      if f <> finals.(0) then
+        semantic :=
+          Invariant.v "agreement" "rank %d ended with %Ld, rank 0 with %Ld"
+            r f finals.(0)
+          :: !semantic)
+    finals;
+  let digest =
+    Digest.to_hex
+      (Digest.string
+         (String.concat ","
+            (Array.to_list (Array.map Int64.to_string finals))
+         ^ "|"
+         ^ String.concat "," (Array.to_list (Array.map Bytes.to_string bcasts))))
+  in
+  let bad =
+    Invariant.order_violations mon @ Invariant.quiescence w
+    @ List.rev !semantic
+  in
+  Invariant.detach mon;
+  (digest, bad)
+
+(* ------------------------------------------------------------------ *)
 (* Workload: overlapping nonblocking collectives + point-to-point      *)
 (* ------------------------------------------------------------------ *)
 
@@ -337,20 +420,26 @@ let kill_ranks = 4
    the round, others see [Proc_failed]; reconciling that asymmetry is
    what [comm_agree] is for), or after the work finished (no failure
    observed at all, the rank simply exits). Without a fault seed the
-   victim is the last rank, killed at its first operation. *)
-let kill_of_fault ~seed ~n =
+   victim is the last rank, killed at its first operation. When
+   [victims] restricts the candidate set (e.g. to shard leaders), the
+   seed draws an index into that list instead of a raw rank. *)
+let kill_of_fault ?victims ~seed ~n () =
+  let candidates =
+    match victims with None -> List.init n Fun.id | Some vs -> vs
+  in
+  let k = List.length candidates in
   match seed with
-  | None -> Fault.kill ~rank:(n - 1) ~at_ns:1_000.0 ()
+  | None -> Fault.kill ~rank:(List.nth candidates (k - 1)) ~at_ns:1_000.0 ()
   | Some s ->
-      let rank =
-        min (n - 1)
+      let idx =
+        min (k - 1)
           (int_of_float
-             (Fault.draw ~seed:s ~packet:0 ~salt:901 *. float_of_int n))
+             (Fault.draw ~seed:s ~packet:0 ~salt:901 *. float_of_int k))
       in
       let at_ns =
         500.0 +. (Fault.draw ~seed:s ~packet:0 ~salt:902 *. 80_000.0)
       in
-      Fault.kill ~rank ~at_ns ()
+      Fault.kill ~rank:(List.nth candidates idx) ~at_ns ()
 
 (* The uniform ULFM recovery loop: attempt the work, agree on whether
    every member succeeded, and on any failure revoke, shrink and retry
@@ -380,17 +469,21 @@ let recover p comm work =
    final membership. The digest is constant: which ranks survive depends
    on the fault seed, so correctness is judged by the invariants, not by
    comparing against the no-fault baseline digest. *)
-let kill_run ~wname ~work ~oracle ~fault ~quick:_ =
+let kill_run ?topology ?victims ~wname ~work ~oracle ~fault ~quick:_ () =
   let n = kill_ranks in
   let kill =
-    kill_of_fault ~seed:(Option.map (fun p -> p.Fault.seed) fault) ~n
+    kill_of_fault ?victims
+      ~seed:(Option.map (fun p -> p.Fault.seed) fault)
+      ~n ()
   in
   let plan =
     match fault with
     | Some p -> { p with Fault.kills = [ kill ] }
     | None -> Fault.plan ~kills:[ kill ] ()
   in
-  let w = Mpi.create_world ~fault:plan ~detector:sweep_detector ~n () in
+  let w =
+    Mpi.create_world ?topology ~fault:plan ~detector:sweep_detector ~n ()
+  in
   let mon = Invariant.attach w in
   let reports = ref [] in
   let semantic = ref [] in
@@ -399,7 +492,7 @@ let kill_run ~wname ~work ~oracle ~fault ~quick:_ =
     let comm = ref (Mpi.comm_world w) in
     let value = ref 0L in
     recover p comm (fun c -> work p c value);
-    let members = Array.copy !comm.Comm.members in
+    let members = Comm.members !comm in
     let expect = oracle members in
     if !value <> expect then
       semantic :=
@@ -447,7 +540,7 @@ let kill_allreduce_run ~fault ~quick =
       (fun acc m -> Int64.add acc (Int64.of_int (m + 1)))
       0L members
   in
-  kill_run ~wname:"killall" ~work ~oracle ~fault ~quick
+  kill_run ~wname:"killall" ~work ~oracle ~fault ~quick ()
 
 (* Point-to-point flavor: a ring allreduce by token passing, so failures
    surface on pairwise operations (and on ranks not adjacent to the
@@ -477,7 +570,34 @@ let kill_p2p_run ~fault ~quick =
       (fun acc m -> Int64.add acc (Int64.of_int ((m + 1) * 7)))
       0L members
   in
-  kill_run ~wname:"killp2p" ~work ~oracle ~fault ~quick
+  kill_run ~wname:"killp2p" ~work ~oracle ~fault ~quick ()
+
+(* Hierarchical flavor: the summing allreduce again, but on a 2x2-node
+   topology with the victim drawn from the shard leaders (ranks 0 and 2).
+   Killing a leader tears the two-level schedule at its fan-in point;
+   after the shrink the survivors form either an uneven contiguous
+   communicator (victim 0 -> {1,2,3}, still hierarchical with a short
+   first shard) or a non-contiguous one (victim 2 -> {0,1,3}, which falls
+   back to the flat algorithms) — the recovery retry must converge on
+   both shapes. *)
+let hier_leader_victims = [ 0; 2 ]
+
+let kill_hier_leader_run ~fault ~quick =
+  let work p c value =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int (Mpi.rank p + 1));
+    let out = Collectives.allreduce p c ~op:Collectives.sum_i64 b in
+    value := Bytes.get_int64_le out 0
+  in
+  let oracle members =
+    Array.fold_left
+      (fun acc m -> Int64.add acc (Int64.of_int (m + 1)))
+      0L members
+  in
+  kill_run
+    ~topology:(Simtime.Topology.make ~nodes:2 ~cores:2)
+    ~victims:hier_leader_victims ~wname:"killhier" ~work ~oracle ~fault
+    ~quick ()
 
 (* ------------------------------------------------------------------ *)
 (* Workload: the planted detector bug (harness self-test)              *)
@@ -642,6 +762,12 @@ let kill_workload_entries =
       w_default = false;
       w_run = kill_p2p_run;
     };
+    {
+      w_name = "kill_hier_leader";
+      w_faultable = true;
+      w_default = false;
+      w_run = kill_hier_leader_run;
+    };
   ]
 
 let kill_workloads () = kill_workload_entries
@@ -659,6 +785,12 @@ let registry =
       w_faultable = true;
       w_default = true;
       w_run = allreduce_chain_run;
+    };
+    {
+      w_name = "hier_allreduce";
+      w_faultable = true;
+      w_default = true;
+      w_run = hier_allreduce_run;
     };
     {
       w_name = "icoll_overlap";

@@ -20,10 +20,14 @@ val default_workloads : unit -> workload list
 (** The exploration set: [ring] (sendrecv rounds plus a synchronous-mode
     neighbour exchange, so the rendezvous path is exercised),
     [allreduce_chain] (chained allreduce plus a non-commutative reduce
-    against the rank-order oracle), [icoll_overlap] (ibarrier + ibcast +
-    iallreduce + point-to-point all in flight, completed by one
-    [wait_all]) and [osend_gc] (OSend/ORecv and zero-copy transfers with
-    collections forced mid-flight, checking the pin table drains). *)
+    against the rank-order oracle), [hier_allreduce] (two-level
+    collectives on a 2x2-node topology: chained [`Auto] allreduces that
+    route through the hierarchical algorithms, a [`Hier]-vs-[`Linear]
+    cross-check on a non-commutative operator, a barrier and a bcast from
+    a non-leader root), [icoll_overlap] (ibarrier + ibcast + iallreduce +
+    point-to-point all in flight, completed by one [wait_all]) and
+    [osend_gc] (OSend/ORecv and zero-copy transfers with collections
+    forced mid-flight, checking the pin table drains). *)
 
 val all_workloads : unit -> workload list
 (** {!default_workloads} plus the planted-bug and planted-detector-bug
@@ -55,7 +59,11 @@ val planted_detector_bug : buggy:bool -> workload
     compute phase, and passes under every schedule. *)
 
 val kill_workloads : unit -> workload list
-(** The rank-death workloads ("kill_allreduce", "kill_p2p"): [4]-rank
+(** The rank-death workloads ("kill_allreduce", "kill_p2p",
+    "kill_hier_leader" — the latter on a 2x2-node topology with the
+    victim drawn from the shard leaders, so the two-level schedule is
+    torn at its fan-in point and the shrunken communicator exercises
+    both the uneven-shard and flat-fallback paths): [4]-rank
     jobs that run their work inside the uniform ULFM recovery loop
     (attempt, [comm_agree] on the outcome, on failure revoke + shrink +
     retry over the survivors) under a fault plan extended with one
@@ -67,12 +75,20 @@ val kill_workloads : unit -> workload list
     exploration set — the kill sweep ([figures killsweep], CI) drives
     them across seeds. *)
 
-val kill_of_fault : seed:int option -> n:int -> Mpi_core.Fault.kill
+val hier_leader_victims : int list
+(** The shard-leader ranks "kill_hier_leader" draws its victim from
+    (exposed so the sweep CSV annotates that workload's rows with the
+    right victim). *)
+
+val kill_of_fault :
+  ?victims:int list -> seed:int option -> n:int -> unit -> Mpi_core.Fault.kill
 (** The kill a fault seed implies for an [n]-rank kill workload: victim
-    uniform over ranks, time uniform over the workload's active window
-    (so sweeps hit pre-operation, mid-collective and after-completion
-    deaths). [None] (no fault seed) kills the last rank at its first
-    operation. Exposed so the sweep CSV can annotate rows. *)
+    uniform over ranks (or over [victims] when a workload restricts the
+    candidate set, e.g. to shard leaders), time uniform over the
+    workload's active window (so sweeps hit pre-operation, mid-collective
+    and after-completion deaths). [None] (no fault seed) kills the last
+    candidate at its first operation. Exposed so the sweep CSV can
+    annotate rows. *)
 
 type outcome = {
   o_workload : string;

@@ -652,3 +652,115 @@ let coll_sweep ?(ranks = default_coll_ranks) ?(sizes = default_coll_sizes) ()
             ])
         sizes)
     ranks
+
+(* ------------------------------------------------------------------ *)
+(* Scale sweep: two-level collectives at 1k-64k simulated ranks        *)
+(* ------------------------------------------------------------------ *)
+
+type scale_point = {
+  sc_ranks : int;
+  sc_nodes : int;
+  sc_cores : int;
+  sc_bytes : int;
+  sc_algo : string;
+  sc_time_us : float;
+  sc_msgs_intra : int;
+  sc_msgs_inter : int;
+  sc_rounds : int;
+  sc_model_msgs : int;
+  sc_model_rounds : int;
+}
+
+let scale_ok p =
+  p.sc_msgs_intra + p.sc_msgs_inter = p.sc_model_msgs
+  && p.sc_rounds = p.sc_model_rounds
+
+let default_scale_ranks = [ 1024; 4096; 16384; 65536 ]
+let quick_scale_ranks = [ 256; 1024 ]
+let scale_cores = 64
+
+let log2i n =
+  let r = ref 0 and v = ref n in
+  while !v > 1 do
+    incr r;
+    v := !v lsr 1
+  done;
+  !r
+
+(* One fresh world per point whose body is exactly one allreduce, so the
+   whole-run counters are the algorithm's traffic and the final virtual
+   clock is its makespan. The 8-byte payload keeps every transfer eager
+   (no RTS/CTS in the counts) and the comparison latency-bound — the
+   regime where the two-level win is the (log s + log L) round
+   structure. *)
+let scale_run ~nodes ~cores ~bytes ~algo =
+  let n = nodes * cores in
+  let env = Env.create ~cost:Cost.native_cpp () in
+  let topology = Simtime.Topology.make ~nodes ~cores in
+  let rounds = ref 0 in
+  ignore
+    (Mpi_core.Mpi.run ~env ~topology ~n (fun p ->
+         let comm = Mpi_core.Mpi.comm_world (Mpi_core.Mpi.world_of p) in
+         let mine = Bytes.create bytes in
+         Bytes.set_int64_le mine 0 (Int64.of_int (Mpi_core.Mpi.rank p + 1));
+         let req, acc =
+           Mpi_core.Collectives.iallreduce ~algo p comm
+             ~op:Mpi_core.Collectives.sum_i64 mine
+         in
+         (* Read the shape before yielding into the wait: the registry is
+            bounded and a 64k-rank world starts 64k schedules, so a
+            post-wait lookup can race its periodic reset. *)
+         if Mpi_core.Mpi.rank p = 0 then
+           Option.iter
+             (fun (r, _) -> rounds := r)
+             (Mpi_core.Coll_sched.info req);
+         ignore (Mpi_core.Mpi.wait p req);
+         if Mpi_core.Mpi.rank p = 0 then begin
+           let expect = Int64.of_int (n * (n + 1) / 2) in
+           if Bytes.get_int64_le acc 0 <> expect then
+             failwith "scale_run: allreduce converged to the wrong sum"
+         end));
+  let get k = Simtime.Stats.get env.Env.stats k in
+  ( Env.now_us env,
+    get Key.msgs_intra_node,
+    get Key.msgs_inter_node,
+    !rounds )
+
+let scale_sweep ?(quick = false) ?ranks () =
+  let ranks =
+    match ranks with
+    | Some r -> r
+    | None -> if quick then quick_scale_ranks else default_scale_ranks
+  in
+  let bytes = 8 in
+  List.concat_map
+    (fun n ->
+      if n mod scale_cores <> 0 || n land (n - 1) <> 0 then
+        invalid_arg "Experiments.scale_sweep: ranks must be pow2 x 64";
+      let nodes = n / scale_cores and cores = scale_cores in
+      let point algo sc_algo sc_model_msgs sc_model_rounds =
+        let sc_time_us, sc_msgs_intra, sc_msgs_inter, sc_rounds =
+          scale_run ~nodes ~cores ~bytes ~algo
+        in
+        {
+          sc_ranks = n; sc_nodes = nodes; sc_cores = cores;
+          sc_bytes = bytes; sc_algo; sc_time_us; sc_msgs_intra;
+          sc_msgs_inter; sc_rounds; sc_model_msgs; sc_model_rounds;
+        }
+      in
+      (* Two-level: a binomial reduce and bcast per shard plus recursive
+         doubling across the leaders; rank 0 (a leader) runs recv+fold
+         rounds up the shard, exchange+fold rounds across leaders, and
+         one bcast fan-out round. *)
+      let hier =
+        point `Hier "hier"
+          ((2 * nodes * (cores - 1)) + (nodes * log2i nodes))
+          ((2 * log2i cores) + (2 * log2i nodes) + 1)
+      in
+      (* The flat oracle stops at 4k ranks: recursive doubling's
+         n log2 n messages would dominate the sweep's runtime without
+         adding information past the crossover. *)
+      if n <= 4096 then
+        [ hier; point `Rd "rd" (n * log2i n) (2 * log2i n) ]
+      else [ hier ])
+    ranks

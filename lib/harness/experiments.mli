@@ -159,3 +159,34 @@ val coll_sweep :
     per member, recursive-doubling allgather needs a power-of-two
     communicator). Feeds [figures.exe -- coll] and
     [results/coll_sweep.csv]. *)
+
+(** {1 Scale sweep: two-level collectives at 1k-64k simulated ranks} *)
+
+type scale_point = {
+  sc_ranks : int;
+  sc_nodes : int;
+  sc_cores : int;  (** ranks per node (64 throughout the sweep) *)
+  sc_bytes : int;  (** allreduce payload per member (8 B: latency-bound) *)
+  sc_algo : string;  (** ["hier"] (two-level) or ["rd"] (flat oracle) *)
+  sc_time_us : float;  (** virtual makespan of the one allreduce *)
+  sc_msgs_intra : int;  (** measured same-node messages *)
+  sc_msgs_inter : int;  (** measured cross-node messages *)
+  sc_rounds : int;  (** measured rank-0 schedule rounds *)
+  sc_model_msgs : int;  (** analytic total: 2S(s-1) + L log2 L (hier) *)
+  sc_model_rounds : int;  (** analytic rank-0: 2 log2 s + 2 log2 L + 1 *)
+}
+
+val scale_ok : scale_point -> bool
+(** Measured traffic and rounds equal the analytic model — the gate the
+    CI smoke run enforces on every row. *)
+
+val default_scale_ranks : int list
+(** 1024, 4096, 16384, 65536 — as 64-core nodes. *)
+
+val scale_sweep : ?quick:bool -> ?ranks:int list -> unit -> scale_point list
+(** One fresh [nodes x 64] world per point, one 8-byte allreduce per
+    world: the two-level algorithm at every size, the flat recursive
+    doubling oracle up to 4096 ranks. Every rank count must be a power
+    of two divisible by 64. [quick] sweeps 256 and 1024 ranks (CI
+    smoke). Feeds [figures.exe -- scale] and
+    [results/scale_sweep.csv]. *)

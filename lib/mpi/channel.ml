@@ -12,7 +12,8 @@ type inflight = {
   packet : Packet.t;
 }
 
-let make ~name ~per_msg_ns ~per_byte_ns ~syscall_fraction ~env ~n_ranks =
+let make ~name ~per_msg_ns ~per_byte_ns ?topo ?intra ~syscall_fraction ~env
+    ~n_ranks () =
   let inboxes : inflight list ref array ref =
     ref (Array.init n_ranks (fun _ -> ref []))
   in
@@ -21,14 +22,34 @@ let make ~name ~per_msg_ns ~per_byte_ns ~syscall_fraction ~env ~n_ranks =
   let last_arrival : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
   let clock = env.Simtime.Env.clock in
   let cost = env.Simtime.Env.cost in
+  (* Per-tier pricing: with a topology and an intra-node profile,
+     same-node endpoints pay the (cheaper) intra figures; everything
+     else pays this channel's base figures. *)
+  let tier src dst =
+    match (topo, intra) with
+    | Some tp, Some (im, ib) when Simtime.Topology.same_node tp src dst ->
+        (im, ib, true)
+    | Some tp, _ -> (per_msg_ns, per_byte_ns, Simtime.Topology.same_node tp src dst)
+    | None, _ -> (per_msg_ns, per_byte_ns, true)
+  in
   let send ~src ~dst packet =
     if dst < 0 || dst >= !count then
       invalid_arg (Printf.sprintf "%s channel: bad destination %d" name dst);
+    let per_msg_ns, per_byte_ns, intra_node = tier src dst in
     let wire = Packet.wire_bytes packet in
     let frags = max 1 ((wire + cost.mtu_bytes - 1) / cost.mtu_bytes) in
     (* Sender-side CPU: one syscall per fragment. *)
     Simtime.Env.charge env
       (syscall_fraction *. per_msg_ns *. float_of_int frags);
+    (if topo <> None then
+       if intra_node then begin
+         Simtime.Env.count env Simtime.Stats.Key.msgs_intra_node;
+         Simtime.Env.count_n env Simtime.Stats.Key.bytes_intra_node wire
+       end
+       else begin
+         Simtime.Env.count env Simtime.Stats.Key.msgs_inter_node;
+         Simtime.Env.count_n env Simtime.Stats.Key.bytes_inter_node wire
+       end);
     let now = Simtime.Clock.now_ns clock in
     let computed = now +. per_msg_ns +. (per_byte_ns *. float_of_int wire) in
     let key = (src, dst) in

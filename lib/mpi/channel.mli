@@ -28,9 +28,18 @@ val make :
   name:string ->
   per_msg_ns:float ->
   per_byte_ns:float ->
+  ?topo:Simtime.Topology.t ->
+  ?intra:float * float ->
   syscall_fraction:float ->
   env:Simtime.Env.t ->
   n_ranks:int ->
+  unit ->
   t
 (** Generic latency/bandwidth-modelled channel. [syscall_fraction] is the
-    share of [per_msg_ns] charged to the sender's CPU per fragment. *)
+    share of [per_msg_ns] charged to the sender's CPU per fragment.
+
+    With [?topo] and [?intra:(per_msg_ns, per_byte_ns)], messages whose
+    endpoints share a node (per {!Simtime.Topology.same_node}) are priced
+    at the intra-node figures; all other traffic pays the base figures.
+    When [?topo] is present, per-tier traffic is also counted under
+    [msgs_intra_node]/[msgs_inter_node] and the matching byte keys. *)

@@ -238,11 +238,25 @@ let advance sc =
   done;
   !progressed
 
+(* Shape registry: (rounds, steps) per started schedule, keyed by its
+   request id, so tests and the scaling harness can compare a measured
+   schedule against an analytic round model. Bounded by periodic reset —
+   the map is diagnostic, not load-bearing. *)
+let infos : (int, int * int) Hashtbl.t = Hashtbl.create 64
+
+let info req = Hashtbl.find_opt infos (Request.id req)
+
 let start b =
   if b.b_started then invalid_arg "Coll_sched.start: schedule already started";
   b.b_started <- true;
   let steps = Array.of_list (List.rev b.b_rev_steps) in
   let req = Request.create ~id:(Ch3.fresh_req_id b.b_dev) Request.Coll_req in
+  let rounds =
+    if Array.length steps = 0 then 0
+    else steps.(Array.length steps - 1).s_round + 1
+  in
+  if Hashtbl.length infos > 1 lsl 20 then Hashtbl.reset infos;
+  Hashtbl.replace infos (Request.id req) (rounds, Array.length steps);
   let sc =
     {
       sc_dev = b.b_dev;

@@ -60,3 +60,9 @@ val start : builder -> Request.t
     step (truncation, rendezvous refused) fails the request with the
     step's description prepended; unstarted steps are abandoned.
     A builder can be started once. *)
+
+val info : Request.t -> (int * int) option
+(** [(rounds, steps)] of a started schedule, looked up by its request —
+    the measured shape tests compare against analytic round models
+    (e.g. the two-level collectives' [2 log s + 2 log L] structure).
+    Entries live in a bounded diagnostic registry and may be evicted. *)

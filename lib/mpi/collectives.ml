@@ -59,11 +59,42 @@ let r_rabenseifner =
 let r_alltoall = { tr_name = "alltoall"; tr_base = 0x4a00; tr_width = 1 }
 let r_scan = { tr_name = "scan"; tr_base = 0x4a10; tr_width = 1 }
 
+(* Hierarchical (two-level) collectives: each phase gets its own range so
+   an in-flight hier collective can never cross-match a concurrent flat
+   collective reusing the same algorithm (e.g. hier allreduce's shard
+   reduce vs. a user ireduce). *)
+let r_hier_reduce =
+  { tr_name = "hier_reduce"; tr_base = 0x4b00; tr_width = 1 }
+
+let r_hier_rd = { tr_name = "hier_rd"; tr_base = 0x4b10; tr_width = 64 }
+let r_hier_rs = { tr_name = "hier_rs"; tr_base = 0x4b50; tr_width = 128 }
+
+let r_hier_bcast =
+  { tr_name = "hier_bcast"; tr_base = 0x4bd0; tr_width = 1 }
+
+let r_hier_xbcast =
+  { tr_name = "hier_xbcast"; tr_base = 0x4be0; tr_width = 1 }
+
+let r_hier_root = { tr_name = "hier_root"; tr_base = 0x4bf0; tr_width = 1 }
+
+let r_hier_barrier =
+  { tr_name = "hier_barrier"; tr_base = 0x4c00; tr_width = 64 }
+
+let r_hier_fan = { tr_name = "hier_fan"; tr_base = 0x4c40; tr_width = 2 }
+
+let r_hier_gather =
+  { tr_name = "hier_gather"; tr_base = 0x4c50; tr_width = 1 }
+
+let r_hier_ring =
+  { tr_name = "hier_ring"; tr_base = 0x4d00; tr_width = 0x100 }
+
 let ranges =
   [
     r_barrier; r_bcast; r_bcast_scag; r_scatter; r_scatter_binomial;
     r_gather; r_gather_binomial; r_allgather_ring; r_allgather_rd;
     r_reduce; r_allreduce_rd; r_rabenseifner; r_alltoall; r_scan;
+    r_hier_reduce; r_hier_rd; r_hier_rs; r_hier_bcast; r_hier_xbcast;
+    r_hier_root; r_hier_barrier; r_hier_fan; r_hier_gather; r_hier_ring;
   ]
 
 let tag_table =
@@ -128,9 +159,10 @@ let lsb r = r land -r
 (* Algorithm selection                                                 *)
 (* ------------------------------------------------------------------ *)
 
-type allreduce_algo = [ `Auto | `Linear | `Rd | `Rabenseifner ]
-type bcast_algo = [ `Auto | `Binomial | `Scatter_allgather ]
-type allgather_algo = [ `Auto | `Ring | `Rd ]
+type allreduce_algo = [ `Auto | `Linear | `Rd | `Rabenseifner | `Hier ]
+type bcast_algo = [ `Auto | `Binomial | `Scatter_allgather | `Hier ]
+type allgather_algo = [ `Auto | `Ring | `Rd | `Hier ]
+type barrier_algo = [ `Auto | `Dissemination | `Hier ]
 type fan_algo = [ `Auto | `Linear | `Binomial ]
 
 let allreduce_algo_for (c : Simtime.Cost.t) ~n ~bytes ~granule ~commutative
@@ -170,16 +202,96 @@ let fan_algo_for (c : Simtime.Cost.t) ~n ~block : [ `Linear | `Binomial ] =
   | _ -> `Linear
 
 (* ------------------------------------------------------------------ *)
+(* Hierarchical (two-level) decomposition                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A contiguous communicator on a multi-node topology decomposes into
+   per-node shards plus the cross-node leader slice (each node's lowest
+   member). Everything here is an O(1) descriptor computed locally: no
+   communication, no O(world) membership arrays. The derived comms only
+   serve rank translation — all hier traffic is scheduled on the
+   {e parent}'s collective context under the dedicated [r_hier_*] tag
+   ranges, so their own ctx fields are inert (the parent's is reused). *)
+type hier = {
+  hp_shard : Comm.t;  (* my node's slice of the parent, in rank order *)
+  hp_leaders : Comm.t;  (* one member per node, in node order *)
+  hp_sme : int;  (* my shard rank; 0 = I am my shard's leader *)
+  hp_lme : int;  (* my leader rank, or -1 if I am not a leader *)
+}
+
+(* The two-level algorithms apply when the topology is real (multi-node)
+   and the communicator is a contiguous range spanning more than one
+   node. *)
+let hier_applicable p comm =
+  let topo = Mpi.topology (Mpi.world_of p) in
+  Simtime.Topology.multi_node topo
+  &&
+  match Comm.range_info comm with
+  | Some (start, 1, count) ->
+      count > 1
+      && Simtime.Topology.node_of topo start
+         <> Simtime.Topology.node_of topo (start + count - 1)
+  | _ -> false
+
+(* The hier allgather additionally needs equal shards (its block layout
+   is arithmetic in the shard size). *)
+let hier_allgather_applicable p comm =
+  hier_applicable p comm
+  &&
+  let cores = Simtime.Topology.cores (Mpi.topology (Mpi.world_of p)) in
+  match Comm.range_info comm with
+  | Some (start, 1, count) -> start mod cores = 0 && count mod cores = 0
+  | _ -> false
+
+let hier_parts p comm =
+  let topo = Mpi.topology (Mpi.world_of p) in
+  let start, count =
+    match Comm.range_info comm with
+    | Some (s, 1, c) -> (s, c)
+    | _ ->
+        invalid_arg
+          "Collectives: hierarchical algorithms need a contiguous \
+           communicator"
+  in
+  let cores = Simtime.Topology.cores topo in
+  let me = Mpi.rank p in
+  let node = Simtime.Topology.node_of topo me in
+  let first_node = Simtime.Topology.node_of topo start in
+  let last_node = Simtime.Topology.node_of topo (start + count - 1) in
+  let shards = last_node - first_node + 1 in
+  let lo = max start (node * cores) in
+  let hi = min (start + count) ((node + 1) * cores) in
+  let ctx = comm.Comm.ctx in
+  let hp_shard = Comm.range ~ctx ~start:lo ~count:(hi - lo) () in
+  let hp_leaders =
+    if start mod cores = 0 then
+      (* Aligned parent: the leaders are a pure strided slice. *)
+      Comm.range ~ctx ~step:cores ~start ~count:shards ()
+    else
+      Comm.make ~ctx
+        ~members:
+          (Array.init shards (fun i ->
+               if i = 0 then start else (first_node + i) * cores))
+  in
+  {
+    hp_shard;
+    hp_leaders;
+    hp_sme = me - lo;
+    hp_lme =
+      (match Comm.comm_rank_of hp_leaders me with Some r -> r | None -> -1);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Barrier (dissemination)                                             *)
 (* ------------------------------------------------------------------ *)
 
-let sched_barrier b comm ~me =
+let sched_barrier ?(trange = r_barrier) b comm ~me =
   let n = Comm.size comm in
   let round = ref 0 and step = ref 1 in
   while !step < n do
     let dst = (me + !step) mod n in
     let src = (me - !step + n) mod n in
-    let t = rtag r_barrier !round in
+    let t = rtag trange !round in
     ssend b comm ~dst ~tag:t empty;
     srecv b comm ~src ~tag:t empty;
     Coll_sched.fence b;
@@ -187,18 +299,54 @@ let sched_barrier b comm ~me =
     step := !step lsl 1
   done
 
-let ibarrier p comm =
+(* Two-level barrier: fan-in to each shard leader, dissemination barrier
+   across the leaders, fan-out release — 2 + ceil(log2 L) rounds of
+   inter-node latency instead of ceil(log2 n). *)
+let sched_barrier_hier b p comm =
+  let h = hier_parts p comm in
+  let s = Comm.size h.hp_shard in
+  if s > 1 then begin
+    if h.hp_sme = 0 then
+      for j = 1 to s - 1 do
+        srecv b h.hp_shard ~src:j ~tag:(rtag r_hier_fan 0) empty
+      done
+    else ssend b h.hp_shard ~dst:0 ~tag:(rtag r_hier_fan 0) empty;
+    Coll_sched.fence b
+  end;
+  if h.hp_lme >= 0 && Comm.size h.hp_leaders > 1 then
+    sched_barrier ~trange:r_hier_barrier b h.hp_leaders ~me:h.hp_lme;
+  Coll_sched.fence b;
+  if s > 1 then
+    if h.hp_sme = 0 then
+      for j = 1 to s - 1 do
+        ssend b h.hp_shard ~dst:j ~tag:(rtag r_hier_fan 1) empty
+      done
+    else srecv b h.hp_shard ~src:0 ~tag:(rtag r_hier_fan 1) empty
+
+let ibarrier ?(algo : barrier_algo = `Auto) p comm =
   let b = builder p comm ~name:"barrier" in
-  sched_barrier b comm ~me:(Mpi.comm_rank p comm);
+  let algo =
+    match algo with
+    | `Auto -> if hier_applicable p comm then `Hier else `Dissemination
+    | (`Dissemination | `Hier) as a -> a
+  in
+  (match algo with
+  | `Dissemination -> sched_barrier b comm ~me:(Mpi.comm_rank p comm)
+  | `Hier ->
+      if not (hier_applicable p comm) then
+        invalid_arg
+          "Collectives.barrier: `Hier needs a multi-node topology and a \
+           contiguous communicator";
+      sched_barrier_hier b p comm);
   Coll_sched.start b
 
-let barrier p comm = wait_sched p (ibarrier p comm)
+let barrier ?algo p comm = wait_sched p (ibarrier ?algo p comm)
 
 (* ------------------------------------------------------------------ *)
 (* Broadcast                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let sched_bcast_binomial b comm ~root ~me buf =
+let sched_bcast_binomial ?(trange = r_bcast) b comm ~root ~me buf =
   let n = Comm.size comm in
   let rel = (me - root + n) mod n in
   let abs r = (r + root) mod n in
@@ -207,7 +355,7 @@ let sched_bcast_binomial b comm ~root ~me buf =
   let recv_mask = ref 0 in
   while !mask < n && !recv_mask = 0 do
     if rel land !mask <> 0 then begin
-      srecv b comm ~src:(abs (rel - !mask)) ~tag:(tag r_bcast) buf;
+      srecv b comm ~src:(abs (rel - !mask)) ~tag:(tag trange) buf;
       Coll_sched.fence b;
       recv_mask := !mask
     end
@@ -219,7 +367,7 @@ let sched_bcast_binomial b comm ~root ~me buf =
   let m = ref (top lsr 1) in
   while !m > 0 do
     if rel + !m < n then
-      ssend b comm ~dst:(abs (rel + !m)) ~tag:(tag r_bcast) buf;
+      ssend b comm ~dst:(abs (rel + !m)) ~tag:(tag trange) buf;
     m := !m lsr 1
   done
 
@@ -276,6 +424,47 @@ let sched_bcast_scag b comm ~root ~me buf =
     Coll_sched.fence b
   done
 
+(* Two-level broadcast: one relocation hop if the root is not its
+   shard's leader, a binomial bcast across the leaders rooted at the
+   root's node, then a binomial bcast down every shard — log L rounds of
+   inter-node latency plus log s rounds at the shared-memory tier. *)
+let sched_bcast_hier b p comm ~root buf =
+  let h = hier_parts p comm in
+  let s = Comm.size h.hp_shard in
+  let topo = Mpi.topology (Mpi.world_of p) in
+  let cores = Simtime.Topology.cores topo in
+  let start =
+    match Comm.range_info comm with Some (st, _, _) -> st | None -> 0
+  in
+  let root_w = Comm.world_rank_of comm root in
+  let my_w = Mpi.rank p in
+  let root_leader_w =
+    max start (Simtime.Topology.node_of topo root_w * cores)
+  in
+  (* Phase 0: relocate the payload to the root's shard leader. *)
+  if root_w <> root_leader_w then
+    if my_w = root_w then
+      ssend b comm
+        ~dst:(Option.get (Comm.comm_rank_of comm root_leader_w))
+        ~tag:(tag r_hier_root) buf
+    else if my_w = root_leader_w then begin
+      srecv b comm ~src:root ~tag:(tag r_hier_root) buf;
+      Coll_sched.fence b
+    end;
+  (* Phase 1: across the leaders, rooted at the root's node. *)
+  if h.hp_lme >= 0 && Comm.size h.hp_leaders > 1 then begin
+    let lroot = Option.get (Comm.comm_rank_of h.hp_leaders root_leader_w) in
+    sched_bcast_binomial ~trange:r_hier_xbcast b h.hp_leaders ~root:lroot
+      ~me:h.hp_lme buf
+  end;
+  Coll_sched.fence b;
+  (* Phase 2: down each shard. The root re-receives its own payload —
+     one redundant shared-memory message buys a root-oblivious shard
+     phase. *)
+  if s > 1 then
+    sched_bcast_binomial ~trange:r_hier_bcast b h.hp_shard ~root:0
+      ~me:h.hp_sme buf
+
 let ibcast ?(algo : bcast_algo = `Auto) p comm ~root buf =
   let n = Comm.size comm in
   let b = builder p comm ~name:"bcast" in
@@ -283,12 +472,22 @@ let ibcast ?(algo : bcast_algo = `Auto) p comm ~root buf =
     let me = Mpi.comm_rank p comm in
     let algo =
       match algo with
-      | `Auto -> bcast_algo_for (cost_of p) ~n ~bytes:(Buffer_view.length buf)
-      | (`Binomial | `Scatter_allgather) as a -> a
+      | `Auto ->
+          if hier_applicable p comm then `Hier
+          else
+            (bcast_algo_for (cost_of p) ~n ~bytes:(Buffer_view.length buf)
+              :> [ `Binomial | `Scatter_allgather | `Hier ])
+      | (`Binomial | `Scatter_allgather | `Hier) as a -> a
     in
     match algo with
     | `Binomial -> sched_bcast_binomial b comm ~root ~me buf
     | `Scatter_allgather -> sched_bcast_scag b comm ~root ~me buf
+    | `Hier ->
+        if not (hier_applicable p comm) then
+          invalid_arg
+            "Collectives.bcast: `Hier needs a multi-node topology and a \
+             contiguous communicator";
+        sched_bcast_hier b p comm ~root buf
   end;
   Coll_sched.start b
 
@@ -563,19 +762,82 @@ let sched_allgather_rd b comm ~me ~send =
   done;
   blocks
 
+(* Two-level allgather (equal shards only): gather each shard's blocks
+   at its leader, ring the shard aggregates across the leaders (each
+   hop moves s blocks at once), then broadcast the assembled table down
+   every shard. L - 1 inter-node rounds of s x block bytes, against the
+   flat ring's n - 1. *)
+let sched_allgather_hier b p comm ~me ~send =
+  let h = hier_parts p comm in
+  let n = Comm.size comm in
+  let s = Comm.size h.hp_shard in
+  let nl = Comm.size h.hp_leaders in
+  if n <> s * nl then
+    invalid_arg "Collectives.allgather: `Hier needs equal shards";
+  let blk = Bytes.length send in
+  let blocks = Array.init n (fun _ -> Bytes.create blk) in
+  let view j = Buffer_view.of_bytes blocks.(j) in
+  let range lo cnt =
+    Buffer_view.concat (List.init cnt (fun j -> view (lo + j)))
+  in
+  let shard_base = me - h.hp_sme in
+  Coll_sched.copy b ~src:(Buffer_view.of_bytes send) ~dst:(view me);
+  Coll_sched.fence b;
+  (* Phase 1: gather the shard's blocks at the leader. *)
+  if s > 1 then begin
+    if h.hp_sme = 0 then
+      for j = 1 to s - 1 do
+        srecv b h.hp_shard ~src:j ~tag:(tag r_hier_gather)
+          (view (shard_base + j))
+      done
+    else
+      ssend b h.hp_shard ~dst:0 ~tag:(tag r_hier_gather)
+        (Buffer_view.of_bytes send);
+    Coll_sched.fence b
+  end;
+  (* Phase 2: ring the shard aggregates across the leaders. *)
+  if h.hp_sme = 0 && nl > 1 then begin
+    let lme = h.hp_lme in
+    let right = (lme + 1) mod nl and left = (lme - 1 + nl) mod nl in
+    for step = 0 to nl - 2 do
+      let sidx = (lme - step + nl) mod nl in
+      let ridx = (lme - step - 1 + nl) mod nl in
+      let t = rtag r_hier_ring step in
+      ssend b h.hp_leaders ~dst:right ~tag:t (range (sidx * s) s);
+      srecv b h.hp_leaders ~src:left ~tag:t (range (ridx * s) s);
+      Coll_sched.fence b
+    done
+  end;
+  Coll_sched.fence b;
+  (* Phase 3: each leader broadcasts the full table down its shard. *)
+  if s > 1 then
+    sched_bcast_binomial ~trange:r_hier_bcast b h.hp_shard ~root:0
+      ~me:h.hp_sme (range 0 n);
+  blocks
+
 let iallgather ?(algo : allgather_algo = `Auto) p comm ~send =
   let n = Comm.size comm in
   let me = Mpi.comm_rank p comm in
   let b = builder p comm ~name:"allgather" in
   let algo =
     match algo with
-    | `Auto -> allgather_algo_for (cost_of p) ~n ~bytes:(Bytes.length send)
-    | (`Ring | `Rd) as a -> a
+    | `Auto ->
+        if hier_allgather_applicable p comm then `Hier
+        else
+          (allgather_algo_for (cost_of p) ~n ~bytes:(Bytes.length send)
+            :> [ `Ring | `Rd | `Hier ])
+    | (`Ring | `Rd | `Hier) as a -> a
   in
   let blocks =
     match algo with
     | `Ring -> sched_allgather_ring b comm ~me ~send
     | `Rd -> sched_allgather_rd b comm ~me ~send
+    | `Hier ->
+        if not (hier_allgather_applicable p comm) then
+          invalid_arg
+            "Collectives.allgather: `Hier needs a multi-node topology and \
+             a node-aligned contiguous communicator";
+        sched_allgather_hier b p comm ~me ~send
   in
   (Coll_sched.start b, blocks)
 
@@ -630,7 +892,7 @@ let alltoall p comm ~send =
    fold in absolute rank order; one extra message relocates the result
    when another root was asked for. (Rank 0 never sends inside the tree,
    so the relocation cannot be confused with a tree message.) *)
-let sched_reduce b comm ~root ~me ~op send =
+let sched_reduce ?(trange = r_reduce) b comm ~root ~me ~op send =
   let n = Comm.size comm in
   let len = Bytes.length send in
   let acc = Bytes.copy send in
@@ -641,14 +903,14 @@ let sched_reduce b comm ~root ~me ~op send =
     if me land !mask = 0 then begin
       let src = me lor !mask in
       if src < n then begin
-        srecv b comm ~src ~tag:(tag r_reduce) (Buffer_view.of_bytes tmp);
+        srecv b comm ~src ~tag:(tag trange) (Buffer_view.of_bytes tmp);
         Coll_sched.fence b;
         Coll_sched.reduce b ~label:"fold" (fun () -> op acc tmp);
         Coll_sched.fence b
       end
     end
     else begin
-      ssend b comm ~dst:(me land lnot !mask) ~tag:(tag r_reduce)
+      ssend b comm ~dst:(me land lnot !mask) ~tag:(tag trange)
         (Buffer_view.of_bytes acc);
       sent := true
     end;
@@ -657,11 +919,11 @@ let sched_reduce b comm ~root ~me ~op send =
   Coll_sched.fence b;
   if root = 0 then if me = 0 then Some acc else None
   else if me = 0 then begin
-    ssend b comm ~dst:root ~tag:(tag r_reduce) (Buffer_view.of_bytes acc);
+    ssend b comm ~dst:root ~tag:(tag trange) (Buffer_view.of_bytes acc);
     None
   end
   else if me = root then begin
-    srecv b comm ~src:0 ~tag:(tag r_reduce) (Buffer_view.of_bytes acc);
+    srecv b comm ~src:0 ~tag:(tag trange) (Buffer_view.of_bytes acc);
     Some acc
   end
   else None
@@ -743,22 +1005,24 @@ let old_rank_of ~rem pn = if pn < rem then (2 * pn) + 1 else pn + rem
    At every step the two sides hold folds of adjacent contiguous rank
    blocks, and the fold direction follows block order, so the operator
    need not commute. *)
-let sched_allreduce_rd b comm ~me ~op send =
+let sched_allreduce_rd ?(trange = r_allreduce_rd) ?acc:acc0 b comm ~me ~op
+    send =
   let n = Comm.size comm in
   let len = Bytes.length send in
-  let acc = ref (Bytes.copy send) in
+  (* [?acc]: start from this buffer in place (its contents materialize at
+     run time — e.g. a preceding in-shard reduce phase) instead of a
+     build-time copy of [send]. *)
+  let acc = ref (match acc0 with Some a -> a | None -> Bytes.copy send) in
   let tmp = ref (Bytes.create len) in
   let pof2 = floor_pow2 n in
   let rem = n - pof2 in
-  let newrank =
-    sched_fold_pairs b comm ~trange:r_allreduce_rd ~op ~acc ~tmp ~me ~rem
-  in
+  let newrank = sched_fold_pairs b comm ~trange ~op ~acc ~tmp ~me ~rem in
   if newrank >= 0 then begin
     let mask = ref 1 and round = ref 1 in
     while !mask < pof2 do
       let pn = newrank lxor !mask in
       let po = old_rank_of ~rem pn in
-      let t = rtag r_allreduce_rd !round in
+      let t = rtag trange !round in
       let a = !acc and tm = !tmp in
       ssend b comm ~dst:po ~tag:t (Buffer_view.of_bytes a);
       srecv b comm ~src:po ~tag:t (Buffer_view.of_bytes tm);
@@ -775,9 +1039,8 @@ let sched_allreduce_rd b comm ~me ~op send =
       incr round
     done
   end;
-  sched_unfold_pairs b comm ~trange:r_allreduce_rd
-    ~round:(r_allreduce_rd.tr_width - 1)
-    ~acc ~me ~rem;
+  sched_unfold_pairs b comm ~trange ~round:(trange.tr_width - 1) ~acc ~me
+    ~rem;
   !acc
 
 (* Rabenseifner: reduce-scatter by recursive halving, then allgather by
@@ -788,7 +1051,8 @@ let sched_allreduce_rd b comm ~me ~op send =
    MPICH2); {!allreduce_algo_for} only selects it when [commutative].
    [granule] is the element size in bytes: segment boundaries are aligned
    to it so the opaque byte-wise operator never sees a torn element. *)
-let sched_allreduce_rabenseifner b comm ~me ~op ~granule send =
+let sched_allreduce_rabenseifner ?(trange = r_rabenseifner) ?acc:acc0 b comm
+    ~me ~op ~granule send =
   let n = Comm.size comm in
   let len = Bytes.length send in
   if granule <= 0 || len mod granule <> 0 then
@@ -803,11 +1067,9 @@ let sched_allreduce_rabenseifner b comm ~me ~op ~granule send =
   (* Block b spans bytes [boff b, boff (b + 1)); balanced element split. *)
   let bbase = elems / pof2 and bextra = elems mod pof2 in
   let boff b = granule * ((b * bbase) + min b bextra) in
-  let acc = ref (Bytes.copy send) in
+  let acc = ref (match acc0 with Some a -> a | None -> Bytes.copy send) in
   let tmp = ref (Bytes.create len) in
-  let newrank =
-    sched_fold_pairs b comm ~trange:r_rabenseifner ~op ~acc ~tmp ~me ~rem
-  in
+  let newrank = sched_fold_pairs b comm ~trange ~op ~acc ~tmp ~me ~rem in
   if newrank >= 0 then begin
     (* The buffer roles are fixed from here on. *)
     let a = !acc in
@@ -825,7 +1087,7 @@ let sched_allreduce_rabenseifner b comm ~me ~op ~granule send =
       in
       let sb = boff slo and se = boff shi in
       let kb = boff klo and ke = boff khi in
-      let t = rtag r_rabenseifner !round in
+      let t = rtag trange !round in
       let seg = Bytes.create (ke - kb) in
       ssend b comm ~dst:po ~tag:t
         (Buffer_view.of_bytes_sub a ~off:sb ~len:(se - sb));
@@ -854,7 +1116,7 @@ let sched_allreduce_rabenseifner b comm ~me ~op ~granule send =
       let plo = rlo lxor !mask in
       let sb = boff rlo and se = boff (rlo + !mask) in
       let rb = boff plo and re = boff (plo + !mask) in
-      let t = rtag r_rabenseifner !round in
+      let t = rtag trange !round in
       ssend b comm ~dst:po ~tag:t
         (Buffer_view.of_bytes_sub a ~off:sb ~len:(se - sb));
       srecv b comm ~src:po ~tag:t
@@ -864,10 +1126,60 @@ let sched_allreduce_rabenseifner b comm ~me ~op ~granule send =
       incr round
     done
   end;
-  sched_unfold_pairs b comm ~trange:r_rabenseifner
-    ~round:(r_rabenseifner.tr_width - 1)
-    ~acc ~me ~rem;
+  sched_unfold_pairs b comm ~trange ~round:(trange.tr_width - 1) ~acc ~me
+    ~rem;
   !acc
+
+(* Two-level allreduce: binomial reduce within each shard (rank order,
+   so non-commutative operators stay correct), allreduce of the shard
+   results across the leaders — picked by the same size-aware policy as
+   the flat path, at n = #nodes — then binomial bcast down each shard.
+   Total messages with equal shards: 2S(s - 1) intra-node plus the
+   leader phase's 2 rem + pof2 log2(pof2) inter-node; the critical path
+   is ~2 log s shared-memory hops + 2 log L wire hops instead of the
+   flat algorithm's 2 log n wire hops. *)
+let sched_allreduce_hier b p comm ~op ~granule ~commutative send =
+  let h = hier_parts p comm in
+  let s = Comm.size h.hp_shard in
+  let nl = Comm.size h.hp_leaders in
+  let len = Bytes.length send in
+  (* Phase 1: fold the shard into its leader. *)
+  let acc =
+    if s > 1 then
+      match
+        sched_reduce ~trange:r_hier_reduce b h.hp_shard ~root:0 ~me:h.hp_sme
+          ~op send
+      with
+      | Some acc -> acc
+      | None -> Bytes.create len (* filled by the phase-3 bcast *)
+    else Bytes.copy send
+  in
+  Coll_sched.fence b;
+  (* Phase 2: leaders combine the shard results across nodes. The
+     accumulator is threaded in place ([?acc]): its contents exist only
+     at run time, after phase 1 retires. *)
+  let result =
+    if h.hp_sme = 0 && nl > 1 then begin
+      match
+        allreduce_algo_for (cost_of p) ~n:nl ~bytes:len ~granule ~commutative
+      with
+      | `Rabenseifner ->
+          sched_allreduce_rabenseifner ~trange:r_hier_rs ~acc b h.hp_leaders
+            ~me:h.hp_lme ~op ~granule acc
+      | `Rd | `Linear ->
+          sched_allreduce_rd ~trange:r_hier_rd ~acc b h.hp_leaders
+            ~me:h.hp_lme ~op acc
+    end
+    else acc
+  in
+  Coll_sched.fence b;
+  (* Phase 3: each leader broadcasts the finished result down its
+     shard. *)
+  if s > 1 then
+    sched_bcast_binomial ~trange:r_hier_bcast b h.hp_shard ~root:0
+      ~me:h.hp_sme
+      (Buffer_view.of_bytes result);
+  result
 
 let iallreduce ?(algo : allreduce_algo = `Auto) ?(granule = 8)
     ?(commutative = true) p comm ~op send =
@@ -879,15 +1191,24 @@ let iallreduce ?(algo : allreduce_algo = `Auto) ?(granule = 8)
     let algo =
       match algo with
       | `Auto ->
-          allreduce_algo_for (cost_of p) ~n ~bytes:(Bytes.length send)
-            ~granule ~commutative
-      | (`Linear | `Rd | `Rabenseifner) as a -> a
+          if hier_applicable p comm then `Hier
+          else
+            (allreduce_algo_for (cost_of p) ~n ~bytes:(Bytes.length send)
+               ~granule ~commutative
+              :> [ `Linear | `Rd | `Rabenseifner | `Hier ])
+      | (`Linear | `Rd | `Rabenseifner | `Hier) as a -> a
     in
     let out =
       match algo with
       | `Linear -> sched_allreduce_linear b comm ~me ~op send
       | `Rd -> sched_allreduce_rd b comm ~me ~op send
       | `Rabenseifner -> sched_allreduce_rabenseifner b comm ~me ~op ~granule send
+      | `Hier ->
+          if not (hier_applicable p comm) then
+            invalid_arg
+              "Collectives.allreduce: `Hier needs a multi-node topology \
+               and a contiguous communicator";
+          sched_allreduce_hier b p comm ~op ~granule ~commutative send
     in
     (Coll_sched.start b, out)
   end

@@ -29,25 +29,43 @@
 
 (** {1 Algorithm choices} *)
 
-type allreduce_algo = [ `Auto | `Linear | `Rd | `Rabenseifner ]
+type allreduce_algo = [ `Auto | `Linear | `Rd | `Rabenseifner | `Hier ]
 (** [`Linear]: binomial reduce to rank 0 + binomial bcast (the reference
     oracle). [`Rd]: recursive doubling — log n rounds of whole-payload
     exchange; preserves rank order, so safe for non-commutative
     operators. [`Rabenseifner]: reduce-scatter (recursive halving) +
     allgather (recursive doubling) — each member moves ~2x the payload
-    instead of log n x; requires a commutative operator. *)
+    instead of log n x; requires a commutative operator. [`Hier]:
+    two-level (topology-aware) — binomial reduce within each node's
+    shard, allreduce of the shard results across the per-node leaders
+    (itself size-selected at n = #nodes), binomial bcast down each
+    shard; preserves rank order. *)
 
-type bcast_algo = [ `Auto | `Binomial | `Scatter_allgather ]
+type bcast_algo = [ `Auto | `Binomial | `Scatter_allgather | `Hier ]
 (** [`Scatter_allgather] (van de Geijn): binomial scatter of blocks + ring
     allgather; pipelines large payloads so no member sends more than ~2x
-    the buffer. *)
+    the buffer. [`Hier]: leader tree across nodes, then a binomial tree
+    inside each node's shard. *)
 
-type allgather_algo = [ `Auto | `Ring | `Rd ]
+type allgather_algo = [ `Auto | `Ring | `Rd | `Hier ]
 (** [`Rd] (recursive doubling) runs in log n rounds but needs a
-    power-of-two communicator; the ring works for any size. *)
+    power-of-two communicator; the ring works for any size. [`Hier]:
+    gather at each node's leader, ring of shard aggregates across
+    leaders, bcast down each shard — needs a node-aligned communicator
+    (equal shards). *)
+
+type barrier_algo = [ `Auto | `Dissemination | `Hier ]
+(** [`Dissemination]: ceil(log2 n) pairwise rounds. [`Hier]: fan-in to
+    each node's leader, dissemination across leaders, fan-out release —
+    only ceil(log2 #nodes) rounds cross the wire. *)
 
 type fan_algo = [ `Auto | `Linear | `Binomial ]
-(** Scatter/gather: [`Binomial] needs the equal-block mode ([~block]). *)
+(** Scatter/gather: [`Binomial] needs the equal-block mode ([~block]).
+
+    The [`Hier] variants apply when the world's topology is multi-node
+    and the communicator is a contiguous range spanning more than one
+    node ({!hier_applicable}); [`Auto] then prefers them. Forcing
+    [`Hier] where it does not apply raises [Invalid_argument]. *)
 
 (** {1 Selection policy}
 
@@ -69,6 +87,15 @@ val allgather_algo_for :
 
 val fan_algo_for :
   Simtime.Cost.t -> n:int -> block:int option -> [ `Linear | `Binomial ]
+
+val hier_applicable : Mpi.proc -> Comm.t -> bool
+(** Whether the two-level algorithms apply: the world's topology is
+    multi-node and [comm] is a contiguous range spanning more than one
+    node. Depends only on shared state, so it agrees across members. *)
+
+val hier_allgather_applicable : Mpi.proc -> Comm.t -> bool
+(** {!hier_applicable} plus node alignment (equal shards), which the
+    hier allgather's block layout requires. *)
 
 (** {1 Tag table}
 
@@ -93,7 +120,7 @@ val tag_overlap : unit -> (string * string) option
     validation ([Invalid_argument]) still happens synchronously at the
     call. *)
 
-val ibarrier : Mpi.proc -> Comm.t -> Request.t
+val ibarrier : ?algo:barrier_algo -> Mpi.proc -> Comm.t -> Request.t
 
 val ibcast :
   ?algo:bcast_algo ->
@@ -165,8 +192,9 @@ val iscan :
 
 (** {1 Blocking collectives} *)
 
-val barrier : Mpi.proc -> Comm.t -> unit
-(** Dissemination barrier: ceil(log2 n) rounds. *)
+val barrier : ?algo:barrier_algo -> Mpi.proc -> Comm.t -> unit
+(** Dissemination barrier, ceil(log2 n) rounds; [`Auto] switches to the
+    two-level form on multi-node topologies. *)
 
 val bcast :
   ?algo:bcast_algo -> Mpi.proc -> Comm.t -> root:int -> Buffer_view.t -> unit

@@ -1,30 +1,98 @@
-type t = {
-  ctx : int;
-  ctx_coll : int;
-  members : int array;
-}
+(* Membership is a descriptor, not necessarily an array: identity
+   communicators (the world, contiguous shards, strided leader slices)
+   are arithmetic progressions stored in O(1) — start, step, count — so a
+   64k-rank world costs each rank three ints of membership state, not a
+   64k-entry array per communicator. General enumerated memberships keep
+   the dense representation, with a lazily-built reverse index so
+   [comm_rank_of] is O(1) there too. *)
+
+type membership =
+  | Range of { start : int; step : int; count : int }
+  | Enum of { ranks : int array; index : (int, int) Hashtbl.t Lazy.t }
+
+type t = { ctx : int; ctx_coll : int; membership : membership }
+
+let index_of ranks =
+  lazy
+    (let h = Hashtbl.create (Array.length ranks) in
+     Array.iteri (fun i r -> Hashtbl.replace h r i) ranks;
+     h)
+
+(* Recognize an arithmetic progression with positive step, so [make]
+   yields the O(1) descriptor whenever the membership admits one. *)
+let normalize ranks =
+  let n = Array.length ranks in
+  if n = 1 then Range { start = ranks.(0); step = 1; count = 1 }
+  else begin
+    let step = ranks.(1) - ranks.(0) in
+    let rec arith i =
+      i >= n || (ranks.(i) - ranks.(i - 1) = step && arith (i + 1))
+    in
+    if step >= 1 && arith 2 then
+      Range { start = ranks.(0); step; count = n }
+    else Enum { ranks; index = index_of ranks }
+  end
 
 let make ~ctx ~members =
   if Array.length members = 0 then invalid_arg "Comm.make: empty group";
-  { ctx; ctx_coll = ctx + 1; members }
+  { ctx; ctx_coll = ctx + 1; membership = normalize members }
 
-let size t = Array.length t.members
+let range ~ctx ?(step = 1) ~start ~count () =
+  if count < 1 then invalid_arg "Comm.range: empty range";
+  if step < 1 then invalid_arg "Comm.range: step must be positive";
+  if start < 0 then invalid_arg "Comm.range: negative start";
+  { ctx; ctx_coll = ctx + 1; membership = Range { start; step; count } }
+
+let with_ctx t ~ctx = { t with ctx; ctx_coll = ctx + 1 }
+
+let size t =
+  match t.membership with
+  | Range { count; _ } -> count
+  | Enum { ranks; _ } -> Array.length ranks
 
 let world_rank_of t r =
-  if r < 0 || r >= Array.length t.members then
+  if r < 0 || r >= size t then
     invalid_arg (Printf.sprintf "Comm.world_rank_of: rank %d out of range" r);
-  t.members.(r)
+  match t.membership with
+  | Range { start; step; _ } -> start + (r * step)
+  | Enum { ranks; _ } -> ranks.(r)
 
 let comm_rank_of t world_rank =
-  let n = Array.length t.members in
-  let rec go i =
-    if i >= n then None
-    else if t.members.(i) = world_rank then Some i
-    else go (i + 1)
-  in
-  go 0
+  match t.membership with
+  | Range { start; step; count } ->
+      let d = world_rank - start in
+      if d >= 0 && d mod step = 0 && d / step < count then Some (d / step)
+      else None
+  | Enum { index; _ } -> Hashtbl.find_opt (Lazy.force index) world_rank
+
+let members t =
+  match t.membership with
+  | Range { start; step; count } ->
+      Array.init count (fun i -> start + (i * step))
+  | Enum { ranks; _ } -> Array.copy ranks
+
+let range_info t =
+  match t.membership with
+  | Range { start; step; count } -> Some (start, step, count)
+  | Enum _ -> None
+
+let is_range t = range_info t <> None
+
+(* A compact deterministic description of the membership, used in context
+   allocation keys: O(1) long for ranges, the member list otherwise. *)
+let descriptor t =
+  match t.membership with
+  | Range { start; step; count } ->
+      Printf.sprintf "r%d+%dx%d" start step count
+  | Enum { ranks; _ } ->
+      String.concat "," (List.map string_of_int (Array.to_list ranks))
 
 let pp ppf t =
-  Format.fprintf ppf "comm{ctx=%d; members=[%s]}" t.ctx
-    (String.concat ";"
-       (Array.to_list (Array.map string_of_int t.members)))
+  match t.membership with
+  | Range { start; step; count } ->
+      Format.fprintf ppf "comm{ctx=%d; range start=%d step=%d count=%d}"
+        t.ctx start step count
+  | Enum { ranks; _ } ->
+      Format.fprintf ppf "comm{ctx=%d; members=[%s]}" t.ctx
+        (String.concat ";"
+           (Array.to_list (Array.map string_of_int ranks)))

@@ -2,22 +2,61 @@
 
     Point-to-point traffic uses [ctx]; collectives use [ctx_coll] — the
     MPICH convention of allocating two context ids per communicator so a
-    user receive can never match a collective's internal message. *)
+    user receive can never match a collective's internal message.
 
-type t = {
+    Membership is a {e descriptor}: identity communicators (the world,
+    contiguous shards, strided slices — any arithmetic progression of
+    world ranks) are stored as O(1) [start]/[step]/[count] triples, so
+    per-rank membership state is O(1) no matter the world size. General
+    enumerated memberships keep a dense array plus a lazily-built reverse
+    index. Both directions of the rank mapping ({!world_rank_of},
+    {!comm_rank_of}) are O(1) in either representation. *)
+
+type t = private {
   ctx : int;  (** point-to-point context id *)
   ctx_coll : int;  (** collective context id *)
-  members : int array;  (** world ranks; index = communicator rank *)
+  membership : membership;
 }
 
+and membership = private
+  | Range of { start : int; step : int; count : int }
+  | Enum of { ranks : int array; index : (int, int) Hashtbl.t Lazy.t }
+
 val make : ctx:int -> members:int array -> t
-(** [ctx_coll] is [ctx + 1]; allocate contexts in steps of two. *)
+(** [ctx_coll] is [ctx + 1]; allocate contexts in steps of two. The
+    membership is normalized: an arithmetic progression with positive
+    step becomes the O(1) range descriptor; anything else stays an
+    enumerated array. *)
+
+val range : ctx:int -> ?step:int -> start:int -> count:int -> unit -> t
+(** Build an identity communicator directly as a descriptor — no array
+    is ever materialized. [step] defaults to 1 (contiguous). *)
+
+val with_ctx : t -> ctx:int -> t
+(** Same membership (shared, not copied), fresh context pair. *)
 
 val size : t -> int
 val world_rank_of : t -> int -> int
-(** Raises [Invalid_argument] on an out-of-range communicator rank. *)
+(** O(1). Raises [Invalid_argument] on an out-of-range communicator
+    rank. *)
 
 val comm_rank_of : t -> int -> int option
-(** Communicator rank of a world rank, if a member. *)
+(** Communicator rank of a world rank, if a member. O(1). *)
+
+val members : t -> int array
+(** Materialize the membership (a fresh array, in communicator-rank
+    order). O(size) — callers on the scale path should prefer
+    {!world_rank_of}/{!comm_rank_of}. *)
+
+val range_info : t -> (int * int * int) option
+(** [(start, step, count)] when the membership is a range descriptor. *)
+
+val is_range : t -> bool
+(** [true] iff the membership is an O(1) range descriptor — the
+    no-O(world)-arrays property tests assert for identity comms. *)
+
+val descriptor : t -> string
+(** Compact deterministic membership description for context-allocation
+    keys: O(1) characters for ranges, the member list otherwise. *)
 
 val pp : Format.formatter -> t -> unit

@@ -18,7 +18,7 @@ let spawn p ~comm ~n body =
   let inter_ctx = Mpi.alloc_context w ~key:(key ^ "/inter") in
   let child_ctx = Mpi.alloc_context w ~key:(key ^ "/children") in
   let merge_ctx = Mpi.alloc_context w ~key:(key ^ "/merge") in
-  let parent_members = Array.copy comm.Comm.members in
+  let parent_members = Comm.members comm in
   let table = Mpi.spawn_table w in
   if me = 0 then begin
     let children = Array.init n (fun _ -> Mpi.add_rank w) in
@@ -52,8 +52,8 @@ let spawn p ~comm ~n body =
 
 let merge _p ic =
   let parents, children =
-    if ic.ic_is_parent then (ic.ic_local.Comm.members, ic.ic_remote.Comm.members)
-    else (ic.ic_remote.Comm.members, ic.ic_local.Comm.members)
+    if ic.ic_is_parent then (Comm.members ic.ic_local, Comm.members ic.ic_remote)
+    else (Comm.members ic.ic_remote, Comm.members ic.ic_local)
   in
   Comm.make ~ctx:ic.ic_merge_ctx ~members:(Array.append parents children)
 

@@ -1,20 +1,34 @@
 (** Process groups ([MPI_Group]): ordered sets of world ranks with the
-    standard set algebra, used to derive communicators. *)
+    standard set algebra, used to derive communicators.
+
+    Membership mirrors {!Comm}'s sparse representation: arithmetic
+    progressions are O(1) descriptors (so [of_comm] on a 64k-rank world
+    communicator allocates no array), everything else a dense array with
+    a lazy reverse index. {!rank_of} is O(1); the set algebra
+    ({!union}, {!intersection}, {!difference}, {!similar}) is
+    hashtable-backed and O(n + m). *)
 
 type t
 
 val of_comm : Comm.t -> t
+(** Preserves the communicator's descriptor: O(1) for range comms. *)
+
 val of_ranks : int list -> t
 (** Raises [Invalid_argument] on duplicates or negative ranks. *)
 
 val size : t -> int
 val rank_of : t -> int -> int option
-(** Group rank of a world rank, if a member. *)
+(** Group rank of a world rank, if a member. O(1). *)
 
 val world_rank : t -> int -> int
 (** World rank of a group rank; raises [Invalid_argument] out of range. *)
 
 val members : t -> int array
+(** Materialized membership (a fresh array). O(size). *)
+
+val is_range : t -> bool
+(** [true] iff the membership is held as an O(1) range descriptor. *)
+
 val incl : t -> int list -> t
 (** Subgroup of the given group ranks, in the given order ([MPI_Group_incl]). *)
 

@@ -9,6 +9,7 @@ type world = {
   split_epochs : (int * int, int ref) Hashtbl.t;  (* (rank, ctx) -> count *)
   spawned : (string, int array) Hashtbl.t;  (* dynamic-spawn rendezvous *)
   initial_n : int;  (* comm_world is fixed at creation, as in MPI *)
+  topology : Simtime.Topology.t;  (* nodes x cores placement of ranks *)
   reliable : Reliable.t option;  (* handle on the go-back-N layer, if any *)
   ft : Ft.t option;  (* process-failure service, if kills or a detector *)
 }
@@ -19,16 +20,30 @@ let fresh_id world () =
   world.id_counter <- world.id_counter + 1;
   world.id_counter
 
-let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ?detector ~n
-    () =
+let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ?detector
+    ?topology ~n () =
   if n < 1 then invalid_arg "Mpi.create_world: need at least one rank";
+  let topology =
+    match topology with
+    | Some t ->
+        if Simtime.Topology.size t < n then
+          invalid_arg "Mpi.create_world: topology smaller than the world";
+        t
+    | None -> Simtime.Topology.single ~n
+  in
   let env =
     match env with Some e -> e | None -> Simtime.Env.create ?cost ()
   in
+  (* A single-node topology (the default) is "no placement information":
+     the channel keeps its flat pricing, exactly as before topologies
+     existed. Only a real multi-node layout turns on tiered pricing. *)
+  let topo =
+    if Simtime.Topology.multi_node topology then Some topology else None
+  in
   let base =
     match channel with
-    | `Shm -> Shm_channel.create env ~n_ranks:n
-    | `Sock -> Sock_channel.create env ~n_ranks:n
+    | `Shm -> Shm_channel.create ?topo env ~n_ranks:n
+    | `Sock -> Sock_channel.create ?topo env ~n_ranks:n
   in
   let faulty =
     match fault with
@@ -70,6 +85,7 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ?detector ~n
       split_epochs = Hashtbl.create 16;
       spawned = Hashtbl.create 4;
       initial_n = n;
+      topology;
       reliable = rel;
       ft;
     }
@@ -130,6 +146,7 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ?detector ~n
 
 let env w = w.env
 let world_size w = Array.length w.devices
+let topology w = w.topology
 let reliable_handle w = w.reliable
 let ft_handle w = w.ft
 let dead_ranks w = match w.ft with Some ft -> Ft.dead_ranks ft | None -> []
@@ -163,8 +180,9 @@ let proc w i =
     invalid_arg "Mpi.proc: bad rank";
   { world = w; prank = i; dev = w.devices.(i) }
 
-let comm_world w =
-  Comm.make ~ctx:0 ~members:(Array.init w.initial_n (fun i -> i))
+(* The world is a pure descriptor: no O(n) membership array even at 64k
+   ranks. *)
+let comm_world w = Comm.range ~ctx:0 ~start:0 ~count:w.initial_n ()
 
 let rank p = p.prank
 
@@ -445,7 +463,74 @@ let comm_dup p comm =
   let new_ctx =
     alloc_context p.world ~key:(Printf.sprintf "dup/%d/%d" comm.Comm.ctx e)
   in
-  Comm.make ~ctx:new_ctx ~members:(Array.copy comm.Comm.members)
+  (* Membership descriptor is shared, not copied: dup of the 64k world is
+     O(1). *)
+  Comm.with_ctx comm ~ctx:new_ctx
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical communicators                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A contiguous communicator on a multi-node topology decomposes into
+   per-node shards plus a cross-node leader slice. Both derived comms
+   are O(1) descriptors (a contiguous sub-range; a strided slice), and
+   context ids come from the shared deterministic allocator keyed by the
+   parent context, so no communication is needed to agree on them. *)
+
+let contiguous_info comm =
+  match Comm.range_info comm with
+  | Some (start, 1, count) -> (start, count)
+  | _ ->
+      invalid_arg
+        "Mpi: hierarchical communicators need a contiguous communicator"
+
+let shard_bounds topo ~start ~count node =
+  let cores = Simtime.Topology.cores topo in
+  let lo = max start (node * cores) in
+  let hi = min (start + count) ((node + 1) * cores) in
+  (lo, hi - lo)
+
+let shard_comm p comm =
+  let start, count = contiguous_info comm in
+  if Comm.comm_rank_of comm p.prank = None then
+    invalid_arg "Mpi.shard_comm: not a member of this communicator";
+  let topo = p.world.topology in
+  let node = Simtime.Topology.node_of topo p.prank in
+  let lo, n = shard_bounds topo ~start ~count node in
+  let ctx =
+    alloc_context p.world
+      ~key:(Printf.sprintf "hshard/%d/%d" comm.Comm.ctx node)
+  in
+  Comm.range ~ctx ~start:lo ~count:n ()
+
+let leader_comm p comm =
+  let start, count = contiguous_info comm in
+  if Comm.comm_rank_of comm p.prank = None then
+    invalid_arg "Mpi.leader_comm: not a member of this communicator";
+  let topo = p.world.topology in
+  let cores = Simtime.Topology.cores topo in
+  let first_node = Simtime.Topology.node_of topo start in
+  let last_node = Simtime.Topology.node_of topo (start + count - 1) in
+  let shards = last_node - first_node + 1 in
+  let ctx =
+    alloc_context p.world ~key:(Printf.sprintf "hlead/%d" comm.Comm.ctx)
+  in
+  if start mod cores = 0 then
+    (* Aligned: leaders are a pure strided slice — an O(1) descriptor
+       even with thousands of nodes. *)
+    Comm.range ~ctx ~step:cores ~start ~count:shards ()
+  else
+    Comm.make ~ctx
+      ~members:
+        (Array.init shards (fun i ->
+             if i = 0 then start else (first_node + i) * cores))
+
+let is_shard_leader p comm =
+  let start, count = contiguous_info comm in
+  let topo = p.world.topology in
+  let node = Simtime.Topology.node_of topo p.prank in
+  let lo, _ = shard_bounds topo ~start ~count node in
+  p.prank = lo
 
 (* ------------------------------------------------------------------ *)
 (* ULFM-style recovery: revoke / agree / shrink                        *)
@@ -493,7 +578,7 @@ let comm_agree p comm ~value =
   let ft = ft_of p in
   let w = p.world in
   let me = p.prank in
-  let members = Array.to_list comm.Comm.members in
+  let members = Array.to_list (Comm.members comm) in
   if not (List.mem me members) then
     invalid_arg "Mpi.comm_agree: not a member of this communicator";
   let e = next_epoch p comm in
@@ -576,7 +661,7 @@ let max_shrink_members = 62  (* agreement value is an OCaml int bitmap *)
 let comm_shrink p comm =
   check_self p;
   let ft = ft_of p in
-  let members = comm.Comm.members in
+  let members = Comm.members comm in
   if Array.length members > max_shrink_members then
     invalid_arg "Mpi.comm_shrink: communicator too large for the bitmap \
                  agreement";
@@ -662,8 +747,10 @@ let rank_guard w rank body =
           Ft.mark_killed ft ~rank;
           Trace.record w.env ~rank ~op:"kill" ~detail:"fiber torn down")
 
-let run ?channel ?cost ?env ?fault ?reliable ?detector ~n body =
-  let w = create_world ?channel ?cost ?env ?fault ?reliable ?detector ~n () in
+let run ?channel ?cost ?env ?fault ?reliable ?detector ?topology ~n body =
+  let w =
+    create_world ?channel ?cost ?env ?fault ?reliable ?detector ?topology ~n ()
+  in
   let fibers =
     List.init n (fun i ->
         ( Printf.sprintf "rank%d" i,

@@ -18,6 +18,7 @@ val create_world :
   ?fault:Fault.plan ->
   ?reliable:Reliable.config ->
   ?detector:Ft.detector ->
+  ?topology:Simtime.Topology.t ->
   n:int ->
   unit ->
   world
@@ -34,8 +35,19 @@ val create_world :
     {!Ft.Proc_failed} instead of hanging (see the {!section-ft} section
     below). *)
 
+(** [?topology] places ranks on a nodes-by-cores machine model
+    ({!Simtime.Topology}): the channel prices same-node traffic at the
+    shared-memory tier, per-tier traffic counters are recorded, and the
+    collectives' selection policy may pick hierarchical (two-level)
+    algorithms. Defaults to a single node holding all [n] ranks; must be
+    at least as large as the world. *)
+
 val env : world -> Simtime.Env.t
 val world_size : world -> int
+
+val topology : world -> Simtime.Topology.t
+(** The machine model ranks were placed on ([Topology.single ~n] unless a
+    topology was passed at creation). *)
 
 val reliable_handle : world -> Reliable.t option
 (** Handle on the world's go-back-N layer when one was installed
@@ -98,6 +110,7 @@ val run :
   ?fault:Fault.plan ->
   ?reliable:Reliable.config ->
   ?detector:Ft.detector ->
+  ?topology:Simtime.Topology.t ->
   n:int ->
   (proc -> unit) ->
   world
@@ -201,6 +214,29 @@ val comm_split : proc -> Comm.t -> color:int -> key:int -> Comm.t
 (** Collective over [comm]: every member must call it. Members with equal
     [color] land in the same new communicator, ordered by [key] (ties by
     old rank). Implemented with real messages (allgather of (color, key)). *)
+
+(** {1 Hierarchical communicators}
+
+    A contiguous communicator on a multi-node topology decomposes into
+    per-node {e shards} and a cross-node {e leader} slice (the first
+    member on each node). Both derived communicators are O(1)
+    descriptors — a contiguous sub-range and a strided slice — and their
+    context ids come from the deterministic allocator keyed by the
+    parent's context, so constructing them needs {e no communication}.
+    All three calls raise [Invalid_argument] if [comm] is not contiguous
+    or the caller is not a member. *)
+
+val shard_comm : proc -> Comm.t -> Comm.t
+(** The members of [comm] on the calling process's node, in rank order.
+    With a single-node topology this is [comm] itself (fresh context). *)
+
+val leader_comm : proc -> Comm.t -> Comm.t
+(** One member per node covered by [comm]: each node's lowest-ranked
+    member. The same communicator value on every caller — non-leaders may
+    use it for membership queries but must not run operations on it. *)
+
+val is_shard_leader : proc -> Comm.t -> bool
+(** Whether the caller is the first member of [comm] on its node. *)
 
 (** {1:ft Fault tolerance (ULFM-style)}
 

@@ -1,4 +1,7 @@
-let create env ~n_ranks =
+let create ?topo env ~n_ranks =
   let cost = env.Simtime.Env.cost in
+  (* One cost tier: shared memory is intra-node by construction, so the
+     topology only feeds the per-tier traffic counters. *)
   Channel.make ~name:"shm" ~per_msg_ns:cost.shm_per_msg_ns
-    ~per_byte_ns:cost.shm_ns_per_byte ~syscall_fraction:0.5 ~env ~n_ranks
+    ~per_byte_ns:cost.shm_ns_per_byte ?topo ~syscall_fraction:0.5 ~env
+    ~n_ranks ()

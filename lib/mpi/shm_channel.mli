@@ -1,3 +1,6 @@
-(** Shared-memory channel (MPICH2's "shm"): low latency, high bandwidth. *)
+(** Shared-memory channel (MPICH2's "shm"): low latency, high bandwidth.
 
-val create : Simtime.Env.t -> n_ranks:int -> Channel.t
+    [?topo] does not change pricing (shared memory is one tier) but
+    feeds the per-tier traffic counters. *)
+
+val create : ?topo:Simtime.Topology.t -> Simtime.Env.t -> n_ranks:int -> Channel.t

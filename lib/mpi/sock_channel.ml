@@ -1,4 +1,7 @@
-let create env ~n_ranks =
+let create ?topo env ~n_ranks =
   let cost = env.Simtime.Env.cost in
+  (* Same-node peers bypass the socket and pay shared-memory figures. *)
   Channel.make ~name:"sock" ~per_msg_ns:cost.sock_per_msg_ns
-    ~per_byte_ns:cost.sock_ns_per_byte ~syscall_fraction:0.25 ~env ~n_ranks
+    ~per_byte_ns:cost.sock_ns_per_byte ?topo
+    ~intra:(cost.shm_per_msg_ns, cost.shm_ns_per_byte)
+    ~syscall_fraction:0.25 ~env ~n_ranks ()

@@ -1,4 +1,7 @@
 (** TCP-socket channel (MPICH2's "sock", the configuration the paper's
-    experiments use over localhost). *)
+    experiments use over localhost).
 
-val create : Simtime.Env.t -> n_ranks:int -> Channel.t
+    With [?topo], same-node endpoints are priced at the shared-memory
+    tier — the MPICH "ssm" (sock + shared memory) configuration. *)
+
+val create : ?topo:Simtime.Topology.t -> Simtime.Env.t -> n_ranks:int -> Channel.t

@@ -176,7 +176,15 @@ let tid_of_rank rank = if rank >= 0 then rank else 1000
    (cat, name, id). *)
 type resolved = Keep | Drop
 
-let to_chrome_json t =
+let to_chrome_json ?topo t =
+  (* With a topology, each node becomes a Chrome process (pid = node id)
+     so Perfetto groups the per-rank timelines by machine; the runtime
+     lane stays with node 0. *)
+  let pid_of_rank rank =
+    match topo with
+    | Some tp when rank >= 0 -> Simtime.Topology.node_of tp rank
+    | _ -> 0
+  in
   let evs = Array.of_list (events t) in
   let n = Array.length evs in
   let state = Array.make n Keep in
@@ -244,17 +252,32 @@ let to_chrome_json t =
     Array.fold_left (fun acc e -> if List.mem e.rank acc then acc else e.rank :: acc) [] evs
     |> List.sort compare
   in
-  sep ();
-  out
-    "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
-     \"args\": {\"name\": \"motor\"}}";
+  (match topo with
+  | None ->
+      sep ();
+      out
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
+         \"args\": {\"name\": \"motor\"}}"
+  | Some _ ->
+      let pids =
+        List.sort_uniq compare (List.map pid_of_rank ranks)
+      in
+      let pids = if List.mem 0 pids then pids else 0 :: pids in
+      List.iter
+        (fun pid ->
+          sep ();
+          out
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \
+             \"tid\": 0, \"args\": {\"name\": \"node %d\"}}"
+            pid pid)
+        pids);
   List.iter
     (fun rank ->
       sep ();
       out
-        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": %d, \
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": %d, \
          \"args\": {\"name\": \"%s\"}}"
-        (tid_of_rank rank)
+        (pid_of_rank rank) (tid_of_rank rank)
         (if rank >= 0 then Printf.sprintf "rank %d" rank else "runtime"))
     ranks;
   let emit_event ?ph_override ev =
@@ -276,10 +299,10 @@ let to_chrome_json t =
       else ev.op
     in
     out "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f, \
-         \"pid\": 0, \"tid\": %d"
+         \"pid\": %d, \"tid\": %d"
       (json_escape name_field)
       (json_escape (if ev.cat = "" then "event" else ev.cat))
-      ph ev.t_us (tid_of_rank ev.rank);
+      ph ev.t_us (pid_of_rank ev.rank) (tid_of_rank ev.rank);
     (match ev.span_id with Some id -> out ", \"id\": %d" id | None -> ());
     if ph = "i" then out ", \"s\": \"t\"";
     emit_args ev.args;
@@ -307,7 +330,7 @@ let to_chrome_json t =
   out "\n]\n}\n";
   Buffer.contents buf
 
-let write_chrome ~path t =
+let write_chrome ?topo ~path t =
   let oc = open_out path in
-  output_string oc (to_chrome_json t);
+  output_string oc (to_chrome_json ?topo t);
   close_out oc

@@ -97,12 +97,15 @@ val pp_timeline : Format.formatter -> t -> unit
 (** One line per event: [  123.4us r0 isend    dst=1 tag=0 64B]; span
     begins/ends are marked with [[] and []]. *)
 
-val to_chrome_json : t -> string
+val to_chrome_json : ?topo:Simtime.Topology.t -> t -> string
 (** The trace as Chrome-trace JSON ("traceEvents" array): instants as
     ["i"], sync spans as ["B"]/["E"] pairs, async spans as ["b"]/["e"]
-    pairs keyed by id, plus process/thread-name metadata. Span pairs are
-    always well formed even after ring-buffer overflow: orphan ends are
-    dropped, dangling begins are closed at the trace's last timestamp.
-    Field order is fixed, so output is golden-testable. *)
+    pairs keyed by id, plus process/thread-name metadata. With [topo],
+    each node becomes a Chrome process (pid = node id, named
+    ["node N"]), so Perfetto groups the per-rank timelines by machine;
+    without it everything lives in the single ["motor"] process. Span
+    pairs are always well formed even after ring-buffer overflow: orphan
+    ends are dropped, dangling begins are closed at the trace's last
+    timestamp. Field order is fixed, so output is golden-testable. *)
 
-val write_chrome : path:string -> t -> unit
+val write_chrome : ?topo:Simtime.Topology.t -> path:string -> t -> unit

@@ -281,6 +281,10 @@ module Key = struct
   let safepoint_polls = "safepoint_polls"
   let msgs_sent = "msgs_sent"
   let bytes_sent = "bytes_sent"
+  let msgs_intra_node = "msgs_intra_node"
+  let msgs_inter_node = "msgs_inter_node"
+  let bytes_intra_node = "bytes_intra_node"
+  let bytes_inter_node = "bytes_inter_node"
   let eager_sends = "eager_sends"
   let rndv_sends = "rndv_sends"
   let unexpected_msgs = "unexpected_msgs"

@@ -101,6 +101,10 @@ module Key : sig
   val safepoint_polls : string
   val msgs_sent : string
   val bytes_sent : string
+  val msgs_intra_node : string
+  val msgs_inter_node : string
+  val bytes_intra_node : string
+  val bytes_inter_node : string
   val eager_sends : string
   val rndv_sends : string
   val unexpected_msgs : string

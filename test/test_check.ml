@@ -170,7 +170,7 @@ let test_explorer_clean_on_default_workloads () =
         (violations_line o))
     report.E.r_failures;
   Alcotest.(check int)
-    "one baseline per workload" 4
+    "one baseline per workload" 5
     (List.length report.E.r_baselines)
 
 let test_record_replay_reproduces_digest () =

@@ -59,7 +59,7 @@ let test_comm_create () =
              Alcotest.(check bool) "only members get it" true
                (Mpi.rank p mod 2 = 0);
              Alcotest.(check (array int)) "ordering honoured" [| 4; 2; 0 |]
-               sub.Comm.members;
+               (Comm.members sub);
              (* Use it: broadcast from sub-rank 0 (world rank 4). *)
              let b = Bytes.create 4 in
              if Mpi.rank p = 4 then Bytes.set_int32_le b 0 77l;

@@ -421,7 +421,7 @@ let test_comm_split () =
            if r mod 2 = 0 then [| 4; 2; 0 |] else [| 5; 3; 1 |]
          in
          Alcotest.(check (array int)) "membership" expected_members
-           sub.Comm.members;
+           (Comm.members sub);
          (* Traffic within the new communicator. *)
          let next = (my_sub_rank + 1) mod Comm.size sub in
          let prev = (my_sub_rank - 1 + Comm.size sub) mod Comm.size sub in

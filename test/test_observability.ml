@@ -50,6 +50,47 @@ let test_chrome_golden () =
     (Trace.to_chrome_json trace);
   Trace.disable env
 
+(* With a topology, each node is a Chrome process: pid = node id, named
+   "node N", and every rank's events carry its node's pid — Perfetto
+   then groups the timelines by machine. *)
+let golden_topo =
+  {|{
+"displayTimeUnit": "ms",
+"traceEvents": [
+    {"name": "process_name", "ph": "M", "pid": 0, "tid": 0, "args": {"name": "node 0"}},
+    {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "node 1"}},
+    {"name": "thread_name", "ph": "M", "pid": 0, "tid": 1000, "args": {"name": "runtime"}},
+    {"name": "thread_name", "ph": "M", "pid": 0, "tid": 1, "args": {"name": "rank 1"}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 2, "args": {"name": "rank 2"}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 3, "args": {"name": "rank 3"}},
+    {"name": "send tag=1", "cat": "event", "ph": "i", "ts": 0.000, "pid": 0, "tid": 1, "s": "t"},
+    {"name": "recv tag=1", "cat": "event", "ph": "i", "ts": 0.500, "pid": 1, "tid": 2, "s": "t"},
+    {"name": "eager", "cat": "ch3", "ph": "B", "ts": 0.500, "pid": 1, "tid": 3, "args": {"dst": "0"}},
+    {"name": "eager", "cat": "ch3", "ph": "E", "ts": 1.500, "pid": 1, "tid": 3},
+    {"name": "gc/young", "cat": "gc", "ph": "B", "ts": 1.500, "pid": 0, "tid": 1000},
+    {"name": "gc/young", "cat": "gc", "ph": "E", "ts": 1.750, "pid": 0, "tid": 1000}
+]
+}|}
+
+let test_chrome_golden_topo () =
+  let env = fresh_env () in
+  let trace = Trace.enable env in
+  Trace.record env ~rank:1 ~op:"send" ~detail:"tag=1";
+  Env.charge env 500.0;
+  Trace.record env ~rank:2 ~op:"recv" ~detail:"tag=1";
+  Trace.span_begin env ~rank:3 ~cat:"ch3" ~name:"eager"
+    ~args:[ ("dst", "0") ] ();
+  Env.charge env 1000.0;
+  Trace.span_end env ~rank:3 ~cat:"ch3" ~name:"eager" ();
+  Trace.span_begin env ~rank:(-1) ~cat:"gc" ~name:"gc/young" ();
+  Env.charge env 250.0;
+  Trace.span_end env ~rank:(-1) ~cat:"gc" ~name:"gc/young" ();
+  Alcotest.(check string) "golden chrome json with topology"
+    (golden_topo ^ "\n")
+    (Trace.to_chrome_json ~topo:(Simtime.Topology.make ~nodes:2 ~cores:2)
+       trace);
+  Trace.disable env
+
 (* ------------------------------------------------------------------ *)
 (* Overflow repair: once the ring buffer has wrapped, some span begins *)
 (* are gone. The exporter must still emit only matched pairs.          *)
@@ -166,6 +207,8 @@ let () =
       ( "chrome-trace",
         [
           Alcotest.test_case "golden json" `Quick test_chrome_golden;
+          Alcotest.test_case "golden json with topology" `Quick
+            test_chrome_golden_topo;
           Alcotest.test_case "overflow pair repair" `Quick
             test_overflow_pairs;
         ] );

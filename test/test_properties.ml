@@ -353,6 +353,137 @@ let prop_split_parts_cover_disjointly =
         segs;
       Hashtbl.length seen = len)
 
+(* --- Communicator and group algebra ------------------------------- *)
+
+(* The sparse (descriptor) communicator representation must be
+   observationally equal to the dense model: a materialized member array
+   with linear-scan lookups. *)
+module Mcomm = Mpi_core.Comm
+module Mgroup = Mpi_core.Group
+
+let model_rank_of arr w =
+  let n = Array.length arr in
+  let rec go i = if i >= n then None else if arr.(i) = w then Some i else go (i + 1) in
+  go 0
+
+let comm_matches_model c arr =
+  let n = Array.length arr in
+  Mcomm.size c = n
+  && Mcomm.members c = arr
+  && (let ok = ref true in
+      for i = 0 to n - 1 do
+        if Mcomm.world_rank_of c i <> arr.(i) then ok := false
+      done;
+      !ok)
+  && (let lo = arr.(0) - 2 and hi = arr.(n - 1) + 2 in
+      let ok = ref true in
+      for w = max 0 lo to hi do
+        if Mcomm.comm_rank_of c w <> model_rank_of arr w then ok := false
+      done;
+      !ok)
+
+let prop_sparse_comm_equals_dense_model =
+  QCheck.Test.make
+    ~name:"range descriptor comms answer exactly like the dense array"
+    ~count:200
+    QCheck.(triple (int_range 0 50) (int_range 1 7) (int_range 1 40))
+    (fun (start, step, count) ->
+      let arr = Array.init count (fun i -> start + (i * step)) in
+      comm_matches_model (Mcomm.range ~ctx:0 ~step ~start ~count ()) arr
+      && comm_matches_model (Mcomm.make ~ctx:0 ~members:arr) arr)
+
+(* Distinct positive ranks in arbitrary order (so most draws do not form
+   an arithmetic progression and stay enumerated). *)
+let gen_rankset =
+  let open QCheck.Gen in
+  map
+    (fun (h, t) ->
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun r ->
+          if Hashtbl.mem seen r then false
+          else begin
+            Hashtbl.add seen r ();
+            true
+          end)
+        (h :: t))
+    (pair (int_range 0 60) (list_size (int_range 0 24) (int_range 0 60)))
+
+let arb_rankset =
+  QCheck.make gen_rankset
+    ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+
+let prop_enum_comm_equals_dense_model =
+  QCheck.Test.make
+    ~name:"enumerated comms answer exactly like the dense array" ~count:200
+    arb_rankset
+    (fun ranks ->
+      let arr = Array.of_list ranks in
+      comm_matches_model (Mcomm.make ~ctx:0 ~members:arr) arr)
+
+(* Group set algebra against the obvious list-set model (MPI order
+   conventions: left operand's order first). *)
+let prop_group_algebra_matches_model =
+  QCheck.Test.make ~name:"group algebra matches the list-set model"
+    ~count:300
+    QCheck.(pair arb_rankset arb_rankset)
+    (fun (la, lb) ->
+      let ga = Mgroup.of_ranks la and gb = Mgroup.of_ranks lb in
+      let l g = Array.to_list (Mgroup.members g) in
+      let model_union = la @ List.filter (fun r -> not (List.mem r la)) lb in
+      let model_inter = List.filter (fun r -> List.mem r lb) la in
+      let model_diff = List.filter (fun r -> not (List.mem r lb)) la in
+      l (Mgroup.union ga gb) = model_union
+      && l (Mgroup.intersection ga gb) = model_inter
+      && l (Mgroup.difference ga gb) = model_diff
+      (* Derived identities the model implies. *)
+      && Mgroup.similar (Mgroup.union ga gb) (Mgroup.union gb ga)
+      && Mgroup.equal (Mgroup.intersection ga ga) ga
+      && Mgroup.size (Mgroup.difference ga ga) = 0
+      && List.for_all
+           (fun r ->
+             Mgroup.rank_of (Mgroup.union ga gb) r <> None
+             = (List.mem r la || List.mem r lb))
+           (la @ lb))
+
+let prop_group_incl_excl_matches_model =
+  QCheck.Test.make ~name:"incl/excl match the positional model" ~count:300
+    QCheck.(pair arb_rankset (list_of_size Gen.(int_range 0 8) (int_range 0 100)))
+    (fun (la, picks) ->
+      let ga = Mgroup.of_ranks la in
+      let n = List.length la in
+      let picks =
+        let seen = Hashtbl.create 8 in
+        List.filter
+          (fun i ->
+            i < n
+            &&
+            if Hashtbl.mem seen i then false
+            else begin
+              Hashtbl.add seen i ();
+              true
+            end)
+          picks
+      in
+      let arr = Array.of_list la in
+      let l g = Array.to_list (Mgroup.members g) in
+      l (Mgroup.incl ga picks) = List.map (fun i -> arr.(i)) picks
+      && l (Mgroup.excl ga picks)
+         = List.filteri (fun i _ -> not (List.mem i picks)) la)
+
+let prop_group_of_range_comm_stays_sparse =
+  QCheck.Test.make
+    ~name:"group of a descriptor comm keeps the O(1) representation"
+    ~count:100
+    QCheck.(triple (int_range 0 1_000_000) (int_range 1 64) (int_range 1 65536))
+    (fun (start, step, count) ->
+      let c = Mcomm.range ~ctx:0 ~step ~start ~count () in
+      let g = Mgroup.of_comm c in
+      Mgroup.is_range g
+      && Mgroup.size g = count
+      && Mgroup.world_rank g (count - 1) = start + ((count - 1) * step)
+      && Mgroup.rank_of g (start + (step * (count / 2))) = Some (count / 2))
+
 (* --- Corpus trace files ------------------------------------------- *)
 
 (* The parser trims every line and drops blank ones, so only trim-stable,
@@ -472,6 +603,14 @@ let () =
           QCheck_alcotest.to_alcotest
             prop_mixed_transport_roundtrip_isomorphic;
           QCheck_alcotest.to_alcotest prop_mixed_transport_strategies_agree;
+        ] );
+      ( "communicator algebra",
+        [
+          QCheck_alcotest.to_alcotest prop_sparse_comm_equals_dense_model;
+          QCheck_alcotest.to_alcotest prop_enum_comm_equals_dense_model;
+          QCheck_alcotest.to_alcotest prop_group_algebra_matches_model;
+          QCheck_alcotest.to_alcotest prop_group_incl_excl_matches_model;
+          QCheck_alcotest.to_alcotest prop_group_of_range_comm_stays_sparse;
         ] );
       ( "corpus format",
         [

@@ -163,7 +163,7 @@ let test_agree_and_shrink_after_death () =
           let value = if me = 1 then 0b111 else 0b101 in
           agreed.(me) <- Mpi.comm_agree p comm ~value;
           let sub = Mpi.comm_shrink p comm in
-          shrunk_members.(me) <- sub.Comm.members;
+          shrunk_members.(me) <- Comm.members sub;
           sums.(me) <-
             i64_of (Coll.allreduce p sub ~op:Coll.sum_i64 (i64_buf (me + 1)))
         end)
@@ -492,11 +492,11 @@ let test_motor_e2e_kill_shrink_restart () =
         a := root;
         let sub = Smp.comm_shrink ctx !comm in
         Alcotest.(check (array int))
-          "shrunk to survivors" [| 0; 1; 3 |] sub.Comm.members;
+          "shrunk to survivors" [| 0; 1; 3 |] (Comm.members sub);
         (* The lowest survivor restarts the dead rank (guarded, like any
            rank fiber); the others wait at the barrier so nobody talks
            to the victim before it is re-admitted. *)
-        if me = sub.Comm.members.(0) then begin
+        if me = Comm.world_rank_of sub 0 then begin
           Mpi.revive_rank mw victim;
           let vctx = World.respawn_ctx world victim in
           Fiber.spawn

@@ -17,7 +17,7 @@
    retire its own gate). New tests absent from the baseline pass with a
    note — the baseline is reseeded whenever a PR adds benches. *)
 
-let gated = [ "fig9"; "fig10"; "collectives"; "resilience" ]
+let gated = [ "fig9"; "fig10"; "collectives"; "resilience"; "hier" ]
 let threshold = 1.25
 
 (* --- A minimal recursive-descent JSON parser (numbers, strings, objects,
