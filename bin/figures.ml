@@ -636,6 +636,42 @@ let run_report ~quick ~path =
   close_out oc;
   Format.printf "report written to %s@." path
 
+let run_speedup ~quick ~out =
+  let points = Harness.Speedup.sweep ~quick () in
+  let cores = Harness.Speedup.cores () in
+  let headers =
+    [ "workload"; "domains"; "ranks"; "reps"; "cores"; "median_wall_ms";
+      "speedup" ]
+  in
+  let rows =
+    List.map
+      (fun (p : Harness.Speedup.point) ->
+        ( p.Harness.Speedup.p_workload,
+          [
+            Table.Num (float_of_int p.Harness.Speedup.p_domains);
+            Table.Num (float_of_int p.Harness.Speedup.p_ranks);
+            Table.Num (float_of_int p.Harness.Speedup.p_reps);
+            Table.Num (float_of_int cores);
+            Table.Num p.Harness.Speedup.p_median_wall_ms;
+            Table.Num p.Harness.Speedup.p_speedup;
+          ] ))
+      points
+  in
+  Table.print_table
+    ~title:
+      (Printf.sprintf
+         "Wall-clock speedup: rank fibers on 1/2/4 domains (%d core(s) \
+          available)"
+         cores)
+    ~headers ~rows ();
+  if cores < 4 then
+    Format.printf
+      "note: only %d core(s) available — the ratios measure scheduling \
+       overhead, not scaling; the CI gate skips enforcement below 4 cores@."
+      cores;
+  Harness.Speedup.write_csv ~path:out points;
+  Format.printf "csv written to %s@." out
+
 let run_check ~quick =
   let protocol =
     if quick then quick_protocol else Workloads.paper_protocol
@@ -748,6 +784,19 @@ let scale_cmd =
      checked against the analytic round/message model; exit 1 on mismatch."
     Term.(const (fun quick out -> run_scale ~quick ~out) $ quick $ out)
 
+let speedup_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "results/speedup_sweep.csv"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the CSV.")
+  in
+  cmd_of "speedup"
+    "Wall-clock speedup sweep: the ring and allreduce workloads on 1/2/4 \
+     real domains (the only real-clock experiment; everything else is \
+     virtual time)."
+    Term.(const (fun quick out -> run_speedup ~quick ~out) $ quick $ out)
+
 let overlap_cmd =
   cmd_of "overlap"
     "Overlap sweep: nonblocking collectives vs the blocking baseline."
@@ -790,5 +839,6 @@ let () =
           [
             fig9_cmd; fig10_cmd; taba_cmd; tabb_cmd; ablations_cmd;
             faults_cmd; killsweep_cmd; coll_cmd; overlap_cmd; scale_cmd;
+            speedup_cmd;
             profile_cmd; all_cmd; check_cmd; report_cmd;
           ]))

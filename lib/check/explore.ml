@@ -834,6 +834,8 @@ let fault_plan seed =
   Fault.plan ~seed ~drop:0.02 ~duplicate:0.01 ~corrupt:0.01 ~delay:0.05 ()
 
 let run_one ?fault_seed ?(quick = false) w pol =
+  Policy.assert_deterministic
+    (Printf.sprintf "Explore.run_one (%s under %s)" w.w_name (Policy.name pol));
   let record = Fiber.new_trace () in
   let fault = Option.map fault_plan fault_seed in
   let digest, violations =

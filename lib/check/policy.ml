@@ -8,6 +8,14 @@ let to_fiber = function
 let name t = Fiber.policy_name (to_fiber t)
 let seed_of = function Seeded_random s -> Some s | _ -> None
 
+let assert_deterministic what =
+  if Fiber.parallel_active () then
+    invalid_arg
+      (Printf.sprintf
+         "%s requires the deterministic cooperative scheduler; it cannot run \
+          inside a Parallel (multi-domain) mode"
+         what)
+
 let fault_seed ~schedule_seed =
   (* Any fixed mixing works; it only has to decorrelate the two seed
      spaces and never produce the degenerate seed 0. *)

@@ -18,6 +18,12 @@ val name : t -> string
 val seed_of : t -> int option
 (** The seed of a [Seeded_random], if that's what this is. *)
 
+val assert_deterministic : string -> unit
+(** Raise [Invalid_argument] if called while a {!Fiber} parallel
+    (multi-domain) run is active: schedule exploration, replay and
+    shrinking are only meaningful under the deterministic cooperative
+    scheduler. [what] names the operation for the diagnostic. *)
+
 val fault_seed : schedule_seed:int -> int
 (** The fault-plan seed crossed with a schedule seed: a fixed mix, so
     [explore --faults] runs are reproducible from the schedule seed

@@ -9,11 +9,27 @@ type entry = {
 type t = {
   gc : Vm.Gc.t;
   env : Simtime.Env.t;
+  owner : Domain.id;
   mutable entries : entry list;  (* sorted by capacity, ascending *)
 }
 
+(* A pool belongs to one VM instance, and a VM (like a rank) lives on a
+   single domain; the pool's free list is plain mutable state on that
+   assumption. The owner check turns a cross-domain use — silent
+   corruption under parallel execution — into an immediate error. *)
+let check_owner t =
+  if not (Domain.self () = t.owner) then
+    invalid_arg "Buffer_pool: used from a domain other than its creator"
+
 let create gc =
-  let t = { gc; env = Vm.Heap.env (Vm.Gc.heap gc); entries = [] } in
+  let t =
+    {
+      gc;
+      env = Vm.Heap.env (Vm.Gc.heap gc);
+      owner = Domain.self ();
+      entries = [];
+    }
+  in
   Vm.Gc.add_post_gc_hook gc (fun () ->
       (* Reap buffers unused since the last collection. *)
       let epoch = Vm.Gc.collection_epoch gc in
@@ -27,6 +43,7 @@ let create gc =
   t
 
 let acquire t size =
+  check_owner t;
   (* The pool is kept sorted by capacity (insertion in [release], and the
      reaping hook's partition preserves order), so the first adequate
      entry is the smallest one: best fit in a single scan, no per-acquire
@@ -51,6 +68,7 @@ let acquire t size =
       Bytes.create size
 
 let release t buf =
+  check_owner t;
   (* Sorted insertion keeps the capacity order [acquire] relies on. *)
   let e = { buf; last_used_epoch = Vm.Gc.collection_epoch t.gc } in
   let len = Bytes.length buf in

@@ -4,7 +4,13 @@
     memory", Section 7.5), so OO operations never need pinning. Buffers
     are created on demand, kept on a stack for reuse, and at each garbage
     collection any buffer not used since the previous collection is
-    released — exactly the paper's reaping rule. *)
+    released — exactly the paper's reaping rule.
+
+    A pool is single-domain by construction (a VM lives on one rank's
+    fiber, and a fiber never migrates between domains — DESIGN.md §15);
+    {!acquire}/{!release} raise [Invalid_argument] when called from any
+    domain other than the creator's, turning a parallel-mode misuse into
+    an immediate error instead of silent free-list corruption. *)
 
 type t
 

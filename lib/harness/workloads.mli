@@ -37,6 +37,7 @@ val pingpong_bytes :
 val ring :
   ?fault:Mpi_core.Fault.plan ->
   ?reliable:Mpi_core.Reliable.config ->
+  ?parallel:int ->
   n:int ->
   rounds:int ->
   size:int ->
@@ -44,17 +45,36 @@ val ring :
   string * Mpi_core.Mpi.world
 (** [rounds] neighbour exchanges around an [n]-rank ring of [size]-byte
     messages; each rank folds what it received into what it sends next,
-    so any unmasked loss, duplication or corruption changes the digest. *)
+    so any unmasked loss, duplication or corruption changes the digest.
+    The per-round byte-mixing fold is also real CPU work, which makes
+    this the reference workload for wall-clock speedup measurements:
+    with [?parallel:d] the ranks execute on [d] domains
+    ({!Mpi_core.Mpi.run}) and the digest must equal the cooperative
+    one — the result is schedule-independent. *)
 
 val allreduce_chain :
   ?fault:Mpi_core.Fault.plan ->
   ?reliable:Mpi_core.Reliable.config ->
+  ?parallel:int ->
   n:int ->
   rounds:int ->
   unit ->
   string * Mpi_core.Mpi.world
 (** Collective counterpart: [rounds] chained [allreduce] sums whose
     inputs depend on the previous result. *)
+
+val allreduce_bytes :
+  ?parallel:int ->
+  n:int ->
+  rounds:int ->
+  size:int ->
+  unit ->
+  string * Mpi_core.Mpi.world
+(** Vector allreduce ([size]-byte payload, sum over i64 lanes, pinned to
+    recursive doubling) with a local O(size) remix between rounds: the
+    compute-heavy collective workload for wall-clock speedup runs.
+    [size] must be a positive multiple of 8. Digest is
+    schedule-independent, so parallel and cooperative runs must agree. *)
 
 type object_result = Time_us of float | Crashed of string
 

@@ -241,10 +241,16 @@ let advance sc =
 (* Shape registry: (rounds, steps) per started schedule, keyed by its
    request id, so tests and the scaling harness can compare a measured
    schedule against an analytic round model. Bounded by periodic reset —
-   the map is diagnostic, not load-bearing. *)
+   the map is diagnostic, not load-bearing. It is process-global (request
+   ids are world-unique), so under parallel execution ranks on different
+   domains start schedules concurrently: a mutex serializes the two
+   touch points. Uncontended lock/unlock is a few ns — noise next to
+   building the step array. *)
 let infos : (int, int * int) Hashtbl.t = Hashtbl.create 64
+let infos_mu = Mutex.create ()
 
-let info req = Hashtbl.find_opt infos (Request.id req)
+let info req =
+  Mutex.protect infos_mu (fun () -> Hashtbl.find_opt infos (Request.id req))
 
 let start b =
   if b.b_started then invalid_arg "Coll_sched.start: schedule already started";
@@ -255,8 +261,9 @@ let start b =
     if Array.length steps = 0 then 0
     else steps.(Array.length steps - 1).s_round + 1
   in
-  if Hashtbl.length infos > 1 lsl 20 then Hashtbl.reset infos;
-  Hashtbl.replace infos (Request.id req) (rounds, Array.length steps);
+  Mutex.protect infos_mu (fun () ->
+      if Hashtbl.length infos > 1 lsl 20 then Hashtbl.reset infos;
+      Hashtbl.replace infos (Request.id req) (rounds, Array.length steps));
   let sc =
     {
       sc_dev = b.b_dev;

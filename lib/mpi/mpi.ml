@@ -1,9 +1,14 @@
 type world = {
-  env : Simtime.Env.t;
+  env : Simtime.Env.t;  (* domain 0's environment (the only one when
+                           cooperative) *)
+  envs : Simtime.Env.t array;  (* one per domain; length 1 unless parallel *)
+  parallel : int option;  (* Some domains when running on real domains *)
+  place : int -> int;  (* rank -> domain slot (constant 0 cooperative) *)
   chan : Channel.t;  (* full stack (failure silencer on top, if any) *)
   inner_chan : Channel.t;  (* below the silencer: teardown drains here *)
   mutable devices : Ch3.t array;
-  mutable id_counter : int;
+  id_counter : int Atomic.t;
+  ctl_mu : Mutex.t;  (* control plane: contexts/split_epochs allocation *)
   contexts : (string, int) Hashtbl.t;
   mutable next_context : int;
   split_epochs : (int * int, int ref) Hashtbl.t;  (* (rank, ctx) -> count *)
@@ -16,24 +21,74 @@ type world = {
 
 type proc = { world : world; prank : int; dev : Ch3.t }
 
-let fresh_id world () =
-  world.id_counter <- world.id_counter + 1;
-  world.id_counter
+(* Request ids key the process-global Coll_sched shape registry, so they
+   must stay unique even when ranks on different domains allocate
+   concurrently — hence the atomic. Cooperative runs see the identical
+   1, 2, 3, ... sequence as before. *)
+let fresh_id world () = Atomic.fetch_and_add world.id_counter 1 + 1
 
 let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ?detector
-    ?topology ~n () =
+    ?topology ?parallel ~n () =
   if n < 1 then invalid_arg "Mpi.create_world: need at least one rank";
+  (* Parallel mode executes each simulated node's ranks on a real OCaml 5
+     domain (DESIGN.md §15). The layers that iterate cross-device from
+     one fiber — fault injection, the reliable-delivery window, the
+     failure detector — are cooperative-only, and a caller-supplied
+     environment cannot be shared across domains; reject the
+     combinations rather than corrupt state. *)
+  (match parallel with
+  | None -> ()
+  | Some d ->
+      if d < 1 then
+        invalid_arg "Mpi.create_world: ?parallel needs at least one domain";
+      if Option.is_some fault then
+        invalid_arg
+          "Mpi.create_world: ?fault is cooperative-only (the injector and \
+           kill teardown iterate every device); drop ?parallel";
+      if Option.is_some detector then
+        invalid_arg
+          "Mpi.create_world: ?detector is cooperative-only (heartbeat \
+           bookkeeping spans all devices); drop ?parallel";
+      if Option.is_some reliable then
+        invalid_arg
+          "Mpi.create_world: ?reliable is cooperative-only (go-back-N \
+           windows share per-pair sequence state); drop ?parallel";
+      if Option.is_some env then
+        invalid_arg
+          "Mpi.create_world: ?parallel builds one environment per domain; \
+           a shared ?env cannot be used");
+  let domains = match parallel with Some d -> Some (min d n) | None -> None in
   let topology =
-    match topology with
-    | Some t ->
+    match (topology, domains) with
+    | Some t, _ ->
         if Simtime.Topology.size t < n then
           invalid_arg "Mpi.create_world: topology smaller than the world";
         t
-    | None -> Simtime.Topology.single ~n
+    | None, Some d ->
+        (* One simulated node per domain: cores within a node stay
+           cooperative, nodes run truly in parallel. *)
+        Simtime.Topology.make ~nodes:d ~cores:((n + d - 1) / d)
+    | None, None -> Simtime.Topology.single ~n
+  in
+  let place =
+    match domains with
+    | None -> fun _ -> 0
+    | Some d ->
+        let tp = topology in
+        fun rank -> Simtime.Topology.node_of tp rank mod d
+  in
+  let envs =
+    match domains with
+    | None -> [||] (* filled below from [env] *)
+    | Some d -> Array.init d (fun _ -> Simtime.Env.create ?cost ())
   in
   let env =
-    match env with Some e -> e | None -> Simtime.Env.create ?cost ()
+    match (env, domains) with
+    | Some e, _ -> e
+    | None, Some _ -> envs.(0)
+    | None, None -> Simtime.Env.create ?cost ()
   in
+  let envs = if Array.length envs = 0 then [| env |] else envs in
   (* A single-node topology (the default) is "no placement information":
      the channel keeps its flat pricing, exactly as before topologies
      existed. Only a real multi-node layout turns on tiered pricing. *)
@@ -41,9 +96,17 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ?detector
     if Simtime.Topology.multi_node topology then Some topology else None
   in
   let base =
-    match channel with
-    | `Shm -> Shm_channel.create ?topo env ~n_ranks:n
-    | `Sock -> Sock_channel.create ?topo env ~n_ranks:n
+    match domains with
+    | Some _ ->
+        (* The transport is real shared memory between domains; the
+           modelled [channel] flavour does not apply. *)
+        Shm_channel.create_parallel
+          ~env_for:(fun rank -> envs.(place rank))
+          ~n_ranks:n
+    | None -> (
+        match channel with
+        | `Shm -> Shm_channel.create ?topo env ~n_ranks:n
+        | `Sock -> Sock_channel.create ?topo env ~n_ranks:n)
   in
   let faulty =
     match fault with
@@ -76,10 +139,14 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ?detector
   let world =
     {
       env;
+      envs;
+      parallel = domains;
+      place;
       chan;
       inner_chan;
       devices = [||];
-      id_counter = 0;
+      id_counter = Atomic.make 0;
+      ctl_mu = Mutex.create ();
       contexts = Hashtbl.create 16;
       next_context = 10;
       split_epochs = Hashtbl.create 16;
@@ -90,9 +157,12 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ?detector
       ft;
     }
   in
+  (* Each device charges and counts into its own domain's environment, so
+     hot-path accounting never crosses domains; [merged_stats] recombines
+     after the run joins. *)
   world.devices <-
     Array.init n (fun rank ->
-        Ch3.create env chan ~rank ~fresh_id:(fresh_id world));
+        Ch3.create envs.(place rank) chan ~rank ~fresh_id:(fresh_id world));
   (match ft with
   | None -> ()
   | Some ft ->
@@ -145,6 +215,13 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ?detector
   world
 
 let env w = w.env
+let domain_envs w = Array.copy w.envs
+let parallelism w = w.parallel
+
+let merged_stats w =
+  Simtime.Stats.merged
+    (Array.to_list (Array.map (fun e -> e.Simtime.Env.stats) w.envs))
+
 let world_size w = Array.length w.devices
 let topology w = w.topology
 let reliable_handle w = w.reliable
@@ -194,14 +271,18 @@ let comm_rank p comm =
 let world_of p = p.world
 let device p = p.dev
 
+(* Control-plane allocation: serialized so parallel-mode ranks splitting
+   the same communicator from different domains agree on one context id
+   per key. Uncontended in cooperative mode. *)
 let alloc_context w ~key =
-  match Hashtbl.find_opt w.contexts key with
-  | Some ctx -> ctx
-  | None ->
-      let ctx = w.next_context in
-      w.next_context <- ctx + 2;
-      Hashtbl.replace w.contexts key ctx;
-      ctx
+  Mutex.protect w.ctl_mu (fun () ->
+      match Hashtbl.find_opt w.contexts key with
+      | Some ctx -> ctx
+      | None ->
+          let ctx = w.next_context in
+          w.next_context <- ctx + 2;
+          Hashtbl.replace w.contexts key ctx;
+          ctx)
 
 let add_rank w =
   let rank = w.chan.Channel.add_rank () in
@@ -374,16 +455,17 @@ let iprobe p ~comm ~src ~tag =
 
 let next_epoch p comm =
   let key = (p.prank, comm.Comm.ctx) in
-  let cell =
-    match Hashtbl.find_opt p.world.split_epochs key with
-    | Some c -> c
-    | None ->
-        let c = ref 0 in
-        Hashtbl.replace p.world.split_epochs key c;
-        c
-  in
-  incr cell;
-  !cell
+  Mutex.protect p.world.ctl_mu (fun () ->
+      let cell =
+        match Hashtbl.find_opt p.world.split_epochs key with
+        | Some c -> c
+        | None ->
+            let c = ref 0 in
+            Hashtbl.replace p.world.split_epochs key c;
+            c
+      in
+      incr cell;
+      !cell)
 
 let comm_split p comm ~color ~key =
   let size = Comm.size comm in
@@ -747,14 +829,19 @@ let rank_guard w rank body =
           Ft.mark_killed ft ~rank;
           Trace.record w.env ~rank ~op:"kill" ~detail:"fiber torn down")
 
-let run ?channel ?cost ?env ?fault ?reliable ?detector ?topology ~n body =
+let run ?channel ?cost ?env ?fault ?reliable ?detector ?topology ?parallel ~n
+    body =
   let w =
-    create_world ?channel ?cost ?env ?fault ?reliable ?detector ?topology ~n ()
+    create_world ?channel ?cost ?env ?fault ?reliable ?detector ?topology
+      ?parallel ~n ()
   in
   let fibers =
     List.init n (fun i ->
         ( Printf.sprintf "rank%d" i,
           fun () -> rank_guard w i (fun () -> body (proc w i)) ))
   in
-  Fiber.run fibers;
+  (match w.parallel with
+  | None -> Fiber.run fibers
+  | Some domains ->
+      Fiber.run ~mode:(Fiber.Parallel { domains; place = w.place }) fibers);
   w

@@ -19,6 +19,7 @@ val create_world :
   ?reliable:Reliable.config ->
   ?detector:Ft.detector ->
   ?topology:Simtime.Topology.t ->
+  ?parallel:int ->
   n:int ->
   unit ->
   world
@@ -33,7 +34,20 @@ val create_world :
     detector runs off every progress pump, killed ranks are torn down
     fail-stop, and operations that can no longer complete raise
     {!Ft.Proc_failed} instead of hanging (see the {!section-ft} section
-    below). *)
+    below).
+
+    [?parallel:d] builds a world meant to execute on [d] real OCaml 5
+    domains (DESIGN.md §15): one environment (clock + stats) per domain,
+    each rank's device bound to its domain's environment via the
+    topology placement (default: [d] nodes of [ceil(n/d)] cores — one
+    simulated node per domain), and the sharded SPSC shm transport
+    instead of a modelled channel. Virtual time stops being a global
+    order (each domain's clock advances independently; wall-clock is the
+    metric); {!merged_stats} recombines accounting after the run.
+    Incompatible with [?fault]/[?reliable]/[?detector] (their teardown
+    and windows span devices across domains) and with a shared [?env] —
+    all raise [Invalid_argument]. Dynamic process management
+    ({!add_rank}) is likewise rejected by the sharded transport. *)
 
 (** [?topology] places ranks on a nodes-by-cores machine model
     ({!Simtime.Topology}): the channel prices same-node traffic at the
@@ -43,6 +57,22 @@ val create_world :
     at least as large as the world. *)
 
 val env : world -> Simtime.Env.t
+(** Domain 0's environment — the world's only one unless it was created
+    with [?parallel]. *)
+
+val domain_envs : world -> Simtime.Env.t array
+(** One environment per execution domain (length 1 unless [?parallel]).
+    Read them only when their domains are quiescent (after {!run}
+    returns). *)
+
+val parallelism : world -> int option
+(** [Some domains] when the world was created with [?parallel]. *)
+
+val merged_stats : world -> Simtime.Stats.t
+(** Per-domain stats folded into one accumulator ({!Simtime.Stats.merged});
+    on a cooperative world this is just a copy of the env's stats. Call
+    after the run completes. *)
+
 val world_size : world -> int
 
 val topology : world -> Simtime.Topology.t
@@ -111,6 +141,7 @@ val run :
   ?reliable:Reliable.config ->
   ?detector:Ft.detector ->
   ?topology:Simtime.Topology.t ->
+  ?parallel:int ->
   n:int ->
   (proc -> unit) ->
   world
@@ -118,7 +149,9 @@ val run :
     world (whose env carries the clock and counters). [fault], [reliable]
     and [detector] as in {!create_world}. Each rank's fiber runs under
     {!rank_guard}, so a scheduled kill tears the rank down instead of
-    aborting the run. *)
+    aborting the run. With [?parallel:d] the fibers execute on [d] real
+    domains ({!Fiber.Parallel}) — see {!create_world} for the
+    restrictions. *)
 
 val rank_guard : world -> int -> (unit -> unit) -> unit
 (** [rank_guard w rank body] runs [body], implementing fail-stop

@@ -4,3 +4,14 @@
     feeds the per-tier traffic counters. *)
 
 val create : ?topo:Simtime.Topology.t -> Simtime.Env.t -> n_ranks:int -> Channel.t
+
+val create_parallel :
+  env_for:(int -> Simtime.Env.t) -> n_ranks:int -> Channel.t
+(** Sharded variant for parallel ({!Fiber.Parallel}) execution: one
+    {!Spsc} ring per (src, dst) pair, so cross-domain sends never share a
+    lock (DESIGN.md §15). No virtual arrival gating — wall-clock replaces
+    the latency model — but the sender still charges the modelled CPU
+    cost and counts traffic into [env_for src], its own domain's
+    environment, keeping per-domain accounting mergeable. Sends wake the
+    destination's domain via {!Fiber.notify_fiber}. [add_rank] (dynamic
+    process management) is rejected. *)

@@ -20,13 +20,21 @@ type t = {
 }
 
 (* Traces attach to environments by identity; environments are few and
-   long-lived, so a small association list is enough. *)
-let registry : (Simtime.Env.t * t) list ref = ref []
+   long-lived, so a small association list is enough. Atomic so that
+   under parallel execution each domain can look up its own trace while
+   another domain enables/disables one — each [t] itself is still
+   written by its environment's domain only, giving per-domain buffers
+   with a stable merge on read (DESIGN.md §15). *)
+let registry : (Simtime.Env.t * t) list Atomic.t = Atomic.make []
+
+let rec registry_update f =
+  let cur = Atomic.get registry in
+  if not (Atomic.compare_and_set registry cur (f cur)) then registry_update f
 
 let find env =
   List.find_map
     (fun (e, t) -> if e == env then Some t else None)
-    !registry
+    (Atomic.get registry)
 
 let push t ev =
   t.buf.(t.next mod t.capacity) <- Some ev;
@@ -75,16 +83,16 @@ let enable ?(capacity = 4096) env =
           open_spans = 0;
         }
       in
-      registry := (env, t) :: !registry;
+      registry_update (fun l -> (env, t) :: l);
       Simtime.Probe.set_sink env (fun ~kind ~id ~rank ~cat ~name ~args ->
           sink t ~kind ~id ~rank ~cat ~name ~args);
       t
 
 let disable env =
   Simtime.Probe.clear_sink env;
-  registry := List.filter (fun (e, _) -> not (e == env)) !registry
+  registry_update (List.filter (fun (e, _) -> not (e == env)))
 
-let registered () = List.length !registry
+let registered () = List.length (Atomic.get registry)
 
 let record env ~rank ~op ~detail =
   match find env with
@@ -129,6 +137,14 @@ let clear t =
   Array.fill t.buf 0 t.capacity None;
   t.next <- 0;
   t.open_spans <- 0
+
+(* Stable merge of several per-domain buffers by timestamp: events with
+   equal timestamps keep their per-buffer order, and buffers earlier in
+   the list sort first among ties — so merging a parallel run's traces
+   is deterministic given the buffers' contents. *)
+let merge_events ts =
+  List.concat_map events ts
+  |> List.stable_sort (fun a b -> Float.compare a.t_us b.t_us)
 
 let pp_timeline ppf t =
   List.iter

@@ -87,6 +87,11 @@ val open_spans : t -> int
 val events : t -> event list
 (** Oldest first. *)
 
+val merge_events : t list -> event list
+(** Stable merge of several buffers by timestamp (ties keep per-buffer
+    order, earlier buffers first): the read side of per-domain trace
+    accumulation under parallel execution. Call after the run joins. *)
+
 val length : t -> int
 val dropped : t -> int
 (** Events lost to the ring-buffer bound. *)

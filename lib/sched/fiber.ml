@@ -103,13 +103,20 @@ let decide d n =
   (match d.d_record with Some t -> trace_push t choice | None -> ());
   choice
 
-(* Scoped default policy: [run]s that don't pass ~policy pick it up. *)
-let ambient : driver option ref = ref None
+(* Scoped default policy: [run]s that don't pass ~policy pick it up.
+   Domain-local: each domain of a parallel run owns an independent
+   scheduler, and the explorer's ambient driver must never leak into a
+   spawned domain. *)
+let ambient_key : driver option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let get_ambient () = Domain.DLS.get ambient_key
+let set_ambient d = Domain.DLS.set ambient_key d
 
 let with_policy ?record policy f =
-  let saved = !ambient in
-  ambient := Some (make_driver ?record policy);
-  Fun.protect ~finally:(fun () -> ambient := saved) f
+  let saved = get_ambient () in
+  set_ambient (Some (make_driver ?record policy));
+  Fun.protect ~finally:(fun () -> set_ambient saved) f
 
 exception
   Deadlock of {
@@ -124,17 +131,29 @@ exception
    (rank, kind, peer, tag, failure reason), not just the blocked wait
    labels. Registrations are capped to the most recent few — worlds are
    created per run and never unregister; a quiesced stale world
-   contributes nothing but must not accumulate without bound. *)
+   contributes nothing but must not accumulate without bound. The list
+   lives in an [Atomic] because worlds may be created while another
+   domain is running (e.g. a bench fixture built during a parallel
+   sweep); dumps themselves are only invoked at deadlock declaration,
+   when every fiber is provably parked. *)
 let max_dumps = 8
-let dumps : (unit -> string list) list ref = ref []
+let dumps : (unit -> string list) list Atomic.t = Atomic.make []
 
 let register_deadlock_dump f =
-  dumps := f :: (if List.length !dumps >= max_dumps
-                 then List.filteri (fun i _ -> i < max_dumps - 1) !dumps
-                 else !dumps)
+  let rec retry () =
+    let cur = Atomic.get dumps in
+    let next =
+      f
+      :: (if List.length cur >= max_dumps
+          then List.filteri (fun i _ -> i < max_dumps - 1) cur
+          else cur)
+    in
+    if not (Atomic.compare_and_set dumps cur next) then retry ()
+  in
+  retry ()
 
 let pending_dump () =
-  List.concat_map (fun f -> try f () with _ -> []) (List.rev !dumps)
+  List.concat_map (fun f -> try f () with _ -> []) (List.rev (Atomic.get dumps))
 
 type blocked = {
   pred : unit -> bool;
@@ -172,13 +191,74 @@ let take sched i =
   sched.runv.(sched.runn) <- nop;
   t
 
-(* Stack of active schedulers: runs may nest. *)
-let stack : sched list ref = ref []
+(* Stack of active schedulers: runs may nest, and each domain of a
+   parallel run carries its own stack. *)
+let stack_key : sched list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
 
-let in_scheduler () = !stack <> []
+let in_scheduler () = Domain.DLS.get stack_key <> []
+
+(* ------------------------------------------------------------------ *)
+(* Parallel execution mode                                             *)
+(* ------------------------------------------------------------------ *)
+
+type mode = Cooperative | Parallel of { domains : int; place : int -> int }
+
+(* Per-domain parking state. [pd_wake] counts wakeups delivered to this
+   domain (cross-domain sends targeting one of its fibers); it is the
+   condition-variable predicate, so a wakeup sent before the domain
+   parks is never lost. [pd_wait_mark] is the wake count the domain
+   decided to sleep on — a deadlock declarer uses it to verify that a
+   parked peer has no undelivered wakeup in flight. *)
+type pdomain = {
+  pd_mu : Mutex.t;
+  pd_cv : Condition.t;
+  mutable pd_wake : int; (* guarded by pd_mu *)
+  mutable pd_wait_mark : int option; (* guarded by pd_mu *)
+  mutable pd_done : bool; (* guarded by pd_mu *)
+}
+
+type prun = {
+  pr_place : int -> int; (* fiber index -> domain slot *)
+  pr_doms : pdomain array;
+  pr_activity : int Atomic.t; (* global progress stamp *)
+  pr_parked : int Atomic.t; (* domains currently parked *)
+  pr_live : int Atomic.t; (* domains not yet finished *)
+  pr_poison : exn option Atomic.t; (* first escaping exception *)
+}
+
+(* At most one parallel run at a time (they own real domains); the
+   channel layer reads this to route wakeups to the receiving domain. *)
+let current_prun : prun option Atomic.t = Atomic.make None
+
+let parallel_active () = Option.is_some (Atomic.get current_prun)
 
 let note_activity () =
-  match !stack with s :: _ -> s.activity <- s.activity + 1 | [] -> ()
+  (match Atomic.get current_prun with
+  | Some pr -> Atomic.incr pr.pr_activity
+  | None -> ());
+  match Domain.DLS.get stack_key with
+  | s :: _ -> s.activity <- s.activity + 1
+  | [] -> ()
+
+let wake_domain pd =
+  Mutex.lock pd.pd_mu;
+  pd.pd_wake <- pd.pd_wake + 1;
+  Condition.signal pd.pd_cv;
+  Mutex.unlock pd.pd_mu
+
+let notify_fiber i =
+  match Atomic.get current_prun with
+  | None -> ()
+  | Some pr ->
+      Atomic.incr pr.pr_activity;
+      let d = pr.pr_place i in
+      if d >= 0 && d < Array.length pr.pr_doms then wake_domain pr.pr_doms.(d)
+
+let poison pr exn =
+  ignore (Atomic.compare_and_set pr.pr_poison None (Some exn));
+  Array.iter wake_domain pr.pr_doms
+
+let poisoned pr = Option.is_some (Atomic.get pr.pr_poison)
 
 let yield () = perform Yield
 let wait_until ?(label = "wait") pred = perform (Wait (pred, label))
@@ -217,17 +297,32 @@ let rec exec sched label body =
           | _ -> None);
     }
 
-(* Main loop: drain the run queue (the policy picks which runnable fiber
-   goes next); when empty, re-test blocked predicates. Deadlock is
-   declared only when a full scan wakes nobody and no subsystem reported
+(* One pass over the blocked list, oldest first (exactly the cooperative
+   loop's order): woken fibers move to the run queue. Returns whether
+   anyone woke. *)
+let scan_blocked sched =
+  let woken, still =
+    List.partition (fun b -> b.pred ()) (List.rev sched.blocked)
+  in
+  sched.blocked <- List.rev still;
+  List.iter (fun b -> push sched b.resume) woken;
+  woken <> []
+
+(* ------------------------------------------------------------------ *)
+(* Cooperative (deterministic) main loop                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Drain the run queue (the policy picks which runnable fiber goes
+   next); when empty, re-test blocked predicates. Deadlock is declared
+   only when a full scan wakes nobody and no subsystem reported
    activity, so multi-step progress (e.g. one packet per poll) is never
    mistaken for a hang — under any policy. *)
-let run ?policy ?record fibers =
+let run_cooperative ?policy ?record fibers =
   let driver =
     match policy with
     | Some p -> make_driver ?record p
     | None -> (
-        match !ambient with
+        match get_ambient () with
         | Some d -> d
         | None -> make_driver ?record Round_robin)
   in
@@ -237,8 +332,9 @@ let run ?policy ?record fibers =
   List.iter
     (fun (label, f) -> push sched (fun () -> exec sched label f))
     fibers;
-  stack := sched :: !stack;
-  let finish () = stack := List.tl !stack in
+  let saved = Domain.DLS.get stack_key in
+  Domain.DLS.set stack_key (sched :: saved);
+  let finish () = Domain.DLS.set stack_key saved in
   let rec loop () =
     if sched.runn > 0 then begin
       let thunk = take sched (decide driver sched.runn) in
@@ -247,24 +343,16 @@ let run ?policy ?record fibers =
     end
     else if sched.blocked <> [] then begin
       let activity_before = sched.activity in
-      let woken, still =
-        List.partition (fun b -> b.pred ()) (List.rev sched.blocked)
-      in
-      sched.blocked <- List.rev still;
-      match woken with
-      | [] ->
-          if sched.activity = activity_before then
-            raise
-              (Deadlock
-                 {
-                   policy = policy_name driver.d_policy;
-                   waiting = List.map (fun b -> b.wlabel) still;
-                   pending = pending_dump ();
-                 })
-          else loop ()
-      | _ ->
-          List.iter (fun b -> push sched b.resume) woken;
-          loop ()
+      if scan_blocked sched then loop ()
+      else if sched.activity = activity_before then
+        raise
+          (Deadlock
+             {
+               policy = policy_name driver.d_policy;
+               waiting = List.map (fun b -> b.wlabel) sched.blocked;
+               pending = pending_dump ();
+             })
+      else loop ()
     end
   in
   match loop () with
@@ -272,3 +360,192 @@ let run ?policy ?record fibers =
   | exception e ->
       finish ();
       raise e
+
+(* ------------------------------------------------------------------ *)
+(* Parallel main loop                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Each domain runs a plain round-robin cooperative scheduler over its
+   own fiber group; cross-domain interaction happens only through
+   whatever shared structures the fibers use (the sharded channel), plus
+   the wakeup protocol above. When a domain finds nothing runnable and a
+   predicate scan makes no local progress, it parks on its condition
+   variable — but first it snapshots its wake counter and re-scans, so a
+   send that lands between the scan and the sleep is never lost.
+
+   Deadlock is declared distributedly: the last domain to park checks
+   that every other live domain is asleep with no undelivered wakeup
+   ([pd_wait_mark] = [pd_wake]) and that the global activity stamp did
+   not move across the whole check. Only then can no message be in
+   flight anywhere, so the hang is real; the declarer poisons the run
+   with a [Deadlock] carrying its own blocked labels and wakes everyone
+   up to unwind. *)
+let run_domain pr d fibers =
+  let pd = pr.pr_doms.(d) in
+  let driver = make_driver Round_robin in
+  let sched =
+    { runv = Array.make 8 nop; runn = 0; blocked = []; activity = 0; driver }
+  in
+  List.iter
+    (fun (label, f) -> push sched (fun () -> exec sched label f))
+    fibers;
+  let saved = Domain.DLS.get stack_key in
+  Domain.DLS.set stack_key (sched :: saved);
+  let finish () =
+    Domain.DLS.set stack_key saved;
+    Mutex.lock pd.pd_mu;
+    pd.pd_done <- true;
+    Mutex.unlock pd.pd_mu;
+    ignore (Atomic.fetch_and_add pr.pr_live (-1));
+    (* A peer may be parked waiting for parked = live to re-evaluate. *)
+    Array.iter wake_domain pr.pr_doms
+  in
+  let declare_deadlock g0 =
+    (* Candidate: we are the last domain to park and nothing global has
+       happened since stamp [g0]. Confirm that every other live domain
+       is committed to sleep with no pending wakeup; then no fiber can
+       run and no message is in flight, so the hang is real. *)
+    let confirmed = ref (Atomic.get pr.pr_activity = g0) in
+    Array.iteri
+      (fun i pd' ->
+        if !confirmed && i <> d then begin
+          Mutex.lock pd'.pd_mu;
+          (if not pd'.pd_done then
+             match pd'.pd_wait_mark with
+             | Some m when m = pd'.pd_wake -> ()
+             | _ -> confirmed := false);
+          Mutex.unlock pd'.pd_mu
+        end)
+      pr.pr_doms;
+    if !confirmed && Atomic.get pr.pr_activity = g0 then begin
+      poison pr
+        (Deadlock
+           {
+             policy =
+               Printf.sprintf "parallel(%d domains)" (Array.length pr.pr_doms);
+             waiting = List.map (fun b -> b.wlabel) sched.blocked;
+             pending = pending_dump ();
+           });
+      true
+    end
+    else false
+  in
+  let park w0 g0 =
+    (* Commit to sleeping on wake count [w0] (or bail if it moved). *)
+    Mutex.lock pd.pd_mu;
+    if pd.pd_wake <> w0 || poisoned pr then Mutex.unlock pd.pd_mu
+    else begin
+      pd.pd_wait_mark <- Some w0;
+      Mutex.unlock pd.pd_mu;
+      let parked = 1 + Atomic.fetch_and_add pr.pr_parked 1 in
+      let declared =
+        parked >= Atomic.get pr.pr_live && declare_deadlock g0
+      in
+      Mutex.lock pd.pd_mu;
+      if not declared then
+        while pd.pd_wake = w0 && not (poisoned pr) do
+          Condition.wait pd.pd_cv pd.pd_mu
+        done;
+      pd.pd_wait_mark <- None;
+      Mutex.unlock pd.pd_mu;
+      ignore (Atomic.fetch_and_add pr.pr_parked (-1))
+    end
+  in
+  let rec loop () =
+    if poisoned pr then ()
+    else if sched.runn > 0 then begin
+      let thunk = take sched 0 in
+      thunk ();
+      loop ()
+    end
+    else if sched.blocked <> [] then begin
+      let a0 = sched.activity in
+      if scan_blocked sched then loop ()
+      else if sched.activity <> a0 then loop ()
+      else begin
+        (* Nothing runnable, nobody woke, no local progress: snapshot
+           the wake counter, close the send-before-park window with one
+           more scan, then park. *)
+        let w0 =
+          Mutex.lock pd.pd_mu;
+          let w = pd.pd_wake in
+          Mutex.unlock pd.pd_mu;
+          w
+        in
+        let g0 = Atomic.get pr.pr_activity in
+        if scan_blocked sched then loop ()
+        else begin
+          park w0 g0;
+          loop ()
+        end
+      end
+    end
+  in
+  (match loop () with () -> () | exception e -> poison pr e);
+  finish ()
+
+let run_parallel ~domains ~place fibers =
+  if domains < 1 then invalid_arg "Fiber.run: need at least one domain";
+  (match get_ambient () with
+  | None | Some { d_policy = Round_robin; d_record = None; _ } -> ()
+  | Some d ->
+      invalid_arg
+        (Printf.sprintf
+           "Fiber.run: parallel execution cannot honour the ambient %s \
+            policy%s — schedule exploration and trace replay require the \
+            deterministic cooperative scheduler"
+           (policy_name d.d_policy)
+           (match d.d_record with Some _ -> " (recording)" | None -> "")));
+  let arr = Array.of_list fibers in
+  let n = Array.length arr in
+  let slot i = ((place i mod domains) + domains) mod domains in
+  let groups = Array.make domains [] in
+  for i = n - 1 downto 0 do
+    groups.(slot i) <- arr.(i) :: groups.(slot i)
+  done;
+  let pr =
+    {
+      pr_place = slot;
+      pr_doms =
+        Array.init domains (fun _ ->
+            {
+              pd_mu = Mutex.create ();
+              pd_cv = Condition.create ();
+              pd_wake = 0;
+              pd_wait_mark = None;
+              pd_done = false;
+            });
+      pr_activity = Atomic.make 0;
+      pr_parked = Atomic.make 0;
+      pr_live = Atomic.make domains;
+      pr_poison = Atomic.make None;
+    }
+  in
+  if not (Atomic.compare_and_set current_prun None (Some pr)) then
+    invalid_arg "Fiber.run: a parallel run is already active";
+  (* Domain 0 runs on the calling domain (so nested setup — ambient
+     stats, trace sinks — stays visible to it); the rest are real
+     spawns. [run_domain] never raises: fiber exceptions poison the run
+     and every domain unwinds, so joins are clean. *)
+  let spawned =
+    Array.init (domains - 1) (fun k ->
+        Domain.spawn (fun () -> run_domain pr (k + 1) groups.(k + 1)))
+  in
+  run_domain pr 0 groups.(0);
+  Array.iter Domain.join spawned;
+  Atomic.set current_prun None;
+  match Atomic.get pr.pr_poison with Some e -> raise e | None -> ()
+
+let run ?(mode = Cooperative) ?policy ?record fibers =
+  match mode with
+  | Cooperative -> run_cooperative ?policy ?record fibers
+  | Parallel { domains; place } ->
+      if Option.is_some policy then
+        invalid_arg
+          "Fiber.run: ~policy is incompatible with parallel execution — \
+           deterministic scheduling requires the cooperative scheduler";
+      if Option.is_some record then
+        invalid_arg
+          "Fiber.run: ~record is incompatible with parallel execution — \
+           decision traces only exist under the cooperative scheduler";
+      run_parallel ~domains ~place fibers

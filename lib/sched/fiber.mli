@@ -71,8 +71,29 @@ val register_deadlock_dump : (unit -> string list) -> unit
     device's pending requests). Only the most recent registrations are
     kept (bounded); a dump that raises contributes nothing. *)
 
+(** {1 Execution modes} *)
+
+type mode =
+  | Cooperative
+      (** everything on the calling domain, scheduled by the active
+          {!policy} — byte-for-byte deterministic; the default, and the
+          only mode the explorer and replay accept *)
+  | Parallel of { domains : int; place : int -> int }
+      (** execute fiber groups on real OCaml 5 domains: fiber [i] runs
+          on domain [place i mod domains]; fibers sharing a domain stay
+          cooperative (strict round-robin) among themselves, so a rank's
+          GC still only runs while its own fiber does. Interleaving
+          {e across} domains is whatever the hardware does: wall-clock
+          real, not deterministic. Incompatible with [?policy],
+          [?record] and any recording/non-round-robin ambient driver
+          ([Invalid_argument]). *)
+
 val run :
-  ?policy:policy -> ?record:trace -> (string * (unit -> unit)) list -> unit
+  ?mode:mode ->
+  ?policy:policy ->
+  ?record:trace ->
+  (string * (unit -> unit)) list ->
+  unit
 (** [run fibers] executes the labelled fibers until all complete, picking
     the next runnable fiber according to [policy]. The default policy is
     the ambient one installed by {!with_policy}, or [Round_robin] — byte
@@ -80,7 +101,29 @@ val run :
     when given. An exception escaping any fiber aborts the whole run and
     is re-raised. Runs may nest (a fiber may start an inner scheduler);
     a nested run without an explicit [policy] shares the ambient driver,
-    so one trace covers the whole nesting structure. *)
+    so one trace covers the whole nesting structure.
+
+    With [~mode:(Parallel _)] the fiber groups execute on real domains
+    (DESIGN.md §15). A blocked domain parks on a condition variable;
+    cross-domain channels wake the destination with {!notify_fiber}.
+    Deadlock detection is distributed — the last domain to park verifies
+    every peer is asleep with no wakeup in flight and no global activity,
+    then the whole run unwinds with {!Deadlock} (policy
+    ["parallel(N domains)"]). At most one parallel run may be active per
+    process. An exception escaping any fiber aborts every domain and is
+    re-raised on the calling domain. *)
+
+val parallel_active : unit -> bool
+(** True while a [Parallel] run is executing (on any domain). The
+    explorer and replay entry points use this to refuse to run inside a
+    nondeterministic execution. *)
+
+val notify_fiber : int -> unit
+(** [notify_fiber i] wakes the domain hosting fiber [i] of the active
+    parallel run, if any — called by cross-domain channels after
+    publishing a message so a parked receiver re-scans its predicates.
+    Also bumps the global activity stamp. No-op outside parallel runs
+    (the cooperative scheduler polls; it never sleeps). *)
 
 val with_policy : ?record:trace -> policy -> (unit -> 'a) -> 'a
 (** [with_policy p f] runs [f] with [p] as the default policy for every

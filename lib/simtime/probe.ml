@@ -18,20 +18,28 @@ type sink =
   unit
 
 (* Environments are few and long-lived (same reasoning as the Trace
-   registry): a small association list keyed by identity is enough. *)
-let sinks : (Env.t * sink) list ref = ref []
+   registry): a small association list keyed by identity is enough. The
+   list lives in an [Atomic] because under parallel execution every
+   domain reads it on emission (and a main-domain enable/disable could
+   race a spawned domain's read); each domain emits only into its own
+   environment's sink, so the sinks themselves stay single-domain. *)
+let sinks : (Env.t * sink) list Atomic.t = Atomic.make []
+
+let rec update f =
+  let cur = Atomic.get sinks in
+  if not (Atomic.compare_and_set sinks cur (f cur)) then update f
 
 let set_sink env sink =
-  sinks := (env, sink) :: List.filter (fun (e, _) -> not (e == env)) !sinks
+  update (fun l -> (env, sink) :: List.filter (fun (e, _) -> not (e == env)) l)
 
-let clear_sink env =
-  sinks := List.filter (fun (e, _) -> not (e == env)) !sinks
-
-let installed () = List.length !sinks
+let clear_sink env = update (List.filter (fun (e, _) -> not (e == env)))
+let installed () = List.length (Atomic.get sinks)
 
 let emit env ~kind ?id ~rank ~cat ~name ?(args = []) () =
   match
-    List.find_map (fun (e, s) -> if e == env then Some s else None) !sinks
+    List.find_map
+      (fun (e, s) -> if e == env then Some s else None)
+      (Atomic.get sinks)
   with
   | Some sink -> sink ~kind ~id ~rank ~cat ~name ~args
   | None -> ()

@@ -87,6 +87,32 @@ let reset t =
   Hashtbl.iter (fun _ r -> r := 0) t.counters;
   Hashtbl.reset t.hists
 
+(* Fold [from] into [t]: counters add; histogram counts, sums and buckets
+   add, extrema combine. The parallel execution mode gives each domain
+   its own accumulator and merges on snapshot, so hot-path increments
+   never cross domains (DESIGN.md §15). Call only when [from]'s owning
+   domain is quiescent (after the run joins). *)
+let absorb t ~from =
+  Hashtbl.iter (fun k r -> add t k !r) from.counters;
+  Hashtbl.iter
+    (fun k h ->
+      let dst = hist_cell t k in
+      dst.h_n <- dst.h_n + h.h_n;
+      dst.h_sum <- dst.h_sum +. h.h_sum;
+      if h.h_n > 0 then begin
+        if h.h_min < dst.h_min then dst.h_min <- h.h_min;
+        if h.h_max > dst.h_max then dst.h_max <- h.h_max
+      end;
+      Array.iteri
+        (fun i v -> dst.h_buckets.(i) <- dst.h_buckets.(i) + v)
+        h.h_buckets)
+    from.hists
+
+let merged ts =
+  let acc = create () in
+  List.iter (fun t -> absorb acc ~from:t) ts;
+  acc
+
 (* ------------------------------------------------------------------ *)
 (* Summaries                                                           *)
 (* ------------------------------------------------------------------ *)

@@ -32,6 +32,15 @@ val with_timer : t -> string -> now:(unit -> float) -> (unit -> 'a) -> 'a
 val reset : t -> unit
 (** Zero every counter and drop every histogram. *)
 
+val absorb : t -> from:t -> unit
+(** Fold [from]'s counters and histograms into [t] (counters and bucket
+    populations add; extrema combine). The merge half of per-domain
+    accumulation under parallel execution — call only once [from]'s
+    owning domain has quiesced (after the run joins). *)
+
+val merged : t list -> t
+(** A fresh accumulator absorbing each input in order. *)
+
 (** Derived view of one histogram. [p50]/[p99] are read off half-octave
     log2 bucket boundaries: deterministic upper bounds, accurate to ~41%,
     clamped into [[min], [max]]. *)

@@ -1,189 +1,33 @@
 (* CI perf gate: compare a fresh BENCH_results.json against the checked-in
-   baseline and fail on wall-clock regressions.
+   baseline and fail on regressions.
 
-   Usage: check_bench CURRENT BASELINE [--update-baseline]
+   Usage:
+     check_bench CURRENT BASELINE [--update-baseline] [--wall-clock-only]
+                 [--min-speedup R]
+
+   Gate policy lives in tools/gate.ml (shared with the tests): the
+   virtual-time groups are gated at 25%, the wall-clock "speedup" group
+   at 50%, and --min-speedup additionally pins the 1-domain/max-domain
+   wall-clock ratio — skipped automatically when the current run's
+   machine has fewer than 4 cores, where the ratio is meaningless.
+
+   --wall-clock-only restricts the comparison to the wall-clock groups:
+   the multicore CI job runs only the speedup benches, so the
+   virtual-time groups are legitimately absent from its current file.
 
    --update-baseline prints the usual comparison, then overwrites
    BASELINE with CURRENT and exits 0 — the reseed path when a PR adds
    bench groups (no hand-editing of the JSON).
 
-   Both files are the output of `bench/main.exe --json` — a fixed shape
-   {"schema":1,"unit":"ns/run","groups":{"<group>":{"<test>":ns}}}. Only
-   the groups listed in [gated] are compared (the virtual-time figures and
-   the collectives hot path); the rest of the bench exists for local
-   profiling and is too noisy to gate on. A test regresses when its
-   current estimate exceeds baseline * threshold; a test missing from the
-   current run also fails (a silently dropped benchmark would otherwise
-   retire its own gate). New tests absent from the baseline pass with a
-   note — the baseline is reseeded whenever a PR adds benches. *)
+   Exit codes: 0 gate passed (or baseline reseeded), 1 regression or
+   missing bench or speedup below the minimum, 2 usage / IO / parse
+   error. *)
 
-let gated = [ "fig9"; "fig10"; "collectives"; "resilience"; "hier" ]
-let threshold = 1.25
-
-(* --- A minimal recursive-descent JSON parser (numbers, strings, objects,
-   arrays, literals). Stdlib-only: the container has no JSON library, and
-   the input is our own emitter's output, so strict ASCII is fine. --- *)
-
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | List of json list
-  | Obj of (string * json) list
-
-exception Parse_error of string
-
-let parse (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word value =
-    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      value
-    end
-    else fail ("expected " ^ word)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec loop () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some '"' -> Buffer.add_char buf '"'; advance (); loop ()
-          | Some '\\' -> Buffer.add_char buf '\\'; advance (); loop ()
-          | Some '/' -> Buffer.add_char buf '/'; advance (); loop ()
-          | Some 'n' -> Buffer.add_char buf '\n'; advance (); loop ()
-          | Some 't' -> Buffer.add_char buf '\t'; advance (); loop ()
-          | Some 'r' -> Buffer.add_char buf '\r'; advance (); loop ()
-          | Some 'b' -> Buffer.add_char buf '\b'; advance (); loop ()
-          | Some 'f' -> Buffer.add_char buf '\012'; advance (); loop ()
-          | Some 'u' ->
-              advance ();
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-              pos := !pos + 4;
-              (* Our emitters only escape control characters; anything in
-                 the BMP is re-encoded as UTF-8. *)
-              if code < 0x80 then Buffer.add_char buf (Char.chr code)
-              else if code < 0x800 then begin
-                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-              end
-              else begin
-                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-                Buffer.add_char buf
-                  (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-              end;
-              loop ()
-          | _ -> fail "bad escape")
-      | Some c ->
-          Buffer.add_char buf c;
-          advance ();
-          loop ()
-    in
-    loop ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> is_num_char c | None -> false) do
-      advance ()
-    done;
-    if !pos = start then fail "expected number";
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "malformed number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members ((key, v) :: acc)
-            | Some '}' ->
-                advance ();
-                Obj (List.rev ((key, v) :: acc))
-            | _ -> fail "expected ',' or '}'"
-          in
-          members []
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          List []
-        end
-        else begin
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                elements (v :: acc)
-            | Some ']' ->
-                advance ();
-                List (List.rev (v :: acc))
-            | _ -> fail "expected ',' or ']'"
-          in
-          elements []
-        end
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> Num (parse_number ())
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-(* --- Gate logic --- *)
+let usage () =
+  Printf.eprintf
+    "usage: check_bench CURRENT BASELINE [--update-baseline] \
+     [--wall-clock-only] [--min-speedup R]\n";
+  exit 2
 
 let read_file path =
   let ic =
@@ -197,86 +41,102 @@ let read_file path =
   close_in ic;
   contents
 
-let member key = function
-  | Obj fields -> List.assoc_opt key fields
-  | _ -> None
-
-let groups_of path =
-  let json =
-    try parse (read_file path)
-    with Parse_error msg ->
-      Printf.eprintf "check_bench: %s: %s\n" path msg;
-      exit 2
-  in
-  match member "groups" json with
-  | Some (Obj groups) ->
-      List.filter_map
-        (fun (group, v) ->
-          match v with
-          | Obj tests ->
-              Some
-                ( group,
-                  List.filter_map
-                    (fun (test, v) ->
-                      match v with Num f -> Some (test, f) | _ -> None)
-                    tests )
-          | _ -> None)
-        groups
-  | _ ->
-      Printf.eprintf "check_bench: %s: no \"groups\" object\n" path;
-      exit 2
+let doc_of path =
+  try Gate.doc_of_string (read_file path)
+  with Gate.Parse_error msg ->
+    Printf.eprintf "check_bench: %s: %s\n" path msg;
+    exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let update = List.mem "--update-baseline" args in
-  let current_path, baseline_path =
-    match List.filter (fun a -> a <> "--update-baseline") args with
-    | [ c; b ] -> (c, b)
-    | _ ->
-        Printf.eprintf "usage: check_bench CURRENT BASELINE [--update-baseline]\n";
-        exit 2
+  let wall_clock_only = List.mem "--wall-clock-only" args in
+  let rec parse_min acc = function
+    | "--min-speedup" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some f when f > 0.0 -> parse_min (Some f) rest
+        | _ -> usage ())
+    | "--min-speedup" :: [] -> usage ()
+    | _ :: rest -> parse_min acc rest
+    | [] -> acc
   in
-  let current = groups_of current_path in
-  let baseline = groups_of baseline_path in
-  let failures = ref 0 in
-  let checked = ref 0 in
+  let min_speedup = parse_min None args in
+  let positional =
+    let rec strip = function
+      | [] -> []
+      | "--min-speedup" :: _ :: rest -> strip rest
+      | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" ->
+          strip rest
+      | a :: rest -> a :: strip rest
+    in
+    strip args
+  in
+  let current_path, baseline_path =
+    match positional with [ c; b ] -> (c, b) | _ -> usage ()
+  in
+  let current = doc_of current_path in
+  let baseline = doc_of baseline_path in
+  let rows = Gate.compare_docs ~wall_clock_only ~current ~baseline () in
+  let failures = List.length (List.filter Gate.failed rows) in
+  let checked =
+    List.length
+      (List.filter (fun r -> r.Gate.r_verdict <> Gate.New) rows)
+  in
   Printf.printf "%-45s %12s %12s %8s  %s\n" "benchmark" "baseline ns"
     "current ns" "ratio" "verdict";
   Printf.printf "%s\n" (String.make 90 '-');
   List.iter
-    (fun group ->
-      match List.assoc_opt group baseline with
-      | None -> Printf.printf "group %s: not in baseline, skipped\n" group
-      | Some base_tests ->
-          let cur_tests =
-            Option.value (List.assoc_opt group current) ~default:[]
-          in
-          List.iter
-            (fun (test, base_ns) ->
-              let name = group ^ "/" ^ test in
-              incr checked;
-              match List.assoc_opt test cur_tests with
-              | None ->
-                  incr failures;
-                  Printf.printf "%-45s %12.0f %12s %8s  MISSING\n" name
-                    base_ns "-" "-"
-              | Some cur_ns ->
-                  let ratio = cur_ns /. base_ns in
-                  let ok = cur_ns <= base_ns *. threshold in
-                  if not ok then incr failures;
-                  Printf.printf "%-45s %12.0f %12.0f %8.2f  %s\n" name
-                    base_ns cur_ns ratio
-                    (if ok then "ok" else "REGRESSION"))
-            base_tests;
-          (* Tests present now but not in the baseline: informational. *)
-          List.iter
-            (fun (test, _) ->
-              if not (List.mem_assoc test base_tests) then
-                Printf.printf "%-45s %12s %12s %8s  new (reseed baseline)\n"
-                  (group ^ "/" ^ test) "-" "-" "-")
-            cur_tests)
-    gated;
+    (fun r ->
+      let name = r.Gate.r_group ^ "/" ^ r.Gate.r_test in
+      let fnum = function Some f -> Printf.sprintf "%.0f" f | None -> "-" in
+      match r.Gate.r_verdict with
+      | Gate.Pass ratio ->
+          Printf.printf "%-45s %12s %12s %8.2f  ok\n" name (fnum r.Gate.r_base)
+            (fnum r.Gate.r_cur) ratio
+      | Gate.Regression ratio ->
+          Printf.printf "%-45s %12s %12s %8.2f  REGRESSION (>%.0f%%)\n" name
+            (fnum r.Gate.r_base) (fnum r.Gate.r_cur) ratio
+            ((Gate.threshold_for r.Gate.r_group -. 1.0) *. 100.0)
+      | Gate.Missing ->
+          Printf.printf "%-45s %12s %12s %8s  MISSING\n" name
+            (fnum r.Gate.r_base) "-" "-"
+      | Gate.New ->
+          Printf.printf "%-45s %12s %12s %8s  new (reseed baseline)\n" name "-"
+            (fnum r.Gate.r_cur) "-")
+    rows;
   Printf.printf "%s\n" (String.make 90 '-');
+  let speedup_failed =
+    match min_speedup with
+    | None -> false
+    | Some min -> (
+        match Gate.check_speedup ~min current with
+        | Gate.No_data ->
+            Printf.printf
+              "speedup gate: no <workload>@<N>dom entries in %s — FAIL\n"
+              current_path;
+            true
+        | Gate.Skipped_low_cores c ->
+            Printf.printf
+              "speedup gate: skipped (machine has %d core(s), need >= %d for \
+               the ratio to be meaningful)\n"
+              c Gate.min_cores;
+            false
+        | Gate.Enforced (passing, failing) ->
+            List.iter
+              (fun s ->
+                Printf.printf
+                  "speedup %-24s %.2fx at %d domains (>= %.2fx required)  ok\n"
+                  s.Gate.s_workload s.Gate.s_ratio s.Gate.s_domains min)
+              passing;
+            List.iter
+              (fun s ->
+                Printf.printf
+                  "speedup %-24s %.2fx at %d domains (>= %.2fx required)  \
+                   FAIL\n"
+                  s.Gate.s_workload s.Gate.s_ratio s.Gate.s_domains min)
+              failing;
+            failing <> [])
+  in
   if update then begin
     (* Reseed: the comparison above is informational; the current run
        becomes the new baseline verbatim. *)
@@ -290,13 +150,12 @@ let () =
     close_out oc;
     Printf.printf "baseline %s reseeded from %s\n" baseline_path current_path
   end
-  else if !failures > 0 then begin
-    Printf.printf
-      "perf gate: %d of %d gated benchmarks regressed beyond %.0f%%\n"
-      !failures !checked ((threshold -. 1.0) *. 100.0);
+  else if failures > 0 || speedup_failed then begin
+    if failures > 0 then
+      Printf.printf "perf gate: %d of %d gated benchmarks regressed\n" failures
+        checked;
+    if speedup_failed then
+      Printf.printf "perf gate: wall-clock speedup below the minimum\n";
     exit 1
   end
-  else
-    Printf.printf "perf gate: all %d gated benchmarks within %.0f%% of \
-                   baseline\n"
-      !checked ((threshold -. 1.0) *. 100.0)
+  else Printf.printf "perf gate: all %d gated benchmarks passed\n" checked

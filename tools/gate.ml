@@ -1,0 +1,396 @@
+(* The CI perf gate's engine, split out of the check_bench executable so
+   its parser and threshold logic are unit-testable (test/test_tools.ml).
+
+   Two kinds of metric live in BENCH_results.json:
+
+   - virtual-time benches (Bechamel ns/run of the simulator itself):
+     low-noise, gated at 25% against the committed baseline;
+   - wall-clock benches (the "speedup" group: median-of-N elapsed time
+     of real multi-domain runs): machine-dependent and noisier, gated
+     at 50%, and additionally gated on the 1-domain / max-domain
+     speedup ratio — which is machine-independent — when the recording
+     machine had enough cores for the ratio to mean anything. *)
+
+(* --- A minimal recursive-descent JSON parser (numbers, strings, objects,
+   arrays, literals). Stdlib-only: the container has no JSON library, and
+   the input is our own emitter's output, so strict ASCII is fine. --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); loop ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); loop ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); loop ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); loop ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); loop ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); loop ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); loop ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); loop ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let code =
+                match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+                | Some c -> c
+                | None -> fail "bad \\u escape"
+              in
+              pos := !pos + 4;
+              (* Our emitters only escape control characters; anything in
+                 the BMP is re-encoded as UTF-8. *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buf
+                  (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end;
+              loop ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* --- Bench documents --- *)
+
+type doc = {
+  d_groups : (string * (string * float) list) list;
+  d_cores : int option;
+      (** [Domain.recommended_domain_count] on the machine that produced
+          the run; absent in pre-§15 baselines. *)
+}
+
+let doc_of_string s =
+  let json = parse s in
+  let groups =
+    match member "groups" json with
+    | Some (Obj groups) ->
+        List.filter_map
+          (fun (group, v) ->
+            match v with
+            | Obj tests ->
+                Some
+                  ( group,
+                    List.filter_map
+                      (fun (test, v) ->
+                        match v with Num f -> Some (test, f) | _ -> None)
+                      tests )
+            | _ -> None)
+          groups
+    | _ -> raise (Parse_error "no \"groups\" object")
+  in
+  let cores =
+    match member "cores" json with
+    | Some (Num f) -> Some (int_of_float f)
+    | _ -> None
+  in
+  { d_groups = groups; d_cores = cores }
+
+(* --- Gate policy --- *)
+
+let virtual_groups = [ "fig9"; "fig10"; "collectives"; "resilience"; "hier" ]
+let wall_groups = [ "speedup" ]
+let virtual_threshold = 1.25
+let wall_threshold = 1.50
+
+let threshold_for group =
+  if List.mem group wall_groups then wall_threshold else virtual_threshold
+
+type verdict =
+  | Pass of float  (** ratio current/baseline *)
+  | Regression of float
+  | Missing  (** in the baseline, absent from the current run *)
+  | New  (** in the current run, absent from the baseline *)
+
+type row = {
+  r_group : string;
+  r_test : string;
+  r_base : float option;
+  r_cur : float option;
+  r_verdict : verdict;
+}
+
+let failed row =
+  match row.r_verdict with
+  | Regression _ | Missing -> true
+  | Pass _ | New -> false
+
+(* Compare one gated group; baseline order first, then the new tests. *)
+let compare_group group ~current ~baseline =
+  let threshold = threshold_for group in
+  let cur_tests = Option.value (List.assoc_opt group current) ~default:[] in
+  match List.assoc_opt group baseline with
+  | None -> []
+  | Some base_tests ->
+      let known =
+        List.map
+          (fun (test, base_ns) ->
+            match List.assoc_opt test cur_tests with
+            | None ->
+                {
+                  r_group = group;
+                  r_test = test;
+                  r_base = Some base_ns;
+                  r_cur = None;
+                  r_verdict = Missing;
+                }
+            | Some cur_ns ->
+                let ratio = cur_ns /. base_ns in
+                {
+                  r_group = group;
+                  r_test = test;
+                  r_base = Some base_ns;
+                  r_cur = Some cur_ns;
+                  r_verdict =
+                    (if cur_ns <= base_ns *. threshold then Pass ratio
+                     else Regression ratio);
+                })
+          base_tests
+      in
+      let fresh =
+        List.filter_map
+          (fun (test, cur_ns) ->
+            if List.mem_assoc test base_tests then None
+            else
+              Some
+                {
+                  r_group = group;
+                  r_test = test;
+                  r_base = None;
+                  r_cur = Some cur_ns;
+                  r_verdict = New;
+                })
+          cur_tests
+      in
+      known @ fresh
+
+let compare_docs ?(wall_clock_only = false) ~current ~baseline () =
+  let gated =
+    if wall_clock_only then wall_groups else virtual_groups @ wall_groups
+  in
+  List.concat_map
+    (fun group ->
+      compare_group group ~current:current.d_groups ~baseline:baseline.d_groups)
+    gated
+
+(* --- Speedup ratios ---
+
+   The "speedup" group's test names are "<workload>@<d>dom". The ratio
+   1-domain / d-domain wall time is machine-independent (unlike the
+   absolute numbers), so it is the thing the multicore CI job pins:
+   speedup at the highest measured domain count must reach [min]. The
+   check only applies when the machine that produced the current run
+   had at least [min_cores] cores — on a 1-core container every domain
+   count collapses onto the same CPU and the ratio is meaningless. *)
+
+type speedup = {
+  s_workload : string;
+  s_domains : int;
+  s_base_ns : float;  (** 1-domain wall time *)
+  s_ns : float;  (** wall time at [s_domains] *)
+  s_ratio : float;
+}
+
+let split_speedup_name name =
+  match String.rindex_opt name '@' with
+  | None -> None
+  | Some i ->
+      let workload = String.sub name 0 i in
+      let rest = String.sub name (i + 1) (String.length name - i - 1) in
+      if String.length rest > 3 && String.sub rest (String.length rest - 3) 3 = "dom"
+      then
+        Option.map
+          (fun d -> (workload, d))
+          (int_of_string_opt (String.sub rest 0 (String.length rest - 3)))
+      else None
+
+let speedups doc =
+  let entries =
+    List.concat_map
+      (fun g -> Option.value (List.assoc_opt g doc.d_groups) ~default:[])
+      wall_groups
+    |> List.filter_map (fun (name, ns) ->
+           Option.map (fun (w, d) -> (w, d, ns)) (split_speedup_name name))
+  in
+  let workloads =
+    List.sort_uniq compare (List.map (fun (w, _, _) -> w) entries)
+  in
+  List.filter_map
+    (fun w ->
+      let mine = List.filter (fun (w', _, _) -> w' = w) entries in
+      match List.find_opt (fun (_, d, _) -> d = 1) mine with
+      | None -> None
+      | Some (_, _, base_ns) -> (
+          match
+            List.fold_left
+              (fun acc (_, d, ns) ->
+                match acc with
+                | Some (d', _) when d' >= d -> acc
+                | _ when d > 1 -> Some (d, ns)
+                | _ -> acc)
+              None mine
+          with
+          | None -> None
+          | Some (d, ns) ->
+              Some
+                {
+                  s_workload = w;
+                  s_domains = d;
+                  s_base_ns = base_ns;
+                  s_ns = ns;
+                  s_ratio = base_ns /. ns;
+                }))
+    workloads
+
+let min_cores = 4
+
+type speedup_outcome =
+  | Enforced of speedup list * speedup list
+      (** (passing, failing) against the requested minimum *)
+  | Skipped_low_cores of int
+      (** the machine had this many cores — below {!min_cores}, the
+          ratio carries no information *)
+  | No_data  (** no "<workload>@<d>dom" entries in the current run *)
+
+let check_speedup ~min doc =
+  match speedups doc with
+  | [] -> No_data
+  | sps -> (
+      match doc.d_cores with
+      | Some c when c < min_cores -> Skipped_low_cores c
+      | Some _ | None ->
+          let passing, failing =
+            List.partition (fun s -> s.s_ratio >= min) sps
+          in
+          Enforced (passing, failing))
