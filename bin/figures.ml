@@ -420,6 +420,71 @@ let run_scale ~quick ~out =
   Format.printf "csv written to %s@." out;
   if bad <> [] then Stdlib.exit 1
 
+(* One-sided RMA sweep: put size x registration-cache capacity, each row
+   checked against the transfer-path accounting. *)
+let rma_headers =
+  [
+    "bytes"; "cache bytes"; "puts"; "time us"; "reg hits"; "reg misses";
+    "evictions"; "eager"; "write rndv"; "read rndv"; "ok";
+  ]
+
+let run_rma ~quick ~out =
+  let points =
+    if quick then
+      Harness.Experiments.rma_sweep ~sizes:[ 1_024; 65_536 ]
+        ~caches:[ 65_536; 1_048_576 ] ()
+    else Harness.Experiments.rma_sweep ()
+  in
+  let rows =
+    List.map
+      (fun (p : Experiments.rma_point) ->
+        ( string_of_int p.Experiments.m_bytes,
+          [
+            Table.Num (float_of_int p.Experiments.m_cache_bytes);
+            Table.Num (float_of_int p.Experiments.m_puts);
+            Table.Num p.Experiments.m_time_us;
+            Table.Num (float_of_int p.Experiments.m_hits);
+            Table.Num (float_of_int p.Experiments.m_misses);
+            Table.Num (float_of_int p.Experiments.m_evictions);
+            Table.Num (float_of_int p.Experiments.m_eager);
+            Table.Num (float_of_int p.Experiments.m_write_rndv);
+            Table.Num (float_of_int p.Experiments.m_read_rndv);
+            Table.Text (if Experiments.rma_ok p then "yes" else "NO");
+          ] ))
+      points
+  in
+  Table.print_table
+    ~title:
+      "RMA sweep: fence-epoch puts, size x registration-cache capacity \
+       (2 ranks, rdma channel)"
+    ~headers:rma_headers ~rows ();
+  let bad = List.filter (fun p -> not (Experiments.rma_ok p)) points in
+  let hits =
+    List.fold_left (fun a (p : Experiments.rma_point) -> a + p.Experiments.m_hits) 0 points
+  in
+  if bad = [] && hits > 0 then
+    Format.printf
+      "rma check: every row satisfies the transfer-path accounting, cache \
+       hits observed@."
+  else begin
+    List.iter
+      (fun (p : Experiments.rma_point) ->
+        Format.printf
+          "RMA CHECK FAILED: %d B / %d B cache: %d puts = %d eager + %d \
+           write + %d read; %d hits + %d misses, %d evictions@."
+          p.Experiments.m_bytes p.Experiments.m_cache_bytes
+          p.Experiments.m_puts p.Experiments.m_eager
+          p.Experiments.m_write_rndv p.Experiments.m_read_rndv
+          p.Experiments.m_hits p.Experiments.m_misses
+          p.Experiments.m_evictions)
+      bad;
+    if hits = 0 then
+      Format.printf "RMA CHECK FAILED: no registration-cache hits anywhere@."
+  end;
+  Table.write_csv ~path:out ~headers:rma_headers ~rows;
+  Format.printf "csv written to %s@." out;
+  if bad <> [] || hits = 0 then Stdlib.exit 1
+
 let ensure_dir path =
   if path <> "" && path <> "." && not (Sys.file_exists path) then
     Sys.mkdir path 0o755
@@ -784,6 +849,19 @@ let scale_cmd =
      checked against the analytic round/message model; exit 1 on mismatch."
     Term.(const (fun quick out -> run_scale ~quick ~out) $ quick $ out)
 
+let rma_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "results/rma_sweep.csv"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the CSV.")
+  in
+  cmd_of "rma"
+    "One-sided RMA sweep: put size x registration-cache capacity on the \
+     rdma channel, each row checked against the transfer-path accounting; \
+     exit 1 on mismatch."
+    Term.(const (fun quick out -> run_rma ~quick ~out) $ quick $ out)
+
 let speedup_cmd =
   let out =
     Arg.(
@@ -839,6 +917,6 @@ let () =
           [
             fig9_cmd; fig10_cmd; taba_cmd; tabb_cmd; ablations_cmd;
             faults_cmd; killsweep_cmd; coll_cmd; overlap_cmd; scale_cmd;
-            speedup_cmd;
+            rma_cmd; speedup_cmd;
             profile_cmd; all_cmd; check_cmd; report_cmd;
           ]))

@@ -4,6 +4,8 @@ module Fault = Mpi_core.Fault
 module Ft = Mpi_core.Ft
 module Comm = Mpi_core.Comm
 module Bv = Mpi_core.Buffer_view
+module Rma = Mpi_core.Rma
+module Tm = Mpi_core.Tag_match
 module World = Motor.World
 module Ot = Motor.Object_transport
 module Smp = Motor.System_mp
@@ -404,6 +406,245 @@ let osend_gc_run ~fault:_ ~quick:_ =
   (digest, bad)
 
 (* ------------------------------------------------------------------ *)
+(* Workload: one-sided fence epochs (put/accumulate/get + oracles)     *)
+(* ------------------------------------------------------------------ *)
+
+let rma_pattern ~rank ~len =
+  Bytes.init len (fun i -> Char.chr (((rank * 37) + i + 5) land 0xff))
+
+(* Active-target RMA on the RDMA channel: three fence epochs covering an
+   eager put ring, accumulates into rank 0 (a commutative sum and a
+   non-commutative matmul that must fold in rank order), a
+   rendezvous-sized put ring (above the CH3 eager threshold, so a fault
+   plan exercises RTS/CTS retransmission under the reliable layer and
+   the RDMA rendezvous cost path), and a get ring. The epoch-discipline
+   invariant: a probe between the puts and the closing fence must find
+   the local window untouched — updates become visible only at the
+   sync. *)
+let rma_fence_run ~fault ~quick =
+  let n = if quick then 3 else 4 in
+  let small = 2048 in
+  let big = if quick then 66_000 else 80_000 in
+  let blk = 4096 + big in
+  let w = Mpi.create_world ?fault ~channel:`Rdma ~n () in
+  let mon = Invariant.attach w in
+  let comm = Mpi.comm_world w in
+  let semantic = ref [] in
+  let finals = Array.make n "" in
+  let flag inv r fmt = semantic := Invariant.v inv fmt r :: !semantic in
+  let body r () =
+    let p = Mpi.proc w r in
+    let right = (r + 1) mod n and left = (r + n - 1) mod n in
+    let mine = Bytes.make blk '\000' in
+    if r = 0 then begin
+      (* Matmul identity at the accumulate cell. *)
+      Bytes.set mine 8 '\001';
+      Bytes.set mine 11 '\001'
+    end;
+    let win = Rma.win_create p ~comm mine in
+    let before = Bytes.copy mine in
+    (* Epoch 0: eager put ring + accumulates into rank 0. *)
+    Rma.put win ~target:right ~target_off:1024 (rma_pattern ~rank:r ~len:small)
+      ~off:0 ~len:small;
+    let contrib = Bytes.create 8 in
+    Bytes.set_int64_le contrib 0 (Int64.of_int ((r + 1) * 11));
+    Rma.accumulate win ~target:0 ~target_off:0 ~op:Rma.Sum contrib ~off:0
+      ~len:8;
+    Rma.accumulate win ~target:0 ~target_off:8 ~op:Rma.Matmul
+      (matrix_of_rank r) ~off:0 ~len:4;
+    (* The epoch invariant: nothing is visible before the closing sync,
+       under any schedule (iprobe pumps progress, so arrived updates
+       would have their chance to leak here if the target applied them
+       eagerly). *)
+    ignore (Mpi.iprobe p ~comm ~src:Tm.any_source ~tag:424242);
+    if not (Bytes.equal mine before) then
+      flag "rma-epoch" r "rank %d: window mutated before win_fence";
+    Rma.win_fence win;
+    if
+      not
+        (Bytes.equal
+           (Bytes.sub mine 1024 small)
+           (rma_pattern ~rank:left ~len:small))
+    then flag "rma-put" r "rank %d: fence did not deliver the put ring";
+    if r = 0 then begin
+      let expect_sum =
+        Int64.of_int (11 * (n * (n + 1) / 2))
+      in
+      if Bytes.get_int64_le mine 0 <> expect_sum then
+        flag "rma-acc" r "rank %d: commutative accumulate sum wrong";
+      if not (Bytes.equal (Bytes.sub mine 8 4) (seq_product 0 (n - 1))) then
+        flag "rma-order" r
+          "rank %d: non-commutative accumulate broke rank order"
+    end;
+    (* Epoch 1: rendezvous-sized put ring. *)
+    Rma.put win ~target:right ~target_off:4096 (rma_pattern ~rank:(r + n) ~len:big)
+      ~off:0 ~len:big;
+    Rma.win_fence win;
+    if
+      not
+        (Bytes.equal (Bytes.sub mine 4096 big)
+           (rma_pattern ~rank:(left + n) ~len:big))
+    then flag "rma-rndv" r "rank %d: rendezvous put ring wrong";
+    (* Epoch 2: read the right neighbour's small slot back. *)
+    let fetched = Bytes.create small in
+    Rma.get win ~target:right ~target_off:1024 fetched ~off:0 ~len:small;
+    if not (Bytes.equal fetched (rma_pattern ~rank:r ~len:small)) then
+      flag "rma-get" r "rank %d: get disagrees with the committed window";
+    Rma.win_fence win;
+    finals.(r) <-
+      Digest.to_hex (Digest.bytes mine) ^ Digest.to_hex (Digest.bytes fetched);
+    Rma.win_free win
+  in
+  Fiber.run (List.init n (fun r -> (Printf.sprintf "rmaf%d" r, body r)));
+  let digest =
+    Digest.to_hex (Digest.string (String.concat "#" (Array.to_list finals)))
+  in
+  let bad =
+    Invariant.order_violations mon @ Invariant.quiescence w
+    @ List.rev !semantic
+  in
+  Invariant.detach mon;
+  (digest, bad)
+
+(* ------------------------------------------------------------------ *)
+(* Workload: passive-target lock/unlock mutual exclusion               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every rank runs two exclusive-lock read-modify-write sessions against
+   rank 0's window (get the counter, add, put it back — the put applies
+   at unlock, before the next grant, so the increments are atomic under
+   every grant order), writes its own slot, and finally checks the
+   total under a shared lock. Grant order varies with the schedule; the
+   final state must not. *)
+let rma_lock_run ~fault ~quick =
+  let n = if quick then 3 else 4 in
+  let rounds = 2 in
+  let blk = 8 * (n + 1) in
+  let w = Mpi.create_world ?fault ~n () in
+  let mon = Invariant.attach w in
+  let comm = Mpi.comm_world w in
+  let semantic = ref [] in
+  let finals = Array.make n "" in
+  let body r () =
+    let p = Mpi.proc w r in
+    let mine = Bytes.make blk '\000' in
+    let win = Rma.win_create p ~comm mine in
+    let cell = Bytes.create 8 in
+    for round = 1 to rounds do
+      Rma.win_lock win ~target:0;
+      Rma.get win ~target:0 ~target_off:0 cell ~off:0 ~len:8;
+      Bytes.set_int64_le cell 0
+        (Int64.add (Bytes.get_int64_le cell 0) (Int64.of_int (r + 1)));
+      Rma.put win ~target:0 ~target_off:0 cell ~off:0 ~len:8;
+      if round = 1 then begin
+        (* My slot, same session: applied atomically at the unlock. *)
+        Bytes.set_int64_le cell 0 (Int64.of_int ((r * 1000) + 7));
+        Rma.put win ~target:0 ~target_off:(8 * (r + 1)) cell ~off:0 ~len:8
+      end;
+      Rma.win_unlock win ~target:0
+    done;
+    (* Everyone waits for all sessions, then audits under a shared
+       lock. *)
+    Rma.win_fence win;
+    Rma.win_lock ~exclusive:false win ~target:0;
+    let audit = Bytes.create blk in
+    Rma.get win ~target:0 ~target_off:0 audit ~off:0 ~len:blk;
+    Rma.win_unlock win ~target:0;
+    (* Second barrier: rank 0 must not reach win_free while a delayed
+       audit lock from another rank is still held on its window. *)
+    Rma.win_fence win;
+    let expect = Int64.of_int (rounds * (n * (n + 1) / 2)) in
+    if Bytes.get_int64_le audit 0 <> expect then
+      semantic :=
+        Invariant.v "rma-lock-atomic"
+          "rank %d read counter %Ld, expected %Ld (lost update under \
+           lock)"
+          r
+          (Bytes.get_int64_le audit 0)
+          expect
+        :: !semantic;
+    for s = 0 to n - 1 do
+      if Bytes.get_int64_le audit (8 * (s + 1)) <> Int64.of_int ((s * 1000) + 7)
+      then
+        semantic :=
+          Invariant.v "rma-lock-slot" "rank %d sees a corrupted slot %d" r s
+          :: !semantic
+    done;
+    finals.(r) <- Digest.to_hex (Digest.bytes audit);
+    Rma.win_free win
+  in
+  Fiber.run (List.init n (fun r -> (Printf.sprintf "rmal%d" r, body r)));
+  let digest =
+    Digest.to_hex (Digest.string (String.concat "#" (Array.to_list finals)))
+  in
+  let bad =
+    Invariant.order_violations mon @ Invariant.quiescence w
+    @ List.rev !semantic
+  in
+  Invariant.detach mon;
+  (digest, bad)
+
+(* ------------------------------------------------------------------ *)
+(* Workload: the planted epoch bug (one-sided self-test)               *)
+(* ------------------------------------------------------------------ *)
+
+(* A window created with [eager_apply] applies updates the moment they
+   arrive instead of at the closing fence. Whether the probe between a
+   neighbour's put and the fence can see the leak depends on virtual
+   time: the 4 KiB puts have an arrival floor well past the charges a
+   rank accumulates before its probe, so strict round-robin always
+   probes too early and stays clean — only a perturbed schedule lets
+   the clock (driven by the other ranks' charges) pass the floor before
+   some rank's probe pumps its device. The fixed variant defers (the
+   production path) and is clean under every schedule. *)
+let rma_epoch_run ~buggy ~fault:_ ~quick =
+  let n = if quick then 3 else 4 in
+  let blk = 4096 in
+  let w = Mpi.create_world ~n () in
+  let mon = Invariant.attach w in
+  let comm = Mpi.comm_world w in
+  let semantic = ref [] in
+  let finals = Array.make n "" in
+  let body r () =
+    let p = Mpi.proc w r in
+    let right = (r + 1) mod n and left = (r + n - 1) mod n in
+    let mine = Bytes.make blk '\000' in
+    let win = Rma.win_create ~eager_apply:buggy p ~comm mine in
+    let before = Bytes.copy mine in
+    Rma.put win ~target:right ~target_off:0 (rma_pattern ~rank:r ~len:blk)
+      ~off:0 ~len:blk;
+    (* One pre-fence probe, directly after the put: it pumps the device
+       once, so an arrived eager-applied update gets exactly one chance
+       to leak here. Under round-robin the probe runs before the
+       neighbour's put has crossed its virtual-time arrival floor; a
+       perturbed schedule can park this rank while the others' charges
+       (or a blocked-world clock leap) pass the floor first. *)
+    ignore (Mpi.iprobe p ~comm ~src:Tm.any_source ~tag:424242);
+    if not (Bytes.equal mine before) then
+      semantic :=
+        Invariant.v "rma-epoch"
+          "rank %d: put visible before win_fence (eager apply)" r
+        :: !semantic;
+    Rma.win_fence win;
+    if not (Bytes.equal mine (rma_pattern ~rank:left ~len:blk)) then
+      semantic :=
+        Invariant.v "rma-put" "rank %d: fence did not deliver the put" r
+        :: !semantic;
+    finals.(r) <- Digest.to_hex (Digest.bytes mine);
+    Rma.win_free win
+  in
+  Fiber.run (List.init n (fun r -> (Printf.sprintf "rmab%d" r, body r)));
+  let digest =
+    Digest.to_hex (Digest.string (String.concat "#" (Array.to_list finals)))
+  in
+  let bad =
+    Invariant.order_violations mon @ Invariant.quiescence w
+    @ List.rev !semantic
+  in
+  Invariant.detach mon;
+  (digest, bad)
+
+(* ------------------------------------------------------------------ *)
 (* Workloads: rank death under the ULFM recovery loop                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -735,6 +976,14 @@ let planted_bug ~buggy =
     w_run = planted_bug_run ~buggy;
   }
 
+let rma_epoch_bug ~buggy =
+  {
+    w_name = (if buggy then "rma_fence_bug" else "rma_fence_bug_fixed");
+    w_faultable = false;
+    w_default = false;
+    w_run = rma_epoch_run ~buggy;
+  }
+
 let planted_detector_bug ~buggy =
   {
     w_name =
@@ -804,8 +1053,22 @@ let registry =
       w_default = true;
       w_run = osend_gc_run;
     };
+    {
+      w_name = "rma_fence";
+      w_faultable = true;
+      w_default = true;
+      w_run = rma_fence_run;
+    };
+    {
+      w_name = "rma_lock";
+      w_faultable = true;
+      w_default = true;
+      w_run = rma_lock_run;
+    };
     planted_bug ~buggy:true;
     planted_bug ~buggy:false;
+    rma_epoch_bug ~buggy:true;
+    rma_epoch_bug ~buggy:false;
     planted_detector_bug ~buggy:true;
     planted_detector_bug ~buggy:false;
   ]

@@ -25,15 +25,21 @@ val default_workloads : unit -> workload list
     route through the hierarchical algorithms, a [`Hier]-vs-[`Linear]
     cross-check on a non-commutative operator, a barrier and a bcast from
     a non-leader root), [icoll_overlap] (ibarrier + ibcast + iallreduce +
-    point-to-point all in flight, completed by one [wait_all]) and
+    point-to-point all in flight, completed by one [wait_all]),
     [osend_gc] (OSend/ORecv and zero-copy transfers with collections
-    forced mid-flight, checking the pin table drains). *)
+    forced mid-flight, checking the pin table drains), [rma_fence]
+    (one-sided put/get/accumulate rings on the RDMA channel across
+    three fence epochs, with eager and rendezvous transfer sizes and a
+    pre-fence visibility probe) and [rma_lock] (passive-target
+    lock/unlock: an exclusive-lock read-modify-write counter plus
+    per-rank slots, audited under a shared lock). *)
 
 val all_workloads : unit -> workload list
-(** {!default_workloads} plus the planted-bug and planted-detector-bug
-    self-tests (which fail by design and are therefore excluded from
-    exploration) and the {!kill_workloads} (driven by the kill sweep
-    rather than the default exploration set). *)
+(** {!default_workloads} plus the planted-bug, rma-epoch-bug and
+    planted-detector-bug self-tests (which fail by design and are
+    therefore excluded from exploration) and the {!kill_workloads}
+    (driven by the kill sweep rather than the default exploration
+    set). *)
 
 val find : string -> workload option
 (** Look up by name among {!all_workloads} (corpus replay, CLI). *)
@@ -47,6 +53,20 @@ val planted_bug : buggy:bool -> workload
     exactly what the explorer must be able to catch (and round-robin must
     not). [~buggy:false] ("planted_bug_fixed") writes without yielding
     inside the window and passes under every schedule. *)
+
+val rma_epoch_bug : buggy:bool -> workload
+(** The one-sided self-test: a ring of 4 KiB puts on windows created
+    with the [eager_apply] instrumentation, probed between the put and
+    the closing fence. With [~buggy:true] ("rma_fence_bug") the target
+    applies updates on arrival, so a put can become visible {e before}
+    [win_fence] — but only when the virtual clock passes the put's
+    arrival floor before some rank's pre-fence probe, which strict
+    round-robin never does (its probes run before the charges
+    accumulate) and perturbed schedules do: exactly the
+    schedule-dependent epoch violation the explorer must catch, shrink
+    and commit to the corpus. [~buggy:false] ("rma_fence_bug_fixed")
+    uses the production deferred-apply path and is clean under every
+    schedule. *)
 
 val planted_detector_bug : buggy:bool -> workload
 (** The failure-detector self-test: a two-rank exchange whose busy rank

@@ -71,6 +71,31 @@ let after_blocking g =
     Env.count (env g.gc) Key.pins_deferred
   end
 
+let for_window policy gc obj ~exposed =
+  match policy with
+  | No_pin -> false
+  | Always_pin ->
+      Gc.pin gc obj;
+      true
+  | Boundary_check ->
+      if movable gc obj then begin
+        Gc.pin gc obj;
+        true
+      end
+      else begin
+        Env.count (env gc) Key.pins_avoided;
+        false
+      end
+  | Deferred ->
+      (if movable gc obj then
+         (* The window's exposure epoch plays the role a request's
+            completion plays for a nonblocking transfer: the mark phase
+            keeps the buffer put while [exposed ()] holds and drops the
+            pin at the first collection after the window is freed. *)
+         Gc.add_conditional_pin gc obj ~still_active:exposed
+       else Env.count (env gc) Key.pins_avoided);
+      false
+
 let for_nonblocking policy gc obj ~req =
   match policy with
   | No_pin -> ()

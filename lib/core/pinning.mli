@@ -41,6 +41,20 @@ val on_enter_wait : blocking_guard -> unit
 val after_blocking : blocking_guard -> unit
 (** Unpin if (and only if) a pin was taken. *)
 
+val for_window :
+  policy ->
+  Vm.Gc.t ->
+  Vm.Object_model.obj ->
+  exposed:(unit -> bool) ->
+  bool
+(** Protect an RMA window's backing object for its whole exposure epoch
+    (from [Rma.win_create] to [Rma.win_free]). Under [Deferred] a
+    conditional pin polls [exposed] during each mark phase — the buffer
+    cannot move while the window is exposed, and the pin evaporates at
+    the first collection after the free. Returns [true] iff a sticky pin
+    was taken ([Always_pin], or [Boundary_check] on a movable object);
+    the caller must then [Vm.Gc.unpin] once the window is freed. *)
+
 val for_nonblocking :
   policy ->
   Vm.Gc.t ->

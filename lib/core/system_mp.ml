@@ -359,3 +359,42 @@ let iallreduce_sum_f64 ctx ~comm obj =
   Mpi_core.Request.on_complete req (fun () -> Bv.write_all view result);
   Fcall.exit_poll gc;
   req
+
+(* ------------------------------------------------------------------ *)
+(* Managed one-sided windows                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Rma = Mpi_core.Rma
+
+type owin = {
+  ow_win : Rma.win;
+  ow_gc : Gc.t;
+  ow_obj : Om.obj;
+  mutable ow_pinned : bool; (* sticky pin owed an unpin at free *)
+}
+
+let owin_create ?eager_apply ctx ~comm obj =
+  let gc = gc_of ctx in
+  Fcall.call gc (fun () ->
+      Ot.validate gc obj;
+      let addr, len = Om.payload_region gc obj in
+      let win =
+        Rma.win_create ?eager_apply ~sub:(addr, len) ctx.World.proc ~comm
+          (Vm.Heap.mem (Gc.heap gc))
+      in
+      let pinned =
+        Pinning.for_window ctx.World.policy gc obj ~exposed:(fun () ->
+            Rma.exposed win)
+      in
+      { ow_win = win; ow_gc = gc; ow_obj = obj; ow_pinned = pinned })
+
+let owin_win ow = ow.ow_win
+let owin_obj ow = ow.ow_obj
+
+let owin_free ow =
+  Fcall.call ow.ow_gc (fun () ->
+      Rma.win_free ow.ow_win;
+      if ow.ow_pinned then begin
+        Gc.unpin ow.ow_gc ow.ow_obj;
+        ow.ow_pinned <- false
+      end)

@@ -136,3 +136,36 @@ val iallreduce_sum_f64 :
 val comm_world : World.rank_ctx -> Comm.t
 val rank : World.rank_ctx -> int
 val size : World.rank_ctx -> Comm.t -> int
+
+(** {1 One-sided windows}
+
+    MPI-2 RMA over a managed object: the object's payload region is
+    exposed {e in place} (no copy) as an {!Mpi_core.Rma} window, under
+    the pinning policy. With the Motor ([Deferred]) policy the buffer is
+    protected by a conditional pin whose liveness test is the window's
+    exposure epoch — a full collection while the window is exposed marks
+    the buffer unmovable, and the pin evaporates at the first collection
+    after {!owin_free}. *)
+
+type owin
+(** A window whose memory is a managed object's payload. *)
+
+val owin_create :
+  ?eager_apply:bool -> World.rank_ctx -> comm:Comm.t ->
+  Vm.Object_model.obj -> owin
+(** Collective. The object must satisfy the regular-operation integrity
+    rules (reference-free object or simple-type array — the same
+    restriction as zero-copy transport, for the same reason: remote puts
+    write raw bytes). [?eager_apply] threads through to
+    {!Mpi_core.Rma.win_create} (test instrumentation only). *)
+
+val owin_win : owin -> Mpi_core.Rma.win
+(** The underlying window: issue {!Mpi_core.Rma.put} / [get] /
+    [accumulate] / [win_fence] / [win_lock] against it. Window offset 0
+    is the first payload byte of the exposed object. *)
+
+val owin_obj : owin -> Vm.Object_model.obj
+
+val owin_free : owin -> unit
+(** Collective. Frees the window ({!Mpi_core.Rma.win_free} epoch checks
+    included) and releases any sticky pin the policy took. *)

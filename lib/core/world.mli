@@ -33,7 +33,7 @@ type rank_ctx = {
     ablation experiments. *)
 
 val create :
-  ?channel:[ `Shm | `Sock ] ->
+  ?channel:[ `Shm | `Sock | `Rdma ] ->
   ?cost:Simtime.Cost.t ->
   ?config:config ->
   ?fault:Mpi_core.Fault.plan ->

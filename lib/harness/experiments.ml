@@ -764,3 +764,86 @@ let scale_sweep ?(quick = false) ?ranks () =
         [ hier; point `Rd "rd" (n * log2i n) (2 * log2i n) ]
       else [ hier ])
     ranks
+
+(* ------------------------------------------------------------------ *)
+(* One-sided RMA sweep: put size x registration-cache capacity         *)
+(* ------------------------------------------------------------------ *)
+
+type rma_point = {
+  m_bytes : int;
+  m_cache_bytes : int;
+  m_puts : int;
+  m_time_us : float;
+  m_hits : int;
+  m_misses : int;
+  m_evictions : int;
+  m_eager : int;
+  m_write_rndv : int;
+  m_read_rndv : int;
+}
+
+(* Per-row accounting the transfer paths must satisfy: every put went
+   down exactly one path; every rendezvous put consulted the cache once,
+   on top of the two window pins; eviction never outruns insertion. *)
+let rma_ok p =
+  p.m_puts > 0
+  && p.m_time_us > 0.0
+  && p.m_eager + p.m_write_rndv + p.m_read_rndv = p.m_puts
+  && p.m_hits + p.m_misses = 2 + p.m_write_rndv + p.m_read_rndv
+  && p.m_evictions <= p.m_misses
+
+let default_rma_sizes = [ 1_024; 8_192; 65_536; 262_144 ]
+let default_rma_caches = [ 65_536; 262_144; 1_048_576 ]
+let rma_buffers = 4
+let rma_rounds = 6
+
+(* Two ranks exchange puts from [rma_buffers] distinct origin buffers
+   over [rma_rounds] fence epochs. The origin working set
+   ([rma_buffers] x size per rank) against the cache capacity decides
+   whether round 2+ re-registrations hit (amortized pin-down) or keep
+   evicting (LRU thrash); window pins stay resident throughout. *)
+let rma_point ~bytes ~cache =
+  let cost = { Cost.native_cpp with rdma_cache_capacity_bytes = cache } in
+  let env = Env.create ~cost () in
+  let stat k = Simtime.Stats.get env.Env.stats k in
+  let n = 2 in
+  let t0 = ref 0.0 and t1 = ref 0.0 in
+  ignore
+    (Mpi_core.Mpi.run ~env ~channel:`Rdma ~n (fun p ->
+         let comm = Mpi_core.Mpi.comm_world (Mpi_core.Mpi.world_of p) in
+         let r = Mpi_core.Mpi.rank p in
+         let bufs =
+           Array.init rma_buffers (fun b ->
+               Bytes.init bytes (fun i -> Char.chr (((r * 67) + b + i) land 0xff)))
+         in
+         let mine = Bytes.make bytes '\000' in
+         let win = Mpi_core.Rma.win_create p ~comm mine in
+         if r = 0 then t0 := Env.now_us env;
+         for _ = 1 to rma_rounds do
+           Array.iter
+             (fun buf ->
+               Mpi_core.Rma.put win ~target:(1 - r) ~target_off:0 buf ~off:0
+                 ~len:bytes)
+             bufs;
+           Mpi_core.Rma.win_fence win
+         done;
+         if r = 0 then t1 := Env.now_us env;
+         Mpi_core.Rma.win_free win));
+  {
+    m_bytes = bytes;
+    m_cache_bytes = cache;
+    m_puts = stat Key.rma_puts;
+    m_time_us = !t1 -. !t0;
+    m_hits = stat Key.rdma_reg_hits;
+    m_misses = stat Key.rdma_reg_misses;
+    m_evictions = stat Key.rdma_reg_evictions;
+    m_eager = stat Key.rdma_eager_copies;
+    m_write_rndv = stat Key.rdma_write_rndv;
+    m_read_rndv = stat Key.rdma_read_rndv;
+  }
+
+let rma_sweep ?(sizes = default_rma_sizes) ?(caches = default_rma_caches) ()
+    =
+  List.concat_map
+    (fun bytes -> List.map (fun cache -> rma_point ~bytes ~cache) caches)
+    sizes

@@ -190,3 +190,39 @@ val scale_sweep : ?quick:bool -> ?ranks:int list -> unit -> scale_point list
     of two divisible by 64. [quick] sweeps 256 and 1024 ranks (CI
     smoke). Feeds [figures.exe -- scale] and
     [results/scale_sweep.csv]. *)
+
+(** {1 One-sided RMA: put size x registration-cache capacity} *)
+
+type rma_point = {
+  m_bytes : int;  (** put payload *)
+  m_cache_bytes : int;  (** per-rank registration cache capacity *)
+  m_puts : int;  (** puts issued across the world *)
+  m_time_us : float;  (** virtual time of all fence epochs *)
+  m_hits : int;  (** registration cache hits *)
+  m_misses : int;  (** registration cache misses (incl. 2 window pins) *)
+  m_evictions : int;
+  m_eager : int;  (** bounce-buffer puts (below the RDMA eager cutoff) *)
+  m_write_rndv : int;  (** RDMA-write rendezvous picks *)
+  m_read_rndv : int;  (** RDMA-read rendezvous picks *)
+}
+
+val rma_ok : rma_point -> bool
+(** Row-level accounting: the three transfer paths partition the puts,
+    cache lookups equal window pins plus rendezvous registrations, and
+    evictions never exceed misses. The CI smoke run enforces this on
+    every row. *)
+
+val default_rma_sizes : int list
+(** 1 KiB (eager), 8 KiB (RDMA-read rendezvous), 64 KiB and 256 KiB
+    (RDMA-write rendezvous). *)
+
+val default_rma_caches : int list
+(** 64 KiB, 256 KiB, 1 MiB. *)
+
+val rma_sweep :
+  ?sizes:int list -> ?caches:int list -> unit -> rma_point list
+(** One fresh 2-rank [`Rdma] world per point: six fence epochs of puts
+    from four distinct origin buffers per rank, so the origin working
+    set (4 x size) against the cache capacity decides between amortized
+    pin-down (hits) and LRU thrash (evictions). Feeds
+    [figures.exe -- rma] and [results/rma_sweep.csv]. *)

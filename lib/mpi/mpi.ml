@@ -17,6 +17,7 @@ type world = {
   topology : Simtime.Topology.t;  (* nodes x cores placement of ranks *)
   reliable : Reliable.t option;  (* handle on the go-back-N layer, if any *)
   ft : Ft.t option;  (* process-failure service, if kills or a detector *)
+  rdma : Rdma_channel.t option;  (* the RDMA fabric, when channel = `Rdma *)
 }
 
 type proc = { world : world; prank : int; dev : Ch3.t }
@@ -57,7 +58,21 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ?detector
         invalid_arg
           "Mpi.create_world: ?parallel builds one environment per domain; \
            a shared ?env cannot be used");
-  let domains = match parallel with Some d -> Some (min d n) | None -> None in
+  let domains =
+    match parallel with
+    | None -> None
+    | Some d ->
+        (* An explicit topology with fewer nodes than requested domains
+           would leave domains idle forever: placement maps ranks to
+           nodes, so only [nodes] distinct domain slots are ever used.
+           Clamp rather than spawn dead domains (DESIGN.md §15);
+           [parallelism] reports the effective count. *)
+        let d = min d n in
+        Some
+          (match topology with
+          | Some t -> min d (Simtime.Topology.nodes t)
+          | None -> d)
+  in
   let topology =
     match (topology, domains) with
     | Some t, _ ->
@@ -95,18 +110,22 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ?detector
   let topo =
     if Simtime.Topology.multi_node topology then Some topology else None
   in
-  let base =
+  let base, rdma =
     match domains with
     | Some _ ->
         (* The transport is real shared memory between domains; the
            modelled [channel] flavour does not apply. *)
-        Shm_channel.create_parallel
-          ~env_for:(fun rank -> envs.(place rank))
-          ~n_ranks:n
+        ( Shm_channel.create_parallel
+            ~env_for:(fun rank -> envs.(place rank))
+            ~n_ranks:n,
+          None )
     | None -> (
         match channel with
-        | `Shm -> Shm_channel.create ?topo env ~n_ranks:n
-        | `Sock -> Sock_channel.create ?topo env ~n_ranks:n)
+        | `Shm -> (Shm_channel.create ?topo env ~n_ranks:n, None)
+        | `Sock -> (Sock_channel.create ?topo env ~n_ranks:n, None)
+        | `Rdma ->
+            let h = Rdma_channel.create ?topo env ~n_ranks:n in
+            (Rdma_channel.channel h, Some h))
   in
   let faulty =
     match fault with
@@ -155,6 +174,7 @@ let create_world ?(channel = `Sock) ?cost ?env ?fault ?reliable ?detector
       topology;
       reliable = rel;
       ft;
+      rdma;
     }
   in
   (* Each device charges and counts into its own domain's environment, so
@@ -225,6 +245,7 @@ let merged_stats w =
 let world_size w = Array.length w.devices
 let topology w = w.topology
 let reliable_handle w = w.reliable
+let rdma_handle w = w.rdma
 let ft_handle w = w.ft
 let dead_ranks w = match w.ft with Some ft -> Ft.dead_ranks ft | None -> []
 

@@ -12,7 +12,7 @@ type proc
 (** {1 World management} *)
 
 val create_world :
-  ?channel:[ `Shm | `Sock ] ->
+  ?channel:[ `Shm | `Sock | `Rdma ] ->
   ?cost:Simtime.Cost.t ->
   ?env:Simtime.Env.t ->
   ?fault:Fault.plan ->
@@ -23,7 +23,9 @@ val create_world :
   n:int ->
   unit ->
   world
-(** Default channel is [`Sock] (the paper's configuration). A [fault]
+(** Default channel is [`Sock] (the paper's configuration); [`Rdma] is
+    the kernel-bypass fabric with a pin-down registration cache
+    ({!Rdma_channel}, consumed by {!Rma}). A [fault]
     plan makes the wire lossy (seeded, deterministic — see {!Fault}) and
     automatically stacks the {!Reliable} go-back-N layer on top so MPI
     semantics survive; [reliable] installs (or configures) that layer
@@ -41,7 +43,10 @@ val create_world :
     each rank's device bound to its domain's environment via the
     topology placement (default: [d] nodes of [ceil(n/d)] cores — one
     simulated node per domain), and the sharded SPSC shm transport
-    instead of a modelled channel. Virtual time stops being a global
+    instead of a modelled channel. [d] is clamped to the rank count and,
+    under an explicit [?topology], to its node count — extra domains
+    would never be assigned a rank ({!parallelism} reports the effective
+    value). Virtual time stops being a global
     order (each domain's clock advances independently; wall-clock is the
     metric); {!merged_stats} recombines accounting after the run.
     Incompatible with [?fault]/[?reliable]/[?detector] (their teardown
@@ -84,6 +89,13 @@ val reliable_handle : world -> Reliable.t option
     ([?fault] or [?reliable]); lets tests and the schedule-exploration
     harness assert that retransmission queues drained
     ({!Reliable.stranded} = 0) as a quiescence invariant. *)
+
+val rdma_handle : world -> Rdma_channel.t option
+(** The RDMA fabric handle when the world was created with
+    [?channel:`Rdma]: per-rank registration caches and the cost-model
+    helpers {!Rma} charges registration and rendezvous-variant costs
+    through. [None] on other channels (one-sided operations still work,
+    without registration modelling). *)
 
 val ft_handle : world -> Ft.t option
 (** The process-failure service, when installed (kills or [?detector]). *)
@@ -134,7 +146,7 @@ val quiescence_report : world -> (int * string) list
     [Proc_failed]. *)
 
 val run :
-  ?channel:[ `Shm | `Sock ] ->
+  ?channel:[ `Shm | `Sock | `Rdma ] ->
   ?cost:Simtime.Cost.t ->
   ?env:Simtime.Env.t ->
   ?fault:Fault.plan ->

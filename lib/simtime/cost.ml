@@ -29,6 +29,13 @@ type t = {
   rndv_handshake_ns : float;
   mtu_bytes : int;
   eager_threshold_bytes : int;
+  rdma_per_msg_ns : float;
+  rdma_write_ns_per_byte : float;
+  rdma_read_ns_per_byte : float;
+  rdma_reg_base_ns : float;
+  rdma_reg_ns_per_byte : float;
+  rdma_eager_threshold_bytes : int;
+  rdma_cache_capacity_bytes : int;
   queue_probe_ns : float;
   request_ns : float;
   progress_poll_ns : float;
@@ -81,6 +88,23 @@ let native_cpp =
     rndv_handshake_ns = 9_000.0;
     mtu_bytes = 16_384;
     eager_threshold_bytes = 65_536;
+    (* RDMA-class fabric (InfiniBand figures in the spirit of "MPICH2
+       over InfiniBand with RDMA Support"): kernel-bypass per-message
+       cost far below the sock channel, RDMA-write streaming faster than
+       RDMA-read (the read path pays the responder's DMA turnaround),
+       and an expensive pin-down registration whose base cost is what
+       the registration cache exists to amortize. The write/read
+       per-byte split puts the rendezvous-variant crossover at
+       per_msg / (read - write) = 12 KiB: a rendezvous below it saves
+       the extra control hop with RDMA-read, above it RDMA-write's
+       bandwidth wins. *)
+    rdma_per_msg_ns = 3_000.0;
+    rdma_write_ns_per_byte = 0.55;
+    rdma_read_ns_per_byte = 0.8;
+    rdma_reg_base_ns = 20_000.0;
+    rdma_reg_ns_per_byte = 0.3;
+    rdma_eager_threshold_bytes = 4_096;
+    rdma_cache_capacity_bytes = 1_048_576;
     queue_probe_ns = 80.0;
     request_ns = 300.0;
     progress_poll_ns = 150.0;

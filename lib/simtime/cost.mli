@@ -56,6 +56,20 @@ type t = {
   rndv_handshake_ns : float;
   mtu_bytes : int;
   eager_threshold_bytes : int;
+  (* RDMA-class channel ([Mpi_core.Rdma_channel]): kernel-bypass
+     transport with explicit memory registration, as in "MPICH2 over
+     InfiniBand with RDMA Support". *)
+  rdma_per_msg_ns : float;  (** per-descriptor cost (kernel bypass) *)
+  rdma_write_ns_per_byte : float;  (** RDMA-write streaming *)
+  rdma_read_ns_per_byte : float;
+      (** RDMA-read streaming (slower: responder DMA turnaround) *)
+  rdma_reg_base_ns : float;  (** pin-down registration base cost *)
+  rdma_reg_ns_per_byte : float;  (** page-pinning cost per byte *)
+  rdma_eager_threshold_bytes : int;
+      (** below: copy through pre-registered bounce buffers; above:
+          rendezvous into registered memory *)
+  rdma_cache_capacity_bytes : int;
+      (** default registration-cache capacity (LRU eviction past it) *)
   (* MPI bookkeeping. *)
   queue_probe_ns : float;  (** per queue element inspected during matching *)
   request_ns : float;  (** request allocation / completion *)

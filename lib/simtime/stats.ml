@@ -313,6 +313,17 @@ module Key = struct
   let bytes_inter_node = "bytes_inter_node"
   let eager_sends = "eager_sends"
   let rndv_sends = "rndv_sends"
+  let rma_puts = "rma_puts"
+  let rma_gets = "rma_gets"
+  let rma_accumulates = "rma_accumulates"
+  let rma_fences = "rma_fences"
+  let rma_locks = "rma_locks"
+  let rdma_reg_hits = "rdma_reg_hits"
+  let rdma_reg_misses = "rdma_reg_misses"
+  let rdma_reg_evictions = "rdma_reg_evictions"
+  let rdma_write_rndv = "rdma_write_rndv"
+  let rdma_read_rndv = "rdma_read_rndv"
+  let rdma_eager_copies = "rdma_eager_copies"
   let unexpected_msgs = "unexpected_msgs"
   let retransmits = "retransmits"
   let retx_giveups = "retx_giveups"

@@ -118,6 +118,32 @@ module Key : sig
   val rndv_sends : string
   val unexpected_msgs : string
 
+  (* One-sided RMA ([Mpi_core.Rma]) and the RDMA channel's pin-down
+     registration cache ([Mpi_core.Rdma_channel]). *)
+  val rma_puts : string
+  val rma_gets : string
+  val rma_accumulates : string
+  val rma_fences : string
+  val rma_locks : string
+
+  val rdma_reg_hits : string
+  (** Registration requests covered by a cached (still-pinned) region. *)
+
+  val rdma_reg_misses : string
+  (** Registrations that had to pin fresh memory (base + per-byte cost). *)
+
+  val rdma_reg_evictions : string
+  (** LRU registrations deregistered to make room under the capacity. *)
+
+  val rdma_write_rndv : string
+  (** Rendezvous transfers that chose the RDMA-write variant. *)
+
+  val rdma_read_rndv : string
+  (** Rendezvous transfers that chose the RDMA-read variant. *)
+
+  val rdma_eager_copies : string
+  (** Small transfers staged through pre-registered bounce buffers. *)
+
   val retransmits : string
   (** Frames re-sent by the reliable-delivery layer after an ack timeout. *)
 

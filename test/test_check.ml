@@ -76,6 +76,45 @@ let test_planted_bug_shrinks_to_small_replayable_trace () =
         (E.run_one fixed (Policy.Replay mini))
 
 (* ------------------------------------------------------------------ *)
+(* The planted one-sided epoch bug                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rma_buggy = E.rma_epoch_bug ~buggy:true
+let rma_fixed = E.rma_epoch_bug ~buggy:false
+
+let test_rma_epoch_bug_invisible_to_round_robin () =
+  check_clean "rma epoch bug under round-robin"
+    (E.run_one rma_buggy Policy.Round_robin)
+
+let test_rma_epoch_bug_caught_and_shrunk () =
+  match first_failing_seed rma_buggy with
+  | None -> Alcotest.fail "rma epoch bug not caught within 200 seeds"
+  | Some (seed, o) ->
+      Alcotest.(check bool)
+        "violation names the epoch discipline" true
+        (List.exists
+           (fun v -> v.Check.Invariant.inv = "rma-epoch")
+           o.E.o_violations);
+      let mini = E.minimize_failure rma_buggy o.E.o_trace in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "trace from seed %d shrinks to <= 25 decisions (got %d)" seed
+           (List.length mini))
+        true
+        (List.length mini <= 25);
+      let replayed = E.run_one rma_buggy (Policy.Replay mini) in
+      Alcotest.(check bool) "shrunk trace still fails" true (E.failed replayed);
+      check_clean "deferred-apply variant under the failing schedule"
+        (E.run_one rma_fixed (Policy.Replay mini))
+
+let test_rma_fixed_passes_under_random_schedules () =
+  for s = 1 to 20 do
+    check_clean
+      (Printf.sprintf "deferred apply under seed %d" s)
+      (E.run_one rma_fixed (Policy.Seeded_random s))
+  done
+
+(* ------------------------------------------------------------------ *)
 (* The planted detector bug                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -170,7 +209,7 @@ let test_explorer_clean_on_default_workloads () =
         (violations_line o))
     report.E.r_failures;
   Alcotest.(check int)
-    "one baseline per workload" 5
+    "one baseline per workload" 7
     (List.length report.E.r_baselines)
 
 let test_record_replay_reproduces_digest () =
@@ -271,6 +310,15 @@ let () =
             test_fixed_variant_passes_under_random_schedules;
           Alcotest.test_case "shrinks to a small replayable trace" `Quick
             test_planted_bug_shrinks_to_small_replayable_trace;
+        ] );
+      ( "rma epoch bug",
+        [
+          Alcotest.test_case "invisible to round-robin" `Quick
+            test_rma_epoch_bug_invisible_to_round_robin;
+          Alcotest.test_case "caught by random schedules and shrunk" `Quick
+            test_rma_epoch_bug_caught_and_shrunk;
+          Alcotest.test_case "deferred-apply variant passes" `Quick
+            test_rma_fixed_passes_under_random_schedules;
         ] );
       ( "planted detector bug",
         [

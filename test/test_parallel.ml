@@ -95,6 +95,48 @@ let test_parallel_run_repeatable () =
   let b, _ = W.ring ~parallel:4 ~n:8 ~rounds:5 ~size:128 () in
   Alcotest.(check string) "two parallel runs agree" a b
 
+(* Asking for more domains than the placement can use: ranks are placed
+   per simulated node, so an explicit topology caps the useful domain
+   count at its node count (and a flat world at the rank count). The
+   request is clamped, not rejected — and the run still matches the
+   cooperative digest. *)
+let ring_digest ?topology ?parallel ~n () =
+  let rounds = 4 and size = 128 in
+  let finals = Array.make n Bytes.empty in
+  let w =
+    Mpi.run ?topology ?parallel ~n (fun p ->
+        let comm = Mpi.comm_world (Mpi.world_of p) in
+        let r = Mpi.rank p in
+        let buf = Bytes.init size (fun i -> Char.chr ((r + i) land 0xff)) in
+        for round = 0 to rounds - 1 do
+          let dst = (r + 1) mod n and src = (r + n - 1) mod n in
+          let incoming = Bytes.create size in
+          let rr =
+            Mpi.irecv p ~comm ~src ~tag:round
+              (Mpi_core.Buffer_view.of_bytes incoming)
+          in
+          Mpi.send p ~comm ~dst ~tag:round (Mpi_core.Buffer_view.of_bytes buf);
+          ignore (Mpi.wait p rr);
+          Bytes.blit incoming 0 buf 0 size
+        done;
+        finals.(r) <- Bytes.copy buf)
+  in
+  let d = Digest.to_hex (Digest.bytes (Bytes.concat Bytes.empty (Array.to_list finals))) in
+  (d, w)
+
+let test_domains_clamped_to_nodes () =
+  let topology = Simtime.Topology.make ~nodes:2 ~cores:4 in
+  let base, _ = ring_digest ~topology ~n:8 () in
+  (* 4 domains requested, but the 2-node placement can use only 2. *)
+  let got, w = ring_digest ~topology ~parallel:4 ~n:8 () in
+  Alcotest.(check (option int)) "clamped to the node count" (Some 2)
+    (Mpi.parallelism w);
+  Alcotest.(check string) "digest still matches cooperative" base got;
+  (* Flat world: the cap is the rank count. *)
+  let _, w = ring_digest ~parallel:16 ~n:3 () in
+  Alcotest.(check (option int)) "clamped to the rank count" (Some 3)
+    (Mpi.parallelism w)
+
 (* ------------------------------------------------------------------ *)
 (* Per-domain stats merge                                              *)
 (* ------------------------------------------------------------------ *)
@@ -241,6 +283,8 @@ let () =
           Alcotest.test_case "allreduce" `Quick
             test_allreduce_bytes_digest_matches;
           Alcotest.test_case "repeatable" `Quick test_parallel_run_repeatable;
+          Alcotest.test_case "domains clamp to placement" `Quick
+            test_domains_clamped_to_nodes;
         ] );
       ( "stats",
         [

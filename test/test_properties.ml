@@ -585,6 +585,333 @@ let prop_checkpoint_round_trip =
           Om.free gc root);
       !ok)
 
+(* --- One-sided RMA ------------------------------------------------- *)
+
+(* The three RMA properties run real multi-rank worlds, so their counts
+   stay modest; every run is rebuilt deterministically from the printed
+   (n, seed) pair. *)
+module Rma = Mpi_core.Rma
+module Mpi = Mpi_core.Mpi
+
+(* One LCG per (seed, rank): the property and the in-world body derive
+   the same random layout from it independently. *)
+let lcg seed =
+  let state = ref ((seed * 2) + 1) in
+  fun m ->
+    state := ((!state * 1103515245) + 12345) land 0x3fffffff;
+    !state mod m
+
+let rma_wlen = 96
+let rma_init ~rank = Bytes.init rma_wlen (fun i -> Char.chr (((rank * 13) + i + 3) land 0xff))
+
+(* The random layout rank [r] issues: puts first, then gets, each with
+   arbitrary (target, offset, length) — including self-targeted and
+   overlapping segments. *)
+let rma_layout ~n ~seed ~rank =
+  let next = lcg ((seed * 31) + rank) in
+  let seg () =
+    let len = 1 + next 24 in
+    (next n, next (rma_wlen - len + 1), len)
+  in
+  let puts =
+    List.init
+      (1 + next 3)
+      (fun _ ->
+        let t, off, len = seg () in
+        (t, off, Bytes.init len (fun _ -> Char.chr (next 256))))
+  in
+  let gets = List.init (1 + next 3) (fun _ -> seg ()) in
+  (puts, gets)
+
+(* Put/get round-trip isomorphism: after the closing fence, every get of
+   any segment of any window must read exactly what the model — plain
+   byte arrays mutated in origin-rank order, then issue order, the order
+   [win_fence] commits — says that window holds. *)
+let prop_rma_put_get_matches_model =
+  QCheck.Test.make ~name:"put/get round-trips match the flat-array model"
+    ~count:25
+    QCheck.(pair (int_range 2 4) (int_range 0 9999))
+    (fun (n, seed) ->
+      let model = Array.init n (fun r -> rma_init ~rank:r) in
+      for r = 0 to n - 1 do
+        let puts, _ = rma_layout ~n ~seed ~rank:r in
+        List.iter
+          (fun (t, off, data) ->
+            Bytes.blit data 0 model.(t) off (Bytes.length data))
+          puts
+      done;
+      let ok = Array.make n false in
+      ignore
+        (Mpi.run ~n (fun p ->
+             let r = Mpi.rank p in
+             let comm = Mpi.comm_world (Mpi.world_of p) in
+             let mine = rma_init ~rank:r in
+             let win = Rma.win_create p ~comm mine in
+             let puts, gets = rma_layout ~n ~seed ~rank:r in
+             List.iter
+               (fun (t, off, data) ->
+                 Rma.put win ~target:t ~target_off:off data ~off:0
+                   ~len:(Bytes.length data))
+               puts;
+             Rma.win_fence win;
+             let fine = ref (Bytes.equal mine model.(r)) in
+             List.iter
+               (fun (t, off, len) ->
+                 let buf = Bytes.create len in
+                 Rma.get win ~target:t ~target_off:off buf ~off:0 ~len;
+                 if not (Bytes.equal buf (Bytes.sub model.(t) off len)) then
+                   fine := false)
+               gets;
+             Rma.win_fence win;
+             Rma.win_free win;
+             ok.(r) <- !fine));
+      Array.for_all Fun.id ok)
+
+(* Accumulate order-insensitivity: for a commutative-associative
+   operator the fence's origin-rank fold must agree with the same
+   contributions folded in an arbitrary (seed-derived) permutation. *)
+let arb_commutative_op =
+  QCheck.make
+    QCheck.Gen.(oneofl [ Rma.Sum; Rma.Prod; Rma.Min; Rma.Max; Rma.Bxor ])
+    ~print:(function
+      | Rma.Sum -> "Sum"
+      | Rma.Prod -> "Prod"
+      | Rma.Min -> "Min"
+      | Rma.Max -> "Max"
+      | Rma.Bxor -> "Bxor"
+      | Rma.Replace -> "Replace"
+      | Rma.Matmul -> "Matmul")
+
+let rma_lanes = 4
+
+let rma_contribs ~n ~seed =
+  List.concat
+    (List.init n (fun r ->
+         let next = lcg ((seed * 17) + r) in
+         List.init
+           (1 + next 3)
+           (fun _ ->
+             let lane = next rma_lanes in
+             let v = Int64.of_int (next 1_000_000 - 500_000) in
+             (r, lane, v))))
+
+let prop_rma_accumulate_order_insensitive =
+  QCheck.Test.make
+    ~name:"commutative accumulate is insensitive to contribution order"
+    ~count:25
+    QCheck.(triple (int_range 2 4) (int_range 0 9999) arb_commutative_op)
+    (fun (n, seed, op) ->
+      let f =
+        match op with
+        | Rma.Sum -> Int64.add
+        | Rma.Prod -> Int64.mul
+        | Rma.Min -> Int64.min
+        | Rma.Max -> Int64.max
+        | Rma.Bxor -> Int64.logxor
+        | _ -> assert false
+      in
+      let base = Array.init rma_lanes (fun i -> Int64.of_int ((seed * 7) + i)) in
+      (* Fold the model in a seed-shuffled order, not rank order. *)
+      let contribs = rma_contribs ~n ~seed in
+      let shuffled =
+        let next = lcg (seed + 99) in
+        List.map snd
+          (List.sort compare (List.map (fun c -> (next 1_000_000, c)) contribs))
+      in
+      let model = Array.copy base in
+      List.iter (fun (_, lane, v) -> model.(lane) <- f model.(lane) v) shuffled;
+      let ok = ref false in
+      ignore
+        (Mpi.run ~n (fun p ->
+             let r = Mpi.rank p in
+             let comm = Mpi.comm_world (Mpi.world_of p) in
+             let mine = Bytes.create (8 * rma_lanes) in
+             Array.iteri (fun i v -> Bytes.set_int64_le mine (8 * i) v) base;
+             let win = Rma.win_create p ~comm mine in
+             List.iter
+               (fun (o, lane, v) ->
+                 if o = r then begin
+                   let c = Bytes.create 8 in
+                   Bytes.set_int64_le c 0 v;
+                   Rma.accumulate win ~target:0 ~target_off:(8 * lane) ~op c
+                     ~off:0 ~len:8
+                 end)
+               contribs;
+             Rma.win_fence win;
+             if r = 0 then
+               ok :=
+                 Array.for_all Fun.id
+                   (Array.init rma_lanes (fun i ->
+                        Bytes.get_int64_le mine (8 * i) = model.(i)));
+             Rma.win_free win));
+      !ok)
+
+(* --- Registration cache vs naive model ----------------------------- *)
+
+module RCache = Mpi_core.Rdma_channel.Cache
+
+(* The reference model: a bare association list scanned linearly, stamps
+   recomputed from an explicit clock — no shared structure with the
+   implementation beyond the specification. *)
+module Cache_model = struct
+  type entry = {
+    m_addr : int;
+    m_len : int;
+    mutable m_pins : int;
+    mutable m_stamp : int;
+  }
+
+  type t = {
+    m_capacity : int;
+    mutable m_entries : entry list;  (* newest insertion first *)
+    mutable m_clock : int;
+    mutable m_hits : int;
+    mutable m_misses : int;
+    mutable m_evictions : int;
+  }
+
+  let create capacity =
+    { m_capacity = capacity; m_entries = []; m_clock = 0; m_hits = 0;
+      m_misses = 0; m_evictions = 0 }
+
+  let covering t ~addr ~len =
+    List.find_opt
+      (fun e -> e.m_addr <= addr && addr + len <= e.m_addr + e.m_len)
+      t.m_entries
+
+  let bytes t = List.fold_left (fun a e -> a + e.m_len) 0 t.m_entries
+
+  let touch t e =
+    t.m_clock <- t.m_clock + 1;
+    e.m_stamp <- t.m_clock
+
+  let rec evict t need acc =
+    if bytes t + need <= t.m_capacity then List.rev acc
+    else
+      match
+        List.sort
+          (fun a b -> compare a.m_stamp b.m_stamp)
+          (List.filter (fun e -> e.m_pins = 0) t.m_entries)
+      with
+      | [] -> List.rev acc
+      | victim :: _ ->
+          t.m_entries <- List.filter (fun e -> e != victim) t.m_entries;
+          t.m_evictions <- t.m_evictions + 1;
+          evict t need ((victim.m_addr, victim.m_len) :: acc)
+
+  let insert t ~addr ~len ~pins =
+    let evicted = evict t len [] in
+    let e = { m_addr = addr; m_len = len; m_pins = pins; m_stamp = 0 } in
+    touch t e;
+    t.m_entries <- e :: t.m_entries;
+    evicted
+
+  let access t ~addr ~len =
+    match covering t ~addr ~len with
+    | Some e ->
+        t.m_hits <- t.m_hits + 1;
+        touch t e;
+        `Hit
+    | None ->
+        t.m_misses <- t.m_misses + 1;
+        `Miss (insert t ~addr ~len ~pins:0)
+
+  let pin t ~addr ~len =
+    match covering t ~addr ~len with
+    | Some e ->
+        t.m_hits <- t.m_hits + 1;
+        touch t e;
+        e.m_pins <- e.m_pins + 1;
+        `Hit
+    | None ->
+        t.m_misses <- t.m_misses + 1;
+        `Miss (insert t ~addr ~len ~pins:1)
+
+  let unpin t ~addr ~len =
+    match
+      List.find_opt
+        (fun e ->
+          e.m_pins > 0 && e.m_addr <= addr && addr + len <= e.m_addr + e.m_len)
+        t.m_entries
+    with
+    | Some e ->
+        e.m_pins <- e.m_pins - 1;
+        true
+    | None -> false
+
+  let pinned_bytes t =
+    List.fold_left
+      (fun a e -> if e.m_pins > 0 then a + e.m_len else a)
+      0 t.m_entries
+end
+
+type cache_op = Access of int * int | Pin of int * int | Unpin of int * int
+
+let gen_cache_ops =
+  let open QCheck.Gen in
+  let region = pair (int_range 0 400) (int_range 1 128) in
+  list_size (int_range 1 60)
+    (frequency
+       [
+         (5, map (fun (a, l) -> Access (a, l)) region);
+         (2, map (fun (a, l) -> Pin (a, l)) region);
+         (2, map (fun (a, l) -> Unpin (a, l)) region);
+       ])
+
+let arb_cache_ops =
+  QCheck.make
+    QCheck.Gen.(pair (int_range 64 512) gen_cache_ops)
+    ~print:(fun (cap, ops) ->
+      Printf.sprintf "capacity=%d [%s]" cap
+        (String.concat "; "
+           (List.map
+              (function
+                | Access (a, l) -> Printf.sprintf "access(%d,%d)" a l
+                | Pin (a, l) -> Printf.sprintf "pin(%d,%d)" a l
+                | Unpin (a, l) -> Printf.sprintf "unpin(%d,%d)" a l)
+              ops)))
+
+let prop_cache_equals_naive_model =
+  QCheck.Test.make
+    ~name:"registration cache agrees with the naive list model" ~count:300
+    arb_cache_ops
+    (fun (capacity, ops) ->
+      let c = RCache.create ~capacity_bytes:capacity () in
+      let m = Cache_model.create capacity in
+      List.for_all
+        (fun op ->
+          let step_ok =
+            match op with
+            | Access (addr, len) -> (
+                match (RCache.access c ~addr ~len, Cache_model.access m ~addr ~len) with
+                | RCache.Hit, `Hit -> true
+                | RCache.Miss { evicted }, `Miss ev -> evicted = ev
+                | _ -> false)
+            | Pin (addr, len) -> (
+                match (RCache.pin c ~addr ~len, Cache_model.pin m ~addr ~len) with
+                | RCache.Hit, `Hit -> true
+                | RCache.Miss { evicted }, `Miss ev -> evicted = ev
+                | _ -> false)
+            | Unpin (addr, len) -> (
+                let model_ok = Cache_model.unpin m ~addr ~len in
+                match RCache.unpin c ~addr ~len with
+                | () -> model_ok
+                | exception Invalid_argument _ -> not model_ok)
+          in
+          step_ok
+          && RCache.entries c = List.length m.Cache_model.m_entries
+          && RCache.registered_bytes c = Cache_model.bytes m
+          && RCache.pinned_bytes c = Cache_model.pinned_bytes m
+          && RCache.hits c = m.Cache_model.m_hits
+          && RCache.misses c = m.Cache_model.m_misses
+          && RCache.evictions c = m.Cache_model.m_evictions
+          && List.for_all
+               (fun probe ->
+                 RCache.mem c ~addr:probe ~len:16
+                 = Option.is_some (Cache_model.covering m ~addr:probe ~len:16))
+               [ 0; 50; 100; 200; 300; 400 ])
+        ops)
+
 let () =
   Alcotest.run "properties"
     [
@@ -619,4 +946,10 @@ let () =
         ] );
       ( "checkpoint",
         [ QCheck_alcotest.to_alcotest prop_checkpoint_round_trip ] );
+      ( "one-sided rma",
+        [
+          QCheck_alcotest.to_alcotest prop_rma_put_get_matches_model;
+          QCheck_alcotest.to_alcotest prop_rma_accumulate_order_insensitive;
+          QCheck_alcotest.to_alcotest prop_cache_equals_naive_model;
+        ] );
     ]

@@ -219,7 +219,8 @@ let doc_of_string s =
 
 (* --- Gate policy --- *)
 
-let virtual_groups = [ "fig9"; "fig10"; "collectives"; "resilience"; "hier" ]
+let virtual_groups =
+  [ "fig9"; "fig10"; "collectives"; "resilience"; "hier"; "rma" ]
 let wall_groups = [ "speedup" ]
 let virtual_threshold = 1.25
 let wall_threshold = 1.50
